@@ -1,0 +1,189 @@
+//! Shared infrastructure for the application implementations: column-major
+//! slabs (so all program versions run the same kernels), the measurement
+//! meter (the paper times only the steady-state iterations), and checksum
+//! comparison helpers.
+
+use sp2sim::{Node, StatsSnapshot};
+
+/// A column-major 2-D slab: columns `col0 .. col0 + ncols`, `rows` rows.
+///
+/// Every version of an application materializes its working set into
+/// slabs (from DSM views, distributed arrays or plain vectors), runs the
+/// shared numerical kernel, and commits the result back. This guarantees
+/// bit-identical numerics across the five program versions.
+#[derive(Clone, Debug)]
+pub struct Slab {
+    /// Number of rows (contiguous dimension, Fortran layout).
+    pub rows: usize,
+    /// First (global) column held.
+    pub col0: usize,
+    /// Column-major data: `data[(j - col0) * rows + i]`.
+    pub data: Vec<f64>,
+}
+
+impl Slab {
+    /// Zero-filled slab covering columns `col0 .. col0 + ncols`.
+    pub fn new(rows: usize, col0: usize, ncols: usize) -> Slab {
+        Slab {
+            rows,
+            col0,
+            data: vec![0.0; rows * ncols],
+        }
+    }
+
+    /// Slab wrapping an existing buffer (must be `rows * ncols` long).
+    pub fn from_vec(rows: usize, col0: usize, data: Vec<f64>) -> Slab {
+        debug_assert_eq!(data.len() % rows, 0);
+        Slab { rows, col0, data }
+    }
+
+    /// Number of columns held.
+    pub fn ncols(&self) -> usize {
+        self.data.len() / self.rows
+    }
+
+    /// Global column range held.
+    pub fn cols(&self) -> std::ops::Range<usize> {
+        self.col0..self.col0 + self.ncols()
+    }
+
+    /// Element `(i, j)` with `j` a global column index.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows);
+        debug_assert!(self.cols().contains(&j), "col {j} not in {:?}", self.cols());
+        self.data[(j - self.col0) * self.rows + i]
+    }
+
+    /// Set element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows);
+        debug_assert!(self.cols().contains(&j));
+        self.data[(j - self.col0) * self.rows + i] = v;
+    }
+
+    /// Column `j` as a slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        let o = (j - self.col0) * self.rows;
+        &self.data[o..o + self.rows]
+    }
+
+    /// Column `j`, mutable.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        let o = (j - self.col0) * self.rows;
+        let rows = self.rows;
+        &mut self.data[o..o + rows]
+    }
+
+    /// Copy columns `cols` out of `other` (which must hold them).
+    pub fn copy_cols_from(&mut self, other: &Slab, cols: std::ops::Range<usize>) {
+        for j in cols {
+            let src = other.col(j).to_vec();
+            self.col_mut(j).copy_from_slice(&src);
+        }
+    }
+}
+
+/// Timed-region measurement: per-node virtual elapsed time plus a
+/// cluster-wide message-statistics delta (taken on node 0 between
+/// wall-clock rendezvous so the cut is consistent).
+pub struct Meter {
+    t0: f64,
+    snap0: Option<StatsSnapshot>,
+}
+
+/// Begin the timed region. Call on every node at the same program point
+/// (typically right after the warm-up barrier).
+pub fn meter_start(node: &Node) -> Meter {
+    node.rendezvous();
+    let snap0 = (node.id() == 0).then(|| node.stats().snapshot());
+    node.rendezvous();
+    Meter {
+        t0: node.now().us(),
+        snap0,
+    }
+}
+
+/// End the timed region: per-node elapsed virtual microseconds and, on
+/// node 0, the message statistics of the region.
+pub fn meter_stop(node: &Node, m: Meter) -> (f64, Option<StatsSnapshot>) {
+    node.rendezvous();
+    let delta = m
+        .snap0
+        .map(|s0| node.stats().snapshot().delta(&s0));
+    node.rendezvous();
+    (node.now().us() - m.t0, delta)
+}
+
+/// Relative comparison of checksum vectors: every component must agree to
+/// `tol` relative error (absolute near zero).
+pub fn checksums_close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= tol * scale
+        })
+}
+
+/// Deterministic pseudo-random value in `[0, 1)` derived from a cell
+/// coordinate — used to build identical workloads in every version
+/// without sharing state.
+pub fn hash01(seed: u64, k: u64) -> f64 {
+    let mut r = sp2sim::SplitMix64::new(seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    r.next_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_indexing_is_column_major() {
+        let mut s = Slab::new(4, 10, 3);
+        s.set(2, 11, 7.0);
+        assert_eq!(s.at(2, 11), 7.0);
+        assert_eq!(s.data[1 * 4 + 2], 7.0);
+        assert_eq!(s.cols(), 10..13);
+        assert_eq!(s.ncols(), 3);
+    }
+
+    #[test]
+    fn slab_col_slices() {
+        let mut s = Slab::new(3, 0, 2);
+        s.col_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.col(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.col(0), &[0.0; 3]);
+    }
+
+    #[test]
+    fn copy_cols_between_slabs() {
+        let mut a = Slab::new(2, 0, 4);
+        for j in 0..4 {
+            a.col_mut(j).copy_from_slice(&[j as f64, j as f64]);
+        }
+        let mut b = Slab::new(2, 1, 2);
+        b.copy_cols_from(&a, 1..3);
+        assert_eq!(b.at(0, 1), 1.0);
+        assert_eq!(b.at(1, 2), 2.0);
+    }
+
+    #[test]
+    fn checksum_tolerance() {
+        assert!(checksums_close(&[1.0, 2.0], &[1.0, 2.0 + 1e-12], 1e-9));
+        assert!(!checksums_close(&[1.0], &[1.1], 1e-9));
+        assert!(!checksums_close(&[1.0], &[1.0, 2.0], 1e-9));
+        // Near zero, absolute comparison applies.
+        assert!(checksums_close(&[0.0], &[1e-12], 1e-9));
+    }
+
+    #[test]
+    fn hash01_is_deterministic_and_bounded() {
+        for k in 0..100 {
+            let a = hash01(42, k);
+            assert_eq!(a, hash01(42, k));
+            assert!((0.0..1.0).contains(&a));
+        }
+        assert_ne!(hash01(42, 1), hash01(43, 1));
+    }
+}

@@ -1,0 +1,438 @@
+//! Jacobi: iterative 4-point-stencil solver for partial differential
+//! equations (paper §5.1).
+//!
+//! Two arrays — data and scratch. Each iteration updates every interior
+//! element from its four neighbours into the scratch array, then copies
+//! the scratch array back. Arrays are column-major and partitioned by
+//! columns; the stencil needs nearest-neighbour boundary columns.
+//!
+//! Paper workload: 2048 × 2048, 101 iterations with the last 100 timed.
+//! Version-specific behaviour reproduced here:
+//!
+//! * **SPF** allocates the scratch array in shared memory (it is accessed
+//!   in a parallel loop), paying twin/diff overhead a hand coder avoids;
+//! * **TreadMarks (hand)** keeps scratch private and uses two barriers per
+//!   iteration (the anti-dependence barrier between the phases);
+//! * **XHPF** generates precise ghost-column exchanges plus one run-time
+//!   synchronization per parallel loop;
+//! * **PVMe (hand)** sends each boundary column in a single message that
+//!   doubles as synchronization — no barriers at all;
+//! * **Hand-opt** (§5.1) is the SPF version with communication
+//!   aggregation, which the paper measures at 7.23 vs 7.55 for PVMe.
+
+use std::cell::RefCell;
+use std::ops::Range;
+
+use mpl::Comm;
+use sp2sim::{Cluster, ClusterConfig, Node};
+use spf::{block_range, LoopCtl, Schedule, Spf};
+use treadmarks::{Tmk, TmkConfig};
+use xhpf::Xhpf;
+
+use crate::common::{meter_start, meter_stop, Slab};
+use crate::runner::{AppId, NodeOut, RunResult, Version};
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Grid edge (paper: 2048).
+    pub n: usize,
+    /// Timed iterations (paper: 100; one extra warm-up iteration runs
+    /// untimed, like the paper's 101st).
+    pub iters: usize,
+}
+
+/// Paper-sized workload at `scale = 1.0`; smaller scales shrink both the
+/// grid edge and the iteration count (for tests and quick benches).
+pub fn params(scale: f64) -> Params {
+    if scale >= 1.0 {
+        Params { n: 2048, iters: 100 }
+    } else {
+        Params {
+            n: ((2048.0 * scale) as usize).max(24),
+            iters: ((100.0 * scale).round() as usize).max(3),
+        }
+    }
+}
+
+/// Virtual cost per stencil point (phase 1), calibrated so the paper-size
+/// sequential run lands near the mid-90s SP/2 time scale (~44 s).
+const P1_US: f64 = 0.085;
+/// Virtual cost per copied point (phase 2).
+const P2_US: f64 = 0.020;
+
+/// Phase 1: 4-point stencil for columns `jr` (interior rows).
+/// `input` must hold columns `jr.start - 1 ..= jr.end`.
+fn phase1(input: &Slab, out: &mut Slab, n: usize, jr: Range<usize>) {
+    for j in jr {
+        for i in 1..n - 1 {
+            let v = 0.25
+                * (input.at(i - 1, j)
+                    + input.at(i + 1, j)
+                    + input.at(i, j - 1)
+                    + input.at(i, j + 1));
+            out.set(i, j, v);
+        }
+    }
+}
+
+/// Initial grid: ones on the edges, zeroes in the interior.
+fn init_full(n: usize) -> Slab {
+    let mut s = Slab::new(n, 0, n);
+    for j in 0..n {
+        for i in 0..n {
+            let edge = i == 0 || j == 0 || i == n - 1 || j == n - 1;
+            s.set(i, j, if edge { 1.0 } else { 0.0 });
+        }
+    }
+    s
+}
+
+/// Checksum: total plus three probe points.
+fn checksum(s: &Slab, n: usize) -> Vec<f64> {
+    let sum: f64 = s.data.iter().sum();
+    vec![
+        sum,
+        s.at(n / 2, n / 2),
+        s.at(1, 1),
+        s.at(n - 2, n / 3.max(1)),
+    ]
+}
+
+/// Interior-column block for processor `me` of `np`.
+fn my_cols(me: usize, np: usize, n: usize) -> Range<usize> {
+    block_range(me, np, 1..n - 1)
+}
+
+fn charge_phase1(node: &Node, cols: usize, n: usize) {
+    node.advance(cols as f64 * (n - 2) as f64 * P1_US);
+}
+
+fn charge_phase2(node: &Node, cols: usize, n: usize) {
+    node.advance(cols as f64 * (n - 2) as f64 * P2_US);
+}
+
+// ---------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------
+
+fn seq_node(node: &Node, p: &Params) -> NodeOut {
+    let n = p.n;
+    let mut data = init_full(n);
+    let mut scratch = Slab::new(n, 0, n);
+    let one = |data: &mut Slab, scratch: &mut Slab| {
+        phase1(data, scratch, n, 1..n - 1);
+        charge_phase1(node, n - 2, n);
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let v = scratch.at(i, j);
+                data.set(i, j, v);
+            }
+        }
+        charge_phase2(node, n - 2, n);
+    };
+    one(&mut data, &mut scratch);
+    let m = meter_start(node);
+    for _ in 0..p.iters {
+        one(&mut data, &mut scratch);
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: Some(checksum(&data, n)),
+        dsm: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-coded TreadMarks
+// ---------------------------------------------------------------------
+
+fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
+    let n = p.n;
+    let me = node.id();
+    let np = node.nprocs();
+    let tmk = Tmk::new(node, cfg.clone());
+    let arr = tmk.malloc_f64(n * n);
+    if me == 0 {
+        let full = init_full(n);
+        let mut w = tmk.write(arr, 0..n * n);
+        w.slice_mut().copy_from_slice(&full.data);
+    }
+    tmk.barrier(0);
+
+    let jr = my_cols(me, np, n);
+    // Hand-coded version: the scratch array is private.
+    let mut scratch = Slab::new(n, jr.start.max(1), jr.len());
+    let one = |scratch: &mut Slab| {
+        if !jr.is_empty() {
+            let lo = jr.start - 1;
+            let hi = (jr.end + 1).min(n);
+            let input = Slab::from_vec(n, lo, tmk.read(arr, lo * n..hi * n).into_vec());
+            phase1(&input, scratch, n, jr.clone());
+            charge_phase1(node, jr.len(), n);
+        }
+        tmk.barrier(1);
+        if !jr.is_empty() {
+            let mut w = tmk.write(arr, jr.start * n..jr.end * n);
+            for j in jr.clone() {
+                for i in 1..n - 1 {
+                    w[j * n + i] = scratch.at(i, j);
+                }
+            }
+            drop(w);
+            charge_phase2(node, jr.len(), n);
+        }
+        tmk.barrier(2);
+    };
+    one(&mut scratch);
+    let m = meter_start(node);
+    for _ in 0..p.iters {
+        one(&mut scratch);
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+    let cs = (me == 0).then(|| {
+        let full = Slab::from_vec(n, 0, tmk.read(arr, 0..n * n).into_vec());
+        checksum(&full, n)
+    });
+    let dsm = tmk.finish();
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: Some(dsm),
+    }
+}
+
+// ---------------------------------------------------------------------
+// SPF-generated shared memory (and its §5 hand-optimized variant)
+// ---------------------------------------------------------------------
+
+fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
+    let n = p.n;
+    let me = node.id();
+    let np = node.nprocs();
+    // Declared before the run-time so registered loop bodies may borrow
+    // them (they must outlive the `Spf` that stores the closures).
+    let meter = RefCell::new(None);
+    let measured = RefCell::new(None);
+    let tmk = Tmk::new(node, cfg.clone());
+    let spf = Spf::new(&tmk);
+    let data = tmk.malloc_f64(n * n);
+    // SPF allocates the scratch array in shared memory.
+    let scr = tmk.malloc_f64(n * n);
+    let l_start = spf.register(|_ctl: &LoopCtl| {
+        *meter.borrow_mut() = Some(meter_start(node));
+    });
+    let l_stop = spf.register(|_ctl: &LoopCtl| {
+        let m = meter.borrow_mut().take().expect("meter started");
+        *measured.borrow_mut() = Some(meter_stop(node, m));
+    });
+    let l1 = spf.register({
+        let tmk = &tmk;
+        move |ctl: &LoopCtl| {
+            let jr = ctl.my_block(me, np);
+            if jr.is_empty() {
+                return;
+            }
+            let lo = jr.start - 1;
+            let hi = (jr.end + 1).min(n);
+            let input = Slab::from_vec(n, lo, tmk.read(data, lo * n..hi * n).into_vec());
+            let mut out = Slab::new(n, jr.start, jr.len());
+            phase1(&input, &mut out, n, jr.clone());
+            let mut w = tmk.write(scr, jr.start * n..jr.end * n);
+            for j in jr.clone() {
+                for i in 1..n - 1 {
+                    w[j * n + i] = out.at(i, j);
+                }
+            }
+            drop(w);
+            charge_phase1(node, jr.len(), n);
+        }
+    });
+    let l2 = spf.register({
+        let tmk = &tmk;
+        move |ctl: &LoopCtl| {
+            let jr = ctl.my_block(me, np);
+            if jr.is_empty() {
+                return;
+            }
+            let s = tmk.read(scr, jr.start * n..jr.end * n);
+            let mut w = tmk.write(data, jr.start * n..jr.end * n);
+            for j in jr.clone() {
+                for i in 1..n - 1 {
+                    w[j * n + i] = s[j * n + i];
+                }
+            }
+            drop(w);
+            charge_phase2(node, jr.len(), n);
+        }
+    });
+
+    let cs = spf.run(|m| {
+        {
+            let full = init_full(n);
+            let mut w = m.tmk().write(data, 0..n * n);
+            w.slice_mut().copy_from_slice(&full.data);
+        }
+        let interior = 1..n - 1;
+        m.par_loop(l1, interior.clone(), Schedule::Block, &[]);
+        m.par_loop(l2, interior.clone(), Schedule::Block, &[]);
+        m.par_loop(l_start, 0..0, Schedule::Block, &[]);
+        for _ in 0..p.iters {
+            m.par_loop(l1, interior.clone(), Schedule::Block, &[]);
+            m.par_loop(l2, interior.clone(), Schedule::Block, &[]);
+        }
+        m.par_loop(l_stop, 0..0, Schedule::Block, &[]);
+        let full = Slab::from_vec(n, 0, m.tmk().read(data, 0..n * n).into_vec());
+        checksum(&full, n)
+    });
+    let (elapsed_us, stats) = measured.borrow_mut().take().expect("meter ran");
+    let dsm = tmk.finish();
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: Some(dsm),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message passing (XHPF-generated and hand-coded PVMe)
+// ---------------------------------------------------------------------
+
+fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
+    let n = p.n;
+    let _me = node.id();
+    let _np = node.nprocs();
+    let comm = Comm::new(node);
+    let x = Xhpf::new(&comm);
+    let mut a = x.block_array(n, n, 1);
+    {
+        // SPMD init: everyone initializes its own partition.
+        let full = init_full(n);
+        for j in a.owned_cols() {
+            a.col_mut(j).copy_from_slice(full.col(j));
+        }
+    }
+    let jr = {
+        let owned = a.owned_cols();
+        owned.start.max(1)..owned.end.min(n - 1)
+    };
+    let mut scratch = Slab::new(n, jr.start.max(1), jr.len());
+    let one = |a: &mut xhpf::BlockArray2, scratch: &mut Slab| {
+        x.exchange_ghost(a, false);
+        if !jr.is_empty() {
+            let rc = a.readable_cols();
+            let mut input = Slab::new(n, rc.start, rc.end - rc.start);
+            for j in rc.clone() {
+                input.col_mut(j).copy_from_slice(a.col(j));
+            }
+            phase1(&input, scratch, n, jr.clone());
+            charge_phase1(node, jr.len(), n);
+        }
+        if xhpf_mode {
+            x.loop_sync();
+        }
+        for j in jr.clone() {
+            for i in 1..n - 1 {
+                *a.at_mut(i, j) = scratch.at(i, j);
+            }
+        }
+        charge_phase2(node, jr.len(), n);
+        if xhpf_mode {
+            x.loop_sync();
+        }
+    };
+    one(&mut a, &mut scratch);
+    let m = meter_start(node);
+    for _ in 0..p.iters {
+        one(&mut a, &mut scratch);
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+
+    // Gather for validation (untimed).
+    let mut own = Vec::with_capacity(a.owned_cols().len() * n);
+    for j in a.owned_cols() {
+        own.extend_from_slice(a.col(j));
+    }
+    let gathered = comm.gather_f64s(0, &own);
+    let cs = gathered.map(|parts| {
+        let mut full = Vec::with_capacity(n * n);
+        for part in parts {
+            full.extend_from_slice(&part);
+        }
+        checksum(&Slab::from_vec(n, 0, full), n)
+    });
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: None,
+    }
+}
+
+/// Run Jacobi in `version` on `nprocs` processors at `scale`.
+pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    let p = params(scale);
+    let c = ClusterConfig::sp2(nprocs);
+    let outs = match version {
+        Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
+        Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
+        Version::Spf | Version::HandOpt => {
+            Cluster::run(c, |node| spf_node(node, &p, &cfg)).results
+        }
+        Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
+        Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
+    };
+    RunResult::assemble(AppId::Jacobi, version, nprocs, scale, outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.03; // 61x61 grid, 3 iterations
+
+    #[test]
+    fn all_versions_match_sequential_bitwise() {
+        let seq = run(Version::Seq, 1, SCALE, TmkConfig::default());
+        for v in [
+            Version::Tmk,
+            Version::Spf,
+            Version::Xhpf,
+            Version::Pvme,
+            Version::HandOpt,
+        ] {
+            let r = crate::runner::run(AppId::Jacobi, v, 4, SCALE);
+            assert_eq!(r.checksum, seq.checksum, "version {v:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_versions_communicate() {
+        let r = run(Version::Pvme, 4, SCALE, TmkConfig::default());
+        // 3 boundary pairs, 2 messages each, 3 iterations; no sync.
+        assert_eq!(r.messages, 3 * 2 * 3);
+        let x = run(Version::Xhpf, 4, SCALE, TmkConfig::default());
+        assert!(x.messages > r.messages, "XHPF adds per-loop syncs");
+    }
+
+    #[test]
+    fn single_proc_parallel_versions_work() {
+        let seq = run(Version::Seq, 1, SCALE, TmkConfig::default());
+        for v in [Version::Tmk, Version::Spf, Version::Xhpf, Version::Pvme] {
+            let r = crate::runner::run(AppId::Jacobi, v, 1, SCALE);
+            assert_eq!(r.checksum, seq.checksum, "version {v:?} on 1 proc");
+        }
+    }
+
+    #[test]
+    fn spf_scratch_in_shared_memory_costs_twins() {
+        let spf = run(Version::Spf, 4, SCALE, TmkConfig::default());
+        let tmk = run(Version::Tmk, 4, SCALE, TmkConfig::default());
+        // SPF twins both data and scratch pages; hand-coded only data.
+        assert!(spf.dsm.twins > tmk.dsm.twins);
+    }
+}

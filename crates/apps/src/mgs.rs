@@ -1,0 +1,435 @@
+//! MGS: Modified Gramm-Schmidt orthonormalization (paper §5.3).
+//!
+//! At iteration `i` the algorithm normalizes vector `i` (sequential), then
+//! makes all vectors `j > i` orthogonal to it (parallel). Vectors are
+//! columns of a column-major matrix, distributed cyclically for load
+//! balance. Version-specific behaviour reproduced here:
+//!
+//! * **SPF**: normalization is sequential code, so it runs on the master —
+//!   vector `i` must move from its owner to the master and back out to
+//!   everyone (the locality loss the paper blames for 3.35 vs 4.19);
+//! * **TreadMarks (hand)**: the owner of vector `i` normalizes it in
+//!   place; everyone else pages it in after one barrier per iteration;
+//! * **XHPF**: SPMD — the owner sends the unnormalized vector to all
+//!   processors, which then *all* redundantly execute the normalization
+//!   (plus the run-time's per-loop synchronization);
+//! * **PVMe (hand)**: the owner normalizes and tree-broadcasts the pivot;
+//!   the broadcast doubles as the only synchronization (7 messages per
+//!   iteration on 8 processors — the paper's 7168 total);
+//! * **Hand-opt** (§5.3): the hand-coded TreadMarks program modified to
+//!   merge data and synchronization through a TreadMarks *broadcast* of
+//!   the pivot — the paper measures 5.09 vs 4.19 unoptimized.
+//!
+//! Shared-memory versions pad each column to a page boundary (SPF pads
+//! shared arrays anyway; it also keeps the broadcast page-safe).
+
+use std::cell::RefCell;
+
+use mpl::Comm;
+use sp2sim::{Cluster, ClusterConfig, Node};
+use spf::{LoopCtl, Schedule, Spf};
+use treadmarks::{SharedArray, Tmk, TmkConfig};
+use xhpf::Xhpf;
+
+use crate::common::{hash01, meter_start, meter_stop};
+use crate::runner::{AppId, NodeOut, RunResult, Version};
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Number of vectors and their dimension (paper: 1024).
+    pub n: usize,
+}
+
+/// Paper-sized workload at `scale = 1.0`.
+pub fn params(scale: f64) -> Params {
+    if scale >= 1.0 {
+        Params { n: 1024 }
+    } else {
+        Params {
+            n: ((1024.0 * scale) as usize).max(24),
+        }
+    }
+}
+
+/// Virtual cost per element of an orthogonalization update (dot + axpy).
+const UPD_US: f64 = 0.1;
+/// Virtual cost per element of a normalization.
+const NORM_US: f64 = 0.1;
+
+/// Deterministic well-conditioned input matrix.
+fn init_col(n: usize, j: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| hash01(0xA11CE, (j * n + i) as u64) + if i == j { 2.0 } else { 0.0 })
+        .collect()
+}
+
+fn normalize(col: &mut [f64]) {
+    let norm = col.iter().map(|x| x * x).sum::<f64>().sqrt();
+    for x in col.iter_mut() {
+        *x /= norm;
+    }
+}
+
+fn orthogonalize(pivot: &[f64], col: &mut [f64]) {
+    let dot: f64 = pivot.iter().zip(col.iter()).map(|(a, b)| a * b).sum();
+    for (c, p) in col.iter_mut().zip(pivot) {
+        *c -= dot * p;
+    }
+}
+
+/// Checksum over the final orthonormal basis: matrix sum plus a probe
+/// plus one off-diagonal inner product (should be ~0).
+fn checksum(cols: &[Vec<f64>]) -> Vec<f64> {
+    let n = cols.len();
+    let sum: f64 = cols.iter().flat_map(|c| c.iter()).sum();
+    let probe = cols[n / 2][n / 3];
+    let ortho: f64 = cols[0].iter().zip(&cols[n - 1]).map(|(a, b)| a * b).sum();
+    vec![sum, probe, ortho]
+}
+
+// ---------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------
+
+fn seq_node(node: &Node, p: &Params) -> NodeOut {
+    let n = p.n;
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| init_col(n, j)).collect();
+    let m = meter_start(node);
+    for i in 0..n {
+        let (head, rest) = cols.split_at_mut(i + 1);
+        let pivot = &mut head[i];
+        normalize(pivot);
+        node.advance(n as f64 * NORM_US);
+        for col in rest.iter_mut() {
+            orthogonalize(pivot, col);
+        }
+        node.advance((n - i - 1) as f64 * n as f64 * UPD_US);
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: Some(checksum(&cols)),
+        dsm: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory layout: columns padded to page boundaries
+// ---------------------------------------------------------------------
+
+struct PaddedMatrix {
+    arr: SharedArray,
+    /// Words per column (multiple of the page size).
+    stride: usize,
+    n: usize,
+}
+
+impl PaddedMatrix {
+    fn alloc(tmk: &Tmk, n: usize) -> PaddedMatrix {
+        let pw = tmk.config().page_words;
+        let stride = n.div_ceil(pw) * pw;
+        PaddedMatrix {
+            arr: tmk.malloc_f64(n * stride),
+            stride,
+            n,
+        }
+    }
+
+    fn col_range(&self, j: usize) -> std::ops::Range<usize> {
+        j * self.stride..j * self.stride + self.n
+    }
+
+    fn read_col(&self, tmk: &Tmk, j: usize) -> Vec<f64> {
+        tmk.read(self.arr, self.col_range(j)).into_vec()
+    }
+
+    fn write_col(&self, tmk: &Tmk, j: usize, data: &[f64]) {
+        let mut w = tmk.write(self.arr, self.col_range(j));
+        w.slice_mut().copy_from_slice(data);
+    }
+}
+
+fn dsm_init(tmk: &Tmk, a: &PaddedMatrix, me: usize, np: usize) {
+    // Each owner initializes its own columns (locality from the start).
+    for j in (me..a.n).step_by(np) {
+        a.write_col(tmk, j, &init_col(a.n, j));
+    }
+}
+
+fn dsm_checksum(tmk: &Tmk, a: &PaddedMatrix) -> Vec<f64> {
+    let cols: Vec<Vec<f64>> = (0..a.n).map(|j| a.read_col(tmk, j)).collect();
+    checksum(&cols)
+}
+
+// ---------------------------------------------------------------------
+// Hand-coded TreadMarks (and the §5.3 broadcast hand-optimization)
+// ---------------------------------------------------------------------
+
+fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig, use_bcast: bool) -> NodeOut {
+    let n = p.n;
+    let me = node.id();
+    let np = node.nprocs();
+    let tmk = Tmk::new(node, cfg.clone());
+    let a = PaddedMatrix::alloc(&tmk, n);
+    dsm_init(&tmk, &a, me, np);
+    tmk.barrier(0);
+
+    let m = meter_start(node);
+    for i in 0..n {
+        if i % np == me {
+            let mut col = a.read_col(&tmk, i);
+            normalize(&mut col);
+            a.write_col(&tmk, i, &col);
+            node.advance(n as f64 * NORM_US);
+        }
+        if use_bcast {
+            // Hand-optimization: merged data + synchronization via a
+            // TreadMarks broadcast of the pivot — no barrier.
+            tmk.bcast_pages(i % np, a.arr, a.col_range(i));
+        } else {
+            tmk.barrier(1);
+        }
+        let pivot = a.read_col(&tmk, i);
+        let mut updated = 0;
+        for j in ((i + 1)..n).filter(|j| j % np == me) {
+            let mut col = a.read_col(&tmk, j);
+            orthogonalize(&pivot, &mut col);
+            a.write_col(&tmk, j, &col);
+            updated += 1;
+        }
+        node.advance(updated as f64 * n as f64 * UPD_US);
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+    let cs = (me == 0).then(|| dsm_checksum(&tmk, &a));
+    let dsm = tmk.finish();
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: Some(dsm),
+    }
+}
+
+// ---------------------------------------------------------------------
+// SPF-generated shared memory
+// ---------------------------------------------------------------------
+
+fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
+    let n = p.n;
+    let me = node.id();
+    let np = node.nprocs();
+    let meter = RefCell::new(None);
+    let measured = RefCell::new(None);
+    let tmk = Tmk::new(node, cfg.clone());
+    let a = PaddedMatrix::alloc(&tmk, n);
+    let spf = Spf::new(&tmk);
+
+    let l_start = spf.register(|_ctl: &LoopCtl| {
+        *meter.borrow_mut() = Some(meter_start(node));
+    });
+    let l_stop = spf.register(|_ctl: &LoopCtl| {
+        let m = meter.borrow_mut().take().expect("meter started");
+        *measured.borrow_mut() = Some(meter_stop(node, m));
+    });
+    // The orthogonalization loop SPF encapsulates: iteration space
+    // i+1..n, cyclic; args[0] carries the pivot index.
+    let l_upd = spf.register({
+        let tmk = &tmk;
+        let a = &a;
+        move |ctl: &LoopCtl| {
+            let i = ctl.args[0] as usize;
+            let pivot = a.read_col(tmk, i);
+            let mut updated = 0;
+            for j in ctl.my_iters(me, np) {
+                let mut col = a.read_col(tmk, j);
+                orthogonalize(&pivot, &mut col);
+                a.write_col(tmk, j, &col);
+                updated += 1;
+            }
+            node.advance(updated as f64 * n as f64 * UPD_US);
+        }
+    });
+    // SPF also parallelizes the initialization loop.
+    let l_init = spf.register({
+        let tmk = &tmk;
+        let a = &a;
+        move |ctl: &LoopCtl| {
+            for j in ctl.my_iters(me, np) {
+                a.write_col(tmk, j, &init_col(n, j));
+            }
+        }
+    });
+
+    let cs = spf.run(|mr| {
+        mr.par_loop(l_init, 0..n, Schedule::Cyclic, &[]);
+        mr.par_loop(l_start, 0..0, Schedule::Block, &[]);
+        for i in 0..n {
+            // Normalization is sequential code: the master executes it,
+            // pulling vector i over from its owner.
+            let mut col = a.read_col(mr.tmk(), i);
+            normalize(&mut col);
+            a.write_col(mr.tmk(), i, &col);
+            node.advance(n as f64 * NORM_US);
+            mr.par_loop(l_upd, i + 1..n, Schedule::Cyclic, &[i as u64]);
+        }
+        mr.par_loop(l_stop, 0..0, Schedule::Block, &[]);
+        dsm_checksum(mr.tmk(), &a)
+    });
+    let (elapsed_us, stats) = measured.borrow_mut().take().expect("meter ran");
+    let dsm = tmk.finish();
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: Some(dsm),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message passing: XHPF-generated and hand-coded PVMe
+// ---------------------------------------------------------------------
+
+fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
+    let n = p.n;
+    let me = node.id();
+    let np = node.nprocs();
+    let comm = Comm::new(node);
+    let x = Xhpf::new(&comm);
+    // Cyclic distribution: column j lives on processor j % np.
+    let mut cols: Vec<Option<Vec<f64>>> = (0..n)
+        .map(|j| (j % np == me).then(|| init_col(n, j)))
+        .collect();
+
+    let m = meter_start(node);
+    for i in 0..n {
+        let owner = i % np;
+        let mut pivot;
+        if xhpf_mode {
+            // SPMD: the owner distributes the raw vector; everyone then
+            // redundantly executes the normalization loop.
+            pivot = if owner == me {
+                cols[i].clone().expect("own column")
+            } else {
+                Vec::new()
+            };
+            comm.bcast_flat_f64s(owner, &mut pivot);
+            normalize(&mut pivot);
+            node.advance(n as f64 * NORM_US); // redundant on every proc
+            if owner == me {
+                cols[i] = Some(pivot.clone());
+            }
+            x.loop_sync();
+        } else {
+            // Hand-coded: the owner normalizes; the tree broadcast is the
+            // only synchronization.
+            pivot = if owner == me {
+                let mut c = cols[i].take().expect("own column");
+                normalize(&mut c);
+                node.advance(n as f64 * NORM_US);
+                c
+            } else {
+                Vec::new()
+            };
+            comm.bcast_f64s(owner, &mut pivot);
+            if owner == me {
+                cols[i] = Some(pivot.clone());
+            }
+        }
+        let mut updated = 0;
+        for j in ((i + 1)..n).filter(|j| j % np == me) {
+            let col = cols[j].as_mut().expect("own column");
+            orthogonalize(&pivot, col);
+            updated += 1;
+        }
+        node.advance(updated as f64 * n as f64 * UPD_US);
+        if xhpf_mode {
+            x.loop_sync();
+        }
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+
+    // Gather columns to rank 0 for validation (untimed).
+    let mut flat = Vec::new();
+    for j in (me..n).step_by(np) {
+        flat.extend_from_slice(cols[j].as_ref().expect("own column"));
+    }
+    let gathered = comm.gather_f64s(0, &flat);
+    let cs = gathered.map(|parts| {
+        let mut all: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for (rank, part) in parts.iter().enumerate() {
+            for (k, j) in (rank..n).step_by(np).enumerate() {
+                all[j] = part[k * n..(k + 1) * n].to_vec();
+            }
+        }
+        checksum(&all)
+    });
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: None,
+    }
+}
+
+/// Run MGS in `version` on `nprocs` processors at `scale`.
+pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    let p = params(scale);
+    let c = ClusterConfig::sp2(nprocs);
+    let outs = match version {
+        Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
+        Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg, false)).results,
+        Version::HandOpt => Cluster::run(c, |node| tmk_node(node, &p, &cfg, true)).results,
+        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
+        Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
+        Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
+    };
+    RunResult::assemble(AppId::Mgs, version, nprocs, scale, outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.04; // 40 vectors of dimension 40
+
+    #[test]
+    fn all_versions_match_sequential_bitwise() {
+        let seq = run(Version::Seq, 1, SCALE, TmkConfig::default());
+        for v in [
+            Version::Tmk,
+            Version::Spf,
+            Version::Xhpf,
+            Version::Pvme,
+            Version::HandOpt,
+        ] {
+            let r = crate::runner::run(AppId::Mgs, v, 4, SCALE);
+            assert_eq!(r.checksum, seq.checksum, "version {v:?}");
+        }
+    }
+
+    #[test]
+    fn result_is_orthonormal() {
+        let seq = run(Version::Seq, 1, SCALE, TmkConfig::default());
+        // Third checksum component is an off-diagonal inner product.
+        assert!(seq.checksum[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn pvme_uses_fewest_messages() {
+        let pvme = run(Version::Pvme, 4, SCALE, TmkConfig::default());
+        let xhpf = run(Version::Xhpf, 4, SCALE, TmkConfig::default());
+        let tmk = run(Version::Tmk, 4, SCALE, TmkConfig::default());
+        assert!(pvme.messages < xhpf.messages);
+        assert!(pvme.messages < tmk.messages);
+    }
+
+    #[test]
+    fn bcast_handopt_cuts_traffic_vs_plain_tmk() {
+        let tmk = run(Version::Tmk, 4, SCALE, TmkConfig::default());
+        let opt = run(Version::HandOpt, 4, SCALE, TmkConfig::aggregated());
+        assert!(opt.messages < tmk.messages);
+        assert!(opt.time_us < tmk.time_us);
+    }
+}

@@ -1,0 +1,729 @@
+//! NBF: the non-bonded force kernel of a molecular-dynamics simulation
+//! (paper §6.2).
+//!
+//! Each molecule has a list of "partners" (established at run time) close
+//! enough to exert a non-negligible force. Every iteration walks each
+//! molecule's partner list and updates the forces on *both* molecules,
+//! then integrates the coordinates. Molecules are block-partitioned;
+//! because forces are updated symmetrically, each processor accumulates
+//! into a private buffer covering its block plus a window on each side,
+//! and the buffers are combined after the force loop.
+//!
+//! Version-specific behaviour reproduced here:
+//!
+//! * **SPF / TreadMarks**: coordinates, forces and the per-processor
+//!   contribution buffers live in shared memory; after the loop each
+//!   processor sums the overlapping buffer regions into its force block.
+//!   Only the pages actually written remotely move — "typically only a
+//!   small subsection of the array" (the paper's 5.31/5.86 speedups);
+//! * **XHPF**: the compiler cannot analyze the indirection; every
+//!   processor broadcasts its whole contribution buffer and its
+//!   coordinate partition every iteration (163 MB in the paper, 3.85);
+//! * **PVMe (hand)**: neighbours exchange just the overlapping
+//!   contribution windows and boundary coordinate windows, in single
+//!   aggregated messages.
+
+use std::cell::RefCell;
+use std::ops::Range;
+
+use mpl::Comm;
+use sp2sim::{Cluster, ClusterConfig, Node, SplitMix64};
+use spf::{block_range, LoopCtl, Schedule, Spf};
+use treadmarks::{SharedArray, Tmk, TmkConfig};
+use xhpf::Xhpf;
+
+use crate::common::{hash01, meter_start, meter_stop};
+use crate::runner::{AppId, NodeOut, RunResult, Version};
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Number of molecules (paper: 32768).
+    pub m: usize,
+    /// Timed iterations (paper: 20).
+    pub iters: usize,
+    /// Partners per molecule.
+    pub k: usize,
+    /// Partner window: partners of `i` lie within `i ± w`.
+    pub w: usize,
+}
+
+/// Paper-sized workload at `scale = 1.0`.
+pub fn params(scale: f64) -> Params {
+    if scale >= 1.0 {
+        Params {
+            m: 32768,
+            iters: 20,
+            k: 60,
+            w: 2000,
+        }
+    } else {
+        let m = ((32768.0 * scale) as usize).max(256);
+        Params {
+            m,
+            iters: ((20.0 * scale).round() as usize).max(3),
+            k: 12,
+            // Keep the paper's window/size ratio (2000/32768 ~ 1/16).
+            w: (m / 16).max(16),
+        }
+    }
+}
+
+/// Virtual cost per pairwise interaction (distance + force + two
+/// accumulations), calibrated against Table 1's 63.9 s.
+const PAIR_US: f64 = 1.6;
+/// Virtual cost per molecule of the buffer-merge phase, per buffer read.
+const MERGE_US: f64 = 0.02;
+/// Virtual cost per molecule of the coordinate update.
+const UPD_US: f64 = 0.05;
+/// Integration step.
+const DT: f64 = 1e-3;
+/// Force constant.
+const FK: f64 = 1e-2;
+
+/// Run-time-established partner lists: `k` distinct partners of `i`
+/// within `i ± w` (deterministic, identical in every version).
+fn build_partners(p: &Params) -> Vec<u32> {
+    let mut out = Vec::with_capacity(p.m * p.k);
+    for i in 0..p.m {
+        let mut rng = SplitMix64::new(0xBEEF ^ i as u64);
+        let lo = i.saturating_sub(p.w) as i64;
+        let hi = ((i + p.w).min(p.m - 1) + 1) as i64;
+        for _ in 0..p.k {
+            let mut j = rng.range(lo, hi);
+            if j == i as i64 {
+                j = if j + 1 < hi { j + 1 } else { lo };
+            }
+            out.push(j as u32);
+        }
+    }
+    out
+}
+
+/// Initial coordinates: a jittered lattice.
+fn init_coords(m: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let f = |axis: u64, i: usize| i as f64 * 0.7 + hash01(0xC0FFEE + axis, i as u64);
+    (
+        (0..m).map(|i| f(0, i)).collect(),
+        (0..m).map(|i| f(1, i)).collect(),
+        (0..m).map(|i| f(2, i)).collect(),
+    )
+}
+
+/// The force kernel for molecules `range`, accumulating symmetric
+/// contributions into buffers covering `buf_lo ..`. Coordinates must
+/// cover `range ± w` (passed as full slices here; distributed versions
+/// materialize the window they need).
+#[allow(clippy::too_many_arguments)]
+fn force_kernel(
+    range: Range<usize>,
+    partners: &[u32],
+    k: usize,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    coord_lo: usize,
+    buf: &mut [Vec<f64>; 3],
+    buf_lo: usize,
+) {
+    for i in range {
+        let (xi, yi, zi) = (x[i - coord_lo], y[i - coord_lo], z[i - coord_lo]);
+        for &pj in &partners[i * k..(i + 1) * k] {
+            let j = pj as usize;
+            let (dx, dy, dz) = (
+                xi - x[j - coord_lo],
+                yi - y[j - coord_lo],
+                zi - z[j - coord_lo],
+            );
+            let r2 = dx * dx + dy * dy + dz * dz + 1.0;
+            let g = FK / r2;
+            buf[0][i - buf_lo] += g * dx;
+            buf[1][i - buf_lo] += g * dy;
+            buf[2][i - buf_lo] += g * dz;
+            buf[0][j - buf_lo] -= g * dx;
+            buf[1][j - buf_lo] -= g * dy;
+            buf[2][j - buf_lo] -= g * dz;
+        }
+    }
+}
+
+/// Coordinate update for `range` given the net forces on those molecules.
+fn update_kernel(
+    range: Range<usize>,
+    f: &[Vec<f64>; 3],
+    f_lo: usize,
+    x: &mut [f64],
+    y: &mut [f64],
+    z: &mut [f64],
+    coord_lo: usize,
+) {
+    for i in range {
+        x[i - coord_lo] += DT * f[0][i - f_lo];
+        y[i - coord_lo] += DT * f[1][i - f_lo];
+        z[i - coord_lo] += DT * f[2][i - f_lo];
+    }
+}
+
+/// Buffer span a processor owning `block` accumulates into.
+fn buf_span(block: &Range<usize>, w: usize, m: usize) -> Range<usize> {
+    block.start.saturating_sub(w)..(block.end + w).min(m)
+}
+
+/// Checksum: coordinate sums plus probes (merge order varies across
+/// versions, so comparisons are tolerance-based).
+fn checksum(x: &[f64], y: &[f64], z: &[f64]) -> Vec<f64> {
+    let m = x.len();
+    vec![
+        x.iter().sum::<f64>(),
+        y.iter().sum::<f64>(),
+        z.iter().sum::<f64>(),
+        x[m / 2],
+        z[m - 1],
+    ]
+}
+
+fn charge_force(node: &Node, mols: usize, k: usize) {
+    node.advance(mols as f64 * k as f64 * PAIR_US);
+}
+
+// ---------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------
+
+fn seq_node(node: &Node, p: &Params) -> NodeOut {
+    let partners = build_partners(p);
+    let (mut x, mut y, mut z) = init_coords(p.m);
+    let m = meter_start(node);
+    for _ in 0..p.iters {
+        let mut buf = [vec![0.0; p.m], vec![0.0; p.m], vec![0.0; p.m]];
+        force_kernel(0..p.m, &partners, p.k, &x, &y, &z, 0, &mut buf, 0);
+        charge_force(node, p.m, p.k);
+        update_kernel(0..p.m, &buf, 0, &mut x, &mut y, &mut z, 0);
+        node.advance(p.m as f64 * (UPD_US + MERGE_US));
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: Some(checksum(&x, &y, &z)),
+        dsm: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared memory (hand-coded TreadMarks and SPF shapes share plumbing)
+// ---------------------------------------------------------------------
+
+struct SharedNbf {
+    coords: [SharedArray; 3],
+    /// Per-processor contribution buffers, one full-length array each.
+    bufs: Vec<[SharedArray; 3]>,
+}
+
+impl SharedNbf {
+    fn alloc(tmk: &Tmk, m: usize, np: usize) -> SharedNbf {
+        SharedNbf {
+            coords: [tmk.malloc_f64(m), tmk.malloc_f64(m), tmk.malloc_f64(m)],
+            bufs: (0..np)
+                .map(|_| [tmk.malloc_f64(m), tmk.malloc_f64(m), tmk.malloc_f64(m)])
+                .collect(),
+        }
+    }
+}
+
+/// One shared-memory iteration body, common to the hand-coded and SPF
+/// versions (they differ in synchronization placement, which the callers
+/// provide around the three phases).
+struct DsmIter<'a> {
+    p: &'a Params,
+    partners: &'a [u32],
+    block: Range<usize>,
+    span: Range<usize>,
+}
+
+impl DsmIter<'_> {
+    fn new<'a>(p: &'a Params, partners: &'a [u32], me: usize, np: usize) -> DsmIter<'a> {
+        let block = block_range(me, np, 0..p.m);
+        let span = buf_span(&block, p.w, p.m);
+        DsmIter {
+            p,
+            partners,
+            block,
+            span,
+        }
+    }
+
+    /// Phase 1: force computation into this processor's shared buffer.
+    fn force(&self, node: &Node, tmk: &Tmk, sh: &SharedNbf, me: usize) {
+        if self.block.is_empty() {
+            return;
+        }
+        let span = self.span.clone();
+        let x = tmk.read(sh.coords[0], span.clone()).into_vec();
+        let y = tmk.read(sh.coords[1], span.clone()).into_vec();
+        let z = tmk.read(sh.coords[2], span.clone()).into_vec();
+        let mut buf = [
+            vec![0.0; span.len()],
+            vec![0.0; span.len()],
+            vec![0.0; span.len()],
+        ];
+        force_kernel(
+            self.block.clone(),
+            self.partners,
+            self.p.k,
+            &x,
+            &y,
+            &z,
+            span.start,
+            &mut buf,
+            span.start,
+        );
+        charge_force(node, self.block.len(), self.p.k);
+        for d in 0..3 {
+            let mut w = tmk.write(sh.bufs[me][d], span.clone());
+            w.slice_mut().copy_from_slice(&buf[d]);
+        }
+    }
+
+    /// Phase 2+3: merge every overlapping processor's buffer over this
+    /// block, then integrate the coordinates.
+    fn merge_update(&self, node: &Node, tmk: &Tmk, sh: &SharedNbf, np: usize) {
+        if self.block.is_empty() {
+            return;
+        }
+        let b = self.block.clone();
+        let mut f = [
+            vec![0.0; b.len()],
+            vec![0.0; b.len()],
+            vec![0.0; b.len()],
+        ];
+        let mut reads = 0;
+        for q in 0..np {
+            let qspan = buf_span(&block_range(q, np, 0..self.p.m), self.p.w, self.p.m);
+            let lo = b.start.max(qspan.start);
+            let hi = b.end.min(qspan.end);
+            if lo >= hi {
+                continue;
+            }
+            reads += 1;
+            for d in 0..3 {
+                let part = tmk.read(sh.bufs[q][d], lo..hi);
+                for i in lo..hi {
+                    f[d][i - b.start] += part[i];
+                }
+            }
+        }
+        node.advance(b.len() as f64 * reads as f64 * MERGE_US);
+        let mut x = tmk.write(sh.coords[0], b.clone());
+        let mut y = tmk.write(sh.coords[1], b.clone());
+        let mut z = tmk.write(sh.coords[2], b.clone());
+        for i in b.clone() {
+            x[i] += DT * f[0][i - b.start];
+            y[i] += DT * f[1][i - b.start];
+            z[i] += DT * f[2][i - b.start];
+        }
+        node.advance(b.len() as f64 * UPD_US);
+    }
+}
+
+fn dsm_checksum(tmk: &Tmk, sh: &SharedNbf, m: usize) -> Vec<f64> {
+    let x = tmk.read(sh.coords[0], 0..m).into_vec();
+    let y = tmk.read(sh.coords[1], 0..m).into_vec();
+    let z = tmk.read(sh.coords[2], 0..m).into_vec();
+    checksum(&x, &y, &z)
+}
+
+fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
+    let me = node.id();
+    let np = node.nprocs();
+    let tmk = Tmk::new(node, cfg.clone());
+    let sh = SharedNbf::alloc(&tmk, p.m, np);
+    let partners = build_partners(p);
+    // Each processor initializes its own coordinate block.
+    let it = DsmIter::new(p, &partners, me, np);
+    if !it.block.is_empty() {
+        let (x0, y0, z0) = init_coords(p.m);
+        for (d, src) in [&x0, &y0, &z0].into_iter().enumerate() {
+            let mut w = tmk.write(sh.coords[d], it.block.clone());
+            w.slice_mut().copy_from_slice(&src[it.block.clone()]);
+        }
+    }
+    tmk.barrier(0);
+    let m = meter_start(node);
+    for _ in 0..p.iters {
+        it.force(node, &tmk, &sh, me);
+        tmk.barrier(1);
+        it.merge_update(node, &tmk, &sh, np);
+        tmk.barrier(2);
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+    let cs = (me == 0).then(|| dsm_checksum(&tmk, &sh, p.m));
+    let dsm = tmk.finish();
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: Some(dsm),
+    }
+}
+
+fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
+    let me = node.id();
+    let np = node.nprocs();
+    let meter = RefCell::new(None);
+    let measured = RefCell::new(None);
+    let tmk = Tmk::new(node, cfg.clone());
+    let sh = SharedNbf::alloc(&tmk, p.m, np);
+    let partners = build_partners(p);
+    let it = DsmIter::new(p, &partners, me, np);
+    let spf = Spf::new(&tmk);
+
+    let l_start = spf.register(|_ctl: &LoopCtl| {
+        *meter.borrow_mut() = Some(meter_start(node));
+    });
+    let l_stop = spf.register(|_ctl: &LoopCtl| {
+        let m = meter.borrow_mut().take().expect("meter started");
+        *measured.borrow_mut() = Some(meter_stop(node, m));
+    });
+    let l_force = spf.register({
+        let (tmk, sh, it) = (&tmk, &sh, &it);
+        move |_ctl: &LoopCtl| it.force(node, tmk, sh, me)
+    });
+    let l_merge = spf.register({
+        let (tmk, sh, it) = (&tmk, &sh, &it);
+        move |_ctl: &LoopCtl| it.merge_update(node, tmk, sh, np)
+    });
+    let l_init = spf.register({
+        let (tmk, sh, it) = (&tmk, &sh, &it);
+        move |_ctl: &LoopCtl| {
+            if it.block.is_empty() {
+                return;
+            }
+            let (x0, y0, z0) = init_coords(p.m);
+            for (d, src) in [&x0, &y0, &z0].into_iter().enumerate() {
+                let mut w = tmk.write(sh.coords[d], it.block.clone());
+                w.slice_mut().copy_from_slice(&src[it.block.clone()]);
+            }
+        }
+    });
+
+    let cs = spf.run(|mr| {
+        mr.par_loop(l_init, 0..p.m, Schedule::Block, &[]);
+        mr.par_loop(l_start, 0..0, Schedule::Block, &[]);
+        for _ in 0..p.iters {
+            mr.par_loop(l_force, 0..p.m, Schedule::Block, &[]);
+            mr.par_loop(l_merge, 0..p.m, Schedule::Block, &[]);
+        }
+        mr.par_loop(l_stop, 0..0, Schedule::Block, &[]);
+        dsm_checksum(mr.tmk(), &sh, p.m)
+    });
+    let (elapsed_us, stats) = measured.borrow_mut().take().expect("meter ran");
+    let dsm = tmk.finish();
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: Some(dsm),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message passing
+// ---------------------------------------------------------------------
+
+fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
+    let me = node.id();
+    let np = node.nprocs();
+    let comm = Comm::new(node);
+    let x = Xhpf::new(&comm);
+    let partners = build_partners(p);
+    let block = block_range(me, np, 0..p.m);
+    let span = buf_span(&block, p.w, p.m);
+    // Coordinates: kept for the span we read (hand) or fully replicated
+    // via the per-iteration broadcasts (XHPF).
+    let (mut cx, mut cy, mut cz) = init_coords(p.m);
+
+    let m = meter_start(node);
+    for _ in 0..p.iters {
+        let mut buf = [
+            vec![0.0; span.len()],
+            vec![0.0; span.len()],
+            vec![0.0; span.len()],
+        ];
+        if !block.is_empty() {
+            force_kernel(
+                block.clone(),
+                &partners,
+                p.k,
+                &cx[span.clone()],
+                &cy[span.clone()],
+                &cz[span.clone()],
+                span.start,
+                &mut buf,
+                span.start,
+            );
+            charge_force(node, block.len(), p.k);
+        }
+
+        let mut f = [
+            vec![0.0; block.len()],
+            vec![0.0; block.len()],
+            vec![0.0; block.len()],
+        ];
+        if xhpf_mode {
+            // XHPF: broadcast the whole contribution buffer (all three
+            // dimensions concatenated) and the coordinate partition.
+            let mine: Vec<f64> = buf.iter().flat_map(|b| b.iter().copied()).collect();
+            let mut all: Vec<Vec<f64>> = vec![Vec::new(); np];
+            x.broadcast_buffers(&mine, &mut all);
+            let mut reads = 0;
+            for q in 0..np {
+                let qspan = buf_span(&block_range(q, np, 0..p.m), p.w, p.m);
+                if qspan.is_empty() {
+                    continue;
+                }
+                let lo = block.start.max(qspan.start);
+                let hi = block.end.min(qspan.end);
+                if lo >= hi {
+                    continue;
+                }
+                reads += 1;
+                let qlen = qspan.len();
+                for d in 0..3 {
+                    let qbuf = &all[q][d * qlen..(d + 1) * qlen];
+                    for i in lo..hi {
+                        f[d][i - block.start] += qbuf[i - qspan.start];
+                    }
+                }
+            }
+            node.advance(block.len() as f64 * reads as f64 * MERGE_US);
+            update_kernel(
+                block.clone(),
+                &f,
+                block.start,
+                &mut cx,
+                &mut cy,
+                &mut cz,
+                0,
+            );
+            node.advance(block.len() as f64 * UPD_US);
+            // Broadcast updated coordinates of all our molecules.
+            let mine: Vec<f64> = [&cx, &cy, &cz]
+                .into_iter()
+                .flat_map(|c| c[block.clone()].iter().copied())
+                .collect();
+            let mut all: Vec<Vec<f64>> = vec![Vec::new(); np];
+            x.broadcast_buffers(&mine, &mut all);
+            for q in 0..np {
+                let qb = block_range(q, np, 0..p.m);
+                for d in 0..3 {
+                    let part = &all[q][d * qb.len()..(d + 1) * qb.len()];
+                    let dst = match d {
+                        0 => &mut cx,
+                        1 => &mut cy,
+                        _ => &mut cz,
+                    };
+                    dst[qb.clone()].copy_from_slice(part);
+                }
+            }
+            x.loop_sync();
+        } else {
+            // Hand-coded PVMe: exchange only the overlapping windows, in
+            // one aggregated message per neighbour per direction.
+            const TAG_C: u32 = 31;
+            const TAG_X: u32 = 32;
+            let mut reads = 1;
+            // Contributions we computed for other processors' blocks.
+            for q in 0..np {
+                if q == me {
+                    continue;
+                }
+                let qb = block_range(q, np, 0..p.m);
+                let lo = qb.start.max(span.start);
+                let hi = qb.end.min(span.end);
+                if lo >= hi {
+                    continue;
+                }
+                let msg: Vec<f64> = (0..3)
+                    .flat_map(|d| buf[d][lo - span.start..hi - span.start].to_vec())
+                    .collect();
+                let mut hdr = vec![lo as f64, hi as f64];
+                hdr.extend_from_slice(&msg);
+                comm.send_f64s(q, TAG_C, &hdr);
+            }
+            // Our own contributions to our block.
+            for d in 0..3 {
+                for i in block.clone() {
+                    f[d][i - block.start] += buf[d][i - span.start];
+                }
+            }
+            // Receive whatever others computed for us.
+            for q in 0..np {
+                if q == me {
+                    continue;
+                }
+                let qspan = buf_span(&block_range(q, np, 0..p.m), p.w, p.m);
+                let lo = block.start.max(qspan.start);
+                let hi = block.end.min(qspan.end);
+                if lo >= hi {
+                    continue;
+                }
+                reads += 1;
+                let got = comm.recv_f64s(q, TAG_C);
+                let (glo, ghi) = (got[0] as usize, got[1] as usize);
+                let glen = ghi - glo;
+                for d in 0..3 {
+                    let part = &got[2 + d * glen..2 + (d + 1) * glen];
+                    for i in glo.max(block.start)..ghi.min(block.end) {
+                        f[d][i - block.start] += part[i - glo];
+                    }
+                }
+            }
+            node.advance(block.len() as f64 * reads as f64 * MERGE_US);
+            update_kernel(
+                block.clone(),
+                &f,
+                block.start,
+                &mut cx,
+                &mut cy,
+                &mut cz,
+                0,
+            );
+            node.advance(block.len() as f64 * UPD_US);
+            // Exchange boundary coordinate windows with the processors
+            // whose force loops read them (the inverse overlap relation).
+            for q in 0..np {
+                if q == me {
+                    continue;
+                }
+                let qspan = buf_span(&block_range(q, np, 0..p.m), p.w, p.m);
+                let lo = block.start.max(qspan.start);
+                let hi = block.end.min(qspan.end);
+                if lo >= hi {
+                    continue;
+                }
+                let msg: Vec<f64> = [&cx, &cy, &cz]
+                    .into_iter()
+                    .flat_map(|c| c[lo..hi].iter().copied())
+                    .collect();
+                let mut hdr = vec![lo as f64, hi as f64];
+                hdr.extend_from_slice(&msg);
+                comm.send_f64s(q, TAG_X, &hdr);
+            }
+            for q in 0..np {
+                if q == me {
+                    continue;
+                }
+                let qb = block_range(q, np, 0..p.m);
+                let lo = qb.start.max(span.start);
+                let hi = qb.end.min(span.end);
+                if lo >= hi {
+                    continue;
+                }
+                let got = comm.recv_f64s(q, TAG_X);
+                let (glo, ghi) = (got[0] as usize, got[1] as usize);
+                let glen = ghi - glo;
+                for d in 0..3 {
+                    let part = &got[2 + d * glen..2 + (d + 1) * glen];
+                    let dst = match d {
+                        0 => &mut cx,
+                        1 => &mut cy,
+                        _ => &mut cz,
+                    };
+                    dst[glo..ghi].copy_from_slice(part);
+                }
+            }
+        }
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+
+    // Gather coordinates for validation (untimed).
+    let mine: Vec<f64> = [&cx, &cy, &cz]
+        .into_iter()
+        .flat_map(|c| c[block.clone()].iter().copied())
+        .collect();
+    let gathered = comm.gather_f64s(0, &mine);
+    let cs = gathered.map(|parts| {
+        let (mut gx, mut gy, mut gz) = (vec![0.0; p.m], vec![0.0; p.m], vec![0.0; p.m]);
+        for (q, part) in parts.iter().enumerate() {
+            let qb = block_range(q, np, 0..p.m);
+            gx[qb.clone()].copy_from_slice(&part[0..qb.len()]);
+            gy[qb.clone()].copy_from_slice(&part[qb.len()..2 * qb.len()]);
+            gz[qb.clone()].copy_from_slice(&part[2 * qb.len()..3 * qb.len()]);
+        }
+        checksum(&gx, &gy, &gz)
+    });
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: None,
+    }
+}
+
+/// Run NBF in `version` on `nprocs` processors at `scale`.
+pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    let p = params(scale);
+    let c = ClusterConfig::sp2(nprocs);
+    let outs = match version {
+        Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
+        Version::Tmk | Version::HandOpt => {
+            Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results
+        }
+        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
+        Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
+        Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
+    };
+    RunResult::assemble(AppId::Nbf, version, nprocs, scale, outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::checksums_close;
+
+    const SCALE: f64 = 0.02; // 655 molecules, 3 iterations
+
+    #[test]
+    fn partners_are_within_window_and_distinct_from_self() {
+        let p = params(SCALE);
+        let partners = build_partners(&p);
+        for i in 0..p.m {
+            for &j in &partners[i * p.k..(i + 1) * p.k] {
+                let j = j as usize;
+                assert_ne!(j, i);
+                assert!(j + p.w >= i && j <= i + p.w);
+                assert!(j < p.m);
+            }
+        }
+    }
+
+    #[test]
+    fn all_versions_match_sequential_within_tolerance() {
+        let seq = run(Version::Seq, 1, SCALE, TmkConfig::default());
+        for v in [Version::Tmk, Version::Spf, Version::Xhpf, Version::Pvme] {
+            let r = crate::runner::run(AppId::Nbf, v, 4, SCALE);
+            assert!(
+                checksums_close(&r.checksum, &seq.checksum, 1e-9),
+                "version {v:?}: {:?} vs {:?}",
+                r.checksum,
+                seq.checksum
+            );
+        }
+    }
+
+    #[test]
+    fn xhpf_moves_far_more_data() {
+        // At tiny test scales the DSM's page granularity inflates its
+        // byte counts, so only the ordering is asserted here; the
+        // paper-shape factors are checked at a larger scale in the
+        // integration suite and reproduced by the harness.
+        let tmk = run(Version::Tmk, 4, SCALE, TmkConfig::default());
+        let xhpf = run(Version::Xhpf, 4, SCALE, TmkConfig::default());
+        let pvme = run(Version::Pvme, 4, SCALE, TmkConfig::default());
+        assert!(xhpf.kbytes > tmk.kbytes, "{} vs {}", xhpf.kbytes, tmk.kbytes);
+        assert!(xhpf.kbytes > 2 * pvme.kbytes);
+        // (The DSM-beats-XHPF *time* ordering needs a realistic problem
+        // size; it is asserted in tests/experiment_shape.rs.)
+    }
+}

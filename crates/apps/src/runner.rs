@@ -1,0 +1,238 @@
+//! Application/version dispatch and result assembly.
+
+use sp2sim::StatsSnapshot;
+use treadmarks::{DsmStats, TmkConfig};
+
+/// The six applications of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppId {
+    /// Iterative 4-point stencil PDE solver (regular).
+    Jacobi,
+    /// NCAR shallow-water benchmark (regular).
+    Shallow,
+    /// Modified Gramm-Schmidt orthonormalization (regular).
+    Mgs,
+    /// NAS 3-D FFT kernel (regular, transpose-heavy).
+    Fft3d,
+    /// 9-point stencil through a run-time indirection map (irregular).
+    IGrid,
+    /// Non-bonded force molecular-dynamics kernel (irregular).
+    Nbf,
+}
+
+impl AppId {
+    /// All applications, regular first (the paper's presentation order).
+    pub const ALL: [AppId; 6] = [
+        AppId::Jacobi,
+        AppId::Shallow,
+        AppId::Mgs,
+        AppId::Fft3d,
+        AppId::IGrid,
+        AppId::Nbf,
+    ];
+
+    /// The regular applications (Figure 1 / Table 2).
+    pub const REGULAR: [AppId; 4] = [AppId::Jacobi, AppId::Shallow, AppId::Mgs, AppId::Fft3d];
+
+    /// The irregular applications (Figure 2 / Table 3).
+    pub const IRREGULAR: [AppId; 2] = [AppId::IGrid, AppId::Nbf];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Jacobi => "Jacobi",
+            AppId::Shallow => "Shallow",
+            AppId::Mgs => "MGS",
+            AppId::Fft3d => "3-D FFT",
+            AppId::IGrid => "IGrid",
+            AppId::Nbf => "NBF",
+        }
+    }
+}
+
+/// Program versions compared by the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Version {
+    /// Sequential baseline (always runs on one node).
+    Seq,
+    /// Compiler-generated shared memory (SPF over TreadMarks).
+    Spf,
+    /// Hand-coded TreadMarks.
+    Tmk,
+    /// Compiler-generated message passing (XHPF).
+    Xhpf,
+    /// Hand-coded message passing (PVMe).
+    Pvme,
+    /// Hand-optimized shared-memory variant of paper §5.
+    HandOpt,
+}
+
+impl Version {
+    /// The four versions of Figures 1 and 2.
+    pub const FIGURE: [Version; 4] = [Version::Spf, Version::Tmk, Version::Xhpf, Version::Pvme];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Version::Seq => "Sequential",
+            Version::Spf => "SPF/Tmk",
+            Version::Tmk => "TreadMarks",
+            Version::Xhpf => "XHPF",
+            Version::Pvme => "PVMe",
+            Version::HandOpt => "Hand-opt",
+        }
+    }
+}
+
+/// What one node reports back from a run.
+#[derive(Clone, Debug, Default)]
+pub struct NodeOut {
+    /// Virtual elapsed time of the timed region on this node (µs).
+    pub elapsed_us: f64,
+    /// Message statistics of the timed region (node 0 only).
+    pub stats: Option<StatsSnapshot>,
+    /// Result checksum (node 0 / master only).
+    pub checksum: Option<Vec<f64>>,
+    /// DSM protocol statistics (shared-memory versions).
+    pub dsm: Option<DsmStats>,
+}
+
+/// Result of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Application.
+    pub app: AppId,
+    /// Program version.
+    pub version: Version,
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Problem scale (1.0 = the paper's sizes).
+    pub scale: f64,
+    /// Timed-region virtual time: max over nodes (µs).
+    pub time_us: f64,
+    /// Messages during the timed region.
+    pub messages: u64,
+    /// Payload kilobytes during the timed region.
+    pub kbytes: u64,
+    /// Full message statistics of the timed region.
+    pub stats: StatsSnapshot,
+    /// Result checksum (for cross-version validation).
+    pub checksum: Vec<f64>,
+    /// Aggregated DSM statistics (zero for message-passing versions).
+    pub dsm: DsmStats,
+}
+
+impl RunResult {
+    /// Assemble per-node outputs into a result.
+    pub fn assemble(
+        app: AppId,
+        version: Version,
+        nprocs: usize,
+        scale: f64,
+        outs: Vec<NodeOut>,
+    ) -> RunResult {
+        let time_us = outs.iter().map(|o| o.elapsed_us).fold(0.0, f64::max);
+        let stats = outs
+            .iter()
+            .find_map(|o| o.stats)
+            .unwrap_or_default();
+        let checksum = outs
+            .iter()
+            .find_map(|o| o.checksum.clone())
+            .expect("some node produced a checksum");
+        let dsm = DsmStats::total(outs.iter().filter_map(|o| o.dsm.as_ref()));
+        RunResult {
+            app,
+            version,
+            nprocs,
+            scale,
+            time_us,
+            messages: stats.total_messages(),
+            kbytes: stats.total_bytes() / 1024,
+            stats,
+            checksum,
+            dsm,
+        }
+    }
+
+    /// Speedup relative to a sequential time in microseconds.
+    pub fn speedup_vs(&self, seq_us: f64) -> f64 {
+        seq_us / self.time_us
+    }
+}
+
+/// The TreadMarks configuration a version runs with.
+pub fn tmk_config_for(version: Version) -> TmkConfig {
+    match version {
+        Version::HandOpt => TmkConfig::aggregated(),
+        _ => TmkConfig::default(),
+    }
+}
+
+/// Run `app` in `version` on `nprocs` simulated processors at `scale`
+/// (1.0 = the paper's problem sizes). `Version::Seq` ignores `nprocs`.
+pub fn run(app: AppId, version: Version, nprocs: usize, scale: f64) -> RunResult {
+    run_with_cfg(app, version, nprocs, scale, tmk_config_for(version))
+}
+
+/// Like [`run`] but with an explicit DSM configuration — used by the
+/// §2.3 fork-join interface ablation and the aggregation studies.
+pub fn run_with_cfg(
+    app: AppId,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+    cfg: TmkConfig,
+) -> RunResult {
+    let nprocs = if version == Version::Seq { 1 } else { nprocs };
+    match app {
+        AppId::Jacobi => crate::jacobi::run(version, nprocs, scale, cfg),
+        AppId::Shallow => crate::shallow::run(version, nprocs, scale, cfg),
+        AppId::Mgs => crate::mgs::run(version, nprocs, scale, cfg),
+        AppId::Fft3d => crate::fft3d::run(version, nprocs, scale, cfg),
+        AppId::IGrid => crate::igrid::run(version, nprocs, scale, cfg),
+        AppId::Nbf => crate::nbf::run(version, nprocs, scale, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_takes_max_time_and_master_checksum() {
+        let outs = vec![
+            NodeOut {
+                elapsed_us: 100.0,
+                stats: Some(StatsSnapshot::default()),
+                checksum: Some(vec![1.0]),
+                dsm: Some(DsmStats {
+                    faults: 2,
+                    ..Default::default()
+                }),
+            },
+            NodeOut {
+                elapsed_us: 150.0,
+                stats: None,
+                checksum: None,
+                dsm: Some(DsmStats {
+                    faults: 3,
+                    ..Default::default()
+                }),
+            },
+        ];
+        let r = RunResult::assemble(AppId::Jacobi, Version::Tmk, 2, 1.0, outs);
+        assert_eq!(r.time_us, 150.0);
+        assert_eq!(r.checksum, vec![1.0]);
+        assert_eq!(r.dsm.faults, 5);
+        assert_eq!(r.speedup_vs(300.0), 2.0);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(AppId::Fft3d.name(), "3-D FFT");
+        assert_eq!(Version::Spf.name(), "SPF/Tmk");
+        assert_eq!(AppId::REGULAR.len(), 4);
+        assert_eq!(AppId::IRREGULAR.len(), 2);
+    }
+}

@@ -1,0 +1,1070 @@
+//! Shallow: the NCAR shallow-water benchmark (paper §5.2).
+//!
+//! Thirteen `(n+1) × (n+1)` arrays in wrap-around format, three steps per
+//! iteration, each a main loop updating three or four arrays from the
+//! others, followed by wrap-around copying of the modified arrays. The
+//! wrap copying has two parts: the boundary-**row** copy (one element per
+//! column — parallelized across columns, and local to each partition)
+//! and the boundary-**column** copy, which is contiguous in the
+//! column-major layout and therefore executed sequentially — by the
+//! processor owning column 0 in the hand-coded versions, and by the
+//! *master as part of the sequential code* under SPF (the extra
+//! communication the paper blames for SPF's 5.71 vs 6.21).
+//!
+//! * **TreadMarks (hand)**: three barriers per iteration, merged
+//!   row-wraps, private nothing (all 13 arrays shared);
+//! * **SPF**: five parallel loops per iteration (three steps + two
+//!   row-wrap loops) plus master-executed column wraps;
+//! * **Hand-opt** (§5.2): merged loops (row wraps fused into the step
+//!   loops, 3 dispatches) plus communication aggregation — the paper
+//!   measures 5.96 vs 6.21 for hand-coded shared memory;
+//! * **XHPF**: per-array ghost exchanges, per-loop synchronization,
+//!   column wrap as an owner-computes point-to-point transfer;
+//! * **PVMe (hand)**: one aggregated boundary message per neighbour per
+//!   exchange point.
+
+use std::cell::RefCell;
+use std::ops::Range;
+
+use mpl::Comm;
+use sp2sim::{Cluster, ClusterConfig, Node};
+use spf::{block_range, LoopCtl, Schedule, Spf};
+use treadmarks::{SharedArray, Tmk, TmkConfig};
+use xhpf::Xhpf;
+
+use crate::common::{meter_start, meter_stop, Slab};
+use crate::runner::{AppId, NodeOut, RunResult, Version};
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Grid cells per edge; arrays are `(n+1)²` (paper: 1024).
+    pub n: usize,
+    /// Timed iterations (paper: 50 of 51, the first excluded).
+    pub iters: usize,
+}
+
+/// Paper-sized workload at `scale = 1.0`.
+pub fn params(scale: f64) -> Params {
+    if scale >= 1.0 {
+        Params { n: 1024, iters: 50 }
+    } else {
+        Params {
+            n: ((1024.0 * scale) as usize).max(16),
+            iters: ((50.0 * scale).round() as usize).max(3),
+        }
+    }
+}
+
+/// Per-point virtual costs of the three steps, calibrated against a
+/// ~42 s paper-size sequential run.
+const S1_US: f64 = 0.30;
+const S2_US: f64 = 0.30;
+const S3_US: f64 = 0.20;
+
+const DT: f64 = 90.0;
+const DX: f64 = 1.0e5;
+const DY: f64 = 1.0e5;
+const A: f64 = 1.0e6;
+const ALPHA: f64 = 0.001;
+
+/// The 13 arrays, by index.
+const NARR: usize = 13;
+const U: usize = 0;
+const V: usize = 1;
+const P: usize = 2;
+const UNEW: usize = 3;
+const VNEW: usize = 4;
+const PNEW: usize = 5;
+const UOLD: usize = 6;
+const VOLD: usize = 7;
+const POLD: usize = 8;
+const CU: usize = 9;
+const CV: usize = 10;
+const Z: usize = 11;
+const H: usize = 12;
+
+fn psi(n: usize, i: usize, j: usize) -> f64 {
+    let tpi = 2.0 * std::f64::consts::PI;
+    let di = tpi / n as f64;
+    let dj = tpi / n as f64;
+    A * ((i as f64 + 0.5) * di).sin() * ((j as f64 + 0.5) * dj).sin()
+}
+
+/// Initial value of array `which` at `(i, j)` — periodic by construction,
+/// so each version can initialize its own columns locally.
+fn init_at(n: usize, which: usize, i: usize, j: usize) -> f64 {
+    let tpi = 2.0 * std::f64::consts::PI;
+    let di = tpi / n as f64;
+    let dj = tpi / n as f64;
+    let el = n as f64 * DX;
+    let pcf = std::f64::consts::PI * std::f64::consts::PI * A * A / (el * el);
+    // Wrap indices onto 1..=n (index 0 mirrors index n).
+    let iw = if i == 0 { n } else { i };
+    let jw = if j == 0 { n } else { j };
+    match which {
+        P | POLD => pcf * ((2.0 * i as f64 * di).cos() + (2.0 * j as f64 * dj).cos()) + 50000.0,
+        U | UOLD => -(psi(n, iw, jw) - psi(n, iw, jw - 1)) / DY,
+        V | VOLD => (psi(n, iw, jw) - psi(n, iw - 1, jw)) / DX,
+        _ => 0.0,
+    }
+}
+
+/// Step 1: compute cu, cv, z, h at `(i, j)` for `i in 1..=n`, `j in jr`
+/// from p, u, v at `(i, j)`, `(i-1, j)`, `(i, j-1)`, `(i-1, j-1)`.
+/// Inputs must hold columns `jr.start-1 ..= jr.end-1`.
+#[allow(clippy::too_many_arguments)]
+fn step1(
+    p: &Slab,
+    u: &Slab,
+    v: &Slab,
+    cu: &mut Slab,
+    cv: &mut Slab,
+    z: &mut Slab,
+    h: &mut Slab,
+    n: usize,
+    jr: Range<usize>,
+) {
+    let fsdx = 4.0 / DX;
+    let fsdy = 4.0 / DY;
+    for j in jr {
+        for i in 1..=n {
+            cu.set(i, j, 0.5 * (p.at(i, j) + p.at(i - 1, j)) * u.at(i, j));
+            cv.set(i, j, 0.5 * (p.at(i, j) + p.at(i, j - 1)) * v.at(i, j));
+            z.set(
+                i,
+                j,
+                (fsdx * (v.at(i, j) - v.at(i - 1, j)) - fsdy * (u.at(i, j) - u.at(i, j - 1)))
+                    / (p.at(i - 1, j - 1) + p.at(i - 1, j) + p.at(i, j) + p.at(i, j - 1)),
+            );
+            h.set(
+                i,
+                j,
+                p.at(i, j)
+                    + 0.25
+                        * (u.at(i, j) * u.at(i, j)
+                            + u.at(i - 1, j) * u.at(i - 1, j)
+                            + v.at(i, j) * v.at(i, j)
+                            + v.at(i, j - 1) * v.at(i, j - 1)),
+            );
+        }
+    }
+}
+
+/// Step 2: compute unew, vnew, pnew from cu, cv, z, h (ghosted) and
+/// uold, vold, pold (own columns).
+#[allow(clippy::too_many_arguments)]
+fn step2(
+    cu: &Slab,
+    cv: &Slab,
+    z: &Slab,
+    h: &Slab,
+    uold: &Slab,
+    vold: &Slab,
+    pold: &Slab,
+    unew: &mut Slab,
+    vnew: &mut Slab,
+    pnew: &mut Slab,
+    tdt: f64,
+    n: usize,
+    jr: Range<usize>,
+) {
+    let tdts8 = tdt / 8.0;
+    let tdtsdx = tdt / DX;
+    let tdtsdy = tdt / DY;
+    for j in jr {
+        for i in 1..=n {
+            unew.set(
+                i,
+                j,
+                uold.at(i, j)
+                    + tdts8
+                        * (z.at(i, j) + z.at(i, j - 1))
+                        * (cv.at(i, j) + cv.at(i - 1, j) + cv.at(i - 1, j - 1) + cv.at(i, j - 1))
+                    - tdtsdx * (h.at(i, j) - h.at(i - 1, j)),
+            );
+            vnew.set(
+                i,
+                j,
+                vold.at(i, j)
+                    - tdts8
+                        * (z.at(i, j) + z.at(i - 1, j))
+                        * (cu.at(i, j) + cu.at(i - 1, j) + cu.at(i - 1, j - 1) + cu.at(i, j - 1))
+                    - tdtsdy * (h.at(i, j) - h.at(i, j - 1)),
+            );
+            pnew.set(
+                i,
+                j,
+                pold.at(i, j) - tdtsdx * (cu.at(i, j) - cu.at(i - 1, j))
+                    - tdtsdy * (cv.at(i, j) - cv.at(i, j - 1)),
+            );
+        }
+    }
+}
+
+/// Step 3: time smoothing over this partition's columns (no neighbours).
+/// Outputs replace uold/vold/pold and u/v/p in place.
+#[allow(clippy::too_many_arguments)]
+fn step3(
+    u: &mut Slab,
+    v: &mut Slab,
+    p: &mut Slab,
+    unew: &Slab,
+    vnew: &Slab,
+    pnew: &Slab,
+    uold: &mut Slab,
+    vold: &mut Slab,
+    pold: &mut Slab,
+    first: bool,
+    n: usize,
+    jr: Range<usize>,
+) {
+    for j in jr {
+        for i in 0..=n {
+            if first {
+                uold.set(i, j, u.at(i, j));
+                vold.set(i, j, v.at(i, j));
+                pold.set(i, j, p.at(i, j));
+            } else {
+                uold.set(
+                    i,
+                    j,
+                    u.at(i, j) + ALPHA * (unew.at(i, j) - 2.0 * u.at(i, j) + uold.at(i, j)),
+                );
+                vold.set(
+                    i,
+                    j,
+                    v.at(i, j) + ALPHA * (vnew.at(i, j) - 2.0 * v.at(i, j) + vold.at(i, j)),
+                );
+                pold.set(
+                    i,
+                    j,
+                    p.at(i, j) + ALPHA * (pnew.at(i, j) - 2.0 * p.at(i, j) + pold.at(i, j)),
+                );
+            }
+            u.set(i, j, unew.at(i, j));
+            v.set(i, j, vnew.at(i, j));
+            p.set(i, j, pnew.at(i, j));
+        }
+    }
+}
+
+/// Boundary-row wrap for one slab's own columns: row 0 <- row n.
+fn row_wrap(s: &mut Slab, n: usize, jr: Range<usize>) {
+    for j in jr {
+        let v = s.at(n, j);
+        s.set(0, j, v);
+    }
+}
+
+/// Checksum: sums and probes of the final p and u fields (bit-exact
+/// across versions).
+fn checksum(p_full: &Slab, u_full: &Slab, n: usize) -> Vec<f64> {
+    vec![
+        p_full.data.iter().sum::<f64>(),
+        u_full.data.iter().sum::<f64>(),
+        p_full.at(n / 2, n / 2),
+        u_full.at(1, n - 1),
+        p_full.at(n - 1, 2),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------
+
+struct FullState {
+    arr: Vec<Slab>,
+    n: usize,
+}
+
+impl FullState {
+    fn new(n: usize) -> FullState {
+        let np1 = n + 1;
+        let mut arr: Vec<Slab> = (0..NARR).map(|_| Slab::new(np1, 0, np1)).collect();
+        for which in [U, V, P, UOLD, VOLD, POLD] {
+            for j in 0..=n {
+                for i in 0..=n {
+                    arr[which].set(i, j, init_at(n, which, i, j));
+                }
+            }
+        }
+        FullState { arr, n }
+    }
+
+    fn iterate(&mut self, node: &Node, first: bool, tdt: f64) {
+        let n = self.n;
+        let jr = 1..n + 1;
+        let a = &mut self.arr;
+        {
+            let (head, tail) = a.split_at_mut(CU);
+            let (cu, rest) = tail.split_first_mut().expect("cu");
+            let (cv, rest) = rest.split_first_mut().expect("cv");
+            let (z, rest) = rest.split_first_mut().expect("z");
+            let h = &mut rest[0];
+            step1(&head[P], &head[U], &head[V], cu, cv, z, h, n, jr.clone());
+        }
+        node.advance((n * n) as f64 * S1_US);
+        for w in [CU, CV, Z, H] {
+            row_wrap(&mut a[w], n, jr.clone());
+            for i in 0..=n {
+                let v = a[w].at(i, n);
+                a[w].set(i, 0, v);
+            }
+        }
+        {
+            // Split for disjoint borrows: new arrays out, the rest in.
+            let (left, right) = a.split_at_mut(UOLD);
+            let (mids, news) = left.split_at_mut(UNEW);
+            let _ = mids;
+            let (un, rest) = news.split_first_mut().expect("unew");
+            let (vn, rest) = rest.split_first_mut().expect("vnew");
+            let pn = &mut rest[0];
+            step2(
+                &right[CU - UOLD],
+                &right[CV - UOLD],
+                &right[Z - UOLD],
+                &right[H - UOLD],
+                &right[UOLD - UOLD],
+                &right[VOLD - UOLD],
+                &right[POLD - UOLD],
+                un,
+                vn,
+                pn,
+                tdt,
+                n,
+                jr.clone(),
+            );
+        }
+        node.advance((n * n) as f64 * S2_US);
+        for w in [UNEW, VNEW, PNEW] {
+            row_wrap(&mut a[w], n, jr.clone());
+            for i in 0..=n {
+                let v = a[w].at(i, n);
+                a[w].set(i, 0, v);
+            }
+        }
+        {
+            let (uvp, rest) = a.split_at_mut(UNEW);
+            let (news, olds) = rest.split_at_mut(3);
+            let (u, r) = uvp.split_first_mut().expect("u");
+            let (v, r2) = r.split_first_mut().expect("v");
+            let p = &mut r2[0];
+            let (uo, r) = olds.split_first_mut().expect("uold");
+            let (vo, r2) = r.split_first_mut().expect("vold");
+            let po = &mut r2[0];
+            step3(
+                u,
+                v,
+                p,
+                &news[0],
+                &news[1],
+                &news[2],
+                uo,
+                vo,
+                po,
+                first,
+                n,
+                0..n + 1,
+            );
+        }
+        node.advance(((n + 1) * (n + 1)) as f64 * S3_US);
+    }
+}
+
+fn seq_node(node: &Node, p: &Params) -> NodeOut {
+    let n = p.n;
+    let mut st = FullState::new(n);
+    st.iterate(node, true, DT); // warm-up (first step uses dt)
+    let tdt = 2.0 * DT;
+    let m = meter_start(node);
+    for _ in 0..p.iters {
+        st.iterate(node, false, tdt);
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: Some(checksum(&st.arr[P], &st.arr[U], n)),
+        dsm: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory versions
+// ---------------------------------------------------------------------
+
+struct DsmShallow {
+    arrs: [SharedArray; NARR],
+    np1: usize,
+}
+
+impl DsmShallow {
+    fn alloc(tmk: &Tmk, n: usize) -> DsmShallow {
+        let np1 = n + 1;
+        DsmShallow {
+            arrs: std::array::from_fn(|_| tmk.malloc_f64(np1 * np1)),
+            np1,
+        }
+    }
+
+    fn read_cols(&self, tmk: &Tmk, w: usize, cols: Range<usize>) -> Slab {
+        Slab::from_vec(
+            self.np1,
+            cols.start,
+            tmk.read(self.arrs[w], cols.start * self.np1..cols.end * self.np1)
+                .into_vec(),
+        )
+    }
+
+    fn write_cols(&self, tmk: &Tmk, w: usize, s: &Slab) {
+        let cols = s.cols();
+        let mut view = tmk.write(self.arrs[w], cols.start * self.np1..cols.end * self.np1);
+        view.slice_mut().copy_from_slice(&s.data);
+    }
+
+    fn init_own(&self, tmk: &Tmk, n: usize, jr: Range<usize>) {
+        for which in [U, V, P, UOLD, VOLD, POLD] {
+            let mut s = Slab::new(self.np1, jr.start, jr.len());
+            for j in jr.clone() {
+                for i in 0..=n {
+                    s.set(i, j, init_at(n, which, i, j));
+                }
+            }
+            self.write_cols(tmk, which, &s);
+        }
+    }
+
+    /// The sequential column wrap: col 0 <- col n for `arrs` (done by the
+    /// processor owning column 0 — the master under SPF).
+    fn col_wrap(&self, tmk: &Tmk, which: &[usize]) {
+        for &w in which {
+            let src = self.read_cols(tmk, w, self.np1 - 1..self.np1).data;
+            let mut view = tmk.write(self.arrs[w], 0..self.np1);
+            view.slice_mut().copy_from_slice(&src);
+        }
+    }
+
+    /// One step-1 execution over `jr` columns: read ghosts, run the
+    /// kernel, merge the row wrap if `fuse_wrap`, write back.
+    fn do_step1(&self, node: &Node, tmk: &Tmk, n: usize, jr: &Range<usize>, fuse_wrap: bool) {
+        if jr.is_empty() {
+            return;
+        }
+        let gr = jr.start - 1..jr.end;
+        let p = self.read_cols(tmk, P, gr.clone());
+        let u = self.read_cols(tmk, U, gr.clone());
+        let v = self.read_cols(tmk, V, gr.clone());
+        let mut cu = Slab::new(self.np1, jr.start, jr.len());
+        let mut cv = Slab::new(self.np1, jr.start, jr.len());
+        let mut z = Slab::new(self.np1, jr.start, jr.len());
+        let mut h = Slab::new(self.np1, jr.start, jr.len());
+        step1(&p, &u, &v, &mut cu, &mut cv, &mut z, &mut h, n, jr.clone());
+        node.advance((jr.len() * n) as f64 * S1_US);
+        if fuse_wrap {
+            for s in [&mut cu, &mut cv, &mut z, &mut h] {
+                row_wrap(s, n, jr.clone());
+            }
+        }
+        for (w, s) in [(CU, &cu), (CV, &cv), (Z, &z), (H, &h)] {
+            self.write_cols(tmk, w, s);
+        }
+    }
+
+    fn do_row_wrap(&self, tmk: &Tmk, n: usize, jr: &Range<usize>, which: &[usize]) {
+        if jr.is_empty() {
+            return;
+        }
+        for &w in which {
+            let mut s = self.read_cols(tmk, w, jr.clone());
+            row_wrap(&mut s, n, jr.clone());
+            self.write_cols(tmk, w, &s);
+        }
+    }
+
+    fn do_step2(
+        &self,
+        node: &Node,
+        tmk: &Tmk,
+        n: usize,
+        jr: &Range<usize>,
+        tdt: f64,
+        fuse_wrap: bool,
+    ) {
+        if jr.is_empty() {
+            return;
+        }
+        let gr = jr.start - 1..jr.end;
+        let cu = self.read_cols(tmk, CU, gr.clone());
+        let cv = self.read_cols(tmk, CV, gr.clone());
+        let z = self.read_cols(tmk, Z, gr.clone());
+        let h = self.read_cols(tmk, H, gr.clone());
+        let uo = self.read_cols(tmk, UOLD, jr.clone());
+        let vo = self.read_cols(tmk, VOLD, jr.clone());
+        let po = self.read_cols(tmk, POLD, jr.clone());
+        let mut un = Slab::new(self.np1, jr.start, jr.len());
+        let mut vn = Slab::new(self.np1, jr.start, jr.len());
+        let mut pn = Slab::new(self.np1, jr.start, jr.len());
+        step2(
+            &cu, &cv, &z, &h, &uo, &vo, &po, &mut un, &mut vn, &mut pn, tdt, n, jr.clone(),
+        );
+        node.advance((jr.len() * n) as f64 * S2_US);
+        if fuse_wrap {
+            for s in [&mut un, &mut vn, &mut pn] {
+                row_wrap(s, n, jr.clone());
+            }
+        }
+        for (w, s) in [(UNEW, &un), (VNEW, &vn), (PNEW, &pn)] {
+            self.write_cols(tmk, w, s);
+        }
+    }
+
+    fn do_step3(&self, node: &Node, tmk: &Tmk, n: usize, jr3: &Range<usize>, first: bool) {
+        if jr3.is_empty() {
+            return;
+        }
+        let mut u = self.read_cols(tmk, U, jr3.clone());
+        let mut v = self.read_cols(tmk, V, jr3.clone());
+        let mut p = self.read_cols(tmk, P, jr3.clone());
+        let un = self.read_cols(tmk, UNEW, jr3.clone());
+        let vn = self.read_cols(tmk, VNEW, jr3.clone());
+        let pn = self.read_cols(tmk, PNEW, jr3.clone());
+        let mut uo = self.read_cols(tmk, UOLD, jr3.clone());
+        let mut vo = self.read_cols(tmk, VOLD, jr3.clone());
+        let mut po = self.read_cols(tmk, POLD, jr3.clone());
+        step3(
+            &mut u, &mut v, &mut p, &un, &vn, &pn, &mut uo, &mut vo, &mut po, first, n,
+            jr3.clone(),
+        );
+        node.advance((jr3.len() * (n + 1)) as f64 * S3_US);
+        for (w, s) in [
+            (U, &u),
+            (V, &v),
+            (P, &p),
+            (UOLD, &uo),
+            (VOLD, &vo),
+            (POLD, &po),
+        ] {
+            self.write_cols(tmk, w, s);
+        }
+    }
+}
+
+/// Column partitions: steps 1-2 over `1..=n`; step 3 also covers column 0
+/// (assigned to the processor owning column 1).
+fn col_parts(me: usize, np: usize, n: usize) -> (Range<usize>, Range<usize>) {
+    let jr = block_range(me, np, 1..n + 1);
+    let jr3 = if me == 0 && !jr.is_empty() {
+        0..jr.end
+    } else {
+        jr.clone()
+    };
+    (jr, jr3)
+}
+
+fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
+    let n = p.n;
+    let me = node.id();
+    let np = node.nprocs();
+    let tmk = Tmk::new(node, cfg.clone());
+    let sh = DsmShallow::alloc(&tmk, n);
+    let (jr, jr3) = col_parts(me, np, n);
+    sh.init_own(&tmk, n, jr3.clone());
+    tmk.barrier(0);
+
+    let one = |first: bool, tdt: f64| {
+        sh.do_step1(node, &tmk, n, &jr, true);
+        tmk.barrier(1);
+        if me == 0 {
+            sh.col_wrap(&tmk, &[CU, CV, Z, H]);
+        }
+        sh.do_step2(node, &tmk, n, &jr, tdt, true);
+        tmk.barrier(2);
+        if me == 0 {
+            sh.col_wrap(&tmk, &[UNEW, VNEW, PNEW]);
+        }
+        sh.do_step3(node, &tmk, n, &jr3, first);
+        tmk.barrier(3);
+    };
+    one(true, DT);
+    let m = meter_start(node);
+    for _ in 0..p.iters {
+        one(false, 2.0 * DT);
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+    let cs = (me == 0).then(|| {
+        let pf = sh.read_cols(&tmk, P, 0..n + 1);
+        let uf = sh.read_cols(&tmk, U, 0..n + 1);
+        checksum(&pf, &uf, n)
+    });
+    let dsm = tmk.finish();
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: Some(dsm),
+    }
+}
+
+/// SPF-generated version; `fused` selects the §5.2 hand-optimized shape
+/// (row wraps merged into the step loops).
+fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, fused: bool) -> NodeOut {
+    let n = p.n;
+    let me = node.id();
+    let np = node.nprocs();
+    let meter = RefCell::new(None);
+    let measured = RefCell::new(None);
+    let tmk = Tmk::new(node, cfg.clone());
+    let sh = DsmShallow::alloc(&tmk, n);
+    let spf = Spf::new(&tmk);
+
+    let parts = move |ctl: &LoopCtl| {
+        let jr = ctl.my_block(me, np);
+        let jr3 = if me == 0 && !jr.is_empty() {
+            0..jr.end
+        } else {
+            jr.clone()
+        };
+        (jr, jr3)
+    };
+
+    let l_start = spf.register(|_ctl: &LoopCtl| {
+        *meter.borrow_mut() = Some(meter_start(node));
+    });
+    let l_stop = spf.register(|_ctl: &LoopCtl| {
+        let m = meter.borrow_mut().take().expect("meter started");
+        *measured.borrow_mut() = Some(meter_stop(node, m));
+    });
+    let l_init = spf.register({
+        let (tmk, sh) = (&tmk, &sh);
+        move |ctl: &LoopCtl| {
+            let (_, jr3) = parts(ctl);
+            sh.init_own(tmk, n, jr3);
+        }
+    });
+    let l_s1 = spf.register({
+        let (tmk, sh) = (&tmk, &sh);
+        move |ctl: &LoopCtl| {
+            let (jr, _) = parts(ctl);
+            sh.do_step1(node, tmk, n, &jr, fused);
+        }
+    });
+    let l_wrap1 = spf.register({
+        let (tmk, sh) = (&tmk, &sh);
+        move |ctl: &LoopCtl| {
+            let (jr, _) = parts(ctl);
+            sh.do_row_wrap(tmk, n, &jr, &[CU, CV, Z, H]);
+        }
+    });
+    let l_s2 = spf.register({
+        let (tmk, sh) = (&tmk, &sh);
+        move |ctl: &LoopCtl| {
+            let (jr, _) = parts(ctl);
+            let tdt = f64::from_bits(ctl.args[0]);
+            sh.do_step2(node, tmk, n, &jr, tdt, fused);
+        }
+    });
+    let l_wrap2 = spf.register({
+        let (tmk, sh) = (&tmk, &sh);
+        move |ctl: &LoopCtl| {
+            let (jr, _) = parts(ctl);
+            sh.do_row_wrap(tmk, n, &jr, &[UNEW, VNEW, PNEW]);
+        }
+    });
+    let l_s3 = spf.register({
+        let (tmk, sh) = (&tmk, &sh);
+        move |ctl: &LoopCtl| {
+            let (_, jr3) = parts(ctl);
+            sh.do_step3(node, tmk, n, &jr3, ctl.args[0] != 0);
+        }
+    });
+
+    let cs = spf.run(|mr| {
+        let whole = 1..n + 1;
+        mr.par_loop(l_init, whole.clone(), Schedule::Block, &[]);
+        let one = |first: bool, tdt: f64| {
+            mr.par_loop(l_s1, whole.clone(), Schedule::Block, &[]);
+            if !fused {
+                mr.par_loop(l_wrap1, whole.clone(), Schedule::Block, &[]);
+            }
+            // Column wrap is sequential code: the master executes it.
+            sh.col_wrap(mr.tmk(), &[CU, CV, Z, H]);
+            mr.par_loop(l_s2, whole.clone(), Schedule::Block, &[tdt.to_bits()]);
+            if !fused {
+                mr.par_loop(l_wrap2, whole.clone(), Schedule::Block, &[]);
+            }
+            sh.col_wrap(mr.tmk(), &[UNEW, VNEW, PNEW]);
+            mr.par_loop(l_s3, whole.clone(), Schedule::Block, &[u64::from(first)]);
+        };
+        one(true, DT);
+        mr.par_loop(l_start, 0..0, Schedule::Block, &[]);
+        for _ in 0..p.iters {
+            one(false, 2.0 * DT);
+        }
+        mr.par_loop(l_stop, 0..0, Schedule::Block, &[]);
+        let pf = sh.read_cols(mr.tmk(), P, 0..n + 1);
+        let uf = sh.read_cols(mr.tmk(), U, 0..n + 1);
+        checksum(&pf, &uf, n)
+    });
+    let (elapsed_us, stats) = measured.borrow_mut().take().expect("meter ran");
+    let dsm = tmk.finish();
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: Some(dsm),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message passing
+// ---------------------------------------------------------------------
+
+struct MpShallow {
+    /// Local slabs with one ghost column on each side: columns
+    /// `jr.start-1 ..= jr.end` (clamped to the array).
+    slabs: Vec<Slab>,
+    jr: Range<usize>,
+    jr3: Range<usize>,
+    np1: usize,
+}
+
+impl MpShallow {
+    fn new(n: usize, me: usize, np: usize) -> MpShallow {
+        let np1 = n + 1;
+        let (jr, jr3) = col_parts(me, np, n);
+        let lo = jr3.start.saturating_sub(1);
+        let hi = (jr.end + 1).min(np1);
+        let slabs = (0..NARR).map(|_| Slab::new(np1, lo, hi - lo)).collect();
+        let mut s = MpShallow {
+            slabs,
+            jr,
+            jr3,
+            np1,
+        };
+        let n = np1 - 1;
+        for which in [U, V, P, UOLD, VOLD, POLD] {
+            for j in s.jr3.clone() {
+                for i in 0..=n {
+                    s.slabs[which].set(i, j, init_at(n, which, i, j));
+                }
+            }
+        }
+        s
+    }
+
+    /// Exchange ghost columns of `which` arrays with both neighbours.
+    /// `aggregate` packs all arrays into one message per neighbour (the
+    /// hand-coded PVMe style); otherwise one message per array (XHPF).
+    fn exchange(&mut self, comm: &Comm, which: &[usize], aggregate: bool) {
+        let me = comm.rank();
+        let np = comm.size();
+        let np1 = self.np1;
+        let groups: Vec<Vec<usize>> = if aggregate {
+            vec![which.to_vec()]
+        } else {
+            which.iter().map(|&w| vec![w]).collect()
+        };
+        for group in groups {
+            // Send own boundary columns; receive into ghosts.
+            let tag = 60 + group[0] as u32;
+            if me > 0 && !self.jr.is_empty() {
+                let buf: Vec<f64> = group
+                    .iter()
+                    .flat_map(|&w| self.slabs[w].col(self.jr.start).to_vec())
+                    .collect();
+                comm.send_f64s(me - 1, tag, &buf);
+            }
+            if me + 1 < np && !self.jr.is_empty() {
+                let buf: Vec<f64> = group
+                    .iter()
+                    .flat_map(|&w| self.slabs[w].col(self.jr.end - 1).to_vec())
+                    .collect();
+                comm.send_f64s(me + 1, tag + 20, &buf);
+            }
+            if me + 1 < np && self.jr.end < np1 {
+                let buf = comm.recv_f64s(me + 1, tag);
+                for (k, &w) in group.iter().enumerate() {
+                    self.slabs[w]
+                        .col_mut(self.jr.end)
+                        .copy_from_slice(&buf[k * np1..(k + 1) * np1]);
+                }
+            }
+            if me > 0 {
+                let buf = comm.recv_f64s(me - 1, tag + 20);
+                for (k, &w) in group.iter().enumerate() {
+                    self.slabs[w]
+                        .col_mut(self.jr.start - 1)
+                        .copy_from_slice(&buf[k * np1..(k + 1) * np1]);
+                }
+            }
+        }
+    }
+
+    /// Column wrap: the owner of column n sends it to the owner of
+    /// column 0 (processor 0).
+    fn col_wrap(&mut self, comm: &Comm, which: &[usize], aggregate: bool) {
+        let me = comm.rank();
+        let np = comm.size();
+        let np1 = self.np1;
+        let last_owner = (0..np)
+            .find(|&q| col_parts(q, np, np1 - 1).0.contains(&(np1 - 1)))
+            .unwrap_or(0);
+        if np == 1 || last_owner == 0 {
+            if me == 0 {
+                for &w in which {
+                    let src = self.slabs[w].col(np1 - 1).to_vec();
+                    self.slabs[w].col_mut(0).copy_from_slice(&src);
+                }
+            }
+            return;
+        }
+        let groups: Vec<Vec<usize>> = if aggregate {
+            vec![which.to_vec()]
+        } else {
+            which.iter().map(|&w| vec![w]).collect()
+        };
+        for group in groups {
+            let tag = 90 + group[0] as u32;
+            if me == last_owner {
+                let buf: Vec<f64> = group
+                    .iter()
+                    .flat_map(|&w| self.slabs[w].col(np1 - 1).to_vec())
+                    .collect();
+                comm.send_f64s(0, tag, &buf);
+            } else if me == 0 {
+                let buf = comm.recv_f64s(last_owner, tag);
+                for (k, &w) in group.iter().enumerate() {
+                    self.slabs[w]
+                        .col_mut(0)
+                        .copy_from_slice(&buf[k * np1..(k + 1) * np1]);
+                }
+            }
+        }
+    }
+}
+
+fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
+    let n = p.n;
+    let me = node.id();
+    let np = node.nprocs();
+    let comm = Comm::new(node);
+    let x = Xhpf::new(&comm);
+    let mut st = MpShallow::new(n, me, np);
+    let aggregate = !xhpf_mode;
+
+    let one = |st: &mut MpShallow, first: bool, tdt: f64| {
+        st.exchange(&comm, &[P, U, V], aggregate);
+        let jr = st.jr.clone();
+        if !jr.is_empty() {
+            let np1 = st.np1;
+            let mut cu = Slab::new(np1, jr.start, jr.len());
+            let mut cv = Slab::new(np1, jr.start, jr.len());
+            let mut z = Slab::new(np1, jr.start, jr.len());
+            let mut h = Slab::new(np1, jr.start, jr.len());
+            step1(
+                &st.slabs[P],
+                &st.slabs[U],
+                &st.slabs[V],
+                &mut cu,
+                &mut cv,
+                &mut z,
+                &mut h,
+                n,
+                jr.clone(),
+            );
+            node.advance((jr.len() * n) as f64 * S1_US);
+            for (w, s) in [(CU, &mut cu), (CV, &mut cv), (Z, &mut z), (H, &mut h)] {
+                row_wrap(s, n, jr.clone());
+                st.slabs[w].copy_cols_from(s, jr.clone());
+            }
+        }
+        if xhpf_mode {
+            x.loop_sync();
+        }
+        st.col_wrap(&comm, &[CU, CV, Z, H], aggregate);
+        st.exchange(&comm, &[CU, CV, Z, H], aggregate);
+        if !jr.is_empty() {
+            let np1 = st.np1;
+            let mut un = Slab::new(np1, jr.start, jr.len());
+            let mut vn = Slab::new(np1, jr.start, jr.len());
+            let mut pn = Slab::new(np1, jr.start, jr.len());
+            step2(
+                &st.slabs[CU],
+                &st.slabs[CV],
+                &st.slabs[Z],
+                &st.slabs[H],
+                &st.slabs[UOLD],
+                &st.slabs[VOLD],
+                &st.slabs[POLD],
+                &mut un,
+                &mut vn,
+                &mut pn,
+                tdt,
+                n,
+                jr.clone(),
+            );
+            node.advance((jr.len() * n) as f64 * S2_US);
+            for (w, s) in [(UNEW, &mut un), (VNEW, &mut vn), (PNEW, &mut pn)] {
+                row_wrap(s, n, jr.clone());
+                st.slabs[w].copy_cols_from(s, jr.clone());
+            }
+        }
+        if xhpf_mode {
+            x.loop_sync();
+        }
+        st.col_wrap(&comm, &[UNEW, VNEW, PNEW], aggregate);
+        let jr3 = st.jr3.clone();
+        if !jr3.is_empty() {
+            let np1 = st.np1;
+            let mut u = Slab::new(np1, jr3.start, jr3.len());
+            let mut v = Slab::new(np1, jr3.start, jr3.len());
+            let mut pp = Slab::new(np1, jr3.start, jr3.len());
+            let mut uo = Slab::new(np1, jr3.start, jr3.len());
+            let mut vo = Slab::new(np1, jr3.start, jr3.len());
+            let mut po = Slab::new(np1, jr3.start, jr3.len());
+            u.copy_cols_from(&st.slabs[U], jr3.clone());
+            v.copy_cols_from(&st.slabs[V], jr3.clone());
+            pp.copy_cols_from(&st.slabs[P], jr3.clone());
+            uo.copy_cols_from(&st.slabs[UOLD], jr3.clone());
+            vo.copy_cols_from(&st.slabs[VOLD], jr3.clone());
+            po.copy_cols_from(&st.slabs[POLD], jr3.clone());
+            step3(
+                &mut u,
+                &mut v,
+                &mut pp,
+                &Slab::from_vec(
+                    st.np1,
+                    jr3.start,
+                    (jr3.clone())
+                        .flat_map(|j| st.slabs[UNEW].col(j).to_vec())
+                        .collect(),
+                ),
+                &Slab::from_vec(
+                    st.np1,
+                    jr3.start,
+                    (jr3.clone())
+                        .flat_map(|j| st.slabs[VNEW].col(j).to_vec())
+                        .collect(),
+                ),
+                &Slab::from_vec(
+                    st.np1,
+                    jr3.start,
+                    (jr3.clone())
+                        .flat_map(|j| st.slabs[PNEW].col(j).to_vec())
+                        .collect(),
+                ),
+                &mut uo,
+                &mut vo,
+                &mut po,
+                first,
+                n,
+                jr3.clone(),
+            );
+            node.advance((jr3.len() * (n + 1)) as f64 * S3_US);
+            for (w, s) in [
+                (U, &u),
+                (V, &v),
+                (P, &pp),
+                (UOLD, &uo),
+                (VOLD, &vo),
+                (POLD, &po),
+            ] {
+                st.slabs[w].copy_cols_from(s, jr3.clone());
+            }
+        }
+        if xhpf_mode {
+            x.loop_sync();
+        }
+    };
+
+    one(&mut st, true, DT);
+    let m = meter_start(node);
+    for _ in 0..p.iters {
+        one(&mut st, false, 2.0 * DT);
+    }
+    let (elapsed_us, stats) = meter_stop(node, m);
+
+    // Gather p and u for validation (untimed).
+    let flat: Vec<f64> = st
+        .jr3
+        .clone()
+        .flat_map(|j| st.slabs[P].col(j).to_vec())
+        .chain(st.jr3.clone().flat_map(|j| st.slabs[U].col(j).to_vec()))
+        .collect();
+    let gathered = comm.gather_f64s(0, &flat);
+    let cs = gathered.map(|parts| {
+        let np1 = n + 1;
+        let mut pf = Slab::new(np1, 0, np1);
+        let mut uf = Slab::new(np1, 0, np1);
+        for (q, part) in parts.iter().enumerate() {
+            let (_, jr3) = col_parts(q, np, n);
+            let half = part.len() / 2;
+            for (k, j) in jr3.clone().enumerate() {
+                pf.col_mut(j).copy_from_slice(&part[k * np1..(k + 1) * np1]);
+                uf.col_mut(j)
+                    .copy_from_slice(&part[half + k * np1..half + (k + 1) * np1]);
+            }
+        }
+        checksum(&pf, &uf, n)
+    });
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: None,
+    }
+}
+
+/// Run Shallow in `version` on `nprocs` processors at `scale`.
+pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    let p = params(scale);
+    let c = ClusterConfig::sp2(nprocs);
+    let outs = match version {
+        Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
+        Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
+        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg, false)).results,
+        Version::HandOpt => Cluster::run(c, |node| spf_node(node, &p, &cfg, true)).results,
+        Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
+        Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
+    };
+    RunResult::assemble(AppId::Shallow, version, nprocs, scale, outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.03; // 30x30 grid, 3 iterations
+
+    #[test]
+    fn all_versions_match_sequential_bitwise() {
+        let seq = run(Version::Seq, 1, SCALE, TmkConfig::default());
+        assert!(seq.checksum[0].is_finite());
+        for v in [
+            Version::Tmk,
+            Version::Spf,
+            Version::Xhpf,
+            Version::Pvme,
+            Version::HandOpt,
+        ] {
+            let r = crate::runner::run(AppId::Shallow, v, 4, SCALE);
+            assert_eq!(r.checksum, seq.checksum, "version {v:?}");
+        }
+    }
+
+    #[test]
+    fn pvme_aggregation_beats_xhpf_messages() {
+        let pvme = run(Version::Pvme, 4, SCALE, TmkConfig::default());
+        let xhpf = run(Version::Xhpf, 4, SCALE, TmkConfig::default());
+        assert!(pvme.messages < xhpf.messages);
+    }
+
+    #[test]
+    fn fused_handopt_reduces_sync_vs_spf() {
+        let spf = run(Version::Spf, 4, SCALE, TmkConfig::default());
+        let opt = run(Version::HandOpt, 4, SCALE, TmkConfig::aggregated());
+        assert!(opt.dsm.forks < spf.dsm.forks);
+        assert!(opt.time_us < spf.time_us);
+    }
+}

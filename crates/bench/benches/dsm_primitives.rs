@@ -1,0 +1,132 @@
+//! Microbenchmarks of the DSM machinery: the building blocks whose costs
+//! the paper identifies as the overheads of software shared memory
+//! (twinning, diffing, page faults, synchronization).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use sp2sim::{Cluster, ClusterConfig};
+use treadmarks::{Diff, Tmk, TmkConfig};
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    let old = vec![0u64; 512];
+    let mut sparse = old.clone();
+    for i in (0..512).step_by(16) {
+        sparse[i] = 1;
+    }
+    let dense: Vec<u64> = (0..512).map(|i| i as u64 + 1).collect();
+
+    g.bench_function("create_sparse_page", |b| {
+        b.iter(|| Diff::create(std::hint::black_box(&old), std::hint::black_box(&sparse)))
+    });
+    g.bench_function("create_dense_page", |b| {
+        b.iter(|| Diff::create(std::hint::black_box(&old), std::hint::black_box(&dense)))
+    });
+    let d = Diff::create(&old, &dense);
+    g.bench_function("apply_dense_page", |b| {
+        b.iter_batched(
+            || old.clone(),
+            |mut page| d.apply(&mut page),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.bench_function("barrier_8procs", |b| {
+        b.iter(|| {
+            Cluster::run(ClusterConfig::sp2(8), |node| {
+                let tmk = Tmk::new(node, TmkConfig::default());
+                for i in 0..10 {
+                    tmk.barrier(i);
+                }
+                tmk.finish();
+            })
+        })
+    });
+    g.bench_function("lock_chain_4procs", |b| {
+        b.iter(|| {
+            Cluster::run(ClusterConfig::sp2(4), |node| {
+                let tmk = Tmk::new(node, TmkConfig::default());
+                let a = tmk.malloc_f64(1);
+                for _ in 0..5 {
+                    tmk.acquire(3);
+                    let v = tmk.read_one(a, 0);
+                    tmk.write_one(a, 0, v + 1.0);
+                    tmk.release(3);
+                }
+                tmk.barrier(0);
+                tmk.finish();
+            })
+        })
+    });
+    g.bench_function("forkjoin_improved_4procs", |b| {
+        b.iter(|| forkjoin_cycles(TmkConfig::default()))
+    });
+    g.bench_function("forkjoin_original_4procs", |b| {
+        b.iter(|| forkjoin_cycles(TmkConfig::legacy_forkjoin()))
+    });
+    g.finish();
+}
+
+/// Ten fork-join cycles under the given interface configuration; returns
+/// total simulated microseconds (the §2.3 comparison quantity).
+fn forkjoin_cycles(cfg: TmkConfig) -> f64 {
+    let out = Cluster::run(ClusterConfig::sp2(4), move |node| {
+        let tmk = Tmk::new(node, cfg.clone());
+        let spf = spf::Spf::new(&tmk);
+        let body = spf.register(|_ctl: &spf::LoopCtl| {});
+        spf.run(|m| {
+            for _ in 0..10 {
+                m.par_loop(body, 0..16, spf::Schedule::Block, &[]);
+            }
+        });
+        tmk.finish();
+    });
+    out.elapsed.us()
+}
+
+fn bench_fault_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    // One writer fills 16 pages; one reader faults them in, with and
+    // without request aggregation.
+    let run = |aggregation: bool| {
+        Cluster::run(ClusterConfig::sp2(2), move |node| {
+            let tmk = Tmk::new(
+                node,
+                TmkConfig {
+                    aggregation,
+                    ..TmkConfig::default()
+                },
+            );
+            let a = tmk.malloc_f64(512 * 16);
+            if tmk.proc_id() == 0 {
+                let mut w = tmk.write(a, 0..512 * 16);
+                for (i, x) in w.slice_mut().iter_mut().enumerate() {
+                    *x = i as f64;
+                }
+            }
+            tmk.barrier(0);
+            if tmk.proc_id() == 1 {
+                let r = tmk.read(a, 0..512 * 16);
+                std::hint::black_box(r.slice()[100]);
+            }
+            tmk.barrier(1);
+            tmk.finish();
+        })
+    };
+    g.bench_function("16_pages_per_page_requests", |b| b.iter(|| run(false)));
+    g.bench_function("16_pages_aggregated", |b| b.iter(|| run(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_diff, bench_sync, bench_fault_path);
+criterion_main!(benches);

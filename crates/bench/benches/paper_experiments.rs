@@ -1,0 +1,105 @@
+//! One benchmark group per paper table/figure, running scaled-down
+//! versions of the experiment sweeps. (The harness binaries print the
+//! full paper-shaped tables; these benchmarks track the cost of
+//! regenerating each artifact and pin the qualitative orderings.)
+
+use bench::BENCH_SCALE;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use apps::{run, AppId, Version};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_sequential");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for app in AppId::ALL {
+        g.bench_function(app.name(), |b| {
+            b.iter(|| run(app, Version::Seq, 1, BENCH_SCALE))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig1_regular(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_tab2_regular");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for app in AppId::REGULAR {
+        for v in Version::FIGURE {
+            g.bench_function(format!("{}/{}", app.name(), v.name()), |b| {
+                b.iter(|| run(app, v, 4, BENCH_SCALE))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig2_irregular(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_tab3_irregular");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for app in AppId::IRREGULAR {
+        for v in Version::FIGURE {
+            g.bench_function(format!("{}/{}", app.name(), v.name()), |b| {
+                b.iter(|| run(app, v, 4, BENCH_SCALE))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_sec5_handopt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec5_handopt");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for app in [AppId::Jacobi, AppId::Shallow, AppId::Mgs, AppId::Fft3d] {
+        g.bench_function(app.name(), |b| {
+            b.iter(|| run(app, Version::HandOpt, 4, BENCH_SCALE))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sec23_interface(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec23_interface");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.bench_function("jacobi_improved", |b| {
+        b.iter(|| {
+            apps::runner::run_with_cfg(
+                AppId::Jacobi,
+                Version::Spf,
+                4,
+                BENCH_SCALE,
+                treadmarks::TmkConfig::default(),
+            )
+        })
+    });
+    g.bench_function("jacobi_original", |b| {
+        b.iter(|| {
+            apps::runner::run_with_cfg(
+                AppId::Jacobi,
+                Version::Spf,
+                4,
+                BENCH_SCALE,
+                treadmarks::TmkConfig::legacy_forkjoin(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig1_regular,
+    bench_fig2_irregular,
+    bench_sec5_handopt,
+    bench_sec23_interface
+);
+criterion_main!(benches);

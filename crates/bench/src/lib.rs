@@ -1,0 +1,16 @@
+//! # bench — criterion benchmarks for the reproduction
+//!
+//! Two benchmark suites (see `benches/`):
+//!
+//! * `dsm_primitives` — microbenchmarks of the TreadMarks machinery:
+//!   diff creation/application, twin management, barrier and lock
+//!   round-trips, view faults, the fork-join interfaces;
+//! * `paper_experiments` — one benchmark group per paper table/figure,
+//!   running scaled-down versions of the experiment sweeps (the harness
+//!   binaries produce the full-size numbers; criterion tracks the
+//!   simulator's wall-clock performance per artifact).
+
+/// Default problem scale for the benchmark sweeps (kept small so
+/// `cargo bench` completes quickly; the harness binaries accept
+/// `scale = 1.0` for paper-sized runs).
+pub const BENCH_SCALE: f64 = 0.03;

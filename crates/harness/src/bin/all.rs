@@ -1,0 +1,26 @@
+//! Runs the complete experiment suite, printing every table and figure
+//! of the paper in order.
+//!
+//! Usage: `all [scale] [nprocs]` (defaults 0.1 and 8; use `1.0` for the
+//! paper's problem sizes — a few minutes of wall-clock time).
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let run = |bin: &str, argv: &[String]| {
+        let status = std::process::Command::new(std::env::current_exe().unwrap().with_file_name(bin))
+            .args(argv)
+            .status()
+            .expect("spawn sibling binary");
+        assert!(status.success(), "{bin} failed");
+    };
+    let argv = vec![scale.to_string(), nprocs.to_string()];
+    run("table1", &argv[..1].to_vec());
+    run("figure1", &argv);
+    run("table2", &argv);
+    run("figure2_table3", &argv);
+    run("handopt", &argv);
+    run("interface_ablation", &argv);
+    run("scaling", &argv);
+}

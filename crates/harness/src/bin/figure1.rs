@@ -1,0 +1,25 @@
+//! Regenerates Figure 1: 8-processor speedups for the regular
+//! applications (SPF/Tmk, hand-coded TreadMarks, XHPF, PVMe).
+//!
+//! Usage: `figure1 [scale] [nprocs]` (defaults 0.1 and 8).
+
+use harness::report::{f2, render_table};
+use harness::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    println!("Figure 1: {nprocs}-Processor Speedups, Regular Applications (scale {scale})\n");
+    let mut t = Table::new(vec!["Program", "SPF/Tmk", "Tmk", "XHPF", "PVMe"]);
+    for row in harness::figure1(nprocs, scale) {
+        t.row(vec![
+            row.app.name().to_string(),
+            f2(row.speedup(0)),
+            f2(row.speedup(1)),
+            f2(row.speedup(2)),
+            f2(row.speedup(3)),
+        ]);
+    }
+    println!("{}", render_table(&t));
+}

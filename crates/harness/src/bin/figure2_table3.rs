@@ -1,0 +1,49 @@
+//! Regenerates Figure 2 (speedups) and Table 3 (message/data totals)
+//! for the irregular applications.
+//!
+//! Usage: `figure2_table3 [scale] [nprocs]` (defaults 0.1 and 8).
+
+use harness::report::{f2, render_table};
+use harness::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let rows = harness::figure2_table3(nprocs, scale);
+    println!("Figure 2: {nprocs}-Processor Speedups, Irregular Applications (scale {scale})\n");
+    let mut t = Table::new(vec!["Program", "SPF/Tmk", "Tmk", "XHPF", "PVMe"]);
+    for row in &rows {
+        t.row(vec![
+            row.app.name().to_string(),
+            f2(row.speedup(0)),
+            f2(row.speedup(1)),
+            f2(row.speedup(2)),
+            f2(row.speedup(3)),
+        ]);
+    }
+    println!("{}", render_table(&t));
+    println!("Table 3: Message Totals and Data Totals (KB), Irregular Applications\n");
+    let mut t = Table::new(vec!["", "Program", "SPF", "Tmk", "XHPF", "PVMe"]);
+    for (k, row) in rows.iter().enumerate() {
+        t.row(vec![
+            if k == 0 { "Message" } else { "" }.to_string(),
+            row.app.name().to_string(),
+            row.results[0].messages.to_string(),
+            row.results[1].messages.to_string(),
+            row.results[2].messages.to_string(),
+            row.results[3].messages.to_string(),
+        ]);
+    }
+    for (k, row) in rows.iter().enumerate() {
+        t.row(vec![
+            if k == 0 { "Data" } else { "" }.to_string(),
+            row.app.name().to_string(),
+            row.results[0].kbytes.to_string(),
+            row.results[1].kbytes.to_string(),
+            row.results[2].kbytes.to_string(),
+            row.results[3].kbytes.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&t));
+}

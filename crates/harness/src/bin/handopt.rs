@@ -1,0 +1,33 @@
+//! Regenerates §5 "Results of Hand Optimizations": the hand-optimized
+//! shared-memory variants vs their baselines and references.
+//!
+//! Usage: `handopt [scale] [nprocs]` (defaults 0.1 and 8).
+
+use harness::report::{f2, render_table};
+use harness::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    println!("Section 5: Results of Hand Optimizations (scale {scale}, {nprocs} procs)\n");
+    let mut t = Table::new(vec![
+        "Program",
+        "Optimization",
+        "Base",
+        "Optimized",
+        "Reference",
+        "(vs)",
+    ]);
+    for r in harness::handopt(nprocs, scale) {
+        t.row(vec![
+            r.app.name().to_string(),
+            r.what.to_string(),
+            f2(r.base),
+            f2(r.opt),
+            f2(r.reference),
+            r.ref_name.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&t));
+}

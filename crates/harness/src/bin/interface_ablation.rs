@@ -1,0 +1,35 @@
+//! Regenerates the §2.3 ablation: the improved compiler/run-time
+//! interface (fork-join via barrier departure/arrival, 2(n-1) messages
+//! per loop) against the original scheme (full barriers plus control
+//! variables faulted from shared pages, 8(n-1) messages per loop).
+//!
+//! Usage: `interface_ablation [scale] [nprocs]` (defaults 0.1 and 8).
+
+use harness::report::{f2, render_table};
+use harness::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    println!("Section 2.3: Fork-Join Interface Ablation (scale {scale}, {nprocs} procs)\n");
+    let mut t = Table::new(vec![
+        "Program",
+        "Improved msgs",
+        "Original msgs",
+        "Improved time(s)",
+        "Original time(s)",
+        "Slowdown",
+    ]);
+    for (app, imp, orig) in harness::interface_ablation(nprocs, scale) {
+        t.row(vec![
+            app.name().to_string(),
+            imp.messages.to_string(),
+            orig.messages.to_string(),
+            f2(imp.time_us / 1e6),
+            f2(orig.time_us / 1e6),
+            format!("{:.1}%", (orig.time_us / imp.time_us - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", render_table(&t));
+}

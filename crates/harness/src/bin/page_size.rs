@@ -1,0 +1,38 @@
+//! Extension ablation: sensitivity of the DSM versions to the page size.
+//!
+//! The paper's platform fixes 4 KB pages; this study varies the page size
+//! (the classic software-DSM trade-off: larger pages amortize fault and
+//! message overheads but amplify false sharing and transfer volume).
+//!
+//! Usage: `page_size [scale] [nprocs]` (defaults 0.1 and 8).
+
+use apps::{AppId, Version};
+use harness::report::{f2, render_table};
+use harness::Table;
+use treadmarks::TmkConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    println!("Page-size ablation, hand-coded TreadMarks (scale {scale}, {nprocs} procs)\n");
+    let mut t = Table::new(vec!["Program", "Page", "Speedup", "Messages", "Data KB"]);
+    for app in [AppId::Jacobi, AppId::IGrid] {
+        let seq = apps::run(app, Version::Seq, 1, scale).time_us;
+        for page_words in [128usize, 256, 512, 1024, 2048] {
+            let cfg = TmkConfig {
+                page_words,
+                ..TmkConfig::default()
+            };
+            let r = apps::runner::run_with_cfg(app, Version::Tmk, nprocs, scale, cfg);
+            t.row(vec![
+                app.name().to_string(),
+                format!("{} B", page_words * 8),
+                f2(r.speedup_vs(seq)),
+                r.messages.to_string(),
+                r.kbytes.to_string(),
+            ]);
+        }
+    }
+    println!("{}", render_table(&t));
+}

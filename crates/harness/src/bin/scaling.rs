@@ -1,0 +1,31 @@
+//! Extension study: speedups at 1, 2, 4, 8 processors for every
+//! application and version.
+//!
+//! Usage: `scaling [scale] [max_procs]` (defaults 0.1 and 8).
+
+use apps::AppId;
+use harness::report::{f2, render_table};
+use harness::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let maxp: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    println!("Scaling study (scale {scale}, up to {maxp} procs)\n");
+    let rows = harness::scaling(maxp, scale, &AppId::ALL);
+    let mut header = vec!["Program".to_string(), "Version".to_string()];
+    let mut np = 1;
+    while np <= maxp {
+        header.push(format!("{np}p"));
+        np *= 2;
+    }
+    let mut t = Table::new(header);
+    for r in rows {
+        let mut cells = vec![r.app.name().to_string(), r.version.name().to_string()];
+        for (_, s) in &r.points {
+            cells.push(f2(*s));
+        }
+        t.row(cells);
+    }
+    println!("{}", render_table(&t));
+}

@@ -1,0 +1,39 @@
+//! Regenerates Table 2: 8-processor message totals and data totals
+//! (kilobytes) for the regular applications.
+//!
+//! Usage: `table2 [scale] [nprocs]` (defaults 0.1 and 8).
+
+use harness::report::render_table;
+use harness::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    println!(
+        "Table 2: {nprocs}-Processor Message Totals and Data Totals (KB), Regular Applications (scale {scale})\n"
+    );
+    let rows = harness::figure1(nprocs, scale);
+    let mut t = Table::new(vec!["", "Program", "SPF", "Tmk", "XHPF", "PVMe"]);
+    for (k, row) in rows.iter().enumerate() {
+        t.row(vec![
+            if k == 0 { "Message" } else { "" }.to_string(),
+            row.app.name().to_string(),
+            row.results[0].messages.to_string(),
+            row.results[1].messages.to_string(),
+            row.results[2].messages.to_string(),
+            row.results[3].messages.to_string(),
+        ]);
+    }
+    for (k, row) in rows.iter().enumerate() {
+        t.row(vec![
+            if k == 0 { "Data" } else { "" }.to_string(),
+            row.app.name().to_string(),
+            row.results[0].kbytes.to_string(),
+            row.results[1].kbytes.to_string(),
+            row.results[2].kbytes.to_string(),
+            row.results[3].kbytes.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&t));
+}

@@ -1,0 +1,289 @@
+//! The experiment suite: one function per paper artifact.
+
+use std::collections::HashMap;
+
+use apps::{run, AppId, RunResult, Version};
+use treadmarks::TmkConfig;
+
+/// A Table 1 row: workload description and sequential execution time.
+#[derive(Clone, Debug)]
+pub struct SeqRow {
+    /// Application.
+    pub app: AppId,
+    /// Problem-size description.
+    pub size: String,
+    /// Sequential execution time in seconds (virtual).
+    pub secs: f64,
+}
+
+/// A speedup row (Figures 1 and 2 plus Tables 2 and 3 combined):
+/// per-version speedups, message totals and data totals.
+#[derive(Clone, Debug)]
+pub struct SpeedupRow {
+    /// Application.
+    pub app: AppId,
+    /// Sequential time (µs) used as the speedup baseline.
+    pub seq_us: f64,
+    /// Results for SPF/Tmk, TreadMarks, XHPF, PVMe (in that order).
+    pub results: Vec<RunResult>,
+}
+
+impl SpeedupRow {
+    /// Speedup of version `i` (indexed like [`Version::FIGURE`]).
+    pub fn speedup(&self, i: usize) -> f64 {
+        self.results[i].speedup_vs(self.seq_us)
+    }
+
+    /// Find a version's result.
+    pub fn get(&self, v: Version) -> &RunResult {
+        self.results
+            .iter()
+            .find(|r| r.version == v)
+            .expect("version present")
+    }
+}
+
+/// Workload descriptions, matching the paper's Table 1.
+fn size_desc(app: AppId, scale: f64) -> String {
+    match app {
+        AppId::Jacobi => {
+            let p = apps::jacobi::params(scale);
+            format!("{0} x {0}, {1} iterations", p.n, p.iters)
+        }
+        AppId::Shallow => {
+            let p = apps::shallow::params(scale);
+            format!("{0} x {0}, {1} iterations", p.n, p.iters)
+        }
+        AppId::Mgs => {
+            let p = apps::mgs::params(scale);
+            format!("{0} x {0}", p.n)
+        }
+        AppId::Fft3d => {
+            let p = apps::fft3d::params(scale);
+            format!("{}x{}x{}, {} iterations", p.n1, p.n2, p.n3, p.iters)
+        }
+        AppId::IGrid => {
+            let p = apps::igrid::params(scale);
+            format!("{}, {} iterations", p.n, p.iters)
+        }
+        AppId::Nbf => {
+            let p = apps::nbf::params(scale);
+            format!("{} molecules, {} iterations", p.m, p.iters)
+        }
+    }
+}
+
+/// Table 1: data-set sizes and sequential execution times.
+pub fn table1(scale: f64) -> Vec<SeqRow> {
+    AppId::ALL
+        .iter()
+        .map(|&app| {
+            let r = run(app, Version::Seq, 1, scale);
+            SeqRow {
+                app,
+                size: size_desc(app, scale),
+                secs: r.time_us / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Run the four figure versions of `apps` on `nprocs` processors.
+fn speedup_rows(app_list: &[AppId], nprocs: usize, scale: f64) -> Vec<SpeedupRow> {
+    app_list
+        .iter()
+        .map(|&app| {
+            let seq = run(app, Version::Seq, 1, scale);
+            let results = Version::FIGURE
+                .iter()
+                .map(|&v| run(app, v, nprocs, scale))
+                .collect();
+            SpeedupRow {
+                app,
+                seq_us: seq.time_us,
+                results,
+            }
+        })
+        .collect()
+}
+
+/// Figure 1 + Table 2: the regular applications.
+pub fn figure1(nprocs: usize, scale: f64) -> Vec<SpeedupRow> {
+    speedup_rows(&AppId::REGULAR, nprocs, scale)
+}
+
+/// Figure 2 + Table 3: the irregular applications.
+pub fn figure2_table3(nprocs: usize, scale: f64) -> Vec<SpeedupRow> {
+    speedup_rows(&AppId::IRREGULAR, nprocs, scale)
+}
+
+/// A §5 hand-optimization row.
+#[derive(Clone, Debug)]
+pub struct HandOptRow {
+    /// Application.
+    pub app: AppId,
+    /// What the optimization is (paper §5 wording).
+    pub what: &'static str,
+    /// Baseline speedup (the version the paper optimized).
+    pub base: f64,
+    /// Optimized speedup.
+    pub opt: f64,
+    /// Reference speedup the paper compares against.
+    pub reference: f64,
+    /// Name of the reference version.
+    pub ref_name: &'static str,
+}
+
+/// §5 "Results of Hand Optimizations": per-application hand-optimized
+/// shared-memory variants vs their baselines and references.
+pub fn handopt(nprocs: usize, scale: f64) -> Vec<HandOptRow> {
+    let mut rows = Vec::new();
+    // Jacobi: SPF + data aggregation, compared against PVMe (7.23/7.55).
+    {
+        let seq = run(AppId::Jacobi, Version::Seq, 1, scale).time_us;
+        let base = run(AppId::Jacobi, Version::Spf, nprocs, scale);
+        let opt = run(AppId::Jacobi, Version::HandOpt, nprocs, scale);
+        let pvme = run(AppId::Jacobi, Version::Pvme, nprocs, scale);
+        rows.push(HandOptRow {
+            app: AppId::Jacobi,
+            what: "SPF + data aggregation",
+            base: base.speedup_vs(seq),
+            opt: opt.speedup_vs(seq),
+            reference: pvme.speedup_vs(seq),
+            ref_name: "PVMe",
+        });
+    }
+    // Shallow: SPF + merged loops + aggregation, vs hand-coded Tmk
+    // (5.96/6.21).
+    {
+        let seq = run(AppId::Shallow, Version::Seq, 1, scale).time_us;
+        let base = run(AppId::Shallow, Version::Spf, nprocs, scale);
+        let opt = run(AppId::Shallow, Version::HandOpt, nprocs, scale);
+        let tmk = run(AppId::Shallow, Version::Tmk, nprocs, scale);
+        rows.push(HandOptRow {
+            app: AppId::Shallow,
+            what: "SPF + merged loops + aggregation",
+            base: base.speedup_vs(seq),
+            opt: opt.speedup_vs(seq),
+            reference: tmk.speedup_vs(seq),
+            ref_name: "Tmk",
+        });
+    }
+    // MGS: hand-coded Tmk + broadcast / merged sync+data (5.09 from 4.19).
+    {
+        let seq = run(AppId::Mgs, Version::Seq, 1, scale).time_us;
+        let base = run(AppId::Mgs, Version::Tmk, nprocs, scale);
+        let opt = run(AppId::Mgs, Version::HandOpt, nprocs, scale);
+        let pvme = run(AppId::Mgs, Version::Pvme, nprocs, scale);
+        rows.push(HandOptRow {
+            app: AppId::Mgs,
+            what: "Tmk + broadcast, merged sync+data",
+            base: base.speedup_vs(seq),
+            opt: opt.speedup_vs(seq),
+            reference: pvme.speedup_vs(seq),
+            ref_name: "PVMe",
+        });
+    }
+    // 3-D FFT: SPF + data aggregation, vs PVMe (5.05/5.12).
+    {
+        let seq = run(AppId::Fft3d, Version::Seq, 1, scale).time_us;
+        let base = run(AppId::Fft3d, Version::Spf, nprocs, scale);
+        let opt = run(AppId::Fft3d, Version::HandOpt, nprocs, scale);
+        let pvme = run(AppId::Fft3d, Version::Pvme, nprocs, scale);
+        rows.push(HandOptRow {
+            app: AppId::Fft3d,
+            what: "SPF + data aggregation",
+            base: base.speedup_vs(seq),
+            opt: opt.speedup_vs(seq),
+            reference: pvme.speedup_vs(seq),
+            ref_name: "PVMe",
+        });
+    }
+    rows
+}
+
+/// §2.3: the improved vs original compiler/run-time interface, measured
+/// on the SPF versions. Returns `(app, improved result, original result)`.
+pub fn interface_ablation(
+    nprocs: usize,
+    scale: f64,
+) -> Vec<(AppId, RunResult, RunResult)> {
+    [AppId::Jacobi, AppId::Fft3d]
+        .iter()
+        .map(|&app| {
+            let improved =
+                apps::runner::run_with_cfg(app, Version::Spf, nprocs, scale, TmkConfig::default());
+            let original = apps::runner::run_with_cfg(
+                app,
+                Version::Spf,
+                nprocs,
+                scale,
+                TmkConfig::legacy_forkjoin(),
+            );
+            (app, improved, original)
+        })
+        .collect()
+}
+
+/// A scaling-study row: speedups at each processor count.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Application.
+    pub app: AppId,
+    /// Version.
+    pub version: Version,
+    /// `(nprocs, speedup)` pairs.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Extension: 1..=`max_procs` scaling for every app and figure version.
+pub fn scaling(max_procs: usize, scale: f64, app_list: &[AppId]) -> Vec<ScaleRow> {
+    let mut seq_us: HashMap<&'static str, f64> = HashMap::new();
+    let mut rows = Vec::new();
+    for &app in app_list {
+        let seq = *seq_us
+            .entry(app.name())
+            .or_insert_with(|| run(app, Version::Seq, 1, scale).time_us);
+        for &v in &Version::FIGURE {
+            let mut points = Vec::new();
+            let mut np = 1;
+            while np <= max_procs {
+                let r = run(app, v, np, scale);
+                points.push((np, r.speedup_vs(seq)));
+                np *= 2;
+            }
+            rows.push(ScaleRow {
+                app,
+                version: v,
+                points,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.03;
+
+    #[test]
+    fn table1_covers_all_apps() {
+        let rows = table1(SCALE);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.secs > 0.0, "{:?} has positive sequential time", r.app);
+            assert!(!r.size.is_empty());
+        }
+    }
+
+    #[test]
+    fn speedup_row_accessors() {
+        let rows = figure2_table3(2, SCALE);
+        assert_eq!(rows.len(), 2);
+        let r = &rows[0];
+        assert_eq!(r.get(Version::Spf).version, Version::Spf);
+        assert!(r.speedup(0) > 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # harness — regenerates every table and figure of the paper
+//!
+//! | entry point | paper artifact |
+//! |---|---|
+//! | [`experiments::table1`] | Table 1: data-set sizes and sequential times |
+//! | [`experiments::figure1`] | Figure 1: 8-processor speedups, regular apps |
+//! | `table2` (binary) | Table 2: message/data totals, regular apps |
+//! | [`experiments::figure2_table3`] | Figure 2 + Table 3: irregular apps |
+//! | [`experiments::handopt`] | §5 "Results of Hand Optimizations" |
+//! | [`experiments::interface_ablation`] | §2.3 fork-join interface ablation |
+//! | [`experiments::scaling`] | 1..8-processor scaling study (extension) |
+//!
+//! Each function returns structured rows; the `report` module renders
+//! them as aligned text tables (and CSV) so the binaries under
+//! `src/bin/` print paper-shaped output. The full sweep is wired into
+//! `cargo run --release -p harness --bin all`.
+//!
+//! Problem scale: experiments accept a `scale` (1.0 = paper sizes).
+//! Because virtual time is simulated, speedups are deterministic; small
+//! scales run in seconds and preserve the paper's qualitative shape,
+//! while `scale = 1.0` reproduces the calibrated magnitudes.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    figure1, figure2_table3, handopt, interface_ablation, scaling, table1, HandOptRow, ScaleRow,
+    SeqRow, SpeedupRow,
+};
+pub use report::{render_table, Table};

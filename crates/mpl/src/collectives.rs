@@ -1,0 +1,375 @@
+//! Collective operations: binomial trees and pairwise exchanges.
+//!
+//! Message counts (for `n` processes):
+//!
+//! | collective        | messages            |
+//! |-------------------|---------------------|
+//! | `barrier`         | `2 (n - 1)` (gather-up + release-down tree) |
+//! | `bcast` (tree)    | `n - 1`             |
+//! | `bcast_flat`      | `n - 1`, serialized at the root (models the XHPF run-time's naive broadcast) |
+//! | `reduce`          | `n - 1`             |
+//! | `allreduce`       | `2 (n - 1)`         |
+//! | `gather`/`allgather` | `n - 1` / `2 (n - 1)` |
+//! | `alltoall`        | `n (n - 1)` pairwise |
+
+use sp2sim::{f64s_to_words, words_to_f64s, MsgKind};
+
+use crate::comm::{Comm, ReduceOp};
+
+impl<'a> Comm<'a> {
+    /// Tree barrier: gather to rank 0 up a binomial tree, release down it.
+    pub fn barrier(&self) {
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+        let n = self.size();
+        if n == 1 {
+            return;
+        }
+        // Gather phase: receive from each child, then report to the parent.
+        let mut mask = 1;
+        while mask < n {
+            if me & mask != 0 {
+                self.node.send(me & !mask, tag, MsgKind::Sync, Vec::new());
+                break;
+            }
+            let child = me | mask;
+            if child < n {
+                self.node.recv_from(child, tag);
+            }
+            mask <<= 1;
+        }
+        // Release phase: wait for the parent, then release our subtree.
+        // A node's children carry masks strictly below its lowest set bit.
+        let lsb = if me == 0 {
+            n.next_power_of_two()
+        } else {
+            me & me.wrapping_neg()
+        };
+        if me != 0 {
+            self.node.recv_from(me - lsb, tag + 1);
+        }
+        let mut m = lsb >> 1;
+        while m > 0 {
+            let child = me | m;
+            if child < n {
+                self.node.send(child, tag + 1, MsgKind::Sync, Vec::new());
+            }
+            m >>= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of raw words from `root`.
+    pub fn bcast(&self, root: usize, data: &mut Vec<u64>) {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        // Re-rank so the root is virtual rank 0.
+        let vrank = (self.rank() + n - root) % n;
+        let mut mask = 1;
+        // Find our parent (first set bit of vrank).
+        while mask < n {
+            if vrank & mask != 0 {
+                let vparent = vrank & !mask;
+                let parent = (vparent + root) % n;
+                *data = self.node.recv_from(parent, tag).payload;
+                break;
+            }
+            mask <<= 1;
+        }
+        if vrank == 0 {
+            mask = n.next_power_of_two();
+        }
+        // Forward to children (bits below our first set bit).
+        let mut child_mask = mask >> 1;
+        while child_mask > 0 {
+            let vchild = vrank | child_mask;
+            if vchild < n && vchild != vrank {
+                let child = (vchild + root) % n;
+                self.node.send(child, tag, MsgKind::Data, data.clone());
+            }
+            child_mask >>= 1;
+        }
+    }
+
+    /// Broadcast a slice of `f64`s from `root` (tree).
+    pub fn bcast_f64s(&self, root: usize, data: &mut Vec<f64>) {
+        let mut words = if self.rank() == root {
+            f64s_to_words(data)
+        } else {
+            Vec::new()
+        };
+        self.bcast(root, &mut words);
+        if self.rank() != root {
+            *data = words_to_f64s(&words);
+        }
+    }
+
+    /// Flat (serialized) broadcast: the root sends `n - 1` individual
+    /// messages back to back. This is how the mid-90s XHPF run-time
+    /// broadcast partitions; the serialization at the root is a real cost
+    /// the paper's XHPF numbers include.
+    pub fn bcast_flat_f64s(&self, root: usize, data: &mut Vec<f64>) {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let words = f64s_to_words(data);
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.node.send(dst, tag, MsgKind::Data, words.clone());
+                }
+            }
+        } else {
+            *data = words_to_f64s(&self.node.recv_from(root, tag).payload);
+        }
+    }
+
+    /// Binomial-tree reduction of `f64` vectors to `root`. Returns the
+    /// reduced vector on the root, `None` elsewhere.
+    pub fn reduce_f64s(&self, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let vrank = (self.rank() + n - root) % n;
+        let mut acc = data.to_vec();
+        let mut mask = 1;
+        while mask < n {
+            if vrank & mask != 0 {
+                let vparent = vrank & !mask;
+                let parent = (vparent + root) % n;
+                self.node
+                    .send(parent, tag, MsgKind::Data, f64s_to_words(&acc));
+                return None;
+            }
+            let vchild = vrank | mask;
+            if vchild < n {
+                let child = (vchild + root) % n;
+                let got = words_to_f64s(&self.node.recv_from(child, tag).payload);
+                op.fold(&mut acc, &got);
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Reduce to rank 0 then tree-broadcast the result: `2 (n - 1)`
+    /// messages total, the classic PVM-era all-reduce.
+    pub fn allreduce_f64s(&self, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+        let reduced = self.reduce_f64s(0, op, data);
+        let mut out = reduced.unwrap_or_default();
+        self.bcast_f64s(0, &mut out);
+        out
+    }
+
+    /// All-reduce with the `Sum` operator.
+    pub fn allreduce_sum_f64(&self, data: &[f64]) -> Vec<f64> {
+        self.allreduce_f64s(ReduceOp::Sum, data)
+    }
+
+    /// Reduce a single scalar to every rank.
+    pub fn allreduce_scalar(&self, op: ReduceOp, x: f64) -> f64 {
+        self.allreduce_f64s(op, &[x])[0]
+    }
+
+    /// Gather variable-length word vectors to `root` (flat, `n - 1`
+    /// messages). Returns `Some(vec indexed by rank)` at the root.
+    pub fn gather(&self, root: usize, data: &[u64]) -> Option<Vec<Vec<u64>>> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut out: Vec<Vec<u64>> = (0..self.size()).map(|_| Vec::new()).collect();
+            out[root] = data.to_vec();
+            for _ in 0..self.size() - 1 {
+                let p = self.node.recv_match(|p| p.tag == tag);
+                out[p.src] = p.payload;
+            }
+            Some(out)
+        } else {
+            self.node.send(root, tag, MsgKind::Data, data.to_vec());
+            None
+        }
+    }
+
+    /// Gather `f64` vectors to `root`.
+    pub fn gather_f64s(&self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        self.gather(root, &f64s_to_words(data))
+            .map(|vs| vs.iter().map(|v| words_to_f64s(v)).collect())
+    }
+
+    /// All-gather: gather to rank 0, then broadcast the concatenation.
+    pub fn allgather_f64s(&self, data: &[f64]) -> Vec<Vec<f64>> {
+        let gathered = self.gather(0, &f64s_to_words(data));
+        let mut flat: Vec<u64> = Vec::new();
+        let mut lens: Vec<u64> = Vec::new();
+        if let Some(vs) = gathered {
+            for v in &vs {
+                lens.push(v.len() as u64);
+                flat.extend_from_slice(v);
+            }
+        }
+        self.bcast(0, &mut lens);
+        self.bcast(0, &mut flat);
+        let mut out = Vec::with_capacity(self.size());
+        let mut off = 0usize;
+        for &l in &lens {
+            let l = l as usize;
+            out.push(words_to_f64s(&flat[off..off + l]));
+            off += l;
+        }
+        out
+    }
+
+    /// Pairwise all-to-all exchange: `bufs[r]` is sent to rank `r`; the
+    /// returned vector holds what each rank sent us. `n (n - 1)` messages
+    /// cluster-wide.
+    pub fn alltoall_f64s(&self, bufs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(bufs.len(), self.size());
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+        let n = self.size();
+        let mut out: Vec<Vec<f64>> = (0..n).map(|_| Vec::new()).collect();
+        out[me] = bufs[me].clone();
+        // Symmetric pairwise schedule: in round r exchange with me ^ r.
+        for r in 1..n.next_power_of_two() {
+            let peer = me ^ r;
+            if peer >= n {
+                continue;
+            }
+            self.node
+                .send(peer, tag, MsgKind::Data, f64s_to_words(&bufs[peer]));
+            let p = self.node.recv_from(peer, tag);
+            out[peer] = words_to_f64s(&p.payload);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2sim::{Cluster, ClusterConfig};
+
+    fn run<R: Send>(n: usize, f: impl Fn(&Comm) -> R + Sync) -> sp2sim::RunOutput<R> {
+        Cluster::run(ClusterConfig::sp2(n), move |node| f(&Comm::new(node)))
+    }
+
+    #[test]
+    fn barrier_message_count_is_2n_minus_2() {
+        for n in [2usize, 3, 4, 5, 8] {
+            let out = run(n, |c| c.barrier());
+            assert_eq!(
+                out.stats.total_messages(),
+                2 * (n as u64 - 1),
+                "barrier on {n} nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for n in [1usize, 2, 3, 5, 8] {
+            for root in 0..n {
+                let out = run(n, |c| {
+                    let mut v = if c.rank() == root { vec![7, 8, 9] } else { vec![] };
+                    c.bcast(root, &mut v);
+                    v
+                });
+                for r in out.results {
+                    assert_eq!(r, vec![7, 8, 9]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_message_count_is_n_minus_1() {
+        let out = run(8, |c| {
+            let mut v = if c.rank() == 0 { vec![1] } else { vec![] };
+            c.bcast(0, &mut v);
+        });
+        assert_eq!(out.stats.total_messages(), 7);
+    }
+
+    #[test]
+    fn flat_bcast_matches_tree_values() {
+        let out = run(6, |c| {
+            let mut v = if c.rank() == 2 { vec![3.5, -1.0] } else { vec![] };
+            c.bcast_flat_f64s(2, &mut v);
+            v
+        });
+        for r in out.results {
+            assert_eq!(r, vec![3.5, -1.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for n in [1usize, 2, 4, 7, 8] {
+            let out = run(n, |c| {
+                c.reduce_f64s(0, ReduceOp::Sum, &[c.rank() as f64, 1.0])
+            });
+            let expect: f64 = (0..n).map(|r| r as f64).sum();
+            assert_eq!(out.results[0].as_ref().unwrap()[0], expect);
+            assert_eq!(out.results[0].as_ref().unwrap()[1], n as f64);
+            for r in 1..n {
+                assert!(out.results[r].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = run(5, |c| {
+            let lo = c.allreduce_scalar(ReduceOp::Min, c.rank() as f64);
+            let hi = c.allreduce_scalar(ReduceOp::Max, c.rank() as f64);
+            (lo, hi)
+        });
+        for (lo, hi) in out.results {
+            assert_eq!(lo, 0.0);
+            assert_eq!(hi, 4.0);
+        }
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let out = run(4, |c| c.gather_f64s(2, &[c.rank() as f64 * 2.0]));
+        let at_root = out.results[2].as_ref().unwrap();
+        assert_eq!(at_root.len(), 4);
+        for r in 0..4 {
+            assert_eq!(at_root[r], vec![r as f64 * 2.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        let out = run(3, |c| c.allgather_f64s(&[c.rank() as f64; 2]));
+        for r in out.results {
+            assert_eq!(r[0], vec![0.0, 0.0]);
+            assert_eq!(r[1], vec![1.0, 1.0]);
+            assert_eq!(r[2], vec![2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let out = run(4, |c| {
+            let me = c.rank() as f64;
+            let bufs: Vec<Vec<f64>> = (0..4).map(|d| vec![me * 10.0 + d as f64]).collect();
+            c.alltoall_f64s(&bufs)
+        });
+        for (me, r) in out.results.iter().enumerate() {
+            for src in 0..4 {
+                assert_eq!(r[src], vec![src as f64 * 10.0 + me as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_forward() {
+        let out = Cluster::run(ClusterConfig::sp2(4), |node| {
+            let c = Comm::new(node);
+            node.advance(1000.0 * node.id() as f64);
+            c.barrier();
+            node.now().us()
+        });
+        // Everyone's clock is now at least the latest arrival (3000us).
+        for t in out.results {
+            assert!(t >= 3000.0);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The communicator: typed point-to-point operations.
+
+use std::cell::Cell;
+
+use sp2sim::{f64s_to_words, words_to_f64s, MsgKind, Node};
+
+/// Reduction operators over `f64` vectors (elementwise).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Combine `b` into `a`.
+    #[inline]
+    pub fn fold(self, a: &mut [f64], b: &[f64]) {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            ReduceOp::Sum => a.iter_mut().zip(b).for_each(|(x, y)| *x += y),
+            ReduceOp::Max => a.iter_mut().zip(b).for_each(|(x, y)| *x = x.max(*y)),
+            ReduceOp::Min => a.iter_mut().zip(b).for_each(|(x, y)| *x = x.min(*y)),
+        }
+    }
+}
+
+/// Tag space layout: user tags must stay below this; collectives use a
+/// per-operation sequence number above it so that back-to-back collectives
+/// never cross-match.
+pub(crate) const COLLECTIVE_TAG_BASE: u32 = 1 << 20;
+
+/// A communicator bound to one simulated node.
+///
+/// Point-to-point operations transfer `u64` words or `f64` slices; each
+/// call is one message on the simulated switch. Collectives live in
+/// [`crate::collectives`] and are exposed as inherent methods.
+pub struct Comm<'a> {
+    pub(crate) node: &'a Node,
+    pub(crate) coll_seq: Cell<u32>,
+}
+
+impl<'a> Comm<'a> {
+    /// Bind a communicator to a node.
+    pub fn new(node: &'a Node) -> Comm<'a> {
+        Comm {
+            node,
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// This process's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.node.id()
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.node.nprocs()
+    }
+
+    /// The underlying simulated node.
+    #[inline]
+    pub fn node(&self) -> &Node {
+        self.node
+    }
+
+    /// Send raw words to `dst` with a user `tag` (must be `< 2^20`).
+    pub fn send(&self, dst: usize, tag: u32, data: &[u64]) {
+        debug_assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^20");
+        self.node.send(dst, tag, MsgKind::Data, data.to_vec());
+    }
+
+    /// Receive raw words from `src` with `tag`.
+    pub fn recv(&self, src: usize, tag: u32) -> Vec<u64> {
+        self.node.recv_from(src, tag).payload
+    }
+
+    /// Send a slice of `f64`s.
+    pub fn send_f64s(&self, dst: usize, tag: u32, data: &[f64]) {
+        debug_assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^20");
+        self.node.send(dst, tag, MsgKind::Data, f64s_to_words(data));
+    }
+
+    /// Receive a slice of `f64`s.
+    pub fn recv_f64s(&self, src: usize, tag: u32) -> Vec<f64> {
+        words_to_f64s(&self.node.recv_from(src, tag).payload)
+    }
+
+    /// Combined send+receive (both directions in flight at once), the
+    /// natural idiom for boundary exchange in the hand-coded programs.
+    pub fn sendrecv_f64s(
+        &self,
+        dst: usize,
+        send_tag: u32,
+        data: &[f64],
+        src: usize,
+        recv_tag: u32,
+    ) -> Vec<f64> {
+        self.send_f64s(dst, send_tag, data);
+        self.recv_f64s(src, recv_tag)
+    }
+
+    /// A zero-payload synchronization message (PVMe programs signal with
+    /// empty messages when they need pure synchronization).
+    pub fn send_signal(&self, dst: usize, tag: u32) {
+        debug_assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^20");
+        self.node.send(dst, tag, MsgKind::Sync, Vec::new());
+    }
+
+    /// Receive a zero-payload synchronization message.
+    pub fn recv_signal(&self, src: usize, tag: u32) {
+        let p = self.node.recv_from(src, tag);
+        debug_assert!(p.payload.is_empty());
+    }
+
+    /// Allocate a fresh tag block for one collective operation.
+    pub(crate) fn next_coll_tag(&self) -> u32 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s.wrapping_add(1));
+        COLLECTIVE_TAG_BASE + (s % 0xFFFF) * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2sim::{Cluster, ClusterConfig};
+
+    #[test]
+    fn p2p_roundtrip() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let comm = Comm::new(node);
+            if comm.rank() == 0 {
+                comm.send_f64s(1, 5, &[1.5, 2.5]);
+                comm.recv_f64s(1, 6)
+            } else {
+                let v = comm.recv_f64s(0, 5);
+                comm.send_f64s(0, 6, &[v[0] + v[1]]);
+                v
+            }
+        });
+        assert_eq!(out.results[0], vec![4.0]);
+        assert_eq!(out.results[1], vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_boundaries() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let comm = Comm::new(node);
+            let me = comm.rank();
+            let other = 1 - me;
+            comm.sendrecv_f64s(other, 1, &[me as f64], other, 1)
+        });
+        assert_eq!(out.results[0], vec![1.0]);
+        assert_eq!(out.results[1], vec![0.0]);
+    }
+
+    #[test]
+    fn signals_have_no_payload_bytes() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let comm = Comm::new(node);
+            if comm.rank() == 0 {
+                comm.send_signal(1, 9);
+            } else {
+                comm.recv_signal(0, 9);
+            }
+        });
+        assert_eq!(out.stats.total_messages(), 1);
+        assert_eq!(out.stats.total_bytes(), 0);
+    }
+
+    #[test]
+    fn reduce_op_folds() {
+        let mut a = vec![1.0, 5.0, -2.0];
+        ReduceOp::Sum.fold(&mut a, &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![2.0, 6.0, -1.0]);
+        ReduceOp::Max.fold(&mut a, &[0.0, 10.0, 0.0]);
+        assert_eq!(a, vec![2.0, 10.0, 0.0]);
+        ReduceOp::Min.fold(&mut a, &[-7.0, 20.0, 0.5]);
+        assert_eq!(a, vec![-7.0, 10.0, 0.0]);
+    }
+}

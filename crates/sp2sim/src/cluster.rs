@@ -1,0 +1,181 @@
+//! Cluster construction and execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use crate::cost::CostModel;
+use crate::node::{Endpoint, Fabric, Node};
+use crate::stats::StatsSnapshot;
+use crate::time::VTime;
+
+/// Configuration of a simulated cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes (the paper uses 8).
+    pub nprocs: usize,
+    /// Communication/protocol cost model.
+    pub cost: CostModel,
+}
+
+impl ClusterConfig {
+    /// The paper's default platform: `n` nodes of an IBM SP/2.
+    pub fn sp2(nprocs: usize) -> ClusterConfig {
+        ClusterConfig {
+            nprocs,
+            cost: CostModel::sp2(),
+        }
+    }
+}
+
+/// Result of a cluster run.
+pub struct RunOutput<R> {
+    /// Per-node return values, indexed by node id.
+    pub results: Vec<R>,
+    /// Simulated elapsed time: the maximum over nodes of their final
+    /// virtual clocks.
+    pub elapsed: VTime,
+    /// Final network statistics.
+    pub stats: StatsSnapshot,
+}
+
+/// The simulated machine. See the crate docs for the model.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `f` on every node of a fresh cluster and collect the results.
+    ///
+    /// `f` is invoked once per node, each on its own OS thread, with a
+    /// [`Node`] handle. Panics in any node propagate to the caller.
+    pub fn run<R, F>(cfg: ClusterConfig, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&Node) -> R + Sync,
+    {
+        let n = cfg.nprocs;
+        assert!(n >= 1, "cluster needs at least one node");
+
+        let mut app_tx = Vec::with_capacity(n);
+        let mut app_rx = Vec::with_capacity(n);
+        let mut srv_tx = Vec::with_capacity(n);
+        let mut srv_rx = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (t, r) = unbounded();
+            app_tx.push(t);
+            app_rx.push(r);
+            let (t, r) = unbounded();
+            srv_tx.push(t);
+            srv_rx.push(r);
+        }
+
+        let fabric = Arc::new(Fabric {
+            app_tx,
+            srv_tx,
+            cost: Arc::new(cfg.cost),
+            stats: Arc::new(crate::stats::NetStats::new()),
+            finals: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            rendezvous: std::sync::Barrier::new(n),
+        });
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        {
+            let slots: Vec<_> = results.iter_mut().collect();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                let mut rx_iter = app_rx.into_iter().zip(srv_rx);
+                for (id, slot) in slots.into_iter().enumerate() {
+                    let (arx, srx) = rx_iter.next().expect("one rx pair per node");
+                    let fabric = Arc::clone(&fabric);
+                    let fref = &f;
+                    handles.push(scope.spawn(move || {
+                        let app_ep = Endpoint::new(id, n, arx, Arc::clone(&fabric));
+                        let srv_ep = Endpoint::new(id, n, srx, Arc::clone(&fabric));
+                        let node = Node::new(app_ep, srv_ep, Arc::clone(&fabric));
+                        let r = fref(&node);
+                        node.endpoint().record_final_clock();
+                        *slot = Some(r);
+                    }));
+                }
+                for h in handles {
+                    if let Err(e) = h.join() {
+                        std::panic::resume_unwind(e);
+                    }
+                }
+            });
+        }
+
+        let elapsed = fabric
+            .finals
+            .iter()
+            .map(|a| VTime::from_bits(a.load(Ordering::SeqCst)))
+            .fold(VTime::ZERO, VTime::max);
+        let stats = fabric.stats.snapshot();
+        RunOutput {
+            results: results.into_iter().map(|r| r.expect("node ran")).collect(),
+            elapsed,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MsgKind;
+
+    #[test]
+    fn elapsed_is_max_over_nodes() {
+        let out = Cluster::run(ClusterConfig::sp2(4), |node| {
+            node.advance(100.0 * (node.id() + 1) as f64);
+        });
+        assert!((out.elapsed.us() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn results_are_ordered_by_node_id() {
+        let out = Cluster::run(ClusterConfig::sp2(5), |node| node.id() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_node_cluster_works() {
+        let out = Cluster::run(ClusterConfig::sp2(1), |node| {
+            node.advance(5.0);
+            node.id()
+        });
+        assert_eq!(out.results, vec![0]);
+        assert!((out.elapsed.us() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_count_cross_node_traffic() {
+        let out = Cluster::run(ClusterConfig::sp2(3), |node| {
+            if node.id() > 0 {
+                node.send(0, 1, MsgKind::Data, vec![0; 16]);
+            } else {
+                for _ in 1..3 {
+                    node.recv_match(|p| p.tag == 1);
+                }
+            }
+        });
+        assert_eq!(out.stats.total_messages(), 2);
+        assert_eq!(out.stats.total_bytes(), 2 * 16 * 8);
+    }
+
+    #[test]
+    fn rendezvous_synchronizes_all_threads() {
+        let out = Cluster::run(ClusterConfig::sp2(4), |node| {
+            node.rendezvous();
+            node.rendezvous();
+            1
+        });
+        assert_eq!(out.results.iter().sum::<i32>(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Cluster::run(ClusterConfig::sp2(0), |_| ());
+    }
+}

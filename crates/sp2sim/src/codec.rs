@@ -1,0 +1,161 @@
+//! Word-level encoding helpers for protocol messages.
+//!
+//! Every payload in the simulator is a `Vec<u64>`. Protocol layers encode
+//! structured messages with [`WordWriter`]/[`WordReader`]; numeric data
+//! moves through the bit-exact `f64 <-> u64` conversions below (free at
+//! runtime, and fully safe Rust).
+
+/// Convert a slice of `f64` to their bit patterns.
+pub fn f64s_to_words(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Convert bit patterns back to `f64`s.
+pub fn words_to_f64s(ws: &[u64]) -> Vec<f64> {
+    ws.iter().map(|&w| f64::from_bits(w)).collect()
+}
+
+/// Append-only writer of word-encoded messages.
+#[derive(Default)]
+pub struct WordWriter {
+    buf: Vec<u64>,
+}
+
+impl WordWriter {
+    /// Fresh empty writer.
+    pub fn new() -> WordWriter {
+        WordWriter::default()
+    }
+
+    /// Writer with pre-reserved capacity (in words).
+    pub fn with_capacity(words: usize) -> WordWriter {
+        WordWriter {
+            buf: Vec::with_capacity(words),
+        }
+    }
+
+    /// Append a raw word.
+    #[inline]
+    pub fn put(&mut self, w: u64) -> &mut Self {
+        self.buf.push(w);
+        self
+    }
+
+    /// Append a `usize`.
+    #[inline]
+    pub fn put_usize(&mut self, x: usize) -> &mut Self {
+        self.put(x as u64)
+    }
+
+    /// Append an `f64` bit pattern.
+    #[inline]
+    pub fn put_f64(&mut self, x: f64) -> &mut Self {
+        self.put(x.to_bits())
+    }
+
+    /// Append a length-prefixed word slice.
+    pub fn put_words(&mut self, ws: &[u64]) -> &mut Self {
+        self.put_usize(ws.len());
+        self.buf.extend_from_slice(ws);
+        self
+    }
+
+    /// Number of words written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and take the payload.
+    pub fn finish(self) -> Vec<u64> {
+        self.buf
+    }
+}
+
+/// Sequential reader over a word-encoded message.
+pub struct WordReader<'a> {
+    buf: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u64]) -> WordReader<'a> {
+        WordReader { buf, pos: 0 }
+    }
+
+    /// Next raw word. Panics if the message is exhausted (protocol bug).
+    #[inline]
+    pub fn get(&mut self) -> u64 {
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    /// Next word as `usize`.
+    #[inline]
+    pub fn get_usize(&mut self) -> usize {
+        self.get() as usize
+    }
+
+    /// Next word as `f64`.
+    #[inline]
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get())
+    }
+
+    /// Next length-prefixed word slice (borrowed, zero-copy).
+    pub fn get_words(&mut self) -> &'a [u64] {
+        let n = self.get_usize();
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Words remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the whole message has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let xs = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.25];
+        assert_eq!(words_to_f64s(&f64s_to_words(&xs)), xs);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = WordWriter::new();
+        w.put(7).put_usize(42).put_f64(2.5).put_words(&[9, 8, 7]);
+        let buf = w.finish();
+        let mut r = WordReader::new(&buf);
+        assert_eq!(r.get(), 7);
+        assert_eq!(r.get_usize(), 42);
+        assert_eq!(r.get_f64(), 2.5);
+        assert_eq!(r.get_words(), &[9, 8, 7]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic]
+    fn overread_panics() {
+        let buf = vec![1u64];
+        let mut r = WordReader::new(&buf);
+        r.get();
+        r.get();
+    }
+}

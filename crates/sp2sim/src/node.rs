@@ -1,0 +1,397 @@
+//! Node endpoints: per-thread handles for sending/receiving packets and
+//! advancing virtual time.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::cost::CostModel;
+use crate::packet::{Packet, Port};
+use crate::stats::{MsgKind, NetStats};
+use crate::time::VTime;
+
+pub(crate) struct Fabric {
+    pub(crate) app_tx: Vec<Sender<Packet>>,
+    pub(crate) srv_tx: Vec<Sender<Packet>>,
+    pub(crate) cost: Arc<CostModel>,
+    pub(crate) stats: Arc<NetStats>,
+    pub(crate) finals: Vec<std::sync::atomic::AtomicU64>,
+    pub(crate) rendezvous: std::sync::Barrier,
+}
+
+/// One side of the simulated network attached to a node: either the
+/// application port or the service port. An endpoint owns a private virtual
+/// clock; sends stamp arrival times from it and receives advance it.
+pub struct Endpoint {
+    id: usize,
+    n: usize,
+    clock: Cell<f64>,
+    rx: Receiver<Packet>,
+    pending: RefCell<VecDeque<Packet>>,
+    fabric: Arc<Fabric>,
+}
+
+impl Endpoint {
+    pub(crate) fn new(id: usize, n: usize, rx: Receiver<Packet>, fabric: Arc<Fabric>) -> Endpoint {
+        Endpoint {
+            id,
+            n,
+            clock: Cell::new(0.0),
+            rx,
+            pending: RefCell::new(VecDeque::new()),
+            fabric,
+        }
+    }
+
+    /// This node's id in `0..nprocs`.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of nodes in the cluster.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time of this endpoint.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        VTime(self.clock.get())
+    }
+
+    /// Advance the clock by `us` microseconds of local computation.
+    #[inline]
+    pub fn advance(&self, us: f64) {
+        debug_assert!(us >= 0.0);
+        self.clock.set(self.clock.get() + us);
+    }
+
+    /// Move the clock forward to `t` if `t` is later.
+    #[inline]
+    pub fn advance_to(&self, t: VTime) {
+        if t.0 > self.clock.get() {
+            self.clock.set(t.0);
+        }
+    }
+
+    /// The cluster cost model.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        &self.fabric.cost
+    }
+
+    /// The cluster-wide statistics.
+    #[inline]
+    pub fn stats(&self) -> &NetStats {
+        &self.fabric.stats
+    }
+
+    /// Send a packet to `dst`'s `port`, stamping the arrival time from this
+    /// endpoint's clock. The sender's clock advances by the message
+    /// occupancy (fixed overhead plus per-byte serialization through the
+    /// node's network interface), so back-to-back sends serialize.
+    /// Messages a node sends to itself are local upcalls: free and not
+    /// counted.
+    pub fn send_to_port(&self, dst: usize, port: Port, tag: u32, kind: MsgKind, payload: Vec<u64>) {
+        let arrival = if dst == self.id {
+            self.now()
+        } else {
+            let bytes = payload.len() * 8;
+            self.fabric.stats.record(kind, bytes);
+            self.advance(self.fabric.cost.occupancy_us(bytes));
+            self.now() + self.fabric.cost.latency_us
+        };
+        self.deliver(dst, port, tag, kind, payload, arrival);
+    }
+
+    /// Send with an explicit time base. Used by service threads: the
+    /// response becomes ready at `at` (request arrival plus service cost)
+    /// and is then serialized through this endpoint's link — the
+    /// endpoint's clock acts as the link clock, so concurrent responses
+    /// from one node queue behind each other, but an idle link resets to
+    /// the ready time.
+    pub fn send_at(
+        &self,
+        dst: usize,
+        port: Port,
+        tag: u32,
+        kind: MsgKind,
+        payload: Vec<u64>,
+        at: VTime,
+    ) {
+        let arrival = if dst == self.id {
+            at
+        } else {
+            let bytes = payload.len() * 8;
+            self.fabric.stats.record(kind, bytes);
+            let t0 = at.max(self.now());
+            let done = t0 + self.fabric.cost.occupancy_us(bytes);
+            self.clock.set(done.us());
+            done + self.fabric.cost.latency_us
+        };
+        self.deliver(dst, port, tag, kind, payload, arrival);
+    }
+
+    fn deliver(
+        &self,
+        dst: usize,
+        port: Port,
+        tag: u32,
+        kind: MsgKind,
+        payload: Vec<u64>,
+        arrival: VTime,
+    ) {
+        let pkt = Packet {
+            src: self.id,
+            tag,
+            kind,
+            arrival,
+            payload,
+        };
+        let txs = match port {
+            Port::App => &self.fabric.app_tx,
+            Port::Service => &self.fabric.srv_tx,
+        };
+        // A send can only fail after the destination thread has exited,
+        // which happens during teardown; dropping the packet is then
+        // harmless.
+        let _ = txs[dst].send(pkt);
+    }
+
+    /// Shorthand for [`Endpoint::send_to_port`] to the application port.
+    pub fn send(&self, dst: usize, tag: u32, kind: MsgKind, payload: Vec<u64>) {
+        self.send_to_port(dst, Port::App, tag, kind, payload);
+    }
+
+    /// Blocking receive of the first packet matching `pred` (in arrival
+    /// order at this endpoint). Non-matching packets are buffered and
+    /// returned to later receives. Consuming a packet charges the receive
+    /// overhead and moves the clock to at least the packet's arrival time.
+    pub fn recv_match(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
+        let pkt = self.wait_match(pred);
+        self.advance_to(pkt.arrival);
+        self.advance(self.fabric.cost.recv_overhead_us);
+        pkt
+    }
+
+    /// Like [`Endpoint::recv_match`] but without any clock accounting.
+    /// Service threads use this: their time base is per-request.
+    pub fn recv_match_raw(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
+        self.wait_match(pred)
+    }
+
+    /// Receive any next packet without clock accounting, or `None` when the
+    /// cluster is tearing down (all senders dropped).
+    pub fn recv_any_raw(&self) -> Option<Packet> {
+        if let Some(p) = self.pending.borrow_mut().pop_front() {
+            return Some(p);
+        }
+        self.rx.recv().ok()
+    }
+
+    fn wait_match(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(i) = pending.iter().position(&pred) {
+                return pending.remove(i).expect("index valid");
+            }
+        }
+        loop {
+            let pkt = self
+                .rx
+                .recv()
+                .expect("cluster torn down while a receive was outstanding");
+            if pred(&pkt) {
+                return pkt;
+            }
+            self.pending.borrow_mut().push_back(pkt);
+        }
+    }
+
+    /// Receive the next packet with `tag` from `src`.
+    pub fn recv_from(&self, src: usize, tag: u32) -> Packet {
+        self.recv_match(|p| p.src == src && p.tag == tag)
+    }
+
+    /// Receive the next packet with `tag` from anyone.
+    pub fn recv_tag(&self, tag: u32) -> Packet {
+        self.recv_match(|p| p.tag == tag)
+    }
+
+    pub(crate) fn record_final_clock(&self) {
+        self.fabric.finals[self.id].store(self.now().to_bits(), Ordering::SeqCst);
+    }
+}
+
+/// The handle given to each simulated node's application closure.
+///
+/// A `Node` bundles the application-port [`Endpoint`] with the node's
+/// service-port endpoint (claimed by the DSM layer via
+/// [`Node::take_service_endpoint`]) and a wall-clock rendezvous used only
+/// by the measurement harness.
+pub struct Node {
+    ep: Endpoint,
+    service: RefCell<Option<Endpoint>>,
+    fabric: Arc<Fabric>,
+}
+
+impl Node {
+    pub(crate) fn new(ep: Endpoint, service: Endpoint, fabric: Arc<Fabric>) -> Node {
+        Node {
+            ep,
+            service: RefCell::new(Some(service)),
+            fabric,
+        }
+    }
+
+    /// This node's id in `0..nprocs`.
+    pub fn id(&self) -> usize {
+        self.ep.id()
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nprocs(&self) -> usize {
+        self.ep.nprocs()
+    }
+
+    /// The application endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// Claim the service-port endpoint (once). The DSM layer hands it to
+    /// its service thread; message-passing programs never touch it.
+    pub fn take_service_endpoint(&self) -> Endpoint {
+        self.service
+            .borrow_mut()
+            .take()
+            .expect("service endpoint already taken")
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.ep.now()
+    }
+
+    /// Charge `us` microseconds of computation.
+    pub fn advance(&self, us: f64) {
+        self.ep.advance(us)
+    }
+
+    /// The cluster cost model.
+    pub fn cost(&self) -> &CostModel {
+        self.ep.cost()
+    }
+
+    /// The cluster-wide statistics.
+    pub fn stats(&self) -> &NetStats {
+        self.ep.stats()
+    }
+
+    /// Send to `dst`'s application port.
+    pub fn send(&self, dst: usize, tag: u32, kind: MsgKind, payload: Vec<u64>) {
+        self.ep.send(dst, tag, kind, payload)
+    }
+
+    /// Blocking receive matching `pred`; see [`Endpoint::recv_match`].
+    pub fn recv_match(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
+        self.ep.recv_match(pred)
+    }
+
+    /// Receive the next packet with `tag` from `src`.
+    pub fn recv_from(&self, src: usize, tag: u32) -> Packet {
+        self.ep.recv_from(src, tag)
+    }
+
+    /// Wall-clock rendezvous of **all** node threads. This is measurement
+    /// infrastructure (not part of the simulated machine): the harness uses
+    /// it to take consistent statistics snapshots at the boundaries of the
+    /// timed region, mirroring the paper's exclusion of startup iterations.
+    pub fn rendezvous(&self) {
+        self.fabric.rendezvous.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+
+    fn cfg(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            nprocs: n,
+            cost: CostModel::sp2(),
+        }
+    }
+
+    #[test]
+    fn send_advances_sender_clock() {
+        let out = Cluster::run(cfg(2), |node| {
+            if node.id() == 0 {
+                node.send(1, 1, MsgKind::Data, vec![42]);
+                node.now().us()
+            } else {
+                let p = node.recv_from(0, 1);
+                assert_eq!(p.payload, vec![42]);
+                node.now().us()
+            }
+        });
+        let c = CostModel::sp2();
+        assert!((out.results[0] - c.occupancy_us(8)).abs() < 1e-9);
+        // Receiver: arrival (occupancy + latency) + recv overhead.
+        let expect = c.occupancy_us(8) + c.latency_us + c.recv_overhead_us;
+        assert!((out.results[1] - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_send_is_free_and_uncounted() {
+        let out = Cluster::run(cfg(1), |node| {
+            node.send(0, 3, MsgKind::Data, vec![1, 2]);
+            let p = node.recv_from(0, 3);
+            assert_eq!(p.payload, vec![1, 2]);
+            node.now().us()
+        });
+        // Receive overhead is still charged, but no send/transit cost.
+        assert!((out.results[0] - CostModel::sp2().recv_overhead_us).abs() < 1e-9);
+        assert_eq!(out.stats.total_messages(), 0);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = Cluster::run(cfg(2), |node| {
+            if node.id() == 0 {
+                node.send(1, 10, MsgKind::Data, vec![10]);
+                node.send(1, 20, MsgKind::Data, vec![20]);
+                0
+            } else {
+                // Receive tag 20 first even though tag 10 arrives first.
+                let b = node.recv_from(0, 20).payload[0];
+                let a = node.recv_from(0, 10).payload[0];
+                (b * 100 + a) as i64
+            }
+        });
+        assert_eq!(out.results[1], 2010);
+    }
+
+    #[test]
+    fn clock_never_goes_backwards_on_recv() {
+        let out = Cluster::run(cfg(2), |node| {
+            if node.id() == 0 {
+                node.send(1, 1, MsgKind::Data, vec![1]);
+                0.0
+            } else {
+                node.advance(1_000_000.0); // receiver far ahead
+                let before = node.now().us();
+                node.recv_from(0, 1);
+                node.now().us() - before
+            }
+        });
+        // Only the receive overhead is charged; arrival is in the past.
+        assert!((out.results[1] - CostModel::sp2().recv_overhead_us).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,499 @@
+//! # spf — the Forge SPF compiler model
+//!
+//! APR's Forge SPF is a parallelizing Fortran compiler for shared-memory
+//! machines: it takes a Fortran 77 program annotated with loop
+//! parallelization directives and emits code in which each parallel DO
+//! loop is encapsulated in a subroutine and dispatched to a fork-join
+//! run-time system. This crate reimplements that run-time system on top of
+//! the [`treadmarks`] DSM and fixes the *code shape* the compiler
+//! produces, so that the applications' "SPF versions" in the `apps` crate
+//! are mechanical transliterations of compiler output:
+//!
+//! * a single **master** executes all sequential code; **workers** wait in
+//!   a dispatch loop for parallel work;
+//! * every parallel loop is bracketed by synchronization (the fork
+//!   departure and the join arrival) whether it needs it or not;
+//! * every scalar or array referenced inside a parallel loop is allocated
+//!   in **shared memory**, padded to page boundaries — including scratch
+//!   arrays a hand coder would keep private;
+//! * loop iterations are distributed with a simple **block** or **cyclic**
+//!   schedule;
+//! * scalar reductions allocate the reduction variable in shared memory:
+//!   each processor accumulates into a private copy, then acquires a lock
+//!   and folds its copy into the shared variable.
+//!
+//! Two fork-join transports are provided, selected by
+//! [`treadmarks::TmkConfig::improved_forkjoin`]:
+//!
+//! * **improved interface** (paper §2.3): the barrier departure carries
+//!   the loop-control variables — `2 (n - 1)` messages per loop;
+//! * **original interface**: the master writes the control variables into
+//!   two shared pages and releases the workers through a full barrier;
+//!   workers fault the control pages in — `8 (n - 1)` messages per loop.
+//!
+//! ## Example
+//!
+//! ```
+//! use sp2sim::{Cluster, ClusterConfig};
+//! use treadmarks::{Tmk, TmkConfig};
+//! use spf::{LoopCtl, Schedule, Spf};
+//!
+//! let out = Cluster::run(ClusterConfig::sp2(4), |node| {
+//!     let tmk = Tmk::new(node, TmkConfig::default());
+//!     let spf = Spf::new(&tmk);
+//!     let a = tmk.malloc_f64(1000);
+//!     // "Compiled" loop body: a(i) = i, distributed in blocks.
+//!     let body = spf.register({
+//!         let tmk = &tmk;
+//!         move |ctl: &LoopCtl| {
+//!             let r = ctl.my_block(tmk.proc_id(), tmk.nprocs());
+//!             if !r.is_empty() {
+//!                 let mut w = tmk.write(a, r.clone());
+//!                 for i in r {
+//!                     w[i] = i as f64;
+//!                 }
+//!             }
+//!         }
+//!     });
+//!     let sum = spf.run(|m| {
+//!         m.par_loop(body, 0..1000, Schedule::Block, &[]);
+//!         // Sequential code on the master.
+//!         let r = m.tmk().read(a, 0..1000);
+//!         r.slice().iter().sum::<f64>()
+//!     });
+//!     tmk.finish();
+//!     sum
+//! });
+//! assert_eq!(out.results[0], Some((0..1000).sum::<usize>() as f64));
+//! ```
+
+use std::cell::RefCell;
+use std::ops::Range;
+
+use treadmarks::{SharedArray, Tmk};
+
+/// Loop iteration scheduling, as selected by the SPF directives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Schedule {
+    /// Contiguous blocks of iterations per processor.
+    Block,
+    /// Iteration `i` goes to processor `i mod n`.
+    Cyclic,
+}
+
+/// The control variables of one dispatched parallel loop: which
+/// encapsulated subroutine to run, over which iteration space, with which
+/// schedule and arguments. Under the improved interface these words travel
+/// inside the fork departure; under the original interface they are read
+/// from shared memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopCtl {
+    /// Registered loop (subroutine) id.
+    pub id: usize,
+    /// Global iteration space.
+    pub range: Range<usize>,
+    /// Iteration schedule.
+    pub sched: Schedule,
+    /// Extra arguments to the loop subroutine.
+    pub args: Vec<u64>,
+}
+
+impl LoopCtl {
+    /// This processor's contiguous block of the iteration space
+    /// (empty for processors beyond the remainder).
+    pub fn my_block(&self, me: usize, n: usize) -> Range<usize> {
+        block_range(me, n, self.range.clone())
+    }
+
+    /// Iterator over this processor's iterations under the schedule.
+    ///
+    /// Cyclic assignment is by iteration *value* (`i mod n == me`), not by
+    /// position within the range: when the same loop is dispatched with a
+    /// shrinking lower bound (MGS's `DO J = I+1, N`), each iteration stays
+    /// on the same processor across dispatches, preserving locality — the
+    /// behaviour of the original compiler's run-time.
+    pub fn my_iters(&self, me: usize, n: usize) -> Box<dyn Iterator<Item = usize>> {
+        match self.sched {
+            Schedule::Block => Box::new(self.my_block(me, n)),
+            Schedule::Cyclic => {
+                let r = self.range.clone();
+                Box::new(r.filter(move |i| i % n == me))
+            }
+        }
+    }
+}
+
+/// Contiguous block decomposition of `range` for processor `me` of `n`:
+/// the first `len % n` processors get one extra iteration.
+pub fn block_range(me: usize, n: usize, range: Range<usize>) -> Range<usize> {
+    let len = range.end - range.start;
+    let base = len / n;
+    let extra = len % n;
+    let lo = range.start + me * base + me.min(extra);
+    let hi = lo + base + usize::from(me < extra);
+    lo..hi.min(range.end)
+}
+
+fn encode_ctl(ctl: &LoopCtl) -> Vec<u64> {
+    let mut v = Vec::with_capacity(4 + ctl.args.len());
+    v.push(ctl.id as u64);
+    v.push(ctl.range.start as u64);
+    v.push(ctl.range.end as u64);
+    v.push(match ctl.sched {
+        Schedule::Block => 0,
+        Schedule::Cyclic => 1,
+    });
+    v.extend_from_slice(&ctl.args);
+    v
+}
+
+fn decode_ctl(words: &[u64]) -> LoopCtl {
+    LoopCtl {
+        id: words[0] as usize,
+        range: words[1] as usize..words[2] as usize,
+        sched: if words[3] == 0 {
+            Schedule::Block
+        } else {
+            Schedule::Cyclic
+        },
+        args: words[4..].to_vec(),
+    }
+}
+
+type LoopBody<'t> = Box<dyn Fn(&LoopCtl) + 't>;
+
+/// The SPF run-time system bound to one node's DSM instance.
+pub struct Spf<'t, 'n> {
+    tmk: &'t Tmk<'n>,
+    loops: RefCell<Vec<LoopBody<'t>>>,
+    // Original-interface control locations: the loop-index word and the
+    // argument words live on separate shared pages, as the paper
+    // describes — two faults per worker per loop.
+    ctl_idx: SharedArray,
+    ctl_args: SharedArray,
+}
+
+impl<'t, 'n> Spf<'t, 'n> {
+    /// Build the run-time. All nodes must construct it identically
+    /// (registration order defines subroutine ids).
+    pub fn new(tmk: &'t Tmk<'n>) -> Spf<'t, 'n> {
+        let ctl_idx = tmk.malloc_f64(4);
+        let ctl_args = tmk.malloc_f64(64);
+        Spf {
+            tmk,
+            loops: RefCell::new(Vec::new()),
+            ctl_idx,
+            ctl_args,
+        }
+    }
+
+    /// The DSM instance.
+    pub fn tmk(&self) -> &'t Tmk<'n> {
+        self.tmk
+    }
+
+    /// Register the subroutine a parallel loop was encapsulated into.
+    /// Must be called in the same order on every node.
+    pub fn register(&self, body: impl Fn(&LoopCtl) + 't) -> usize {
+        let mut loops = self.loops.borrow_mut();
+        loops.push(Box::new(body));
+        loops.len() - 1
+    }
+
+    /// Enter the fork-join execution model: the master (processor 0) runs
+    /// `master_fn` and returns `Some` of its result; workers dispatch
+    /// loops until shutdown and return `None`.
+    pub fn run<R>(&self, master_fn: impl FnOnce(&Master<'_, 't, 'n>) -> R) -> Option<R> {
+        if self.tmk.proc_id() == 0 {
+            let m = Master { spf: self };
+            let r = master_fn(&m);
+            self.shutdown();
+            Some(r)
+        } else {
+            self.worker_loop();
+            None
+        }
+    }
+
+    fn improved(&self) -> bool {
+        self.tmk.config().improved_forkjoin
+    }
+
+    fn execute(&self, ctl: &LoopCtl) {
+        let loops = self.loops.borrow();
+        (loops[ctl.id])(ctl);
+    }
+
+    fn worker_loop(&self) {
+        if self.improved() {
+            while let Some(words) = self.tmk.worker_wait() {
+                self.execute(&decode_ctl(&words));
+            }
+        } else {
+            loop {
+                // Original interface: wake at a barrier, then fault the
+                // two control pages in (2 page faults, 4 messages).
+                self.tmk.barrier(0);
+                let idx = self.tmk.read_one(self.ctl_idx, 0);
+                if idx < 0.0 {
+                    break;
+                }
+                let args = self.tmk.read(self.ctl_args, 0..64);
+                let nargs = args.slice()[0] as usize;
+                let mut words = Vec::with_capacity(4 + nargs);
+                words.push(idx as u64);
+                for k in 0..3 + nargs {
+                    words.push(args.slice()[1 + k] as u64);
+                }
+                self.execute(&decode_ctl(&words));
+                self.tmk.barrier(1);
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.improved() {
+            self.tmk.shutdown_workers();
+        } else {
+            self.tmk.write_one(self.ctl_idx, 0, -1.0);
+            self.tmk.barrier(0);
+        }
+    }
+}
+
+/// Master-side handle: dispatches parallel loops and runs sequential code.
+pub struct Master<'s, 't, 'n> {
+    spf: &'s Spf<'t, 'n>,
+}
+
+impl<'s, 't, 'n> Master<'s, 't, 'n> {
+    /// The DSM instance (for sequential code on the master).
+    pub fn tmk(&self) -> &'t Tmk<'n> {
+        self.spf.tmk
+    }
+
+    /// The run-time.
+    pub fn spf(&self) -> &'s Spf<'t, 'n> {
+        self.spf
+    }
+
+    /// Dispatch one parallel loop, participate in its execution, then
+    /// wait for all workers (fork ... join). This is what SPF emits for
+    /// every parallelized DO loop.
+    pub fn par_loop(&self, id: usize, range: Range<usize>, sched: Schedule, args: &[u64]) {
+        let ctl = LoopCtl {
+            id,
+            range,
+            sched,
+            args: args.to_vec(),
+        };
+        if self.spf.improved() {
+            self.spf.tmk.fork(&encode_ctl(&ctl));
+            self.spf.execute(&ctl);
+            self.spf.tmk.join();
+        } else {
+            // Original interface: write the control variables to the two
+            // shared control pages, then a full barrier releases the
+            // workers; a second barrier joins them.
+            let words = encode_ctl(&ctl);
+            self.spf.tmk.write_one(self.spf.ctl_idx, 0, words[0] as f64);
+            {
+                let mut w = self.spf.tmk.write(self.spf.ctl_args, 0..64);
+                w[0] = (words.len() - 4) as f64;
+                for (k, &x) in words[1..].iter().enumerate() {
+                    w[1 + k] = x as f64;
+                }
+            }
+            self.spf.tmk.barrier(0);
+            self.spf.execute(&ctl);
+            self.spf.tmk.barrier(1);
+        }
+    }
+}
+
+/// An SPF scalar reduction: the reduction variable lives in shared
+/// memory; each processor folds its private partial under a lock. This is
+/// the code SPF emits for reduction directives.
+#[derive(Clone, Copy)]
+pub struct SpfReduction {
+    var: SharedArray,
+    lock: u32,
+}
+
+impl SpfReduction {
+    /// Allocate the shared reduction variable (call on every node, same
+    /// order; `lock` must be unique per reduction variable).
+    pub fn new(tmk: &Tmk, lock: u32) -> SpfReduction {
+        SpfReduction {
+            var: tmk.malloc_f64(1),
+            lock,
+        }
+    }
+
+    /// Master: reset before the parallel loop.
+    pub fn reset(&self, tmk: &Tmk, init: f64) {
+        tmk.write_one(self.var, 0, init);
+    }
+
+    /// Fold a private partial into the shared variable (at the end of the
+    /// parallel loop, on every participant).
+    pub fn fold(&self, tmk: &Tmk, partial: f64, op: impl Fn(f64, f64) -> f64) {
+        tmk.acquire(self.lock);
+        let cur = tmk.read_one(self.var, 0);
+        tmk.write_one(self.var, 0, op(cur, partial));
+        tmk.release(self.lock);
+    }
+
+    /// Read the reduced value (master, after the join).
+    pub fn value(&self, tmk: &Tmk) -> f64 {
+        tmk.read_one(self.var, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2sim::{Cluster, ClusterConfig, MsgKind};
+    use treadmarks::TmkConfig;
+
+    #[test]
+    fn block_range_partitions_exactly() {
+        for n in 1..9 {
+            for len in [0usize, 1, 7, 64, 1000] {
+                let mut seen = vec![0u32; len];
+                for me in 0..n {
+                    for i in block_range(me, n, 0..len) {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "n={n} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_is_ordered_and_balanced() {
+        let r0 = block_range(0, 3, 0..10);
+        let r1 = block_range(1, 3, 0..10);
+        let r2 = block_range(2, 3, 0..10);
+        assert_eq!(r0, 0..4);
+        assert_eq!(r1, 4..7);
+        assert_eq!(r2, 7..10);
+    }
+
+    #[test]
+    fn cyclic_iters_partition_exactly() {
+        let ctl = LoopCtl {
+            id: 0,
+            range: 3..40,
+            sched: Schedule::Cyclic,
+            args: vec![],
+        };
+        let n = 5;
+        let mut seen = vec![0u32; 40];
+        for me in 0..n {
+            for i in ctl.my_iters(me, n) {
+                assert!((3..40).contains(&i));
+                seen[i] += 1;
+            }
+        }
+        assert!(seen[3..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn ctl_roundtrip() {
+        let ctl = LoopCtl {
+            id: 3,
+            range: 5..77,
+            sched: Schedule::Cyclic,
+            args: vec![9, 1],
+        };
+        assert_eq!(decode_ctl(&encode_ctl(&ctl)), ctl);
+    }
+
+    fn run_sum(cfg: TmkConfig) -> (f64, sp2sim::StatsSnapshot) {
+        let out = Cluster::run(ClusterConfig::sp2(4), move |node| {
+            let tmk = Tmk::new(node, cfg.clone());
+            let spf = Spf::new(&tmk);
+            let a = tmk.malloc_f64(256);
+            let body = spf.register({
+                let tmk = &tmk;
+                move |ctl: &LoopCtl| {
+                    let r = ctl.my_block(tmk.proc_id(), tmk.nprocs());
+                    if !r.is_empty() {
+                        let mut w = tmk.write(a, r.clone());
+                        for i in r {
+                            w[i] = (i + ctl.args[0] as usize) as f64;
+                        }
+                    }
+                }
+            });
+            let r = spf.run(|m| {
+                m.par_loop(body, 0..256, Schedule::Block, &[10]);
+                let r = m.tmk().read(a, 0..256);
+                r.slice().iter().sum::<f64>()
+            });
+            tmk.finish();
+            r
+        });
+        (out.results[0].unwrap(), out.stats)
+    }
+
+    #[test]
+    fn improved_and_original_interfaces_agree() {
+        let expect: f64 = (0..256).map(|i| (i + 10) as f64).sum();
+        let (sum_new, stats_new) = run_sum(TmkConfig::default());
+        let (sum_old, stats_old) = run_sum(TmkConfig::legacy_forkjoin());
+        assert_eq!(sum_new, expect);
+        assert_eq!(sum_old, expect);
+        // The original interface needs strictly more messages (8(n-1) vs
+        // 2(n-1) per loop, before data traffic).
+        assert!(stats_old.total_messages() > stats_new.total_messages());
+        // Control-page faults show up as diff traffic in the original
+        // interface only.
+        assert!(stats_old.messages(MsgKind::DiffReq) > stats_new.messages(MsgKind::DiffReq));
+    }
+
+    #[test]
+    fn reduction_under_lock() {
+        let out = Cluster::run(ClusterConfig::sp2(4), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let spf = Spf::new(&tmk);
+            let red = SpfReduction::new(&tmk, 1);
+            let body = spf.register({
+                let tmk = &tmk;
+                move |ctl: &LoopCtl| {
+                    let mut partial = 0.0;
+                    for i in ctl.my_iters(tmk.proc_id(), tmk.nprocs()) {
+                        partial += i as f64;
+                    }
+                    red.fold(tmk, partial, |a, b| a + b);
+                }
+            });
+            let r = spf.run(|m| {
+                red.reset(m.tmk(), 0.0);
+                m.par_loop(body, 0..100, Schedule::Cyclic, &[]);
+                red.value(m.tmk())
+            });
+            tmk.finish();
+            r
+        });
+        assert_eq!(out.results[0].unwrap(), 4950.0);
+    }
+
+    #[test]
+    fn empty_iteration_space() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let spf = Spf::new(&tmk);
+            let body = spf.register(move |_ctl: &LoopCtl| {});
+            let r = spf.run(|m| {
+                m.par_loop(body, 0..0, Schedule::Block, &[]);
+                1
+            });
+            tmk.finish();
+            r
+        });
+        assert_eq!(out.results[0], Some(1));
+    }
+}

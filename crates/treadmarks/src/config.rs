@@ -1,0 +1,71 @@
+//! DSM configuration.
+
+/// Configuration of one TreadMarks instance. All nodes of a cluster must
+/// construct their instance with identical configuration.
+#[derive(Clone, Debug)]
+pub struct TmkConfig {
+    /// Page size in 64-bit words. The default, 512 words = 4 KB, matches
+    /// the AIX page size of the paper's platform.
+    pub page_words: usize,
+    /// When true (default), the improved compiler/run-time interface of
+    /// paper §2.3 is used for fork-join: the barrier departure carries the
+    /// loop-control variables (`2 (n - 1)` messages per parallel loop).
+    /// When false, the original scheme is emulated: control variables are
+    /// written to shared pages and faulted in by the workers around a full
+    /// barrier (`8 (n - 1)` messages per loop).
+    pub improved_forkjoin: bool,
+    /// When true, a view fault sends one aggregated diff request per
+    /// writer covering every missing page of the view, instead of one
+    /// request per page per writer. This is the "communication
+    /// aggregation" hand-optimization of paper §5 (Dwarkadas et al.).
+    pub aggregation: bool,
+}
+
+impl Default for TmkConfig {
+    fn default() -> Self {
+        TmkConfig {
+            page_words: 512,
+            improved_forkjoin: true,
+            aggregation: false,
+        }
+    }
+}
+
+impl TmkConfig {
+    /// Default configuration with aggregation enabled (the hand-optimized
+    /// variants of Section 5).
+    pub fn aggregated() -> TmkConfig {
+        TmkConfig {
+            aggregation: true,
+            ..TmkConfig::default()
+        }
+    }
+
+    /// Default configuration with the original (pre-§2.3) fork-join
+    /// interface, for the interface ablation.
+    pub fn legacy_forkjoin() -> TmkConfig {
+        TmkConfig {
+            improved_forkjoin: false,
+            ..TmkConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let c = TmkConfig::default();
+        assert_eq!(c.page_words * 8, 4096);
+        assert!(c.improved_forkjoin);
+        assert!(!c.aggregation);
+    }
+
+    #[test]
+    fn presets() {
+        assert!(TmkConfig::aggregated().aggregation);
+        assert!(!TmkConfig::legacy_forkjoin().improved_forkjoin);
+    }
+}

@@ -1,0 +1,212 @@
+//! Diffs: run-length encodings of page modifications.
+//!
+//! A diff is produced by comparing a page word-by-word against its twin
+//! (the copy saved before the first modification). TreadMarks created
+//! byte-granularity runs; all shared data in this reproduction is 64-bit
+//! words, so runs are word-granular — the same encoding at the granularity
+//! the applications actually write.
+
+use sp2sim::{WordReader, WordWriter};
+
+/// One run of consecutive modified words.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Run {
+    /// Word offset of the run within the page.
+    pub start: u32,
+    /// The new values.
+    pub words: Vec<u64>,
+}
+
+/// A run-length encoding of the modifications made to one page.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Diff {
+    /// Runs in increasing `start` order, non-adjacent.
+    pub runs: Vec<Run>,
+}
+
+impl Diff {
+    /// Compare `new` against its twin `old` and encode the changed words.
+    ///
+    /// Both slices must be the same length (one page).
+    pub fn create(old: &[u64], new: &[u64]) -> Diff {
+        debug_assert_eq!(old.len(), new.len());
+        let mut runs = Vec::new();
+        let mut i = 0;
+        let n = new.len();
+        while i < n {
+            if old[i] != new[i] {
+                let start = i;
+                while i < n && old[i] != new[i] {
+                    i += 1;
+                }
+                runs.push(Run {
+                    start: start as u32,
+                    words: new[start..i].to_vec(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// Apply the diff to a page buffer.
+    pub fn apply(&self, page: &mut [u64]) {
+        for run in &self.runs {
+            let s = run.start as usize;
+            page[s..s + run.words.len()].copy_from_slice(&run.words);
+        }
+    }
+
+    /// Total number of modified words.
+    pub fn changed_words(&self) -> usize {
+        self.runs.iter().map(|r| r.words.len()).sum()
+    }
+
+    /// `true` when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Size of the wire encoding in words: one count word plus, per run,
+    /// a header word and the data words.
+    pub fn encoded_words(&self) -> usize {
+        1 + self.runs.iter().map(|r| 1 + r.words.len()).sum::<usize>()
+    }
+
+    /// Serialize into a word stream. The encoding packs `(start, len)`
+    /// into the run header word.
+    pub fn encode(&self, w: &mut WordWriter) {
+        w.put_usize(self.runs.len());
+        for run in &self.runs {
+            w.put((run.start as u64) << 32 | run.words.len() as u64);
+            for &x in &run.words {
+                w.put(x);
+            }
+        }
+    }
+
+    /// Inverse of [`Diff::encode`].
+    pub fn decode(r: &mut WordReader) -> Diff {
+        let nruns = r.get_usize();
+        let mut runs = Vec::with_capacity(nruns);
+        for _ in 0..nruns {
+            let header = r.get();
+            let start = (header >> 32) as u32;
+            let len = (header & 0xFFFF_FFFF) as usize;
+            let mut words = Vec::with_capacity(len);
+            for _ in 0..len {
+                words.push(r.get());
+            }
+            runs.push(Run { start, words });
+        }
+        Diff { runs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn create_apply_roundtrip_basic() {
+        let old = vec![0u64; 16];
+        let mut new = old.clone();
+        new[3] = 7;
+        new[4] = 8;
+        new[10] = 9;
+        let d = Diff::create(&old, &new);
+        assert_eq!(d.runs.len(), 2);
+        assert_eq!(d.changed_words(), 3);
+        let mut page = old.clone();
+        d.apply(&mut page);
+        assert_eq!(page, new);
+    }
+
+    #[test]
+    fn empty_diff_for_identical_pages() {
+        let p = vec![5u64; 8];
+        let d = Diff::create(&p, &p);
+        assert!(d.is_empty());
+        assert_eq!(d.encoded_words(), 1);
+    }
+
+    #[test]
+    fn full_page_diff() {
+        let old = vec![0u64; 8];
+        let new = vec![1u64; 8];
+        let d = Diff::create(&old, &new);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.changed_words(), 8);
+        // 1 count + 1 header + 8 words.
+        assert_eq!(d.encoded_words(), 10);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let old = vec![0u64; 32];
+        let mut new = old.clone();
+        for i in [0usize, 1, 5, 6, 7, 31] {
+            new[i] = i as u64 + 100;
+        }
+        let d = Diff::create(&old, &new);
+        let mut w = WordWriter::new();
+        d.encode(&mut w);
+        let buf = w.finish();
+        assert_eq!(buf.len(), d.encoded_words());
+        let d2 = Diff::decode(&mut WordReader::new(&buf));
+        assert_eq!(d, d2);
+    }
+
+    proptest! {
+        /// apply(create(old, new), old) == new, for arbitrary pages.
+        #[test]
+        fn prop_diff_roundtrip(
+            old in prop::collection::vec(0u64..4, 1..128),
+            flips in prop::collection::vec((0usize..128, 1u64..4), 0..64),
+        ) {
+            let mut new = old.clone();
+            for (i, v) in flips {
+                let i = i % new.len();
+                new[i] = new[i].wrapping_add(v);
+            }
+            let d = Diff::create(&old, &new);
+            let mut page = old.clone();
+            d.apply(&mut page);
+            prop_assert_eq!(&page, &new);
+            // Encoding round-trips too.
+            let mut w = WordWriter::new();
+            d.encode(&mut w);
+            let buf = w.finish();
+            prop_assert_eq!(buf.len(), d.encoded_words());
+            let d2 = Diff::decode(&mut WordReader::new(&buf));
+            prop_assert_eq!(d, d2);
+        }
+
+        /// The encoding never exceeds page size + 2 * runs + 1, and runs
+        /// are disjoint, ordered, and non-adjacent.
+        #[test]
+        fn prop_diff_runs_canonical(
+            old in prop::collection::vec(0u64..4, 1..128),
+            flips in prop::collection::vec((0usize..128, 1u64..4), 0..64),
+        ) {
+            let mut new = old.clone();
+            for (i, v) in flips {
+                let i = i % new.len();
+                new[i] = new[i].wrapping_add(v);
+            }
+            let d = Diff::create(&old, &new);
+            prop_assert!(d.changed_words() <= old.len());
+            let mut prev_end: Option<usize> = None;
+            for run in &d.runs {
+                prop_assert!(!run.words.is_empty());
+                if let Some(e) = prev_end {
+                    // Non-adjacent: a gap of at least one unchanged word.
+                    prop_assert!(run.start as usize > e);
+                }
+                prev_end = Some(run.start as usize + run.words.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,1156 @@
+//! The application-facing DSM interface.
+//!
+//! [`Tmk`] is the per-node handle: it owns the node's protocol state
+//! (shared with the service thread), the shared-memory allocator mirror,
+//! and the synchronization entry points. Shared data is accessed through
+//! [`ReadView`]/[`WriteView`] handles, which perform the page-granularity
+//! access checks that `mprotect` performed in the original system.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut, Range};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use sp2sim::{MsgKind, Node, Port, WordReader, WordWriter};
+
+use crate::config::TmkConfig;
+use crate::protocol::{self, flags, op, tag, DiffReqEntry};
+use crate::service::service_loop;
+use crate::state::{DiffRange, DsmState};
+use crate::stats::DsmStats;
+
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if std::env::var_os("TMK_TRACE").is_some() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Handle to an allocation in the global shared address space.
+///
+/// Allocations are page-aligned and padded to page boundaries (the SPF
+/// compiler pads shared arrays to page boundaries to reduce false
+/// sharing). Handles are plain values: all nodes performing the same
+/// allocation sequence obtain identical handles without communication,
+/// mirroring TreadMarks' statically located shared heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedArray {
+    pub(crate) first_page: usize,
+    pub(crate) len: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SharedArray {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A read-only snapshot of an index range of a shared array, indexed by
+/// **global** element index.
+pub struct ReadView {
+    buf: Vec<f64>,
+    lo: usize,
+}
+
+impl ReadView {
+    /// First global index covered.
+    pub fn start(&self) -> usize {
+        self.lo
+    }
+
+    /// The data as a slice (element `i` of the slice is global index
+    /// `start() + i`).
+    pub fn slice(&self) -> &[f64] {
+        &self.buf
+    }
+
+    /// Consume the view, returning the snapshot buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.buf
+    }
+}
+
+impl Index<usize> for ReadView {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.buf[i - self.lo]
+    }
+}
+
+/// A writable window onto an index range of a shared array, indexed by
+/// **global** element index. Modifications are committed back to the DSM
+/// when the view is dropped; the pages were write-enabled (twinned) when
+/// the view was created, exactly like a write fault.
+pub struct WriteView<'t, 'n> {
+    tmk: &'t Tmk<'n>,
+    arr: SharedArray,
+    lo: usize,
+    buf: Vec<f64>,
+}
+
+impl WriteView<'_, '_> {
+    /// First global index covered.
+    pub fn start(&self) -> usize {
+        self.lo
+    }
+
+    /// Mutable slice access (element `i` is global index `start() + i`).
+    pub fn slice_mut(&mut self) -> &mut [f64] {
+        &mut self.buf
+    }
+
+    /// Read-only slice access.
+    pub fn slice(&self) -> &[f64] {
+        &self.buf
+    }
+}
+
+impl Index<usize> for WriteView<'_, '_> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.buf[i - self.lo]
+    }
+}
+
+impl IndexMut<usize> for WriteView<'_, '_> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.buf[i - self.lo]
+    }
+}
+
+impl Drop for WriteView<'_, '_> {
+    fn drop(&mut self) {
+        self.tmk
+            .commit_write(self.arr, self.lo, std::mem::take(&mut self.buf));
+    }
+}
+
+/// One node's TreadMarks instance.
+pub struct Tmk<'n> {
+    node: &'n Node,
+    state: Arc<Mutex<DsmState>>,
+    cfg: TmkConfig,
+    svc: Cell<Option<JoinHandle<()>>>,
+    next_page: Cell<usize>,
+    req_seq: Cell<u32>,
+    fork_epoch: Cell<u64>,
+    barrier_epoch: Cell<u64>,
+    bcast_seq: Cell<u32>,
+}
+
+impl<'n> Tmk<'n> {
+    /// Create this node's DSM instance and start its service thread.
+    /// Every node of the cluster must do this with identical `cfg`.
+    pub fn new(node: &'n Node, cfg: TmkConfig) -> Tmk<'n> {
+        let state = Arc::new(Mutex::new(DsmState::new(
+            node.id(),
+            node.nprocs(),
+            cfg.clone(),
+        )));
+        let svc_ep = node.take_service_endpoint();
+        let svc_state = Arc::clone(&state);
+        let svc = std::thread::spawn(move || service_loop(svc_ep, svc_state));
+        Tmk {
+            node,
+            state,
+            cfg,
+            svc: Cell::new(Some(svc)),
+            next_page: Cell::new(0),
+            req_seq: Cell::new(0),
+            fork_epoch: Cell::new(0),
+            barrier_epoch: Cell::new(0),
+            bcast_seq: Cell::new(0),
+        }
+    }
+
+    /// This node's processor id (`Tmk_proc_id`).
+    pub fn proc_id(&self) -> usize {
+        self.node.id()
+    }
+
+    /// Number of processors (`Tmk_nprocs`).
+    pub fn nprocs(&self) -> usize {
+        self.node.nprocs()
+    }
+
+    /// The underlying simulated node.
+    pub fn node(&self) -> &Node {
+        self.node
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &TmkConfig {
+        &self.cfg
+    }
+
+    /// Allocate a shared array of `len` f64 elements (`Tmk_malloc`).
+    /// Page-aligned and padded to a page boundary.
+    pub fn malloc_f64(&self, len: usize) -> SharedArray {
+        let pw = self.cfg.page_words;
+        let pages = len.div_ceil(pw).max(1);
+        let first_page = self.next_page.get();
+        self.next_page.set(first_page + pages);
+        SharedArray {
+            first_page,
+            len,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Snapshot of this node's DSM statistics.
+    pub fn stats_snapshot(&self) -> DsmStats {
+        self.state.lock().stats
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-memory access (the simulated VM layer)
+    // ------------------------------------------------------------------
+
+    /// Open a read view of `range` (global element indices). Invalidated
+    /// pages in the range fault: missing diffs are fetched from their
+    /// writers and applied, with all costs charged as the paper describes.
+    pub fn read(&self, arr: SharedArray, range: Range<usize>) -> ReadView {
+        let buf = self.fault_range(arr, range.clone(), false);
+        ReadView {
+            buf,
+            lo: range.start,
+        }
+    }
+
+    /// Open a write view of `range`. Pages are made consistent first (a
+    /// write fault fetches the current content, like the original system),
+    /// then write-enabled: a twin is saved per page for later diffing.
+    pub fn write(&self, arr: SharedArray, range: Range<usize>) -> WriteView<'_, 'n> {
+        let buf = self.fault_range(arr, range.clone(), true);
+        WriteView {
+            tmk: self,
+            arr,
+            lo: range.start,
+            buf,
+        }
+    }
+
+    /// Read a single element.
+    pub fn read_one(&self, arr: SharedArray, i: usize) -> f64 {
+        self.read(arr, i..i + 1)[i]
+    }
+
+    /// Write a single element.
+    pub fn write_one(&self, arr: SharedArray, i: usize, v: f64) {
+        let mut w = self.write(arr, i..i + 1);
+        w[i] = v;
+    }
+
+    fn word_bounds(&self, arr: SharedArray, range: &Range<usize>) -> (usize, usize) {
+        assert!(
+            range.start <= range.end && range.end <= arr.len,
+            "view {range:?} out of bounds for array of {}",
+            arr.len
+        );
+        let base = arr.first_page * self.cfg.page_words;
+        (base + range.start, base + range.end)
+    }
+
+    /// The fault engine: make `[wlo, whi)` consistent, optionally
+    /// write-enable it, and return a copy of the data.
+    fn fault_range(&self, arr: SharedArray, range: Range<usize>, write: bool) -> Vec<f64> {
+        let (wlo, whi) = self.word_bounds(arr, &range);
+        if wlo == whi {
+            return Vec::new();
+        }
+        let pw = self.cfg.page_words;
+        let cost = self.node.cost().clone();
+        let (p0, p1) = (wlo / pw, (whi - 1) / pw);
+
+        // Phase 1: find missing write notices, grouped by writer. Under
+        // aggregation the whole view takes a single access fault (the
+        // integrated compile-time/run-time scheme of Dwarkadas et al.);
+        // otherwise each invalidated page faults separately, like the
+        // original mprotect-driven system.
+        let mut by_writer: BTreeMap<usize, Vec<DiffReqEntry>> = BTreeMap::new();
+        {
+            let mut st = self.state.lock();
+            let mut faulted_pages = 0u64;
+            for p in p0..=p1 {
+                st.frame_mut(p);
+                let missing = st.missing_by_writer(p);
+                if !missing.is_empty() {
+                    faulted_pages += 1;
+                    for (writer, first_needed) in missing {
+                        by_writer.entry(writer).or_default().push(DiffReqEntry {
+                            page: p,
+                            first_needed,
+                        });
+                    }
+                }
+            }
+            let faults = if self.cfg.aggregation {
+                u64::from(faulted_pages > 0)
+            } else {
+                faulted_pages
+            };
+            st.stats.faults += faults;
+            drop(st);
+            self.node.advance(faults as f64 * cost.page_fault_us);
+        }
+
+        // Phase 2: fetch. One request per writer (aggregation on) or one
+        // per page per writer (default TreadMarks behaviour).
+        let mut entries: Vec<(usize, protocol::DiffRespEntry)> = Vec::new();
+        if !by_writer.is_empty() {
+            let mut outstanding: Vec<(usize, u32)> = Vec::new();
+            for (writer, reqs) in &by_writer {
+                if self.cfg.aggregation {
+                    outstanding.push((*writer, self.send_diff_req(*writer, reqs)));
+                } else {
+                    for e in reqs {
+                        outstanding
+                            .push((*writer, self.send_diff_req(*writer, std::slice::from_ref(e))));
+                    }
+                }
+            }
+            for (writer, req_id) in outstanding {
+                let t = tag::DIFF_RESP | (req_id & 0xFFFF) as u32;
+                trace!("[{}] diff-req {} -> {} wait", self.proc_id(), req_id, writer);
+                let pkt = self
+                    .node
+                    .recv_match(|p| p.src == writer && p.tag == t);
+                trace!("[{}] diff-req {} got", self.proc_id(), req_id);
+                let mut r = WordReader::new(&pkt.payload);
+                for e in protocol::decode_diff_entries(&mut r) {
+                    entries.push((writer, e));
+                }
+            }
+        }
+
+        // Phase 3: apply in (lamport, writer) order — a linear extension
+        // of happens-before — then write-enable and copy out.
+        entries.sort_by_key(|(w, e)| (e.lamport, *w));
+        let mut out = vec![0.0f64; whi - wlo];
+        {
+            let mut st = self.state.lock();
+            let mut us = 0.0;
+            for (writer, e) in &entries {
+                let applied = st.frame_mut(e.page).applied[*writer];
+                if e.hi <= applied {
+                    continue; // stale range overlap; already incorporated
+                }
+                st.apply_range(e.page, *writer, e.hi, &e.diff);
+                us += cost.diff_apply_us(e.diff.encoded_words());
+            }
+            if write {
+                for p in p0..=p1 {
+                    let me = st.me;
+                    let frame = st.frame_mut(p);
+                    if frame.twin.is_none() {
+                        // Write fault: save a twin for later diffing.
+                        frame.twin = Some(frame.data.clone());
+                        us += cost.page_fault_us + cost.twin_us;
+                        st.stats.faults += 1;
+                        st.stats.twins += 1;
+                        let _ = me;
+                    }
+                    st.dirty.insert(p);
+                }
+            }
+            // Copy the consistent words out.
+            for p in p0..=p1 {
+                let frame = st.frames.get(&p).expect("frame exists");
+                let page_base = p * pw;
+                let s = wlo.max(page_base);
+                let e = whi.min(page_base + pw);
+                for w in s..e {
+                    out[w - wlo] = f64::from_bits(frame.data[w - page_base]);
+                }
+            }
+            drop(st);
+            self.node.advance(us);
+        }
+        out
+    }
+
+    fn send_diff_req(&self, writer: usize, entries: &[DiffReqEntry]) -> u32 {
+        let id = self.req_seq.get();
+        self.req_seq.set(id.wrapping_add(1));
+        let payload = protocol::encode_diff_req(id, self.proc_id(), entries);
+        self.node
+            .endpoint()
+            .send_to_port(writer, Port::Service, 0, MsgKind::DiffReq, payload);
+        id
+    }
+
+    fn commit_write(&self, arr: SharedArray, lo: usize, buf: Vec<f64>) {
+        let (wlo, whi) = self.word_bounds(arr, &(lo..lo + buf.len()));
+        if wlo == whi {
+            return;
+        }
+        let pw = self.cfg.page_words;
+        let mut st = self.state.lock();
+        for p in wlo / pw..=(whi - 1) / pw {
+            let frame = st.frame_mut(p);
+            debug_assert!(frame.twin.is_some(), "commit to non-write-enabled page");
+            let page_base = p * pw;
+            let s = wlo.max(page_base);
+            let e = whi.min(page_base + pw);
+            for w in s..e {
+                frame.data[w - page_base] = buf[w - wlo].to_bits();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// Global barrier (`Tmk_barrier`). Costs `2 (n - 1)` messages: all
+    /// arrivals carry this node's new intervals to the manager (node 0),
+    /// the departures carry back every interval the node has not seen.
+    pub fn barrier(&self, _id: u32) {
+        let e = self.barrier_epoch.get();
+        self.barrier_epoch.set(e + 1);
+        let epoch = e | protocol::BARRIER_EPOCH_BIT;
+
+        let flush_us = {
+            let mut st = self.state.lock();
+            st.flush(self.node.cost())
+        };
+        self.node.advance(flush_us);
+
+        // Send registered pushes before arriving.
+        let push_counts = self.do_pushes();
+
+        let (vc, ivs) = {
+            let mut st = self.state.lock();
+            (st.vc.clone(), st.take_unreported())
+        };
+        let payload = protocol::encode_arrival(
+            op::BARRIER_ARRIVE,
+            epoch,
+            self.proc_id(),
+            &push_counts,
+            &vc,
+            &ivs,
+        );
+        self.node
+            .endpoint()
+            .send_to_port(0, Port::Service, 0, MsgKind::BarrierArrive, payload);
+
+        let t = tag::BARRIER_DEP | (epoch & 0xFFFF) as u32;
+        trace!("[{}] barrier {} wait-dep", self.proc_id(), e);
+        let pkt = self.node.recv_match(|p| p.tag == t);
+        trace!("[{}] barrier {} done", self.proc_id(), e);
+        let dep = protocol::decode_departure(&mut WordReader::new(&pkt.payload));
+        {
+            let mut st = self.state.lock();
+            for iv in dep.intervals {
+                st.integrate_interval(iv);
+            }
+            st.stats.barriers += 1;
+        }
+        self.receive_pushes(dep.expected_push);
+    }
+
+    /// Acquire a lock (`Tmk_lock_acquire`). Managed by node `lock % n`;
+    /// the request is forwarded to the last holder, whose grant carries
+    /// the write notices the acquirer has not seen.
+    pub fn acquire(&self, lock: u32) {
+        let me = self.proc_id();
+        let mgr = lock as usize % self.nprocs();
+        let target = {
+            let mut st = self.state.lock();
+            st.stats.lock_acquires += 1;
+            if mgr == me {
+                // Manager-local request: consult the ownership table
+                // directly (no message to ourselves).
+                let owner = *st.lock_owner.get(&lock).unwrap_or(&me);
+                st.lock_owner.insert(lock, me);
+                if owner == me {
+                    // No one requested the lock since our registration:
+                    // the token is (still) ours.
+                    let lk = st.lock_entry(lock);
+                    debug_assert!(!lk.held, "recursive acquire");
+                    debug_assert!(lk.has_token, "registered owner keeps the token");
+                    lk.held = true;
+                    st.stats.lock_local_hits += 1;
+                    return;
+                }
+                Some((owner, st.vc.clone()))
+            } else {
+                Some((mgr, st.vc.clone()))
+            }
+        };
+        if let Some((dst, vc)) = target {
+            let payload = protocol::encode_lock_req(lock, me, &vc);
+            self.node
+                .endpoint()
+                .send_to_port(dst, Port::Service, 0, MsgKind::LockReq, payload);
+            let t = tag::LOCK_GRANT | lock;
+            trace!("[{me}] acquire {lock} -> {dst} wait-grant");
+            let pkt = self.node.recv_match(|p| p.tag == t);
+            trace!("[{me}] acquire {lock} granted");
+            let mut r = WordReader::new(&pkt.payload);
+            let intervals = crate::interval::decode_intervals(&mut r);
+            let mut st = self.state.lock();
+            for iv in intervals {
+                st.integrate_interval(iv);
+            }
+            let lk = st.lock_entry(lock);
+            lk.has_token = true;
+            lk.held = true;
+        }
+    }
+
+    /// Release a lock (`Tmk_lock_release`). Performs the release-side
+    /// flush; communicates only if a request is already queued here.
+    pub fn release(&self, lock: u32) {
+        let flush_us = {
+            let mut st = self.state.lock();
+            st.flush(self.node.cost())
+        };
+        self.node.advance(flush_us);
+        let grant = {
+            let mut st = self.state.lock();
+            let lk = st.lock_entry(lock);
+            debug_assert!(lk.held, "release without holding");
+            lk.held = false;
+            lk.release_vt = self.node.now();
+            let next = lk.queue.pop_front();
+            if next.is_some() {
+                // The token travels with the grant.
+                lk.has_token = false;
+            }
+            next.map(|req| {
+                let ivs = st.intervals_since(&req.vc);
+                (req.requester, protocol::encode_lock_grant(&ivs))
+            })
+        };
+        if let Some((dst, payload)) = grant {
+            self.node
+                .endpoint()
+                .send_to_port(dst, Port::App, tag::LOCK_GRANT | lock, MsgKind::LockGrant, payload);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fork-join (the improved compiler/run-time interface of §2.3)
+    // ------------------------------------------------------------------
+
+    /// Master: dispatch a parallel loop. The one-to-all departure carries
+    /// `ctl` (the encapsulated subroutine id and its arguments) along with
+    /// consistency information — `n - 1` messages.
+    pub fn fork(&self, ctl: &[u64]) {
+        self.fork_with_flags(ctl, 0);
+    }
+
+    fn fork_with_flags(&self, ctl: &[u64], flag_bits: u64) {
+        assert_eq!(self.proc_id(), 0, "only the master forks");
+        let e = self.fork_epoch.get();
+        self.fork_epoch.set(e + 1);
+        let flush_us = {
+            let mut st = self.state.lock();
+            debug_assert!(st.pending_push.is_empty(), "pushes only at barriers");
+            st.stats.forks += 1;
+            st.flush(self.node.cost())
+        };
+        self.node.advance(flush_us);
+        let mut w = WordWriter::with_capacity(4 + ctl.len());
+        w.put(op::MASTER_FORK).put(e).put(flag_bits).put_words(ctl);
+        self.node
+            .endpoint()
+            .send_to_port(0, Port::Service, 0, MsgKind::Control, w.finish());
+    }
+
+    /// Master: wait for all workers to finish the current loop — the
+    /// all-to-one arrival half, `n - 1` messages (sent by the workers).
+    pub fn join(&self) {
+        assert_eq!(self.proc_id(), 0, "only the master joins");
+        let e = self.fork_epoch.get();
+        let flush_us = {
+            let mut st = self.state.lock();
+            st.flush(self.node.cost())
+        };
+        self.node.advance(flush_us);
+        let mut w = WordWriter::with_capacity(2);
+        w.put(op::MASTER_JOIN).put(e);
+        self.node
+            .endpoint()
+            .send_to_port(0, Port::Service, 0, MsgKind::Control, w.finish());
+        let t = tag::JOIN_DEP | (e & 0xFFFF) as u32;
+        trace!("[0] join {} wait", e);
+        let _ = self.node.recv_match(|p| p.tag == t);
+        trace!("[0] join {} done", e);
+        // Interval integration happened inside the manager service at
+        // epoch completion (our own state); nothing further to do.
+    }
+
+    /// Worker: report arrival at the rendezvous and wait for the next
+    /// loop dispatch. Returns the control words of the dispatched loop,
+    /// or `None` when the master shut the computation down.
+    pub fn worker_wait(&self) -> Option<Vec<u64>> {
+        assert_ne!(self.proc_id(), 0, "workers only");
+        let e = self.fork_epoch.get();
+        self.fork_epoch.set(e + 1);
+        let flush_us = {
+            let mut st = self.state.lock();
+            st.flush(self.node.cost())
+        };
+        self.node.advance(flush_us);
+        let (vc, ivs) = {
+            let mut st = self.state.lock();
+            (st.vc.clone(), st.take_unreported())
+        };
+        let payload = protocol::encode_arrival(
+            op::WORKER_ARRIVE,
+            e,
+            self.proc_id(),
+            &vec![0; self.nprocs()],
+            &vc,
+            &ivs,
+        );
+        self.node
+            .endpoint()
+            .send_to_port(0, Port::Service, 0, MsgKind::BarrierArrive, payload);
+        let t = tag::FORK_DEP | (e & 0xFFFF) as u32;
+        trace!("[{}] worker_wait {} wait-dep", self.proc_id(), e);
+        let pkt = self.node.recv_match(|p| p.tag == t);
+        trace!("[{}] worker_wait {} got-dep", self.proc_id(), e);
+        let dep = protocol::decode_departure(&mut WordReader::new(&pkt.payload));
+        {
+            let mut st = self.state.lock();
+            for iv in dep.intervals {
+                st.integrate_interval(iv);
+            }
+        }
+        if dep.flag_bits & flags::SHUTDOWN != 0 {
+            None
+        } else {
+            Some(dep.ctl)
+        }
+    }
+
+    /// Master: release the workers from their dispatch loop.
+    pub fn shutdown_workers(&self) {
+        self.fork_with_flags(&[], flags::SHUTDOWN);
+    }
+
+    // ------------------------------------------------------------------
+    // Extensions (paper §8 / Dwarkadas et al.): push and broadcast
+    // ------------------------------------------------------------------
+
+    /// Register `range` of `arr` to be pushed to `target` at the next
+    /// barrier, instead of being demand-fetched afterwards.
+    pub fn push_at_next_barrier(&self, target: usize, arr: SharedArray, range: Range<usize>) {
+        let (wlo, whi) = self.word_bounds(arr, &range);
+        if wlo == whi {
+            return;
+        }
+        let pw = self.cfg.page_words;
+        let mut st = self.state.lock();
+        for p in wlo / pw..=(whi - 1) / pw {
+            st.pending_push.push((target, p));
+        }
+    }
+
+    /// Execute registered pushes (called inside `barrier`, after the
+    /// flush). Returns the per-destination message counts for the arrival.
+    fn do_pushes(&self) -> Vec<u64> {
+        let n = self.nprocs();
+        let mut counts = vec![0u64; n];
+        let groups: BTreeMap<usize, Vec<usize>> = {
+            let mut st = self.state.lock();
+            if st.pending_push.is_empty() {
+                return counts;
+            }
+            let mut g: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (t, p) in std::mem::take(&mut st.pending_push) {
+                g.entry(t).or_default().push(p);
+            }
+            g
+        };
+        let cost = self.node.cost().clone();
+        for (target, pages) in groups {
+            let mut entries: Vec<(usize, DiffRange)> = Vec::new();
+            let mut us = 0.0;
+            {
+                let mut st = self.state.lock();
+                for p in pages {
+                    let last = st.vc[st.me];
+                    let (ranges, f_us) = st.serve_diffs(p, last, &cost);
+                    us += f_us;
+                    if let Some(r) = ranges.into_iter().next_back() {
+                        st.stats.pages_pushed += 1;
+                        entries.push((p, r));
+                    }
+                }
+            }
+            self.node.advance(us);
+            if entries.is_empty() {
+                continue;
+            }
+            let mut w = WordWriter::new();
+            protocol::encode_diff_entries(&mut w, &entries);
+            self.node
+                .endpoint()
+                .send_to_port(target, Port::App, tag::PUSH, MsgKind::Push, w.finish());
+            counts[target] += 1;
+        }
+        counts
+    }
+
+    /// Receive and apply `expected` push messages (called inside
+    /// `barrier`, after the departure).
+    fn receive_pushes(&self, expected: u64) {
+        if expected == 0 {
+            return;
+        }
+        let cost = self.node.cost().clone();
+        let mut all: Vec<(usize, protocol::DiffRespEntry)> = Vec::new();
+        for _ in 0..expected {
+            let pkt = self.node.recv_match(|p| p.tag == tag::PUSH);
+            let mut r = WordReader::new(&pkt.payload);
+            for e in protocol::decode_diff_entries(&mut r) {
+                all.push((pkt.src, e));
+            }
+        }
+        all.sort_by_key(|(w, e)| (e.lamport, *w));
+        let mut st = self.state.lock();
+        let mut us = 0.0;
+        for (writer, e) in &all {
+            let applied = st.frame_mut(e.page).applied[*writer];
+            if e.hi <= applied {
+                continue;
+            }
+            st.apply_range(e.page, *writer, e.hi, &e.diff);
+            us += cost.diff_apply_us(e.diff.encoded_words());
+        }
+        drop(st);
+        self.node.advance(us);
+    }
+
+    /// Broadcast the current content of `range` of `arr` from `root` to
+    /// all nodes along a binomial tree — the modified-TreadMarks broadcast
+    /// used by the MGS hand-optimization (§5.3). Collective: every node
+    /// must call it at the same point.
+    pub fn bcast_pages(&self, root: usize, arr: SharedArray, range: Range<usize>) {
+        let seq = self.bcast_seq.get();
+        self.bcast_seq.set(seq.wrapping_add(1));
+        let t = tag::BCAST | (seq & 0xFFFF);
+        let me = self.proc_id();
+        let n = self.nprocs();
+        let (wlo, whi) = self.word_bounds(arr, &range);
+        let pw = self.cfg.page_words;
+        let (p0, p1) = (wlo / pw, (whi - 1) / pw);
+        let cost = self.node.cost().clone();
+
+        // Binomial-tree topology with `root` as virtual rank 0.
+        let vrank = (me + n - root) % n;
+        let payload: Vec<u64>;
+        if me == root {
+            // Publish local writes first so the broadcast content matches
+            // the interval state observers are entitled to.
+            let flush_us = {
+                let mut st = self.state.lock();
+                st.flush(&cost)
+            };
+            self.node.advance(flush_us);
+            let mut w = WordWriter::new();
+            let st = self.state.lock();
+            w.put_usize(p1 - p0 + 1);
+            for p in p0..=p1 {
+                let frame = st.frames.get(&p).expect("root owns the pages");
+                debug_assert!(!st.dirty.contains(&p), "root must not have open writes");
+                w.put_usize(p);
+                for &a in &frame.applied {
+                    w.put(a as u64);
+                }
+                for &x in &frame.data {
+                    w.put(x);
+                }
+            }
+            payload = w.finish();
+        } else {
+            let parent = ((vrank & (vrank.wrapping_sub(1))) + root) % n;
+            let pkt = self.node.recv_match(|p| p.src == parent && p.tag == t);
+            payload = pkt.payload;
+        }
+
+        // Forward to children.
+        let lsb = if vrank == 0 {
+            n.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
+        let mut m = lsb >> 1;
+        while m > 0 {
+            let vchild = vrank | m;
+            if vchild < n && vchild != vrank {
+                let child = (vchild + root) % n;
+                self.node
+                    .endpoint()
+                    .send_to_port(child, Port::App, t, MsgKind::Bcast, payload.clone());
+            }
+            m >>= 1;
+        }
+
+        if me != root {
+            let mut r = WordReader::new(&payload);
+            let npages = r.get_usize();
+            let mut st = self.state.lock();
+            let mut us = 0.0;
+            for _ in 0..npages {
+                let p = r.get_usize();
+                let applied: Vec<u32> = (0..n).map(|_| r.get() as u32).collect();
+                let frame = st.frame_mut(p);
+                debug_assert!(frame.twin.is_none(), "broadcast onto dirty page");
+                for i in 0..pw {
+                    frame.data[i] = r.get();
+                }
+                for (a, &b) in frame.applied.iter_mut().zip(&applied) {
+                    if b > *a {
+                        *a = b;
+                    }
+                }
+                st.stats.pages_broadcast += 1;
+                us += cost.diff_apply_us(pw);
+            }
+            drop(st);
+            self.node.advance(us);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Teardown
+    // ------------------------------------------------------------------
+
+    /// Shut this node's DSM down. Performs a final global barrier (so no
+    /// node can still need this node's diffs), stops the service thread,
+    /// and returns this node's protocol statistics. Every node must call
+    /// it; the instance is unusable afterwards.
+    pub fn finish(&self) -> DsmStats {
+        self.barrier(u32::MAX);
+        let stats = self.stats_snapshot();
+        self.stop_service();
+        stats
+    }
+
+    fn stop_service(&self) {
+        if let Some(handle) = self.svc.take() {
+            self.node
+                .endpoint()
+                .send_to_port(self.proc_id(), Port::Service, 0, MsgKind::Control, vec![op::SHUTDOWN]);
+            handle.join().expect("service thread panicked");
+        }
+    }
+}
+
+impl Drop for Tmk<'_> {
+    fn drop(&mut self) {
+        // `finish` is the orderly path; this is the safety net that keeps
+        // a panicking test from leaking the service thread.
+        self.stop_service();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2sim::{Cluster, ClusterConfig};
+
+    fn run<R: Send>(n: usize, f: impl Fn(&Tmk) -> R + Sync) -> sp2sim::RunOutput<R> {
+        Cluster::run(ClusterConfig::sp2(n), move |node| {
+            f(&Tmk::new(node, TmkConfig::default()))
+        })
+    }
+
+    #[test]
+    fn single_writer_propagates() {
+        let out = run(3, |tmk| {
+            let a = tmk.malloc_f64(100);
+            if tmk.proc_id() == 1 {
+                let mut w = tmk.write(a, 10..20);
+                for i in 10..20 {
+                    w[i] = (i * 2) as f64;
+                }
+                drop(w);
+            }
+            tmk.barrier(0);
+            let r = tmk.read(a, 10..20);
+            let v: Vec<f64> = r.slice().to_vec();
+            tmk.finish();
+            v
+        });
+        for res in out.results {
+            assert_eq!(res, (10..20).map(|i| (i * 2) as f64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn barrier_costs_2n_minus_2_messages() {
+        for n in [2usize, 4, 8] {
+            let out = run(n, |tmk| {
+                tmk.barrier(0);
+            });
+            assert_eq!(
+                out.stats.messages(MsgKind::BarrierArrive)
+                    + out.stats.messages(MsgKind::BarrierDepart),
+                2 * (n as u64 - 1),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_writers_of_one_page_merge() {
+        // Four nodes write disjoint quarters of a single page without any
+        // intervening synchronization: the multiple-writer protocol must
+        // merge all four diffs at the barrier.
+        let out = run(4, |tmk| {
+            let a = tmk.malloc_f64(128);
+            let me = tmk.proc_id();
+            let lo = me * 32;
+            let mut w = tmk.write(a, lo..lo + 32);
+            for i in lo..lo + 32 {
+                w[i] = (1000 * me + i) as f64;
+            }
+            drop(w);
+            tmk.barrier(0);
+            let r = tmk.read(a, 0..128);
+            let sum: f64 = r.slice().iter().sum();
+            tmk.finish();
+            sum
+        });
+        let expect: f64 = (0..4)
+            .flat_map(|m| (m * 32..m * 32 + 32).map(move |i| (1000 * m + i) as f64))
+            .sum();
+        for s in out.results {
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn lock_transfers_data_and_order() {
+        // A shared counter incremented under a lock by every node.
+        let out = run(4, |tmk| {
+            let a = tmk.malloc_f64(1);
+            for _round in 0..3 {
+                tmk.acquire(7);
+                let cur = tmk.read_one(a, 0);
+                tmk.write_one(a, 0, cur + 1.0);
+                tmk.release(7);
+            }
+            tmk.barrier(0);
+            let v = tmk.read_one(a, 0);
+            tmk.finish();
+            v
+        });
+        for v in out.results {
+            assert_eq!(v, 12.0);
+        }
+    }
+
+    #[test]
+    fn fork_join_carries_control_and_data() {
+        let out = run(4, |tmk| {
+            let a = tmk.malloc_f64(64);
+            if tmk.proc_id() == 0 {
+                // Master: init, dispatch a "loop", collect, read results.
+                let mut w = tmk.write(a, 0..32);
+                for i in 0..32 {
+                    w[i] = i as f64;
+                }
+                drop(w);
+                tmk.fork(&[42, 7]);
+                // Master's own chunk: element 0.
+                let x = tmk.read_one(a, 0);
+                tmk.write_one(a, 32, x + 1.0);
+                tmk.join();
+                let r = tmk.read(a, 32..36);
+                let v: Vec<f64> = r.slice().to_vec();
+                tmk.shutdown_workers();
+                tmk.finish();
+                v
+            } else {
+                let mut got = Vec::new();
+                while let Some(ctl) = tmk.worker_wait() {
+                    assert_eq!(ctl, vec![42, 7]);
+                    let me = tmk.proc_id();
+                    let x = tmk.read_one(a, me);
+                    tmk.write_one(a, 32 + me, x + 1.0);
+                    got.push(ctl[0]);
+                }
+                tmk.finish();
+                vec![got.len() as f64]
+            }
+        });
+        assert_eq!(out.results[0], vec![1.0, 2.0, 3.0, 4.0]);
+        for r in &out.results[1..] {
+            assert_eq!(r, &vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn improved_forkjoin_message_count() {
+        // One fork-join cycle: n-1 departures + n-1 arrivals (+ shutdown
+        // departures + final-barrier traffic, measured separately).
+        let n = 4;
+        let out = Cluster::run(ClusterConfig::sp2(n), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            if tmk.proc_id() == 0 {
+                tmk.fork(&[1]);
+                tmk.join();
+                let snap = node.stats().snapshot();
+                tmk.shutdown_workers();
+                tmk.finish();
+                Some((
+                    snap.messages(MsgKind::BarrierArrive),
+                    snap.messages(MsgKind::BarrierDepart),
+                ))
+            } else {
+                while tmk.worker_wait().is_some() {}
+                tmk.finish();
+                None
+            }
+        });
+        let (arr, dep) = out.results[0].unwrap();
+        assert_eq!(arr, 2 * (n as u64 - 1)); // startup + post-loop arrivals
+        assert_eq!(dep, n as u64 - 1); // one dispatch
+    }
+
+    #[test]
+    fn push_extension_delivers_before_read() {
+        let out = run(2, |tmk| {
+            let a = tmk.malloc_f64(16);
+            if tmk.proc_id() == 0 {
+                let mut w = tmk.write(a, 0..16);
+                for i in 0..16 {
+                    w[i] = 5.0;
+                }
+                drop(w);
+                tmk.push_at_next_barrier(1, a, 0..16);
+            }
+            tmk.barrier(0);
+            let before = tmk.stats_snapshot().faults;
+            let v = tmk.read_one(a, 3);
+            let after = tmk.stats_snapshot().faults;
+            tmk.finish();
+            (v, after - before)
+        });
+        assert_eq!(out.results[1].0, 5.0);
+        // The pushed page must not fault on the consumer.
+        assert_eq!(out.results[1].1, 0);
+        assert!(out.stats.messages(MsgKind::Push) == 1);
+        assert!(out.stats.messages(MsgKind::DiffReq) == 0);
+    }
+
+    #[test]
+    fn bcast_pages_distributes_without_faults() {
+        let out = run(4, |tmk| {
+            let a = tmk.malloc_f64(600); // two pages
+            if tmk.proc_id() == 2 {
+                let mut w = tmk.write(a, 0..600);
+                for i in 0..600 {
+                    w[i] = i as f64;
+                }
+                drop(w);
+            }
+            tmk.bcast_pages(2, a, 0..600);
+            let r = tmk.read(a, 0..600);
+            let ok = (0..600).all(|i| r[i] == i as f64);
+            let faults = tmk.stats_snapshot().faults;
+            tmk.barrier(0);
+            tmk.finish();
+            (ok, faults)
+        });
+        for (i, (ok, faults)) in out.results.iter().enumerate() {
+            assert!(ok, "node {i} content");
+            if i != 2 {
+                assert_eq!(*faults, 0, "node {i} should not fault after bcast");
+            }
+        }
+        assert_eq!(out.stats.messages(MsgKind::DiffReq), 0);
+    }
+
+    #[test]
+    fn sequential_consistency_of_epochs() {
+        // Writer updates the same page every epoch; readers must see
+        // exactly the epoch-consistent values, never future ones.
+        let out = run(3, |tmk| {
+            let a = tmk.malloc_f64(8);
+            let mut seen = Vec::new();
+            for epoch in 0..5u32 {
+                if tmk.proc_id() == 0 {
+                    let mut w = tmk.write(a, 0..8);
+                    for i in 0..8 {
+                        w[i] = f64::from(epoch);
+                    }
+                    drop(w);
+                }
+                tmk.barrier(epoch);
+                let r = tmk.read(a, 0..8);
+                seen.push(r[0]);
+                tmk.barrier(100 + epoch);
+            }
+            tmk.finish();
+            seen
+        });
+        for r in out.results {
+            assert_eq!(r, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn aggregation_reduces_requests() {
+        let run_with = |aggregation: bool| {
+            Cluster::run(ClusterConfig::sp2(2), move |node| {
+                let tmk = Tmk::new(
+                    node,
+                    TmkConfig {
+                        aggregation,
+                        ..TmkConfig::default()
+                    },
+                );
+                let a = tmk.malloc_f64(512 * 8); // 8 pages
+                if tmk.proc_id() == 0 {
+                    let mut w = tmk.write(a, 0..512 * 8);
+                    for i in 0..512 * 8 {
+                        w[i] = 1.0;
+                    }
+                    drop(w);
+                }
+                tmk.barrier(0);
+                if tmk.proc_id() == 1 {
+                    let r = tmk.read(a, 0..512 * 8);
+                    assert!(r.slice().iter().all(|&x| x == 1.0));
+                }
+                tmk.barrier(1);
+                tmk.finish();
+            })
+        };
+        let plain = run_with(false);
+        let agg = run_with(true);
+        assert_eq!(plain.stats.messages(MsgKind::DiffReq), 8);
+        assert_eq!(agg.stats.messages(MsgKind::DiffReq), 1);
+        // Same data volume either way, modulo 7 saved per-response count
+        // words (the actual diff payload is identical).
+        let plain_bytes = plain.stats.bytes_of(MsgKind::DiffResp);
+        let agg_bytes = agg.stats.bytes_of(MsgKind::DiffResp);
+        assert!(plain_bytes - agg_bytes <= 7 * 8);
+        assert!(agg_bytes > 8 * 512 * 8 as u64);
+        // Aggregation must be faster.
+        assert!(agg.elapsed < plain.elapsed);
+    }
+}

@@ -1,0 +1,130 @@
+//! Intervals and write notices.
+//!
+//! An **interval** is the unit of consistency information in lazy release
+//! consistency: everything a node wrote between two releases. It carries
+//! the creator, a per-creator sequence number, a Lamport stamp (a linear
+//! extension of happens-before used to order diff application), and the
+//! list of pages written — the **write notices**.
+
+use sp2sim::{WordReader, WordWriter};
+
+use crate::page::PageId;
+
+/// One interval: node `node`'s writes culminating in its `seq`-th release.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interval {
+    /// Creating node.
+    pub node: usize,
+    /// Per-creator sequence number (1-based; `vc[node] >= seq` means seen).
+    pub seq: u32,
+    /// Lamport stamp: any two ordered intervals have ordered stamps, so
+    /// applying diffs in `(lamport, node)` order is a linear extension of
+    /// happens-before. Concurrent intervals only ever write disjoint words
+    /// (the multiple-writer guarantee), so their relative order is
+    /// irrelevant.
+    pub lamport: u64,
+    /// Pages written during the interval (write notices).
+    pub pages: Vec<PageId>,
+}
+
+/// A write notice as stored per page: which interval wrote the page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Notice {
+    /// Writing node.
+    pub node: usize,
+    /// Interval sequence number of the write.
+    pub seq: u32,
+    /// Lamport stamp of the interval.
+    pub lamport: u64,
+}
+
+impl Interval {
+    /// Serialize into a word stream.
+    pub fn encode(&self, w: &mut WordWriter) {
+        w.put_usize(self.node);
+        w.put(self.seq as u64);
+        w.put(self.lamport);
+        w.put_usize(self.pages.len());
+        for &p in &self.pages {
+            w.put_usize(p);
+        }
+    }
+
+    /// Inverse of [`Interval::encode`].
+    pub fn decode(r: &mut WordReader) -> Interval {
+        let node = r.get_usize();
+        let seq = r.get() as u32;
+        let lamport = r.get();
+        let npages = r.get_usize();
+        let pages = (0..npages).map(|_| r.get_usize()).collect();
+        Interval {
+            node,
+            seq,
+            lamport,
+            pages,
+        }
+    }
+
+    /// Number of words [`Interval::encode`] produces.
+    pub fn encoded_words(&self) -> usize {
+        4 + self.pages.len()
+    }
+}
+
+/// Encode a batch of intervals with a count prefix.
+pub fn encode_intervals(w: &mut WordWriter, intervals: &[Interval]) {
+    w.put_usize(intervals.len());
+    for iv in intervals {
+        iv.encode(w);
+    }
+}
+
+/// Inverse of [`encode_intervals`].
+pub fn decode_intervals(r: &mut WordReader) -> Vec<Interval> {
+    let n = r.get_usize();
+    (0..n).map(|_| Interval::decode(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_roundtrip() {
+        let iv = Interval {
+            node: 3,
+            seq: 17,
+            lamport: 99,
+            pages: vec![1, 2, 40],
+        };
+        let mut w = WordWriter::new();
+        iv.encode(&mut w);
+        let buf = w.finish();
+        assert_eq!(buf.len(), iv.encoded_words());
+        let iv2 = Interval::decode(&mut WordReader::new(&buf));
+        assert_eq!(iv, iv2);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let ivs = vec![
+            Interval {
+                node: 0,
+                seq: 1,
+                lamport: 1,
+                pages: vec![],
+            },
+            Interval {
+                node: 1,
+                seq: 2,
+                lamport: 5,
+                pages: vec![9],
+            },
+        ];
+        let mut w = WordWriter::new();
+        encode_intervals(&mut w, &ivs);
+        let buf = w.finish();
+        let got = decode_intervals(&mut WordReader::new(&buf));
+        assert_eq!(ivs, got);
+    }
+}

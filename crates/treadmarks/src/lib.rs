@@ -1,0 +1,92 @@
+//! # treadmarks — a page-based software DSM with lazy release consistency
+//!
+//! This crate is the core system of the reproduction of Cox, Dwarkadas, Lu
+//! & Zwaenepoel, *"Evaluating the Performance of Software Distributed
+//! Shared Memory as a Target for Parallelizing Compilers"* (IPPS 1997): a
+//! reimplementation of the TreadMarks distributed shared memory system
+//! (Amza et al., IEEE Computer 1996) on top of the simulated SP/2 cluster
+//! provided by [`sp2sim`].
+//!
+//! ## Protocol
+//!
+//! * **Lazy invalidate release consistency (RC).** Ordinary shared accesses
+//!   are distinguished from synchronization accesses. A processor's writes
+//!   become visible to another only when a release by the writer becomes
+//!   visible to the reader through a chain of synchronization events.
+//!   Consistency information travels as **intervals** (per-release bundles
+//!   of **write notices**) stamped with vector clocks and Lamport clocks;
+//!   it is propagated at barrier departures and lock grants, and causes the
+//!   receiver to invalidate its copies of the named pages.
+//! * **Multiple-writer protocol.** Two or more processors may modify their
+//!   own copy of a page simultaneously. On the first write a node saves a
+//!   **twin** of the page; modifications are captured as **diffs** — run
+//!   length encodings of the changed 64-bit words, produced by comparing
+//!   the page against its twin. Diff creation is *delayed*: flushing at a
+//!   release only publishes write notices; the diff itself is materialized
+//!   the first time some node requests it (or when a push/broadcast
+//!   extension needs it). Consecutive un-requested intervals of the sole
+//!   writer of a page coalesce into a single diff, exactly the behaviour
+//!   that keeps real TreadMarks' diff traffic bounded by the page size.
+//! * **Access detection.** The original system used `mprotect` and SIGSEGV.
+//!   Here shared data is reachable only through [`dsm::ReadView`] /
+//!   [`dsm::WriteView`] handles whose creation performs the access check at
+//!   page granularity and triggers the same protocol transitions; the cost
+//!   model charges the same fault/twin/diff overheads the paper measures.
+//!   This substitution is documented in `DESIGN.md`.
+//! * **Synchronization.** Barriers have a centralized manager (node 0):
+//!   `2 (n - 1)` messages per barrier. Locks have statically assigned
+//!   managers (`lock % n`); acquire requests go to the manager and are
+//!   forwarded to the last holder; releases cost no communication.
+//! * **Improved fork-join interface (paper §2.3).** `fork` is a one-to-all
+//!   barrier *departure* that carries the loop-control variables, and
+//!   `join` is an all-to-one barrier *arrival*: `2 (n - 1)` messages per
+//!   parallel loop instead of `8 (n - 1)` with the original
+//!   barrier-plus-shared-control-page scheme (which is also implemented,
+//!   for the ablation).
+//! * **Extensions (paper §8 / Dwarkadas et al.).** Request aggregation
+//!   (one diff request per writer covering a whole view), data push at
+//!   barriers, and page broadcast — used by the hand-optimized program
+//!   versions of Section 5.
+//!
+//! ## Example
+//!
+//! ```
+//! use sp2sim::{Cluster, ClusterConfig};
+//! use treadmarks::{Tmk, TmkConfig};
+//!
+//! let out = Cluster::run(ClusterConfig::sp2(4), |node| {
+//!     let tmk = Tmk::new(node, TmkConfig::default());
+//!     let a = tmk.malloc_f64(1024);
+//!     if tmk.proc_id() == 0 {
+//!         let mut w = tmk.write(a, 0..1024);
+//!         for i in 0..1024 {
+//!             w[i] = i as f64;
+//!         }
+//!         drop(w);
+//!     }
+//!     tmk.barrier(0);
+//!     // Everyone reads the data written by node 0 on demand.
+//!     let r = tmk.read(a, 512..516);
+//!     let x = r[514];
+//!     tmk.barrier(1);
+//!     tmk.finish();
+//!     x
+//! });
+//! assert!(out.results.iter().all(|&x| x == 514.0));
+//! ```
+
+pub mod config;
+pub mod diff;
+pub mod dsm;
+pub mod interval;
+pub mod page;
+pub mod protocol;
+pub mod service;
+pub mod state;
+pub mod stats;
+pub mod vc;
+
+pub use config::TmkConfig;
+pub use diff::Diff;
+pub use dsm::{ReadView, SharedArray, Tmk, WriteView};
+pub use stats::DsmStats;

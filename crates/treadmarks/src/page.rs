@@ -1,0 +1,98 @@
+//! Pages and per-node page frames.
+
+use crate::diff::Diff;
+use std::sync::Arc;
+
+/// Global page number in the shared address space.
+pub type PageId = usize;
+
+/// A node's cached copy of one shared page, with the multiple-writer
+/// protocol bookkeeping.
+///
+/// The "base" of a frame that has never received data is the zero page —
+/// shared memory is zero-initialized, and every write anywhere is captured
+/// by some diff, so zero-base plus all missing diffs always reconstructs
+/// the consistent content.
+#[derive(Debug)]
+pub struct Frame {
+    /// Current content (zero page until first touch).
+    pub data: Vec<u64>,
+    /// Copy saved before the first local modification; present while the
+    /// node has unpublished or un-diffed local writes.
+    pub twin: Option<Vec<u64>>,
+    /// Highest interval sequence number applied, per writer node.
+    /// `applied[w] >= seq` means the write notice `(w, seq)` for this page
+    /// is already reflected in `data`.
+    pub applied: Vec<u32>,
+}
+
+impl Frame {
+    /// A fresh zero frame.
+    pub fn new(page_words: usize, nprocs: usize) -> Frame {
+        Frame {
+            data: vec![0; page_words],
+            twin: None,
+            applied: vec![0; nprocs],
+        }
+    }
+
+    /// Apply an incoming diff. If the frame is twinned (has local
+    /// modifications in progress), the diff is applied to the twin too so
+    /// that a later local diff does not re-attribute the remote words.
+    pub fn apply_diff(&mut self, diff: &Diff) {
+        diff.apply(&mut self.data);
+        if let Some(twin) = &mut self.twin {
+            diff.apply(twin);
+        }
+    }
+}
+
+/// A contiguous range of diffed intervals by one writer for one page.
+///
+/// Delayed diff creation coalesces all of a sole writer's un-requested
+/// intervals for a page into a single diff: `diff` covers the writer's
+/// intervals `lo..=hi`.
+#[derive(Clone, Debug)]
+pub struct DiffRange {
+    /// First covered sequence number.
+    pub lo: u32,
+    /// Last covered sequence number.
+    pub hi: u32,
+    /// The materialized diff.
+    pub diff: Arc<Diff>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::Diff;
+
+    #[test]
+    fn fresh_frame_is_zero() {
+        let f = Frame::new(8, 4);
+        assert_eq!(f.data, vec![0; 8]);
+        assert!(f.twin.is_none());
+        assert_eq!(f.applied, vec![0; 4]);
+    }
+
+    #[test]
+    fn apply_diff_updates_twin_too() {
+        let mut f = Frame::new(8, 2);
+        f.twin = Some(f.data.clone());
+        let mut newer = f.data.clone();
+        newer[2] = 42;
+        let d = Diff::create(&vec![0; 8], &newer);
+        f.apply_diff(&d);
+        assert_eq!(f.data[2], 42);
+        assert_eq!(f.twin.as_ref().unwrap()[2], 42);
+    }
+
+    #[test]
+    fn apply_diff_without_twin() {
+        let mut f = Frame::new(4, 2);
+        let d = Diff::create(&vec![0; 4], &vec![9, 0, 0, 9]);
+        f.apply_diff(&d);
+        assert_eq!(f.data, vec![9, 0, 0, 9]);
+        assert!(f.twin.is_none());
+    }
+}

@@ -1,0 +1,348 @@
+//! Wire protocol: opcodes, tags and message encodings.
+//!
+//! Requests travel to a node's **service port**; replies, grants,
+//! departures and data pushes travel to the **application port**. All
+//! payloads are word streams built with [`sp2sim::WordWriter`].
+
+use sp2sim::{WordReader, WordWriter};
+
+use crate::diff::Diff;
+use crate::interval::{decode_intervals, encode_intervals, Interval};
+use crate::page::PageId;
+use crate::state::DiffRange;
+use crate::vc::Vc;
+
+/// Service-port opcodes (first payload word).
+pub mod op {
+    /// Diff request.
+    pub const DIFF_REQ: u64 = 1;
+    /// Lock acquire request (direct or forwarded).
+    pub const LOCK_REQ: u64 = 2;
+    /// Barrier arrival (all nodes participate).
+    pub const BARRIER_ARRIVE: u64 = 3;
+    /// Worker arrival at the fork-join rendezvous.
+    pub const WORKER_ARRIVE: u64 = 4;
+    /// Master dispatches a parallel loop (one-to-all departure follows).
+    pub const MASTER_FORK: u64 = 5;
+    /// Master waits for workers (all-to-one arrival collection).
+    pub const MASTER_JOIN: u64 = 6;
+    /// Shut the service thread down (local, at `finish`).
+    pub const SHUTDOWN: u64 = 7;
+}
+
+/// Application-port tag bases. User-level message tags (in `mpl`) stay
+/// far below these.
+pub mod tag {
+    /// Diff response: `DIFF_RESP | (req_id & 0xFFFF)`.
+    pub const DIFF_RESP: u32 = 0x4000_0000;
+    /// Lock grant: `LOCK_GRANT | lock_id`.
+    pub const LOCK_GRANT: u32 = 0x4100_0000;
+    /// Barrier departure: `BARRIER_DEP | (epoch & 0xFFFF)`.
+    pub const BARRIER_DEP: u32 = 0x4200_0000;
+    /// Fork departure (carries loop control): `FORK_DEP | (epoch & 0xFFFF)`.
+    pub const FORK_DEP: u32 = 0x4300_0000;
+    /// Join acknowledgement to the master: `JOIN_DEP | (epoch & 0xFFFF)`.
+    pub const JOIN_DEP: u32 = 0x4400_0000;
+    /// Pushed diffs.
+    pub const PUSH: u32 = 0x4500_0000;
+    /// Broadcast pages: `BCAST | (seq & 0xFFFF)`.
+    pub const BCAST: u32 = 0x4600_0000;
+}
+
+/// Departure flag bits.
+pub mod flags {
+    /// The fork is a shutdown request: workers leave their loop.
+    pub const SHUTDOWN: u64 = 1;
+}
+
+/// Epoch-key bit distinguishing plain barriers from fork-join epochs in
+/// the manager's epoch map (both counters start at 0).
+pub const BARRIER_EPOCH_BIT: u64 = 1 << 62;
+
+/// One entry of a diff request: fetch `page` from the destination writer,
+/// intervals `first_needed` and beyond.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffReqEntry {
+    /// Page to fetch.
+    pub page: PageId,
+    /// First missing interval sequence number.
+    pub first_needed: u32,
+}
+
+/// Encode a diff request.
+pub fn encode_diff_req(req_id: u32, requester: usize, entries: &[DiffReqEntry]) -> Vec<u64> {
+    let mut w = WordWriter::with_capacity(4 + entries.len() * 2);
+    w.put(op::DIFF_REQ)
+        .put(req_id as u64)
+        .put_usize(requester)
+        .put_usize(entries.len());
+    for e in entries {
+        w.put_usize(e.page).put(e.first_needed as u64);
+    }
+    w.finish()
+}
+
+/// Decode the body of a diff request (after the opcode word).
+pub fn decode_diff_req(r: &mut WordReader) -> (u32, usize, Vec<DiffReqEntry>) {
+    let req_id = r.get() as u32;
+    let requester = r.get_usize();
+    let n = r.get_usize();
+    let entries = (0..n)
+        .map(|_| DiffReqEntry {
+            page: r.get_usize(),
+            first_needed: r.get() as u32,
+        })
+        .collect();
+    (req_id, requester, entries)
+}
+
+/// One entry of a diff response or push: a frozen diff range for a page.
+#[derive(Clone, Debug)]
+pub struct DiffRespEntry {
+    /// The page.
+    pub page: PageId,
+    /// Highest interval sequence covered.
+    pub hi: u32,
+    /// Lamport stamp of that interval (application order).
+    pub lamport: u64,
+    /// The diff itself.
+    pub diff: Diff,
+}
+
+/// Encode diff-response/push entries (count-prefixed).
+pub fn encode_diff_entries(w: &mut WordWriter, entries: &[(PageId, DiffRange)]) {
+    w.put_usize(entries.len());
+    for (page, r) in entries {
+        w.put_usize(*page).put(r.hi as u64).put(r.lamport);
+        r.diff.encode(w);
+    }
+}
+
+/// Decode diff-response/push entries.
+pub fn decode_diff_entries(r: &mut WordReader) -> Vec<DiffRespEntry> {
+    let n = r.get_usize();
+    (0..n)
+        .map(|_| {
+            let page = r.get_usize();
+            let hi = r.get() as u32;
+            let lamport = r.get();
+            let diff = Diff::decode(r);
+            DiffRespEntry {
+                page,
+                hi,
+                lamport,
+                diff,
+            }
+        })
+        .collect()
+}
+
+/// Encode a lock request.
+pub fn encode_lock_req(lock: u32, requester: usize, vc: &Vc) -> Vec<u64> {
+    let mut w = WordWriter::with_capacity(3 + vc.len());
+    w.put(op::LOCK_REQ).put(lock as u64).put_usize(requester);
+    for &x in vc {
+        w.put(x as u64);
+    }
+    w.finish()
+}
+
+/// Decode the body of a lock request (after the opcode word).
+pub fn decode_lock_req(r: &mut WordReader, n: usize) -> (u32, usize, Vc) {
+    let lock = r.get() as u32;
+    let requester = r.get_usize();
+    let vc = (0..n).map(|_| r.get() as u32).collect();
+    (lock, requester, vc)
+}
+
+/// Encode a lock grant: the intervals the requester has not seen.
+pub fn encode_lock_grant(intervals: &[std::sync::Arc<Interval>]) -> Vec<u64> {
+    let mut w = WordWriter::new();
+    let owned: Vec<Interval> = intervals.iter().map(|iv| (**iv).clone()).collect();
+    encode_intervals(&mut w, &owned);
+    w.finish()
+}
+
+/// Encode a barrier/worker arrival.
+pub fn encode_arrival(
+    opcode: u64,
+    epoch: u64,
+    src: usize,
+    push_counts: &[u64],
+    vc: &Vc,
+    intervals: &[std::sync::Arc<Interval>],
+) -> Vec<u64> {
+    let mut w = WordWriter::new();
+    w.put(opcode).put(epoch).put_usize(src);
+    for &c in push_counts {
+        w.put(c);
+    }
+    for &x in vc {
+        w.put(x as u64);
+    }
+    let owned: Vec<Interval> = intervals.iter().map(|iv| (**iv).clone()).collect();
+    encode_intervals(&mut w, &owned);
+    w.finish()
+}
+
+/// Decoded arrival.
+pub struct Arrival {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Arriving node.
+    pub src: usize,
+    /// Push messages this node sent, per destination.
+    pub push_counts: Vec<u64>,
+    /// The node's vector clock.
+    pub vc: Vc,
+    /// The node's new intervals.
+    pub intervals: Vec<Interval>,
+}
+
+/// Decode the body of an arrival (after the opcode word).
+pub fn decode_arrival(r: &mut WordReader, n: usize) -> Arrival {
+    let epoch = r.get();
+    let src = r.get_usize();
+    let push_counts = (0..n).map(|_| r.get()).collect();
+    let vc = (0..n).map(|_| r.get() as u32).collect();
+    let intervals = decode_intervals(r);
+    Arrival {
+        epoch,
+        src,
+        push_counts,
+        vc,
+        intervals,
+    }
+}
+
+/// Encode a departure (barrier or fork).
+pub fn encode_departure(
+    epoch: u64,
+    flag_bits: u64,
+    expected_push: u64,
+    ctl: &[u64],
+    intervals: &[std::sync::Arc<Interval>],
+) -> Vec<u64> {
+    let mut w = WordWriter::new();
+    w.put(epoch).put(flag_bits).put(expected_push);
+    w.put_words(ctl);
+    let owned: Vec<Interval> = intervals.iter().map(|iv| (**iv).clone()).collect();
+    encode_intervals(&mut w, &owned);
+    w.finish()
+}
+
+/// Decoded departure.
+pub struct Departure {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Flag bits (see [`flags`]).
+    pub flag_bits: u64,
+    /// Push messages to expect before proceeding.
+    pub expected_push: u64,
+    /// Loop-control words (improved fork-join interface, §2.3).
+    pub ctl: Vec<u64>,
+    /// Intervals this node has not yet seen.
+    pub intervals: Vec<Interval>,
+}
+
+/// Decode a departure.
+pub fn decode_departure(r: &mut WordReader) -> Departure {
+    let epoch = r.get();
+    let flag_bits = r.get();
+    let expected_push = r.get();
+    let ctl = r.get_words().to_vec();
+    let intervals = decode_intervals(r);
+    Departure {
+        epoch,
+        flag_bits,
+        expected_push,
+        ctl,
+        intervals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn diff_req_roundtrip() {
+        let entries = vec![
+            DiffReqEntry {
+                page: 4,
+                first_needed: 2,
+            },
+            DiffReqEntry {
+                page: 9,
+                first_needed: 1,
+            },
+        ];
+        let buf = encode_diff_req(33, 5, &entries);
+        let mut r = WordReader::new(&buf);
+        assert_eq!(r.get(), op::DIFF_REQ);
+        let (id, who, got) = decode_diff_req(&mut r);
+        assert_eq!(id, 33);
+        assert_eq!(who, 5);
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn lock_req_roundtrip() {
+        let buf = encode_lock_req(7, 2, &vec![1, 2, 3]);
+        let mut r = WordReader::new(&buf);
+        assert_eq!(r.get(), op::LOCK_REQ);
+        let (lock, who, vc) = decode_lock_req(&mut r, 3);
+        assert_eq!(lock, 7);
+        assert_eq!(who, 2);
+        assert_eq!(vc, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn arrival_departure_roundtrip() {
+        let ivs = vec![Arc::new(Interval {
+            node: 1,
+            seq: 3,
+            lamport: 8,
+            pages: vec![2, 3],
+        })];
+        let buf = encode_arrival(op::BARRIER_ARRIVE, 12, 1, &[0, 2], &vec![4, 3], &ivs);
+        let mut r = WordReader::new(&buf);
+        assert_eq!(r.get(), op::BARRIER_ARRIVE);
+        let a = decode_arrival(&mut r, 2);
+        assert_eq!(a.epoch, 12);
+        assert_eq!(a.src, 1);
+        assert_eq!(a.push_counts, vec![0, 2]);
+        assert_eq!(a.vc, vec![4, 3]);
+        assert_eq!(a.intervals.len(), 1);
+        assert_eq!(a.intervals[0].pages, vec![2, 3]);
+
+        let buf = encode_departure(12, flags::SHUTDOWN, 1, &[9, 9], &ivs);
+        let d = decode_departure(&mut WordReader::new(&buf));
+        assert_eq!(d.epoch, 12);
+        assert_eq!(d.flag_bits, flags::SHUTDOWN);
+        assert_eq!(d.expected_push, 1);
+        assert_eq!(d.ctl, vec![9, 9]);
+        assert_eq!(d.intervals.len(), 1);
+    }
+
+    #[test]
+    fn diff_entries_roundtrip() {
+        let diff = Diff::create(&[0, 0, 0, 0], &[1, 0, 0, 2]);
+        let range = DiffRange {
+            lo: 1,
+            hi: 4,
+            lamport: 10,
+            diff: Arc::new(diff.clone()),
+        };
+        let mut w = WordWriter::new();
+        encode_diff_entries(&mut w, &[(7usize, range)]);
+        let buf = w.finish();
+        let got = decode_diff_entries(&mut WordReader::new(&buf));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].page, 7);
+        assert_eq!(got[0].hi, 4);
+        assert_eq!(got[0].lamport, 10);
+        assert_eq!(got[0].diff, diff);
+    }
+}

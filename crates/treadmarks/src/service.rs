@@ -1,0 +1,320 @@
+//! The protocol service thread.
+//!
+//! One service thread runs per node, playing the role of TreadMarks'
+//! SIGIO-driven request handlers: it serves diff requests, participates in
+//! the distributed lock protocol, and (on the manager node) collects
+//! barrier arrivals and issues departures. It shares the node's
+//! [`DsmState`] with the application thread under a mutex and never blocks
+//! on remote operations, which makes the protocol deadlock-free by
+//! construction.
+//!
+//! Virtual-time model: a response becomes available at
+//! `request arrival + service cost` — the service processor is modelled as
+//! interrupt-driven and not contended, which is also why the resulting
+//! virtual times are deterministic.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sp2sim::{Endpoint, MsgKind, Port, VTime, WordReader};
+
+use crate::protocol::{self, op, tag};
+use crate::state::DsmState;
+
+/// Run the service loop until a `SHUTDOWN` opcode or cluster teardown.
+pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
+    while let Some(pkt) = ep.recv_any_raw() {
+        let arrival = pkt.arrival;
+        let mut r = WordReader::new(&pkt.payload);
+        match r.get() {
+            op::DIFF_REQ => handle_diff_req(&ep, &state, &mut r, arrival),
+            op::LOCK_REQ => handle_lock_req(&ep, &state, &mut r, arrival),
+            op::BARRIER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, false),
+            op::WORKER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, true),
+            op::MASTER_FORK => handle_master_fork(&ep, &state, &mut r, arrival),
+            op::MASTER_JOIN => handle_master_join(&ep, &state, &mut r, arrival),
+            op::SHUTDOWN => break,
+            other => unreachable!("unknown service opcode {other}"),
+        }
+    }
+}
+
+fn handle_diff_req(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+) {
+    let (req_id, requester, entries) = protocol::decode_diff_req(r);
+    let mut st = state.lock();
+    let cost = ep.cost().clone();
+    // Diff creation for a multi-page (aggregated) request is pipelined
+    // with transmission: only the first page's materialization delays the
+    // response; the rest overlaps serialization.
+    let mut first_us: f64 = 0.0;
+    let mut out = Vec::new();
+    for e in entries {
+        let (ranges, us) = st.serve_diffs(e.page, e.first_needed, &cost);
+        first_us = first_us.max(us);
+        for rg in ranges {
+            out.push((e.page, rg));
+        }
+    }
+    let service_us = cost.service_us + first_us;
+    drop(st);
+    let mut w = sp2sim::WordWriter::new();
+    protocol::encode_diff_entries(&mut w, &out);
+    ep.send_at(
+        requester,
+        Port::App,
+        tag::DIFF_RESP | (req_id & 0xFFFF),
+        MsgKind::DiffResp,
+        w.finish(),
+        arrival + service_us,
+    );
+}
+
+fn handle_lock_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+    let me = ep.id();
+    let n = ep.nprocs();
+    let (lock, requester, vc) = protocol::decode_lock_req(r, n);
+    let mgr = lock as usize % n;
+    let mut st = state.lock();
+    let manager_us = ep.cost().manager_us;
+
+    if me == mgr {
+        // Manager role: find the last node the lock was directed to and
+        // redirect the chain to the requester.
+        let owner = *st.lock_owner.get(&lock).unwrap_or(&mgr);
+        st.lock_owner.insert(lock, requester);
+        if owner != me {
+            // Forward to the (possibly future) holder.
+            drop(st);
+            ep.send_at(
+                owner,
+                Port::Service,
+                0,
+                MsgKind::LockFwd,
+                protocol::encode_lock_req(lock, requester, &vc),
+                arrival + manager_us,
+            );
+            return;
+        }
+        // else: we are also the holder-side — fall through.
+    }
+
+    holder_grant_or_queue(ep, &mut st, lock, requester, vc, arrival + manager_us);
+}
+
+/// Holder-side handling of a lock request.
+///
+/// Token discipline (deadlock freedom): if the token is here and the
+/// application is not holding the lock, the request is granted
+/// immediately — even if our own re-acquire is chasing the token through
+/// the chain, because the manager serialized that request after this one.
+/// Only a node that truly holds the lock, or that is itself waiting for
+/// the token to arrive, queues the request for its next release.
+fn holder_grant_or_queue(
+    ep: &Endpoint,
+    st: &mut DsmState,
+    lock: u32,
+    requester: usize,
+    vc: crate::vc::Vc,
+    ready: VTime,
+) {
+    let me = ep.id();
+    let service_us = ep.cost().service_us;
+    let lk = st.lock_entry(lock);
+    if requester == me {
+        // Our own request chased the chain back to us (we kept the
+        // token): grant locally, no further message.
+        debug_assert!(lk.has_token, "self-directed request implies token");
+        let release_vt = lk.release_vt;
+        ep.send_at(
+            me,
+            Port::App,
+            tag::LOCK_GRANT | lock,
+            MsgKind::Control,
+            protocol::encode_lock_grant(&[]),
+            ready.max(release_vt),
+        );
+        return;
+    }
+    if lk.held || !lk.has_token {
+        lk.queue.push_back(crate::state::QueuedReq {
+            requester,
+            vc,
+            arrival: ready,
+        });
+        return;
+    }
+    // Token present, lock free: hand the token over.
+    lk.has_token = false;
+    let release_vt = lk.release_vt;
+    let intervals = st.intervals_since(&vc);
+    ep.send_at(
+        requester,
+        Port::App,
+        tag::LOCK_GRANT | lock,
+        MsgKind::LockGrant,
+        protocol::encode_lock_grant(&intervals),
+        ready.max(release_vt) + service_us,
+    );
+}
+
+fn handle_arrival(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    _worker: bool,
+) {
+    let a = protocol::decode_arrival(r, ep.nprocs());
+    let mut st = state.lock();
+    // Intervals are NOT integrated yet: the manager's application thread
+    // may still be computing in the previous epoch and must not observe
+    // future write notices. They are integrated at epoch completion, when
+    // the local application is guaranteed to be blocked in the barrier.
+    let epoch = a.epoch;
+    let entry = st.epochs.entry(epoch).or_default();
+    entry
+        .arrivals
+        .push((a.src, a.vc.clone(), arrival, a.push_counts.clone()));
+    // Stash intervals alongside (keyed by src) for integration later.
+    st.pending_intervals(epoch, a.intervals);
+    try_complete_epoch(ep, &mut st, epoch);
+}
+
+fn handle_master_fork(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+    let epoch = r.get();
+    let flag_bits = r.get();
+    let ctl = {
+        let words = r.get_words();
+        let mut v = Vec::with_capacity(words.len() + 1);
+        v.push(flag_bits);
+        v.extend_from_slice(words);
+        v
+    };
+    let mut st = state.lock();
+    let entry = st.epochs.entry(epoch).or_default();
+    entry.fork_ctl = Some(ctl);
+    entry.fork_vt = arrival;
+    try_complete_epoch(ep, &mut st, epoch);
+}
+
+fn handle_master_join(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+    let epoch = r.get();
+    let mut st = state.lock();
+    let entry = st.epochs.entry(epoch).or_default();
+    entry.joined = true;
+    entry.join_vt = arrival;
+    try_complete_epoch(ep, &mut st, epoch);
+}
+
+/// Check whether `epoch` has everything it needs, and serve it.
+fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
+    let n = st.n;
+    let me = ep.id();
+    let manager_us = ep.cost().manager_us;
+    let entry = match st.epochs.get(&epoch) {
+        Some(e) => e,
+        None => return,
+    };
+    let arrived = entry.arrivals.len();
+    let is_barrier = epoch & protocol::BARRIER_EPOCH_BIT != 0;
+
+    if is_barrier {
+        if arrived < n {
+            return;
+        }
+        // Integrate everyone's intervals, then issue departures.
+        let entry = st.epochs.remove(&epoch).expect("checked above");
+        let max_at = entry
+            .arrivals
+            .iter()
+            .map(|(_, _, at, _)| *at)
+            .fold(VTime::ZERO, VTime::max);
+        let dep_time = max_at + n as f64 * manager_us;
+        st.integrate_pending(epoch);
+        // Total pushes headed to each destination.
+        let mut push_to = vec![0u64; n];
+        for (_, _, _, counts) in &entry.arrivals {
+            for (d, c) in counts.iter().enumerate() {
+                push_to[d] += c;
+            }
+        }
+        let e16 = (epoch & 0xFFFF) as u32;
+        for (src, vc, _, _) in &entry.arrivals {
+            let intervals = st.intervals_since(vc);
+            let payload =
+                protocol::encode_departure(epoch, 0, push_to[*src], &[], &intervals);
+            let kind = if *src == me {
+                MsgKind::Control
+            } else {
+                MsgKind::BarrierDepart
+            };
+            ep.send_at(
+                *src,
+                Port::App,
+                tag::BARRIER_DEP | e16,
+                kind,
+                payload,
+                dep_time,
+            );
+        }
+        return;
+    }
+
+    // Fork-join epoch: workers are `n - 1`; master interacts via
+    // MASTER_JOIN (all-to-one) and MASTER_FORK (one-to-all).
+    if arrived < n - 1 {
+        return;
+    }
+    let max_at = entry
+        .arrivals
+        .iter()
+        .map(|(_, _, at, _)| *at)
+        .fold(VTime::ZERO, VTime::max);
+    let e16 = (epoch & 0xFFFF) as u32;
+
+    let joined = entry.joined && !entry.join_served;
+    let join_vt = entry.join_vt;
+    if joined {
+        st.integrate_pending(epoch);
+        let dep_time = max_at.max(join_vt) + (n as f64 - 1.0) * manager_us;
+        ep.send_at(
+            me,
+            Port::App,
+            tag::JOIN_DEP | e16,
+            MsgKind::Control,
+            vec![epoch],
+            dep_time,
+        );
+        st.epochs
+            .get_mut(&epoch)
+            .expect("epoch exists")
+            .join_served = true;
+    }
+
+    let entry = st.epochs.get(&epoch).expect("epoch exists");
+    if let Some(ctl) = entry.fork_ctl.clone() {
+        let fork_vt = entry.fork_vt;
+        let entry = st.epochs.remove(&epoch).expect("epoch exists");
+        st.integrate_pending(epoch);
+        let flag_bits = ctl[0];
+        let ctl_words = &ctl[1..];
+        let dep_time = max_at.max(fork_vt) + (n as f64 - 1.0) * manager_us;
+        for (src, vc, _, _) in &entry.arrivals {
+            let intervals = st.intervals_since(vc);
+            let payload = protocol::encode_departure(epoch, flag_bits, 0, ctl_words, &intervals);
+            ep.send_at(
+                *src,
+                Port::App,
+                tag::FORK_DEP | e16,
+                MsgKind::BarrierDepart,
+                payload,
+                dep_time,
+            );
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! The per-node DSM state machine, shared between the application thread
+//! and the protocol service thread under a mutex.
+//!
+//! ## Diff lifecycle (lazy creation, like the original system)
+//!
+//! At a release (`flush`) only the write notices are published: the page
+//! keeps its twin and stays writable, and the per-page [`OpenRange`]
+//! metadata records which of this node's intervals the eventual diff will
+//! cover. The diff is **materialized on first request** by comparing the
+//! page against its twin; the page is then re-protected (twin dropped),
+//! so the next local write takes a fresh fault and twin. Consequences,
+//! matching real TreadMarks:
+//!
+//! * a page nobody ever fetches (the interior of Jacobi's partition)
+//!   costs *nothing* per interval — one twin, ever;
+//! * a page fetched every epoch (boundary columns) pays one fault + twin
+//!   + diff per epoch — the "overhead of detecting modifications" the
+//!   paper quantifies;
+//! * storage stays bounded: un-requested intervals coalesce into one
+//!   open range per page.
+//!
+//! Diffs are applied in `(lamport, node)` order, a linear extension of
+//! happens-before over intervals; concurrent intervals only ever write
+//! disjoint words (the multiple-writer guarantee) so their relative
+//! order is irrelevant. A materialized diff may include words of the
+//! writer's *open* epoch; a data-race-free program never reads such
+//! words before its next synchronization, and the notice/`applied`
+//! bookkeeping refetches the final values afterwards (validated by the
+//! bitwise cross-version application tests).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+use sp2sim::{CostModel, VTime};
+
+use crate::config::TmkConfig;
+use crate::diff::Diff;
+use crate::interval::{Interval, Notice};
+use crate::page::{Frame, PageId};
+use crate::stats::DsmStats;
+use crate::vc::Vc;
+
+/// Open (not yet materialized) diff range for a page: pure metadata.
+///
+/// Real TreadMarks creates diffs *lazily*: at a release only the write
+/// notice is published; the page keeps its twin and stays writable, so a
+/// page nobody ever requests costs nothing per interval. The diff is
+/// materialized from `twin -> data` the first time someone asks.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenRange {
+    /// First interval sequence number covered.
+    pub lo: u32,
+    /// Last interval sequence number covered.
+    pub hi: u32,
+    /// Lamport stamp of the `hi` interval.
+    pub lamport_hi: u64,
+}
+
+/// An immutable (frozen) diff covering intervals `lo..=hi` of this node
+/// for one page.
+#[derive(Clone, Debug)]
+pub struct DiffRange {
+    /// First covered sequence number.
+    pub lo: u32,
+    /// Last covered sequence number.
+    pub hi: u32,
+    /// Lamport stamp of the `hi` interval.
+    pub lamport: u64,
+    /// The diff.
+    pub diff: Arc<Diff>,
+}
+
+/// Diff storage for one page this node has written.
+#[derive(Debug, Default)]
+pub struct PageDiffs {
+    /// Frozen ranges in increasing `lo` order.
+    pub frozen: Vec<DiffRange>,
+    /// The open (unmaterialized) range, if any interval since the last
+    /// freeze wrote this page.
+    pub open: Option<OpenRange>,
+}
+
+/// Local state of one lock.
+///
+/// The **token** is what makes the distributed queue deadlock-free: it
+/// lives at the last holder after a release and moves with each grant.
+/// A node that still has the token but is not holding the lock must
+/// grant an incoming (forwarded) request immediately — even if its own
+/// re-acquire is outstanding; that request is queued later in the chain
+/// by the manager's serialization, so granting keeps the chain acyclic.
+#[derive(Debug, Default)]
+pub struct LockLocal {
+    /// This node possesses the lock token.
+    pub has_token: bool,
+    /// Application currently holds the lock.
+    pub held: bool,
+    /// Virtual time of the last local release.
+    pub release_vt: VTime,
+    /// Requests forwarded to us while we held the lock (or while our own
+    /// re-acquire was chasing the token); granted at release.
+    pub queue: VecDeque<QueuedReq>,
+}
+
+/// A queued remote lock request.
+#[derive(Debug)]
+pub struct QueuedReq {
+    /// Requesting node.
+    pub requester: usize,
+    /// Requester's vector clock at request time.
+    pub vc: Vc,
+    /// Arrival time of the request at this node.
+    pub arrival: VTime,
+}
+
+/// Barrier/fork-join bookkeeping for one epoch at the manager.
+#[derive(Debug, Default)]
+pub struct EpochState {
+    /// Arrivals received so far: `(src, vc, arrival time, pushes to expect
+    /// per destination)`.
+    pub arrivals: Vec<(usize, Vc, VTime, Vec<u64>)>,
+    /// Master fork control payload, once `fork` was called this epoch.
+    pub fork_ctl: Option<Vec<u64>>,
+    /// Virtual time of the master's fork call.
+    pub fork_vt: VTime,
+    /// Master called `join` this epoch.
+    pub joined: bool,
+    /// Virtual time of the master's join call.
+    pub join_vt: VTime,
+    /// The join reply was already sent.
+    pub join_served: bool,
+}
+
+/// The complete DSM state of one node.
+pub struct DsmState {
+    /// This node's id.
+    pub me: usize,
+    /// Cluster size.
+    pub n: usize,
+    /// Configuration (page size etc.).
+    pub cfg: TmkConfig,
+    /// Vector clock: `vc[me]` is our interval counter.
+    pub vc: Vc,
+    /// Highest Lamport stamp seen.
+    pub lamport: u64,
+    /// Interval log, indexed by creator, ascending sequence numbers.
+    pub log: Vec<Vec<Arc<Interval>>>,
+    /// Write notices per page, in integration order.
+    pub notices: HashMap<PageId, Vec<Notice>>,
+    /// Cached page frames.
+    pub frames: HashMap<PageId, Frame>,
+    /// Pages written since the last flush (BTreeSet: deterministic order).
+    pub dirty: BTreeSet<PageId>,
+    /// Diff storage for pages we have written.
+    pub diffs: HashMap<PageId, PageDiffs>,
+    /// Our own intervals not yet reported to the barrier manager.
+    pub unreported_seq: u32,
+    /// Lock state where we are (or were) the holder.
+    pub locks: HashMap<u32, LockLocal>,
+    /// Manager-side: last node a lock was directed to.
+    pub lock_owner: HashMap<u32, usize>,
+    /// Manager-side barrier state per epoch.
+    pub epochs: BTreeMap<u64, EpochState>,
+    /// Manager-side: intervals received in arrivals, buffered until epoch
+    /// completion (the local application must not observe future write
+    /// notices mid-epoch).
+    pub pending_ivs: BTreeMap<u64, Vec<Interval>>,
+    /// Pushes registered for the next barrier: `(target, page)`.
+    pub pending_push: Vec<(usize, PageId)>,
+    /// Per-node protocol statistics.
+    pub stats: DsmStats,
+}
+
+impl DsmState {
+    /// Fresh state for node `me` of `n`.
+    pub fn new(me: usize, n: usize, cfg: TmkConfig) -> DsmState {
+        DsmState {
+            me,
+            n,
+            cfg,
+            vc: vec![0; n],
+            lamport: 0,
+            log: (0..n).map(|_| Vec::new()).collect(),
+            notices: HashMap::new(),
+            frames: HashMap::new(),
+            dirty: BTreeSet::new(),
+            diffs: HashMap::new(),
+            unreported_seq: 0,
+            locks: HashMap::new(),
+            lock_owner: HashMap::new(),
+            epochs: BTreeMap::new(),
+            pending_ivs: BTreeMap::new(),
+            pending_push: Vec::new(),
+            stats: DsmStats::default(),
+        }
+    }
+
+    /// Lock-state entry with correct token initialization: the token
+    /// starts at the lock's statically assigned manager.
+    pub fn lock_entry(&mut self, lock: u32) -> &mut LockLocal {
+        let is_mgr = lock as usize % self.n == self.me;
+        self.locks.entry(lock).or_insert_with(|| LockLocal {
+            has_token: is_mgr,
+            ..LockLocal::default()
+        })
+    }
+
+    /// Buffer arrival intervals for `epoch` (manager side).
+    pub fn pending_intervals(&mut self, epoch: u64, intervals: Vec<Interval>) {
+        if !intervals.is_empty() {
+            self.pending_ivs.entry(epoch).or_default().extend(intervals);
+        }
+    }
+
+    /// Integrate everything buffered for `epoch` (manager side, called at
+    /// epoch completion while the local application is blocked in the
+    /// rendezvous). Per-creator sequence order is restored before
+    /// integration. Idempotent.
+    pub fn integrate_pending(&mut self, epoch: u64) {
+        if let Some(mut ivs) = self.pending_ivs.remove(&epoch) {
+            ivs.sort_by_key(|iv| (iv.node, iv.seq));
+            for iv in ivs {
+                self.integrate_interval(iv);
+            }
+        }
+    }
+
+    /// Get or create the frame for `page`.
+    pub fn frame_mut(&mut self, page: PageId) -> &mut Frame {
+        let (pw, n) = (self.cfg.page_words, self.n);
+        self.frames
+            .entry(page)
+            .or_insert_with(|| Frame::new(pw, n))
+    }
+
+    /// Write notices for `page` that are not yet applied to our frame.
+    /// Returned grouped by writer: `(writer, first missing seq)`.
+    pub fn missing_by_writer(&self, page: PageId) -> Vec<(usize, u32)> {
+        let Some(list) = self.notices.get(&page) else {
+            return Vec::new();
+        };
+        let applied = self.frames.get(&page).map(|f| f.applied.clone());
+        let mut first: HashMap<usize, u32> = HashMap::new();
+        for n in list {
+            if n.node == self.me {
+                continue;
+            }
+            let done = applied.as_ref().map_or(0, |a| a[n.node]);
+            if n.seq > done {
+                let e = first.entry(n.node).or_insert(n.seq);
+                if n.seq < *e {
+                    *e = n.seq;
+                }
+            }
+        }
+        let mut v: Vec<(usize, u32)> = first.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Release operation: publish one interval carrying write notices for
+    /// all dirty pages. Diff creation is *delayed*: the page keeps its
+    /// twin and stays writable, and only the open-range metadata is
+    /// extended — per real TreadMarks, a page nobody requests costs
+    /// nothing per interval. Returns the (small) bookkeeping time to
+    /// charge to the releasing thread.
+    pub fn flush(&mut self, cost: &CostModel) -> f64 {
+        if self.dirty.is_empty() {
+            return 0.0;
+        }
+        let seq = self.vc[self.me] + 1;
+        self.vc[self.me] = seq;
+        self.lamport += 1;
+        let lamport = self.lamport;
+        let pages: Vec<PageId> = std::mem::take(&mut self.dirty).into_iter().collect();
+        for &p in &pages {
+            let frame = self.frames.get_mut(&p).expect("dirty page has a frame");
+            debug_assert!(frame.twin.is_some(), "dirty page has a twin");
+            let entry = self.diffs.entry(p).or_default();
+            let open = entry.open.get_or_insert(OpenRange {
+                lo: seq,
+                hi: seq,
+                lamport_hi: lamport,
+            });
+            open.hi = seq;
+            open.lamport_hi = lamport;
+            frame.applied[self.me] = seq;
+            self.notices.entry(p).or_default().push(Notice {
+                node: self.me,
+                seq,
+                lamport,
+            });
+        }
+        let us = pages.len() as f64 * cost.manager_us * 0.1;
+        let iv = Arc::new(Interval {
+            node: self.me,
+            seq,
+            lamport,
+            pages,
+        });
+        self.log[self.me].push(iv);
+        self.stats.intervals_created += 1;
+        us
+    }
+
+    /// Integrate an interval received from elsewhere. Idempotent; returns
+    /// `true` if it was new.
+    pub fn integrate_interval(&mut self, iv: Interval) -> bool {
+        if iv.seq <= self.vc[iv.node] {
+            return false;
+        }
+        debug_assert_eq!(
+            iv.seq,
+            self.vc[iv.node] + 1,
+            "intervals from one creator integrate in order"
+        );
+        self.vc[iv.node] = iv.seq;
+        if iv.lamport > self.lamport {
+            self.lamport = iv.lamport;
+        }
+        for &p in &iv.pages {
+            self.notices.entry(p).or_default().push(Notice {
+                node: iv.node,
+                seq: iv.seq,
+                lamport: iv.lamport,
+            });
+        }
+        self.log[iv.node].push(Arc::new(iv));
+        true
+    }
+
+    /// All intervals in our log that `their_vc` has not seen.
+    pub fn intervals_since(&self, their_vc: &Vc) -> Vec<Arc<Interval>> {
+        let mut out = Vec::new();
+        for (creator, ivs) in self.log.iter().enumerate() {
+            let known = their_vc[creator];
+            // Sequence numbers are 1-based and dense: skip the first
+            // `known` entries.
+            for iv in ivs.iter().skip(known as usize) {
+                debug_assert!(iv.seq > known);
+                out.push(Arc::clone(iv));
+            }
+        }
+        out
+    }
+
+    /// Our own intervals not yet reported via a barrier arrival.
+    pub fn take_unreported(&mut self) -> Vec<Arc<Interval>> {
+        let from = self.unreported_seq;
+        self.unreported_seq = self.vc[self.me];
+        self.log[self.me]
+            .iter()
+            .skip(from as usize)
+            .cloned()
+            .collect()
+    }
+
+    /// Serve a diff request for `page`, intervals `first_needed..`.
+    ///
+    /// Materializes (freezes) the open range if it is needed — this is
+    /// where the twin comparison actually happens and is charged — then
+    /// returns every frozen range with `hi >= first_needed`. After a
+    /// freeze the twin is dropped (unless the page is dirty again), so
+    /// the next local write re-faults and re-twins, exactly like the
+    /// original system re-protecting a diffed page.
+    pub fn serve_diffs(
+        &mut self,
+        page: PageId,
+        first_needed: u32,
+        cost: &CostModel,
+    ) -> (Vec<DiffRange>, f64) {
+        let mut us = 0.0;
+        let entry = self.diffs.entry(page).or_default();
+        if let Some(open) = entry.open {
+            if open.hi >= first_needed {
+                entry.open = None;
+                let frame = self.frames.get_mut(&page).expect("open range has a frame");
+                let twin = frame.twin.as_ref().expect("open range has a twin");
+                let diff = Diff::create(twin, &frame.data);
+                us += cost.diff_create_us(diff.changed_words());
+                self.stats.diffs_created += 1;
+                self.stats.diff_words_created += diff.changed_words() as u64;
+                if !self.dirty.contains(&page) {
+                    // Re-protect: the next write takes a fresh fault+twin.
+                    frame.twin = None;
+                }
+                let entry = self.diffs.entry(page).or_default();
+                entry.frozen.push(DiffRange {
+                    lo: open.lo,
+                    hi: open.hi,
+                    lamport: open.lamport_hi,
+                    diff: Arc::new(diff),
+                });
+            }
+        }
+        let entry = self.diffs.entry(page).or_default();
+        let ranges: Vec<DiffRange> = entry
+            .frozen
+            .iter()
+            .filter(|r| r.hi >= first_needed)
+            .cloned()
+            .collect();
+        (ranges, us)
+    }
+
+    /// Apply a fetched diff range from `writer` to our frame of `page`.
+    /// Caller is responsible for ordering by `(lamport, writer)`.
+    pub fn apply_range(&mut self, page: PageId, writer: usize, hi: u32, diff: &Diff) {
+        let frame = self.frame_mut(page);
+        frame.apply_diff(diff);
+        if hi > frame.applied[writer] {
+            frame.applied[writer] = hi;
+        }
+        self.stats.diffs_applied += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(me: usize, n: usize) -> DsmState {
+        DsmState::new(me, n, TmkConfig::default())
+    }
+
+    fn write_words(s: &mut DsmState, page: PageId, vals: &[(usize, u64)]) {
+        let frame = s.frame_mut(page);
+        if frame.twin.is_none() {
+            frame.twin = Some(frame.data.clone());
+        }
+        for &(i, v) in vals {
+            frame.data[i] = v;
+        }
+        s.dirty.insert(page);
+    }
+
+    #[test]
+    fn flush_creates_interval_and_notice() {
+        let mut s = state(1, 4);
+        write_words(&mut s, 7, &[(0, 42)]);
+        s.flush(&CostModel::sp2());
+        assert_eq!(s.vc[1], 1);
+        assert_eq!(s.log[1].len(), 1);
+        assert_eq!(s.log[1][0].pages, vec![7]);
+        assert_eq!(s.notices[&7].len(), 1);
+        assert!(s.dirty.is_empty());
+        // Lazy diffing: the twin survives the release; it is dropped only
+        // when the diff is materialized by a request.
+        assert!(s.frames[&7].twin.is_some());
+        // Our own write is considered applied locally.
+        assert_eq!(s.frames[&7].applied[1], 1);
+    }
+
+    #[test]
+    fn empty_flush_is_free_and_silent() {
+        let mut s = state(0, 2);
+        assert_eq!(s.flush(&CostModel::sp2()), 0.0);
+        assert_eq!(s.vc[0], 0);
+        assert!(s.log[0].is_empty());
+    }
+
+    #[test]
+    fn unserved_intervals_coalesce_into_one_open_range() {
+        let mut s = state(0, 2);
+        for k in 0..5u64 {
+            write_words(&mut s, 3, &[(k as usize, k + 1)]);
+            s.flush(&CostModel::sp2());
+        }
+        let pd = &s.diffs[&3];
+        assert!(pd.frozen.is_empty());
+        let open = pd.open.as_ref().unwrap();
+        assert_eq!((open.lo, open.hi), (1, 5));
+        // No diff materialized yet, and the single twin is retained.
+        assert_eq!(s.stats.diffs_created, 0);
+        assert!(s.frames[&3].twin.is_some());
+        // Materializing covers all five writes at once.
+        let (ranges, us) = s.serve_diffs(3, 1, &CostModel::sp2());
+        assert!(us > 0.0);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].diff.changed_words(), 5);
+        assert!(s.frames[&3].twin.is_none(), "page re-protected after serve");
+    }
+
+    #[test]
+    fn serve_freezes_and_next_flush_opens_new_range() {
+        let mut s = state(0, 2);
+        write_words(&mut s, 3, &[(0, 1)]);
+        s.flush(&CostModel::sp2());
+        let (ranges, _) = s.serve_diffs(3, 1, &CostModel::sp2());
+        assert_eq!(ranges.len(), 1);
+        assert_eq!((ranges[0].lo, ranges[0].hi), (1, 1));
+        assert_eq!(ranges[0].diff.changed_words(), 1);
+        // New write after the serve goes to a fresh accumulator.
+        write_words(&mut s, 3, &[(1, 2)]);
+        s.flush(&CostModel::sp2());
+        let pd = &s.diffs[&3];
+        assert_eq!(pd.frozen.len(), 1);
+        let open = pd.open.as_ref().unwrap();
+        assert_eq!((open.lo, open.hi), (2, 2));
+        // A requester that already has seq 1 only gets the new range.
+        let (ranges, _) = s.serve_diffs(3, 2, &CostModel::sp2());
+        assert_eq!(ranges.len(), 1);
+        assert_eq!((ranges[0].lo, ranges[0].hi), (2, 2));
+        // A brand-new requester gets both.
+        let (ranges, _) = s.serve_diffs(3, 1, &CostModel::sp2());
+        assert_eq!(ranges.len(), 2);
+    }
+
+    #[test]
+    fn integrate_interval_is_idempotent_and_ordered() {
+        let mut s = state(0, 3);
+        let iv = Interval {
+            node: 2,
+            seq: 1,
+            lamport: 4,
+            pages: vec![11],
+        };
+        assert!(s.integrate_interval(iv.clone()));
+        assert!(!s.integrate_interval(iv));
+        assert_eq!(s.vc[2], 1);
+        assert_eq!(s.lamport, 4);
+        assert_eq!(s.notices[&11].len(), 1);
+    }
+
+    #[test]
+    fn missing_by_writer_reports_unapplied() {
+        let mut s = state(0, 3);
+        for seq in 1..=3 {
+            s.integrate_interval(Interval {
+                node: 1,
+                seq,
+                lamport: seq as u64,
+                pages: vec![5],
+            });
+        }
+        assert_eq!(s.missing_by_writer(5), vec![(1, 1)]);
+        // Apply up to seq 2: only seq 3 is missing.
+        s.frame_mut(5).applied[1] = 2;
+        assert_eq!(s.missing_by_writer(5), vec![(1, 3)]);
+        s.frame_mut(5).applied[1] = 3;
+        assert!(s.missing_by_writer(5).is_empty());
+    }
+
+    #[test]
+    fn intervals_since_filters_by_vc() {
+        let mut s = state(0, 2);
+        write_words(&mut s, 1, &[(0, 9)]);
+        s.flush(&CostModel::sp2());
+        write_words(&mut s, 2, &[(0, 9)]);
+        s.flush(&CostModel::sp2());
+        assert_eq!(s.intervals_since(&vec![0, 0]).len(), 2);
+        assert_eq!(s.intervals_since(&vec![1, 0]).len(), 1);
+        assert_eq!(s.intervals_since(&vec![2, 0]).len(), 0);
+    }
+
+    #[test]
+    fn take_unreported_returns_each_interval_once() {
+        let mut s = state(0, 2);
+        write_words(&mut s, 1, &[(0, 1)]);
+        s.flush(&CostModel::sp2());
+        assert_eq!(s.take_unreported().len(), 1);
+        assert_eq!(s.take_unreported().len(), 0);
+        write_words(&mut s, 1, &[(1, 1)]);
+        s.flush(&CostModel::sp2());
+        write_words(&mut s, 1, &[(2, 1)]);
+        s.flush(&CostModel::sp2());
+        assert_eq!(s.take_unreported().len(), 2);
+    }
+
+    #[test]
+    fn apply_range_updates_frame_and_applied() {
+        let mut s0 = state(0, 2);
+        let mut s1 = state(1, 2);
+        // Node 1 writes and flushes; node 0 fetches.
+        write_words(&mut s1, 4, &[(2, 77)]);
+        s1.flush(&CostModel::sp2());
+        let (ranges, _) = s1.serve_diffs(4, 1, &CostModel::sp2());
+        for r in &ranges {
+            s0.apply_range(4, 1, r.hi, &r.diff);
+        }
+        assert_eq!(s0.frames[&4].data[2], 77);
+        assert_eq!(s0.frames[&4].applied[1], 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! DSM-level statistics (protocol actions rather than messages).
+
+/// Per-node counters of DSM protocol actions. Network message counts live
+/// in [`sp2sim::NetStats`]; these counters cover the shared-memory
+/// machinery itself — the "overhead of detecting modifications" the paper
+//  analyzes (twinning, diffing, page faults) plus synchronization events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DsmStats {
+    /// Access faults taken (read faults on invalidated pages and write
+    /// faults that created a twin).
+    pub faults: u64,
+    /// Twins created.
+    pub twins: u64,
+    /// Per-interval page diffs captured at releases.
+    pub diffs_created: u64,
+    /// Total modified words captured.
+    pub diff_words_created: u64,
+    /// Diff ranges applied from remote writers.
+    pub diffs_applied: u64,
+    /// Intervals created (releases with dirty pages).
+    pub intervals_created: u64,
+    /// Barriers completed.
+    pub barriers: u64,
+    /// Fork (parallel-loop dispatch) operations.
+    pub forks: u64,
+    /// Lock acquires performed.
+    pub lock_acquires: u64,
+    /// Lock acquires satisfied without any message.
+    pub lock_local_hits: u64,
+    /// Pages pushed via the push extension.
+    pub pages_pushed: u64,
+    /// Pages broadcast via the broadcast extension.
+    pub pages_broadcast: u64,
+}
+
+impl DsmStats {
+    /// Elementwise sum, for aggregating across nodes.
+    pub fn merge(&mut self, other: &DsmStats) {
+        self.faults += other.faults;
+        self.twins += other.twins;
+        self.diffs_created += other.diffs_created;
+        self.diff_words_created += other.diff_words_created;
+        self.diffs_applied += other.diffs_applied;
+        self.intervals_created += other.intervals_created;
+        self.barriers += other.barriers;
+        self.forks += other.forks;
+        self.lock_acquires += other.lock_acquires;
+        self.lock_local_hits += other.lock_local_hits;
+        self.pages_pushed += other.pages_pushed;
+        self.pages_broadcast += other.pages_broadcast;
+    }
+
+    /// Sum a collection of per-node statistics.
+    pub fn total<'a>(stats: impl IntoIterator<Item = &'a DsmStats>) -> DsmStats {
+        let mut t = DsmStats::default();
+        for s in stats {
+            t.merge(s);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = DsmStats {
+            faults: 1,
+            twins: 2,
+            barriers: 3,
+            ..Default::default()
+        };
+        let b = DsmStats {
+            faults: 10,
+            lock_acquires: 5,
+            ..Default::default()
+        };
+        let t = DsmStats::total([&a, &b]);
+        assert_eq!(t.faults, 11);
+        assert_eq!(t.twins, 2);
+        assert_eq!(t.barriers, 3);
+        assert_eq!(t.lock_acquires, 5);
+    }
+}

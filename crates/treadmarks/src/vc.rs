@@ -1,0 +1,58 @@
+//! Vector clocks over interval sequence numbers.
+//!
+//! `vc[k]` is the highest interval sequence number of node `k` that this
+//! node has seen (applied the write notices of). A node's own entry is its
+//! interval counter.
+
+/// A vector clock: one entry per node.
+pub type Vc = Vec<u32>;
+
+/// `true` if `a` dominates `b` (knows at least everything `b` knows).
+pub fn dominates(a: &Vc, b: &Vc) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(x, y)| x >= y)
+}
+
+/// Merge `b` into `a` (elementwise max).
+pub fn merge(a: &mut Vc, b: &Vc) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        if *y > *x {
+            *x = *y;
+        }
+    }
+}
+
+/// `true` if the two clocks are concurrent (neither dominates).
+pub fn concurrent(a: &Vc, b: &Vc) -> bool {
+    !dominates(a, b) && !dominates(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_reflexive_and_partial() {
+        let a = vec![1, 2, 3];
+        let b = vec![1, 1, 3];
+        assert!(dominates(&a, &a));
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_elementwise_max() {
+        let mut a = vec![1, 5, 0];
+        merge(&mut a, &vec![3, 2, 2]);
+        assert_eq!(a, vec![3, 5, 2]);
+    }
+
+    #[test]
+    fn concurrency() {
+        let a = vec![2, 0];
+        let b = vec![0, 2];
+        assert!(concurrent(&a, &b));
+        assert!(!concurrent(&a, &a));
+    }
+}

@@ -1,0 +1,41 @@
+//! The paper's headline comparison on one regular application.
+//!
+//! Run with: `cargo run --release --example dsm_vs_mp [scale]`
+//!
+//! Runs Jacobi in all four program versions (compiler-generated shared
+//! memory, hand-coded TreadMarks, compiler-generated message passing,
+//! hand-coded PVMe) on 8 simulated processors and prints the Figure 1 /
+//! Table 2 row, demonstrating the paper's regular-application result:
+//! message passing wins, but the DSM versions are close behind.
+
+use apps::{run, AppId, Version};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let nprocs = 8;
+
+    let seq = run(AppId::Jacobi, Version::Seq, 1, scale);
+    println!(
+        "Jacobi, sequential time {:.2}s (scale {scale})\n",
+        seq.time_us / 1e6
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "version", "speedup", "messages", "data KB"
+    );
+    for v in Version::FIGURE {
+        let r = run(AppId::Jacobi, v, nprocs, scale);
+        assert_eq!(r.checksum, seq.checksum, "all versions agree bitwise");
+        println!(
+            "{:<12} {:>8.2} {:>10} {:>10}",
+            v.name(),
+            r.speedup_vs(seq.time_us),
+            r.messages,
+            r.kbytes
+        );
+    }
+    println!("\n(results verified bit-identical to the sequential run)");
+}

@@ -1,0 +1,137 @@
+//! Shape assertions: the qualitative results of the paper must hold in
+//! the reproduction at any scale.
+//!
+//! From the abstract: "On the regular programs, both the compiler-
+//! generated and the hand-coded message passing outperform the
+//! SPF/TreadMarks combination [...]. On the irregular programs, the
+//! SPF/TreadMarks combination outperforms the compiler-generated message
+//! passing [...] and only slightly underperforms the hand-coded message
+//! passing."
+
+use apps::{run, AppId, Version};
+
+const SCALE: f64 = 0.06;
+/// The irregular-application *time* shape needs enough data volume for
+/// XHPF's partition broadcasts to hurt; smaller scales only show the
+/// traffic shape.
+const IRREGULAR_SCALE: f64 = 0.35;
+const NPROCS: usize = 8;
+
+fn speedups_at(app: AppId, scale: f64) -> (f64, f64, f64, f64) {
+    let seq = run(app, Version::Seq, 1, scale).time_us;
+    let s = |v| run(app, v, NPROCS, scale).speedup_vs(seq);
+    (
+        s(Version::Spf),
+        s(Version::Tmk),
+        s(Version::Xhpf),
+        s(Version::Pvme),
+    )
+}
+
+fn speedups(app: AppId) -> (f64, f64, f64, f64) {
+    speedups_at(app, SCALE)
+}
+
+#[test]
+fn regular_jacobi_message_passing_wins_but_dsm_is_close() {
+    // The "same league" ratio needs per-iteration compute that dwarfs
+    // fixed synchronization latencies, as in the paper's 2048^2 runs.
+    let (spf, tmk, xhpf, pvme) = speedups_at(AppId::Jacobi, 0.3);
+    assert!(xhpf > spf, "XHPF {xhpf:.2} must beat SPF {spf:.2} on Jacobi");
+    assert!(pvme > tmk, "PVMe {pvme:.2} must beat Tmk {tmk:.2} on Jacobi");
+    assert!(tmk >= spf * 0.98, "hand-coded DSM at least matches SPF");
+    // The paper's gap is 5.5%-7.5% for Jacobi: small, not catastrophic.
+    assert!(
+        pvme / spf < 2.0,
+        "DSM stays in the same league on regular code ({:.2}x)",
+        pvme / spf
+    );
+}
+
+#[test]
+fn regular_fft_transpose_hurts_dsm_more() {
+    let (spf, tmk, xhpf, pvme) = speedups(AppId::Fft3d);
+    assert!(xhpf > spf, "XHPF {xhpf:.2} vs SPF {spf:.2}");
+    assert!(pvme > tmk, "PVMe {pvme:.2} vs Tmk {tmk:.2}");
+    // FFT shows the largest regular-program gap in the paper (40%/49%).
+    assert!(
+        pvme > spf * 1.15,
+        "FFT gap must be substantial: PVMe {pvme:.2} vs SPF {spf:.2}"
+    );
+}
+
+#[test]
+fn irregular_igrid_dsm_beats_compiled_message_passing() {
+    let (spf, _tmk, xhpf, pvme) = speedups_at(AppId::IGrid, IRREGULAR_SCALE);
+    // Paper: SPF/Tmk 7.54, XHPF 3.85 (+89% for DSM), PVMe 7.88 (-4.4%).
+    assert!(
+        spf > xhpf * 1.3,
+        "SPF {spf:.2} must clearly beat XHPF {xhpf:.2} on IGrid"
+    );
+    assert!(
+        spf > pvme * 0.80,
+        "SPF {spf:.2} must be close to PVMe {pvme:.2} on IGrid"
+    );
+}
+
+#[test]
+fn irregular_nbf_dsm_beats_compiled_message_passing() {
+    let (spf, tmk, xhpf, pvme) = speedups_at(AppId::Nbf, IRREGULAR_SCALE);
+    // Paper: PVMe 6.18 > Tmk 5.86 > SPF 5.31 > XHPF 3.85.
+    assert!(
+        spf > xhpf * 1.2,
+        "SPF {spf:.2} must clearly beat XHPF {xhpf:.2} on NBF"
+    );
+    assert!(tmk > spf * 0.95, "Tmk {tmk:.2} at least matches SPF {spf:.2}");
+    assert!(
+        spf > pvme * 0.7,
+        "SPF {spf:.2} must be close to PVMe {pvme:.2} on NBF"
+    );
+}
+
+#[test]
+fn irregular_xhpf_data_explosion() {
+    // Table 3: XHPF moves orders of magnitude more data because it
+    // broadcasts whole partitions after unanalyzable loops.
+    for app in AppId::IRREGULAR {
+        let spf = run(app, Version::Spf, NPROCS, IRREGULAR_SCALE);
+        let xhpf = run(app, Version::Xhpf, NPROCS, IRREGULAR_SCALE);
+        assert!(
+            xhpf.kbytes > 3 * spf.kbytes,
+            "{}: XHPF {} KB vs SPF {} KB",
+            app.name(),
+            xhpf.kbytes,
+            spf.kbytes
+        );
+    }
+}
+
+#[test]
+fn hand_coded_dsm_beats_compiler_generated_dsm() {
+    // Paper §7: "On both the regular and the irregular programs, the
+    // hand-coded TreadMarks outperforms the SPF/TreadMarks combination.
+    // The difference varies from 2% to 20%."
+    for app in [AppId::Jacobi, AppId::Shallow, AppId::Mgs, AppId::Fft3d] {
+        let seq = run(app, Version::Seq, 1, SCALE).time_us;
+        let spf = run(app, Version::Spf, NPROCS, SCALE).speedup_vs(seq);
+        let tmk = run(app, Version::Tmk, NPROCS, SCALE).speedup_vs(seq);
+        assert!(
+            tmk >= spf,
+            "{}: hand-coded {tmk:.2} must be at least compiler {spf:.2}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn mgs_spf_pays_for_master_normalization() {
+    // §5.3: the master-executed normalization costs SPF dearly
+    // (3.35 vs 4.19 hand-coded).
+    let seq = run(AppId::Mgs, Version::Seq, 1, SCALE).time_us;
+    let spf = run(AppId::Mgs, Version::Spf, NPROCS, SCALE).speedup_vs(seq);
+    let tmk = run(AppId::Mgs, Version::Tmk, NPROCS, SCALE).speedup_vs(seq);
+    assert!(
+        tmk > spf * 1.05,
+        "MGS hand-coded {tmk:.2} must clearly beat SPF {spf:.2}"
+    );
+}
