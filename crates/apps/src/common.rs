@@ -109,9 +109,7 @@ pub fn meter_start(node: &Node) -> Meter {
 /// node 0, the message statistics of the region.
 pub fn meter_stop(node: &Node, m: Meter) -> (f64, Option<StatsSnapshot>) {
     node.rendezvous();
-    let delta = m
-        .snap0
-        .map(|s0| node.stats().snapshot().delta(&s0));
+    let delta = m.snap0.map(|s0| node.stats().snapshot().delta(&s0));
     node.rendezvous();
     (node.now().us() - m.t0, delta)
 }

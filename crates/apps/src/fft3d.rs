@@ -26,7 +26,7 @@ use std::cell::RefCell;
 use std::ops::Range;
 
 use mpl::Comm;
-use sp2sim::{Cluster, ClusterConfig, Node};
+use sp2sim::{Cluster, ClusterConfig, EngineKind, Node};
 use spf::{block_range, LoopCtl, Schedule, Spf, SpfReduction};
 use treadmarks::{SharedArray, Tmk, TmkConfig};
 use xhpf::Xhpf;
@@ -313,7 +313,12 @@ fn chunk_words(p: &Params, b2: &Range<usize>, i3: usize) -> Range<usize> {
 /// Fetch this node's transposed block through the DSM, one chunk per
 /// plane (this is where the shared-memory versions take ~30× the
 /// messages of the explicit all-to-all).
-fn gather_transposed(tmk: &Tmk, arr: SharedArray, p: &Params, b2: &Range<usize>) -> TransposedBlock {
+fn gather_transposed(
+    tmk: &Tmk,
+    arr: SharedArray,
+    p: &Params,
+    b2: &Range<usize>,
+) -> TransposedBlock {
     let mut t = TransposedBlock::new(p, b2.clone());
     for i3 in 0..p.n3 {
         let w = chunk_words(p, b2, i3);
@@ -368,7 +373,12 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
             let wr = plane_words(p, &b3);
             let mut w = tmk.write(arr, wr.clone());
             let buf = w.slice_mut();
-            init_elems(buf, b3.start * plane_elems, b3.start * plane_elems..b3.end * plane_elems, it);
+            init_elems(
+                buf,
+                b3.start * plane_elems,
+                b3.start * plane_elems..b3.end * plane_elems,
+                it,
+            );
             node.advance((b3.len() * plane_elems) as f64 * INIT_US);
             pass_dim1(buf, p, b3.clone());
             node.advance((b3.len() * plane_elems) as f64 * PASS_US);
@@ -632,6 +642,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
             // The XHPF run-time sends fragmented point-to-point packets.
             let mut out: Vec<Vec<f64>> = vec![Vec::new(); np];
             out[me] = sendbufs[me].clone();
+            #[allow(clippy::needless_range_loop)] // q is a peer rank
             for q in 0..np {
                 if q == me {
                     continue;
@@ -647,6 +658,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
                     }
                 }
             }
+            #[allow(clippy::needless_range_loop)] // q is a peer rank
             for q in 0..np {
                 if q == me {
                     continue;
@@ -664,6 +676,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
             comm.alltoall_f64s(&sendbufs)
         };
         let mut t = TransposedBlock::new(p, b2.clone());
+        #[allow(clippy::needless_range_loop)] // q is a peer rank
         for q in 0..np {
             let qb3 = block_range(q, np, 0..p.n3);
             let buf = &received[q];
@@ -729,14 +742,23 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
 
 /// Run 3-D FFT in `version` on `nprocs` processors at `scale`.
 pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    run_on(EngineKind::default(), version, nprocs, scale, cfg)
+}
+
+/// Like [`run`], on an explicit execution engine.
+pub fn run_on(
+    engine: EngineKind,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+    cfg: TmkConfig,
+) -> RunResult {
     let p = params(scale);
-    let c = ClusterConfig::sp2(nprocs);
+    let c = ClusterConfig::sp2_on(nprocs, engine);
     let outs = match version {
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
         Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
-        Version::Spf | Version::HandOpt => {
-            Cluster::run(c, |node| spf_node(node, &p, &cfg)).results
-        }
+        Version::Spf | Version::HandOpt => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
         Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
         Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
     };

@@ -24,7 +24,7 @@ use std::cell::RefCell;
 use std::ops::Range;
 
 use mpl::Comm;
-use sp2sim::{Cluster, ClusterConfig, Node};
+use sp2sim::{Cluster, ClusterConfig, EngineKind, Node};
 use spf::{block_range, LoopCtl, Schedule, Spf, SpfReduction};
 use treadmarks::{SharedArray, Tmk, TmkConfig};
 use xhpf::Xhpf;
@@ -92,14 +92,7 @@ fn init_full(n: usize) -> Slab {
 /// the indirection map. `src` must hold columns `jr.start-1 ..= jr.end`;
 /// `mapx`/`mapy` give, for each destination cell, the (row, col) the
 /// 9-point stencil is centred on.
-fn step(
-    src: &Slab,
-    mapx: &[u32],
-    mapy: &[u32],
-    out: &mut Slab,
-    n: usize,
-    jr: Range<usize>,
-) {
+fn step(src: &Slab, mapx: &[u32], mapy: &[u32], out: &mut Slab, n: usize, jr: Range<usize>) {
     for j in jr {
         for i in 1..n - 1 {
             let k = j * n + i;
@@ -564,13 +557,22 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
 
 /// Run IGrid in `version` on `nprocs` processors at `scale`.
 pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    run_on(EngineKind::default(), version, nprocs, scale, cfg)
+}
+
+/// Like [`run`], on an explicit execution engine.
+pub fn run_on(
+    engine: EngineKind,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+    cfg: TmkConfig,
+) -> RunResult {
     let p = params(scale);
-    let c = ClusterConfig::sp2(nprocs);
+    let c = ClusterConfig::sp2_on(nprocs, engine);
     let outs = match version {
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
-        Version::Tmk | Version::HandOpt => {
-            Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results
-        }
+        Version::Tmk | Version::HandOpt => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
         Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
         Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
         Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,

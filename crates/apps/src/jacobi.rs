@@ -24,7 +24,7 @@ use std::cell::RefCell;
 use std::ops::Range;
 
 use mpl::Comm;
-use sp2sim::{Cluster, ClusterConfig, Node};
+use sp2sim::{Cluster, ClusterConfig, EngineKind, Node};
 use spf::{block_range, LoopCtl, Schedule, Spf};
 use treadmarks::{Tmk, TmkConfig};
 use xhpf::Xhpf;
@@ -46,7 +46,10 @@ pub struct Params {
 /// grid edge and the iteration count (for tests and quick benches).
 pub fn params(scale: f64) -> Params {
     if scale >= 1.0 {
-        Params { n: 2048, iters: 100 }
+        Params {
+            n: 2048,
+            iters: 100,
+        }
     } else {
         Params {
             n: ((2048.0 * scale) as usize).max(24),
@@ -95,7 +98,7 @@ fn checksum(s: &Slab, n: usize) -> Vec<f64> {
         sum,
         s.at(n / 2, n / 2),
         s.at(1, 1),
-        s.at(n - 2, n / 3.max(1)),
+        s.at(n - 2, (n / 3).max(1)),
     ]
 }
 
@@ -375,14 +378,23 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
 
 /// Run Jacobi in `version` on `nprocs` processors at `scale`.
 pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    run_on(EngineKind::default(), version, nprocs, scale, cfg)
+}
+
+/// Like [`run`], on an explicit execution engine.
+pub fn run_on(
+    engine: EngineKind,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+    cfg: TmkConfig,
+) -> RunResult {
     let p = params(scale);
-    let c = ClusterConfig::sp2(nprocs);
+    let c = ClusterConfig::sp2_on(nprocs, engine);
     let outs = match version {
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
         Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
-        Version::Spf | Version::HandOpt => {
-            Cluster::run(c, |node| spf_node(node, &p, &cfg)).results
-        }
+        Version::Spf | Version::HandOpt => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
         Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
         Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
     };

@@ -35,6 +35,7 @@
 //! model.
 
 pub mod common;
+pub mod demo;
 pub mod fft3d;
 pub mod igrid;
 pub mod jacobi;
@@ -43,4 +44,4 @@ pub mod nbf;
 pub mod runner;
 pub mod shallow;
 
-pub use runner::{run, AppId, RunResult, Version};
+pub use runner::{run, run_on, AppId, RunResult, Version};

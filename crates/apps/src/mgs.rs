@@ -26,7 +26,7 @@
 use std::cell::RefCell;
 
 use mpl::Comm;
-use sp2sim::{Cluster, ClusterConfig, Node};
+use sp2sim::{Cluster, ClusterConfig, EngineKind, Node};
 use spf::{LoopCtl, Schedule, Spf};
 use treadmarks::{SharedArray, Tmk, TmkConfig};
 use xhpf::Xhpf;
@@ -375,8 +375,19 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
 
 /// Run MGS in `version` on `nprocs` processors at `scale`.
 pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    run_on(EngineKind::default(), version, nprocs, scale, cfg)
+}
+
+/// Like [`run`], on an explicit execution engine.
+pub fn run_on(
+    engine: EngineKind,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+    cfg: TmkConfig,
+) -> RunResult {
     let p = params(scale);
-    let c = ClusterConfig::sp2(nprocs);
+    let c = ClusterConfig::sp2_on(nprocs, engine);
     let outs = match version {
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
         Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg, false)).results,

@@ -27,7 +27,7 @@ use std::cell::RefCell;
 use std::ops::Range;
 
 use mpl::Comm;
-use sp2sim::{Cluster, ClusterConfig, Node, SplitMix64};
+use sp2sim::{Cluster, ClusterConfig, EngineKind, Node, SplitMix64};
 use spf::{block_range, LoopCtl, Schedule, Spf};
 use treadmarks::{SharedArray, Tmk, TmkConfig};
 use xhpf::Xhpf;
@@ -279,9 +279,9 @@ impl DsmIter<'_> {
             span.start,
         );
         charge_force(node, self.block.len(), self.p.k);
-        for d in 0..3 {
+        for (d, bd) in buf.iter().enumerate() {
             let mut w = tmk.write(sh.bufs[me][d], span.clone());
-            w.slice_mut().copy_from_slice(&buf[d]);
+            w.slice_mut().copy_from_slice(bd);
         }
     }
 
@@ -292,11 +292,7 @@ impl DsmIter<'_> {
             return;
         }
         let b = self.block.clone();
-        let mut f = [
-            vec![0.0; b.len()],
-            vec![0.0; b.len()],
-            vec![0.0; b.len()],
-        ];
+        let mut f = [vec![0.0; b.len()], vec![0.0; b.len()], vec![0.0; b.len()]];
         let mut reads = 0;
         for q in 0..np {
             let qspan = buf_span(&block_range(q, np, 0..self.p.m), self.p.w, self.p.m);
@@ -306,10 +302,10 @@ impl DsmIter<'_> {
                 continue;
             }
             reads += 1;
-            for d in 0..3 {
+            for (d, fd) in f.iter_mut().enumerate() {
                 let part = tmk.read(sh.bufs[q][d], lo..hi);
                 for i in lo..hi {
-                    f[d][i - b.start] += part[i];
+                    fd[i - b.start] += part[i];
                 }
             }
         }
@@ -477,6 +473,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
             let mut all: Vec<Vec<f64>> = vec![Vec::new(); np];
             x.broadcast_buffers(&mine, &mut all);
             let mut reads = 0;
+            #[allow(clippy::needless_range_loop)] // q is a peer rank
             for q in 0..np {
                 let qspan = buf_span(&block_range(q, np, 0..p.m), p.w, p.m);
                 if qspan.is_empty() {
@@ -497,15 +494,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
                 }
             }
             node.advance(block.len() as f64 * reads as f64 * MERGE_US);
-            update_kernel(
-                block.clone(),
-                &f,
-                block.start,
-                &mut cx,
-                &mut cy,
-                &mut cz,
-                0,
-            );
+            update_kernel(block.clone(), &f, block.start, &mut cx, &mut cy, &mut cz, 0);
             node.advance(block.len() as f64 * UPD_US);
             // Broadcast updated coordinates of all our molecules.
             let mine: Vec<f64> = [&cx, &cy, &cz]
@@ -514,6 +503,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
                 .collect();
             let mut all: Vec<Vec<f64>> = vec![Vec::new(); np];
             x.broadcast_buffers(&mine, &mut all);
+            #[allow(clippy::needless_range_loop)] // q is a peer rank
             for q in 0..np {
                 let qb = block_range(q, np, 0..p.m);
                 for d in 0..3 {
@@ -580,15 +570,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
                 }
             }
             node.advance(block.len() as f64 * reads as f64 * MERGE_US);
-            update_kernel(
-                block.clone(),
-                &f,
-                block.start,
-                &mut cx,
-                &mut cy,
-                &mut cz,
-                0,
-            );
+            update_kernel(block.clone(), &f, block.start, &mut cx, &mut cy, &mut cz, 0);
             node.advance(block.len() as f64 * UPD_US);
             // Exchange boundary coordinate windows with the processors
             // whose force loops read them (the inverse overlap relation).
@@ -663,13 +645,22 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
 
 /// Run NBF in `version` on `nprocs` processors at `scale`.
 pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    run_on(EngineKind::default(), version, nprocs, scale, cfg)
+}
+
+/// Like [`run`], on an explicit execution engine.
+pub fn run_on(
+    engine: EngineKind,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+    cfg: TmkConfig,
+) -> RunResult {
     let p = params(scale);
-    let c = ClusterConfig::sp2(nprocs);
+    let c = ClusterConfig::sp2_on(nprocs, engine);
     let outs = match version {
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
-        Version::Tmk | Version::HandOpt => {
-            Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results
-        }
+        Version::Tmk | Version::HandOpt => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
         Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
         Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
         Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
@@ -721,7 +712,12 @@ mod tests {
         let tmk = run(Version::Tmk, 4, SCALE, TmkConfig::default());
         let xhpf = run(Version::Xhpf, 4, SCALE, TmkConfig::default());
         let pvme = run(Version::Pvme, 4, SCALE, TmkConfig::default());
-        assert!(xhpf.kbytes > tmk.kbytes, "{} vs {}", xhpf.kbytes, tmk.kbytes);
+        assert!(
+            xhpf.kbytes > tmk.kbytes,
+            "{} vs {}",
+            xhpf.kbytes,
+            tmk.kbytes
+        );
         assert!(xhpf.kbytes > 2 * pvme.kbytes);
         // (The DSM-beats-XHPF *time* ordering needs a realistic problem
         // size; it is asserted in tests/experiment_shape.rs.)

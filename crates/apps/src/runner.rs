@@ -1,6 +1,6 @@
 //! Application/version dispatch and result assembly.
 
-use sp2sim::StatsSnapshot;
+use sp2sim::{EngineKind, StatsSnapshot};
 use treadmarks::{DsmStats, TmkConfig};
 
 /// The six applications of the paper.
@@ -132,10 +132,7 @@ impl RunResult {
         outs: Vec<NodeOut>,
     ) -> RunResult {
         let time_us = outs.iter().map(|o| o.elapsed_us).fold(0.0, f64::max);
-        let stats = outs
-            .iter()
-            .find_map(|o| o.stats)
-            .unwrap_or_default();
+        let stats = outs.iter().find_map(|o| o.stats).unwrap_or_default();
         let checksum = outs
             .iter()
             .find_map(|o| o.checksum.clone())
@@ -170,9 +167,23 @@ pub fn tmk_config_for(version: Version) -> TmkConfig {
 }
 
 /// Run `app` in `version` on `nprocs` simulated processors at `scale`
-/// (1.0 = the paper's problem sizes). `Version::Seq` ignores `nprocs`.
+/// (1.0 = the paper's problem sizes), on the default execution engine.
+/// `Version::Seq` ignores `nprocs`.
 pub fn run(app: AppId, version: Version, nprocs: usize, scale: f64) -> RunResult {
     run_with_cfg(app, version, nprocs, scale, tmk_config_for(version))
+}
+
+/// Like [`run`] on an explicit execution engine. The sequential engine
+/// gives deterministic results and is what the harness's parallel sweep
+/// runner uses.
+pub fn run_on(
+    engine: EngineKind,
+    app: AppId,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+) -> RunResult {
+    run_with_cfg_on(engine, app, version, nprocs, scale, tmk_config_for(version))
 }
 
 /// Like [`run`] but with an explicit DSM configuration — used by the
@@ -184,14 +195,26 @@ pub fn run_with_cfg(
     scale: f64,
     cfg: TmkConfig,
 ) -> RunResult {
+    run_with_cfg_on(EngineKind::default(), app, version, nprocs, scale, cfg)
+}
+
+/// The fully explicit entry point: engine + DSM configuration.
+pub fn run_with_cfg_on(
+    engine: EngineKind,
+    app: AppId,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+    cfg: TmkConfig,
+) -> RunResult {
     let nprocs = if version == Version::Seq { 1 } else { nprocs };
     match app {
-        AppId::Jacobi => crate::jacobi::run(version, nprocs, scale, cfg),
-        AppId::Shallow => crate::shallow::run(version, nprocs, scale, cfg),
-        AppId::Mgs => crate::mgs::run(version, nprocs, scale, cfg),
-        AppId::Fft3d => crate::fft3d::run(version, nprocs, scale, cfg),
-        AppId::IGrid => crate::igrid::run(version, nprocs, scale, cfg),
-        AppId::Nbf => crate::nbf::run(version, nprocs, scale, cfg),
+        AppId::Jacobi => crate::jacobi::run_on(engine, version, nprocs, scale, cfg),
+        AppId::Shallow => crate::shallow::run_on(engine, version, nprocs, scale, cfg),
+        AppId::Mgs => crate::mgs::run_on(engine, version, nprocs, scale, cfg),
+        AppId::Fft3d => crate::fft3d::run_on(engine, version, nprocs, scale, cfg),
+        AppId::IGrid => crate::igrid::run_on(engine, version, nprocs, scale, cfg),
+        AppId::Nbf => crate::nbf::run_on(engine, version, nprocs, scale, cfg),
     }
 }
 

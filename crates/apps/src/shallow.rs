@@ -27,7 +27,7 @@ use std::cell::RefCell;
 use std::ops::Range;
 
 use mpl::Comm;
-use sp2sim::{Cluster, ClusterConfig, Node};
+use sp2sim::{Cluster, ClusterConfig, EngineKind, Node};
 use spf::{block_range, LoopCtl, Schedule, Spf};
 use treadmarks::{SharedArray, Tmk, TmkConfig};
 use xhpf::Xhpf;
@@ -195,7 +195,8 @@ fn step2(
             pnew.set(
                 i,
                 j,
-                pold.at(i, j) - tdtsdx * (cu.at(i, j) - cu.at(i - 1, j))
+                pold.at(i, j)
+                    - tdtsdx * (cu.at(i, j) - cu.at(i - 1, j))
                     - tdtsdy * (cv.at(i, j) - cv.at(i, j - 1)),
             );
         }
@@ -325,7 +326,7 @@ impl FullState {
                 &right[CV - UOLD],
                 &right[Z - UOLD],
                 &right[H - UOLD],
-                &right[UOLD - UOLD],
+                &right[0], // UOLD - UOLD: base of the split
                 &right[VOLD - UOLD],
                 &right[POLD - UOLD],
                 un,
@@ -506,7 +507,19 @@ impl DsmShallow {
         let mut vn = Slab::new(self.np1, jr.start, jr.len());
         let mut pn = Slab::new(self.np1, jr.start, jr.len());
         step2(
-            &cu, &cv, &z, &h, &uo, &vo, &po, &mut un, &mut vn, &mut pn, tdt, n, jr.clone(),
+            &cu,
+            &cv,
+            &z,
+            &h,
+            &uo,
+            &vo,
+            &po,
+            &mut un,
+            &mut vn,
+            &mut pn,
+            tdt,
+            n,
+            jr.clone(),
         );
         node.advance((jr.len() * n) as f64 * S2_US);
         if fuse_wrap {
@@ -533,7 +546,17 @@ impl DsmShallow {
         let mut vo = self.read_cols(tmk, VOLD, jr3.clone());
         let mut po = self.read_cols(tmk, POLD, jr3.clone());
         step3(
-            &mut u, &mut v, &mut p, &un, &vn, &pn, &mut uo, &mut vo, &mut po, first, n,
+            &mut u,
+            &mut v,
+            &mut p,
+            &un,
+            &vn,
+            &pn,
+            &mut uo,
+            &mut vo,
+            &mut po,
+            first,
+            n,
             jr3.clone(),
         );
         node.advance((jr3.len() * (n + 1)) as f64 * S3_US);
@@ -1018,8 +1041,19 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
 
 /// Run Shallow in `version` on `nprocs` processors at `scale`.
 pub fn run(version: Version, nprocs: usize, scale: f64, cfg: TmkConfig) -> RunResult {
+    run_on(EngineKind::default(), version, nprocs, scale, cfg)
+}
+
+/// Like [`run`], on an explicit execution engine.
+pub fn run_on(
+    engine: EngineKind,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+    cfg: TmkConfig,
+) -> RunResult {
     let p = params(scale);
-    let c = ClusterConfig::sp2(nprocs);
+    let c = ClusterConfig::sp2_on(nprocs, engine);
     let outs = match version {
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
         Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,

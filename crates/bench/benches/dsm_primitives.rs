@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use sp2sim::{Cluster, ClusterConfig};
+use sp2sim::{Cluster, ClusterConfig, EngineKind};
 use treadmarks::{Diff, Tmk, TmkConfig};
 
 fn bench_diff(c: &mut Criterion) {
@@ -128,5 +128,39 @@ fn bench_fault_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_diff, bench_sync, bench_fault_path);
+/// Both execution engines on identical workloads: the threaded backend
+/// pays thread spawns, channel synchronization and futex waits; the
+/// sequential backend pays two user-space context switches per blocking
+/// receive. The gap is the engine refactor's headline number.
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for engine in EngineKind::ALL {
+        g.bench_function(format!("quickstart_8p_{engine}"), |b| {
+            b.iter(|| apps::demo::quickstart(engine, 8).elapsed.us())
+        });
+        g.bench_function(format!("barrier_8p_{engine}"), |b| {
+            b.iter(|| {
+                Cluster::run(ClusterConfig::sp2_on(8, engine), |node| {
+                    let tmk = Tmk::new(node, TmkConfig::default());
+                    for i in 0..10 {
+                        tmk.barrier(i);
+                    }
+                    tmk.finish();
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diff,
+    bench_sync,
+    bench_fault_path,
+    bench_engines
+);
 criterion_main!(benches);

@@ -6,7 +6,9 @@
 use bench::BENCH_SCALE;
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use apps::runner::run_on;
 use apps::{run, AppId, Version};
+use sp2sim::EngineKind;
 
 fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_sequential");
@@ -94,12 +96,33 @@ fn bench_sec23_interface(c: &mut Criterion) {
     g.finish();
 }
 
+/// The full Figure-1 sweep cost per execution engine: what regenerating
+/// a paper artifact costs on the threaded backend vs the deterministic
+/// sequential backend (which is also what the harness parallelizes).
+fn bench_sweep_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_engine");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for engine in EngineKind::ALL {
+        g.bench_function(format!("jacobi_all_versions_{engine}"), |b| {
+            b.iter(|| {
+                for v in Version::FIGURE {
+                    run_on(engine, AppId::Jacobi, v, 4, BENCH_SCALE);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table1,
     bench_fig1_regular,
     bench_fig2_irregular,
     bench_sec5_handopt,
-    bench_sec23_interface
+    bench_sec23_interface,
+    bench_sweep_engines
 );
 criterion_main!(benches);

@@ -5,22 +5,24 @@
 //! paper's problem sizes — a few minutes of wall-clock time).
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cli = harness::cli::parse(0.1, 8);
+    let (scale, nprocs) = (cli.scale, cli.nprocs);
     let run = |bin: &str, argv: &[String]| {
-        let status = std::process::Command::new(std::env::current_exe().unwrap().with_file_name(bin))
-            .args(argv)
-            .status()
-            .expect("spawn sibling binary");
+        let status =
+            std::process::Command::new(std::env::current_exe().unwrap().with_file_name(bin))
+                .args(argv)
+                .status()
+                .expect("spawn sibling binary");
         assert!(status.success(), "{bin} failed");
     };
-    let argv = vec![scale.to_string(), nprocs.to_string()];
-    run("table1", &argv[..1].to_vec());
+    let engine = format!("--engine={}", cli.engine);
+    let argv = vec![scale.to_string(), nprocs.to_string(), engine.clone()];
+    run("table1", &vec![scale.to_string(), engine]);
     run("figure1", &argv);
     run("table2", &argv);
     run("figure2_table3", &argv);
     run("handopt", &argv);
     run("interface_ablation", &argv);
     run("scaling", &argv);
+    run("page_size", &argv);
 }

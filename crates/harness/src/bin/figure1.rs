@@ -1,18 +1,21 @@
 //! Regenerates Figure 1: 8-processor speedups for the regular
 //! applications (SPF/Tmk, hand-coded TreadMarks, XHPF, PVMe).
 //!
-//! Usage: `figure1 [scale] [nprocs]` (defaults 0.1 and 8).
+//! Usage: `figure1 [scale] [nprocs] [--engine threaded|sequential]`
+//! (defaults 0.1, 8 and the deterministic sequential engine).
 
 use harness::report::{f2, render_table};
 use harness::Table;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
-    println!("Figure 1: {nprocs}-Processor Speedups, Regular Applications (scale {scale})\n");
+    let cli = harness::cli::parse(0.1, 8);
+    let (scale, nprocs) = (cli.scale, cli.nprocs);
+    println!(
+        "Figure 1: {nprocs}-Processor Speedups, Regular Applications (scale {scale}, {} engine)\n",
+        cli.engine
+    );
     let mut t = Table::new(vec!["Program", "SPF/Tmk", "Tmk", "XHPF", "PVMe"]);
-    for row in harness::figure1(nprocs, scale) {
+    for row in harness::figure1(nprocs, scale, cli.engine) {
         t.row(vec![
             row.app.name().to_string(),
             f2(row.speedup(0)),

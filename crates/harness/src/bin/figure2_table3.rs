@@ -7,10 +7,9 @@ use harness::report::{f2, render_table};
 use harness::Table;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
-    let rows = harness::figure2_table3(nprocs, scale);
+    let cli = harness::cli::parse(0.1, 8);
+    let (scale, nprocs) = (cli.scale, cli.nprocs);
+    let rows = harness::figure2_table3(nprocs, scale, cli.engine);
     println!("Figure 2: {nprocs}-Processor Speedups, Irregular Applications (scale {scale})\n");
     let mut t = Table::new(vec!["Program", "SPF/Tmk", "Tmk", "XHPF", "PVMe"]);
     for row in &rows {

@@ -7,9 +7,8 @@ use harness::report::{f2, render_table};
 use harness::Table;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cli = harness::cli::parse(0.1, 8);
+    let (scale, nprocs) = (cli.scale, cli.nprocs);
     println!("Section 5: Results of Hand Optimizations (scale {scale}, {nprocs} procs)\n");
     let mut t = Table::new(vec![
         "Program",
@@ -19,7 +18,7 @@ fn main() {
         "Reference",
         "(vs)",
     ]);
-    for r in harness::handopt(nprocs, scale) {
+    for r in harness::handopt(nprocs, scale, cli.engine) {
         t.row(vec![
             r.app.name().to_string(),
             r.what.to_string(),

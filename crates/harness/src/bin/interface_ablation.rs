@@ -9,9 +9,8 @@ use harness::report::{f2, render_table};
 use harness::Table;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cli = harness::cli::parse(0.1, 8);
+    let (scale, nprocs) = (cli.scale, cli.nprocs);
     println!("Section 2.3: Fork-Join Interface Ablation (scale {scale}, {nprocs} procs)\n");
     let mut t = Table::new(vec![
         "Program",
@@ -21,7 +20,7 @@ fn main() {
         "Original time(s)",
         "Slowdown",
     ]);
-    for (app, imp, orig) in harness::interface_ablation(nprocs, scale) {
+    for (app, imp, orig) in harness::interface_ablation(nprocs, scale, cli.engine) {
         t.row(vec![
             app.name().to_string(),
             imp.messages.to_string(),

@@ -12,19 +12,19 @@ use harness::Table;
 use treadmarks::TmkConfig;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cli = harness::cli::parse(0.1, 8);
+    let (scale, nprocs) = (cli.scale, cli.nprocs);
     println!("Page-size ablation, hand-coded TreadMarks (scale {scale}, {nprocs} procs)\n");
     let mut t = Table::new(vec!["Program", "Page", "Speedup", "Messages", "Data KB"]);
     for app in [AppId::Jacobi, AppId::IGrid] {
-        let seq = apps::run(app, Version::Seq, 1, scale).time_us;
+        let seq = apps::runner::run_on(cli.engine, app, Version::Seq, 1, scale).time_us;
         for page_words in [128usize, 256, 512, 1024, 2048] {
             let cfg = TmkConfig {
                 page_words,
                 ..TmkConfig::default()
             };
-            let r = apps::runner::run_with_cfg(app, Version::Tmk, nprocs, scale, cfg);
+            let r =
+                apps::runner::run_with_cfg_on(cli.engine, app, Version::Tmk, nprocs, scale, cfg);
             t.row(vec![
                 app.name().to_string(),
                 format!("{} B", page_words * 8),

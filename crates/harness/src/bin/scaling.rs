@@ -8,11 +8,10 @@ use harness::report::{f2, render_table};
 use harness::Table;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let maxp: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cli = harness::cli::parse(0.1, 8);
+    let (scale, maxp) = (cli.scale, cli.nprocs);
     println!("Scaling study (scale {scale}, up to {maxp} procs)\n");
-    let rows = harness::scaling(maxp, scale, &AppId::ALL);
+    let rows = harness::scaling(maxp, scale, &AppId::ALL, cli.engine);
     let mut header = vec!["Program".to_string(), "Version".to_string()];
     let mut np = 1;
     while np <= maxp {

@@ -1,18 +1,17 @@
 //! Regenerates Table 1: data-set sizes and sequential execution times.
 //!
-//! Usage: `table1 [scale]` (default 0.1; 1.0 = paper sizes).
+//! Usage: `table1 [scale] [--engine threaded|sequential]`
+//! (defaults 0.1 and the deterministic sequential engine).
 
 use harness::report::{f1, render_table};
 use harness::Table;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.1);
+    let cli = harness::cli::parse(0.1, 1);
+    let scale = cli.scale;
     println!("Table 1: Data Set Sizes and Sequential Execution Time (scale {scale})\n");
     let mut t = Table::new(vec!["Program", "Problem Size", "Time (sec.)"]);
-    for row in harness::table1(scale) {
+    for row in harness::table1(scale, cli.engine) {
         t.row(vec![row.app.name().to_string(), row.size, f1(row.secs)]);
     }
     println!("{}", render_table(&t));

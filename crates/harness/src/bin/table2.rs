@@ -1,19 +1,19 @@
 //! Regenerates Table 2: 8-processor message totals and data totals
 //! (kilobytes) for the regular applications.
 //!
-//! Usage: `table2 [scale] [nprocs]` (defaults 0.1 and 8).
+//! Usage: `table2 [scale] [nprocs] [--engine threaded|sequential]`
+//! (defaults 0.1, 8 and the deterministic sequential engine).
 
 use harness::report::render_table;
 use harness::Table;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cli = harness::cli::parse(0.1, 8);
+    let (scale, nprocs) = (cli.scale, cli.nprocs);
     println!(
         "Table 2: {nprocs}-Processor Message Totals and Data Totals (KB), Regular Applications (scale {scale})\n"
     );
-    let rows = harness::figure1(nprocs, scale);
+    let rows = harness::figure1(nprocs, scale, cli.engine);
     let mut t = Table::new(vec!["", "Program", "SPF", "Tmk", "XHPF", "PVMe"]);
     for (k, row) in rows.iter().enumerate() {
         t.row(vec![

@@ -1,0 +1,82 @@
+//! Shared command-line parsing for the figure/table binaries.
+//!
+//! Every binary accepts the same shape:
+//!
+//! ```text
+//! <bin> [scale] [nprocs] [--engine threaded|sequential]
+//! ```
+//!
+//! The default engine is **sequential**: the regenerated tables are then
+//! deterministic (identical on every invocation) and the sweep fans out
+//! across CPU cores, one single-threaded simulation per worker. Pass
+//! `--engine threaded` to run on the original thread-per-node backend.
+
+use sp2sim::EngineKind;
+
+/// Parsed common arguments.
+#[derive(Clone, Copy, Debug)]
+pub struct Cli {
+    /// Problem scale (1.0 = the paper's sizes).
+    pub scale: f64,
+    /// Simulated processor count.
+    pub nprocs: usize,
+    /// Execution engine for every simulation of the sweep.
+    pub engine: EngineKind,
+}
+
+/// Parse `std::env::args()` with the given defaults. Unknown flags
+/// abort with a usage message; extra positionals beyond two are
+/// rejected.
+pub fn parse(default_scale: f64, default_nprocs: usize) -> Cli {
+    let mut cli = Cli {
+        scale: default_scale,
+        nprocs: default_nprocs,
+        engine: EngineKind::Sequential,
+    };
+    let mut positional = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--engine" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| usage("missing value after --engine"));
+            cli.engine = v.parse().unwrap_or_else(|e: String| usage(&e));
+        } else if let Some(v) = a.strip_prefix("--engine=") {
+            cli.engine = v.parse().unwrap_or_else(|e: String| usage(&e));
+        } else if a == "--help" || a == "-h" {
+            usage("");
+        } else if a.starts_with("--") {
+            usage(&format!("unknown flag {a}"));
+        } else {
+            match positional {
+                0 => {
+                    cli.scale = a
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("bad scale {a}")))
+                }
+                1 => {
+                    cli.nprocs = a
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("bad nprocs {a}")))
+                }
+                _ => usage(&format!("unexpected argument {a}")),
+            }
+            positional += 1;
+        }
+    }
+    if cli.nprocs == 0 {
+        usage("nprocs must be at least 1");
+    }
+    if cli.scale.is_nan() || cli.scale <= 0.0 {
+        usage("scale must be a positive number");
+    }
+    cli
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <bin> [scale] [nprocs] [--engine threaded|sequential]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -2,8 +2,12 @@
 
 use std::collections::HashMap;
 
-use apps::{run, AppId, RunResult, Version};
+use apps::runner::{run_on, run_with_cfg_on};
+use apps::{AppId, RunResult, Version};
+use sp2sim::EngineKind;
 use treadmarks::TmkConfig;
+
+use crate::sweep::sweep_map;
 
 /// A Table 1 row: workload description and sequential execution time.
 #[derive(Clone, Debug)]
@@ -74,29 +78,46 @@ fn size_desc(app: AppId, scale: f64) -> String {
 }
 
 /// Table 1: data-set sizes and sequential execution times.
-pub fn table1(scale: f64) -> Vec<SeqRow> {
-    AppId::ALL
-        .iter()
-        .map(|&app| {
-            let r = run(app, Version::Seq, 1, scale);
-            SeqRow {
-                app,
-                size: size_desc(app, scale),
-                secs: r.time_us / 1e6,
-            }
-        })
-        .collect()
+pub fn table1(scale: f64, engine: EngineKind) -> Vec<SeqRow> {
+    sweep_map(engine, AppId::ALL.to_vec(), |app| {
+        let r = run_on(engine, app, Version::Seq, 1, scale);
+        SeqRow {
+            app,
+            size: size_desc(app, scale),
+            secs: r.time_us / 1e6,
+        }
+    })
 }
 
 /// Run the four figure versions of `apps` on `nprocs` processors.
-fn speedup_rows(app_list: &[AppId], nprocs: usize, scale: f64) -> Vec<SpeedupRow> {
+///
+/// The whole (app, version) cross product — sequential baselines
+/// included — is one flat job list handed to the parallel sweep runner:
+/// on the sequential engine every job is an independent single-threaded
+/// simulation, so the sweep saturates the machine's cores.
+fn speedup_rows(
+    app_list: &[AppId],
+    nprocs: usize,
+    scale: f64,
+    engine: EngineKind,
+) -> Vec<SpeedupRow> {
+    let mut jobs: Vec<(AppId, Version, usize)> = Vec::new();
+    for &app in app_list {
+        jobs.push((app, Version::Seq, 1));
+        for &v in &Version::FIGURE {
+            jobs.push((app, v, nprocs));
+        }
+    }
+    let mut results = sweep_map(engine, jobs, |(app, v, np)| {
+        run_on(engine, app, v, np, scale)
+    })
+    .into_iter();
     app_list
         .iter()
         .map(|&app| {
-            let seq = run(app, Version::Seq, 1, scale);
-            let results = Version::FIGURE
-                .iter()
-                .map(|&v| run(app, v, nprocs, scale))
+            let seq = results.next().expect("sequential baseline present");
+            let results = (0..Version::FIGURE.len())
+                .map(|_| results.next().expect("figure version present"))
                 .collect();
             SpeedupRow {
                 app,
@@ -108,13 +129,13 @@ fn speedup_rows(app_list: &[AppId], nprocs: usize, scale: f64) -> Vec<SpeedupRow
 }
 
 /// Figure 1 + Table 2: the regular applications.
-pub fn figure1(nprocs: usize, scale: f64) -> Vec<SpeedupRow> {
-    speedup_rows(&AppId::REGULAR, nprocs, scale)
+pub fn figure1(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<SpeedupRow> {
+    speedup_rows(&AppId::REGULAR, nprocs, scale, engine)
 }
 
 /// Figure 2 + Table 3: the irregular applications.
-pub fn figure2_table3(nprocs: usize, scale: f64) -> Vec<SpeedupRow> {
-    speedup_rows(&AppId::IRREGULAR, nprocs, scale)
+pub fn figure2_table3(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<SpeedupRow> {
+    speedup_rows(&AppId::IRREGULAR, nprocs, scale, engine)
 }
 
 /// A §5 hand-optimization row.
@@ -136,7 +157,8 @@ pub struct HandOptRow {
 
 /// §5 "Results of Hand Optimizations": per-application hand-optimized
 /// shared-memory variants vs their baselines and references.
-pub fn handopt(nprocs: usize, scale: f64) -> Vec<HandOptRow> {
+pub fn handopt(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<HandOptRow> {
+    let run = |app, v, np, scale| run_on(engine, app, v, np, scale);
     let mut rows = Vec::new();
     // Jacobi: SPF + data aggregation, compared against PVMe (7.23/7.55).
     {
@@ -207,19 +229,22 @@ pub fn handopt(nprocs: usize, scale: f64) -> Vec<HandOptRow> {
 pub fn interface_ablation(
     nprocs: usize,
     scale: f64,
+    engine: EngineKind,
 ) -> Vec<(AppId, RunResult, RunResult)> {
-    [AppId::Jacobi, AppId::Fft3d]
-        .iter()
+    let apps = [AppId::Jacobi, AppId::Fft3d];
+    let mut jobs: Vec<(AppId, TmkConfig)> = Vec::new();
+    for &app in &apps {
+        jobs.push((app, TmkConfig::default()));
+        jobs.push((app, TmkConfig::legacy_forkjoin()));
+    }
+    let mut results = sweep_map(engine, jobs, |(app, cfg)| {
+        run_with_cfg_on(engine, app, Version::Spf, nprocs, scale, cfg)
+    })
+    .into_iter();
+    apps.iter()
         .map(|&app| {
-            let improved =
-                apps::runner::run_with_cfg(app, Version::Spf, nprocs, scale, TmkConfig::default());
-            let original = apps::runner::run_with_cfg(
-                app,
-                Version::Spf,
-                nprocs,
-                scale,
-                TmkConfig::legacy_forkjoin(),
-            );
+            let improved = results.next().expect("improved run present");
+            let original = results.next().expect("original run present");
             (app, improved, original)
         })
         .collect()
@@ -237,26 +262,49 @@ pub struct ScaleRow {
 }
 
 /// Extension: 1..=`max_procs` scaling for every app and figure version.
-pub fn scaling(max_procs: usize, scale: f64, app_list: &[AppId]) -> Vec<ScaleRow> {
-    let mut seq_us: HashMap<&'static str, f64> = HashMap::new();
-    let mut rows = Vec::new();
+pub fn scaling(
+    max_procs: usize,
+    scale: f64,
+    app_list: &[AppId],
+    engine: EngineKind,
+) -> Vec<ScaleRow> {
+    // Baselines first (one per app), then the full cross product — the
+    // largest sweep of the suite, and the reason the sweep runner exists.
+    let seq_times = sweep_map(engine, app_list.to_vec(), |app| {
+        run_on(engine, app, Version::Seq, 1, scale).time_us
+    });
+    let seq_us: HashMap<&'static str, f64> = app_list
+        .iter()
+        .zip(&seq_times)
+        .map(|(app, &t)| (app.name(), t))
+        .collect();
+
+    let mut jobs: Vec<(AppId, Version, usize)> = Vec::new();
     for &app in app_list {
-        let seq = *seq_us
-            .entry(app.name())
-            .or_insert_with(|| run(app, Version::Seq, 1, scale).time_us);
         for &v in &Version::FIGURE {
-            let mut points = Vec::new();
             let mut np = 1;
             while np <= max_procs {
-                let r = run(app, v, np, scale);
-                points.push((np, r.speedup_vs(seq)));
+                jobs.push((app, v, np));
                 np *= 2;
             }
-            rows.push(ScaleRow {
+        }
+    }
+    let results = sweep_map(engine, jobs.clone(), |(app, v, np)| {
+        run_on(engine, app, v, np, scale)
+    });
+
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for ((app, v, np), r) in jobs.into_iter().zip(results) {
+        let seq = seq_us[app.name()];
+        match rows.last_mut() {
+            Some(row) if row.app == app && row.version == v => {
+                row.points.push((np, r.speedup_vs(seq)))
+            }
+            _ => rows.push(ScaleRow {
                 app,
                 version: v,
-                points,
-            });
+                points: vec![(np, r.speedup_vs(seq))],
+            }),
         }
     }
     rows
@@ -270,7 +318,7 @@ mod tests {
 
     #[test]
     fn table1_covers_all_apps() {
-        let rows = table1(SCALE);
+        let rows = table1(SCALE, EngineKind::Sequential);
         assert_eq!(rows.len(), 6);
         for r in &rows {
             assert!(r.secs > 0.0, "{:?} has positive sequential time", r.app);
@@ -280,7 +328,7 @@ mod tests {
 
     #[test]
     fn speedup_row_accessors() {
-        let rows = figure2_table3(2, SCALE);
+        let rows = figure2_table3(2, SCALE, EngineKind::Sequential);
         assert_eq!(rows.len(), 2);
         let r = &rows[0];
         assert_eq!(r.get(Version::Spf).version, Version::Spf);

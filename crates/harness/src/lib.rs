@@ -20,11 +20,14 @@
 //! scales run in seconds and preserve the paper's qualitative shape,
 //! while `scale = 1.0` reproduces the calibrated magnitudes.
 
+pub mod cli;
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use experiments::{
     figure1, figure2_table3, handopt, interface_ablation, scaling, table1, HandOptRow, ScaleRow,
     SeqRow, SpeedupRow,
 };
 pub use report::{render_table, Table};
+pub use sweep::sweep_map;

@@ -265,7 +265,11 @@ mod tests {
         for n in [1usize, 2, 3, 5, 8] {
             for root in 0..n {
                 let out = run(n, |c| {
-                    let mut v = if c.rank() == root { vec![7, 8, 9] } else { vec![] };
+                    let mut v = if c.rank() == root {
+                        vec![7, 8, 9]
+                    } else {
+                        vec![]
+                    };
                     c.bcast(root, &mut v);
                     v
                 });
@@ -288,7 +292,11 @@ mod tests {
     #[test]
     fn flat_bcast_matches_tree_values() {
         let out = run(6, |c| {
-            let mut v = if c.rank() == 2 { vec![3.5, -1.0] } else { vec![] };
+            let mut v = if c.rank() == 2 {
+                vec![3.5, -1.0]
+            } else {
+                vec![]
+            };
             c.bcast_flat_f64s(2, &mut v);
             v
         });
@@ -330,8 +338,8 @@ mod tests {
         let out = run(4, |c| c.gather_f64s(2, &[c.rank() as f64 * 2.0]));
         let at_root = out.results[2].as_ref().unwrap();
         assert_eq!(at_root.len(), 4);
-        for r in 0..4 {
-            assert_eq!(at_root[r], vec![r as f64 * 2.0]);
+        for (r, got) in at_root.iter().enumerate() {
+            assert_eq!(*got, vec![r as f64 * 2.0]);
         }
     }
 
@@ -353,8 +361,8 @@ mod tests {
             c.alltoall_f64s(&bufs)
         });
         for (me, r) in out.results.iter().enumerate() {
-            for src in 0..4 {
-                assert_eq!(r[src], vec![src as f64 * 10.0 + me as f64]);
+            for (src, got) in r.iter().enumerate() {
+                assert_eq!(*got, vec![src as f64 * 10.0 + me as f64]);
             }
         }
     }

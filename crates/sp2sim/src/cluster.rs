@@ -1,12 +1,8 @@
 //! Cluster construction and execution.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use crossbeam::channel::unbounded;
-
 use crate::cost::CostModel;
-use crate::node::{Endpoint, Fabric, Node};
+use crate::engine::{self, EngineKind};
+use crate::node::Node;
 use crate::stats::StatsSnapshot;
 use crate::time::VTime;
 
@@ -17,15 +13,30 @@ pub struct ClusterConfig {
     pub nprocs: usize,
     /// Communication/protocol cost model.
     pub cost: CostModel,
+    /// Execution engine carrying the run (see [`crate::engine`]).
+    pub engine: EngineKind,
 }
 
 impl ClusterConfig {
-    /// The paper's default platform: `n` nodes of an IBM SP/2.
+    /// The paper's default platform: `n` nodes of an IBM SP/2, on the
+    /// default (threaded) engine.
     pub fn sp2(nprocs: usize) -> ClusterConfig {
         ClusterConfig {
             nprocs,
             cost: CostModel::sp2(),
+            engine: EngineKind::default(),
         }
+    }
+
+    /// Same platform on an explicit engine.
+    pub fn sp2_on(nprocs: usize, engine: EngineKind) -> ClusterConfig {
+        ClusterConfig::sp2(nprocs).with_engine(engine)
+    }
+
+    /// Select the execution engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> ClusterConfig {
+        self.engine = engine;
+        self
     }
 }
 
@@ -46,75 +57,19 @@ pub struct Cluster;
 impl Cluster {
     /// Run `f` on every node of a fresh cluster and collect the results.
     ///
-    /// `f` is invoked once per node, each on its own OS thread, with a
-    /// [`Node`] handle. Panics in any node propagate to the caller.
+    /// `f` is invoked once per node with a [`Node`] handle; the selected
+    /// [`EngineKind`] decides whether the nodes are OS threads (the
+    /// default) or deterministically scheduled fibers of the calling
+    /// thread. Panics in any node propagate to the caller.
     pub fn run<R, F>(cfg: ClusterConfig, f: F) -> RunOutput<R>
     where
         R: Send,
         F: Fn(&Node) -> R + Sync,
     {
-        let n = cfg.nprocs;
-        assert!(n >= 1, "cluster needs at least one node");
-
-        let mut app_tx = Vec::with_capacity(n);
-        let mut app_rx = Vec::with_capacity(n);
-        let mut srv_tx = Vec::with_capacity(n);
-        let mut srv_rx = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (t, r) = unbounded();
-            app_tx.push(t);
-            app_rx.push(r);
-            let (t, r) = unbounded();
-            srv_tx.push(t);
-            srv_rx.push(r);
-        }
-
-        let fabric = Arc::new(Fabric {
-            app_tx,
-            srv_tx,
-            cost: Arc::new(cfg.cost),
-            stats: Arc::new(crate::stats::NetStats::new()),
-            finals: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            rendezvous: std::sync::Barrier::new(n),
-        });
-
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        {
-            let slots: Vec<_> = results.iter_mut().collect();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n);
-                let mut rx_iter = app_rx.into_iter().zip(srv_rx);
-                for (id, slot) in slots.into_iter().enumerate() {
-                    let (arx, srx) = rx_iter.next().expect("one rx pair per node");
-                    let fabric = Arc::clone(&fabric);
-                    let fref = &f;
-                    handles.push(scope.spawn(move || {
-                        let app_ep = Endpoint::new(id, n, arx, Arc::clone(&fabric));
-                        let srv_ep = Endpoint::new(id, n, srx, Arc::clone(&fabric));
-                        let node = Node::new(app_ep, srv_ep, Arc::clone(&fabric));
-                        let r = fref(&node);
-                        node.endpoint().record_final_clock();
-                        *slot = Some(r);
-                    }));
-                }
-                for h in handles {
-                    if let Err(e) = h.join() {
-                        std::panic::resume_unwind(e);
-                    }
-                }
-            });
-        }
-
-        let elapsed = fabric
-            .finals
-            .iter()
-            .map(|a| VTime::from_bits(a.load(Ordering::SeqCst)))
-            .fold(VTime::ZERO, VTime::max);
-        let stats = fabric.stats.snapshot();
-        RunOutput {
-            results: results.into_iter().map(|r| r.expect("node ran")).collect(),
-            elapsed,
-            stats,
+        assert!(cfg.nprocs >= 1, "cluster needs at least one node");
+        match cfg.engine {
+            EngineKind::Threaded => engine::threaded::run(cfg, f),
+            EngineKind::Sequential => engine::sequential::run(cfg, f),
         }
     }
 }
@@ -124,58 +79,141 @@ mod tests {
     use super::*;
     use crate::stats::MsgKind;
 
+    /// Engines under test (everything in this module must hold on both).
+    fn engines() -> [EngineKind; 2] {
+        EngineKind::ALL
+    }
+
     #[test]
     fn elapsed_is_max_over_nodes() {
-        let out = Cluster::run(ClusterConfig::sp2(4), |node| {
-            node.advance(100.0 * (node.id() + 1) as f64);
-        });
-        assert!((out.elapsed.us() - 400.0).abs() < 1e-9);
+        for engine in engines() {
+            let out = Cluster::run(ClusterConfig::sp2_on(4, engine), |node| {
+                node.advance(100.0 * (node.id() + 1) as f64);
+            });
+            assert!((out.elapsed.us() - 400.0).abs() < 1e-9, "engine {engine}");
+        }
     }
 
     #[test]
     fn results_are_ordered_by_node_id() {
-        let out = Cluster::run(ClusterConfig::sp2(5), |node| node.id() * 10);
-        assert_eq!(out.results, vec![0, 10, 20, 30, 40]);
+        for engine in engines() {
+            let out = Cluster::run(ClusterConfig::sp2_on(5, engine), |node| node.id() * 10);
+            assert_eq!(out.results, vec![0, 10, 20, 30, 40], "engine {engine}");
+        }
     }
 
     #[test]
     fn single_node_cluster_works() {
-        let out = Cluster::run(ClusterConfig::sp2(1), |node| {
-            node.advance(5.0);
-            node.id()
-        });
-        assert_eq!(out.results, vec![0]);
-        assert!((out.elapsed.us() - 5.0).abs() < 1e-9);
+        for engine in engines() {
+            let out = Cluster::run(ClusterConfig::sp2_on(1, engine), |node| {
+                node.advance(5.0);
+                node.id()
+            });
+            assert_eq!(out.results, vec![0]);
+            assert!((out.elapsed.us() - 5.0).abs() < 1e-9, "engine {engine}");
+        }
     }
 
     #[test]
     fn stats_count_cross_node_traffic() {
-        let out = Cluster::run(ClusterConfig::sp2(3), |node| {
-            if node.id() > 0 {
-                node.send(0, 1, MsgKind::Data, vec![0; 16]);
-            } else {
-                for _ in 1..3 {
-                    node.recv_match(|p| p.tag == 1);
+        for engine in engines() {
+            let out = Cluster::run(ClusterConfig::sp2_on(3, engine), |node| {
+                if node.id() > 0 {
+                    node.send(0, 1, MsgKind::Data, vec![0; 16]);
+                } else {
+                    for _ in 1..3 {
+                        node.recv_match(|p| p.tag == 1);
+                    }
                 }
-            }
-        });
-        assert_eq!(out.stats.total_messages(), 2);
-        assert_eq!(out.stats.total_bytes(), 2 * 16 * 8);
+            });
+            assert_eq!(out.stats.total_messages(), 2, "engine {engine}");
+            assert_eq!(out.stats.total_bytes(), 2 * 16 * 8, "engine {engine}");
+        }
     }
 
     #[test]
     fn rendezvous_synchronizes_all_threads() {
-        let out = Cluster::run(ClusterConfig::sp2(4), |node| {
-            node.rendezvous();
-            node.rendezvous();
-            1
-        });
-        assert_eq!(out.results.iter().sum::<i32>(), 4);
+        for engine in engines() {
+            let out = Cluster::run(ClusterConfig::sp2_on(4, engine), |node| {
+                node.rendezvous();
+                node.rendezvous();
+                1
+            });
+            assert_eq!(out.results.iter().sum::<i32>(), 4, "engine {engine}");
+        }
     }
 
     #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         let _ = Cluster::run(ClusterConfig::sp2(0), |_| ());
+    }
+
+    #[test]
+    fn engine_kind_parses() {
+        assert_eq!("seq".parse::<EngineKind>(), Ok(EngineKind::Sequential));
+        assert_eq!("Threaded".parse::<EngineKind>(), Ok(EngineKind::Threaded));
+        assert!("warp".parse::<EngineKind>().is_err());
+        assert_eq!(EngineKind::Sequential.to_string(), "sequential");
+    }
+
+    #[test]
+    fn sequential_engine_request_reply_between_nodes() {
+        // Request/response over the app port, plus a spawned service
+        // context answering on the service port — the full fabric
+        // surface on one engine run.
+        let out = Cluster::run(ClusterConfig::sp2_on(2, EngineKind::Sequential), |node| {
+            use crate::packet::Port;
+            if node.id() == 0 {
+                let svc_ep = node.take_service_endpoint();
+                let h = node.spawn_service(move || {
+                    // Answer exactly one request, then exit.
+                    let req = svc_ep.recv_match_raw(|p| p.tag == 9);
+                    svc_ep.send_at(
+                        req.src,
+                        Port::App,
+                        10,
+                        MsgKind::Data,
+                        vec![req.payload[0] * 2],
+                        req.arrival + 1.0,
+                    );
+                });
+                node.join_service(h);
+                0
+            } else {
+                node.endpoint()
+                    .send_to_port(0, Port::Service, 9, MsgKind::Data, vec![21]);
+                let resp = node.recv_from(0, 10);
+                resp.payload[0]
+            }
+        });
+        assert_eq!(out.results, vec![0, 42]);
+    }
+
+    #[test]
+    fn sequential_engine_is_deterministic_repeated() {
+        let run_once = || {
+            Cluster::run(ClusterConfig::sp2_on(4, EngineKind::Sequential), |node| {
+                // All-to-all exchange with unequal payloads.
+                for d in 0..node.nprocs() {
+                    if d != node.id() {
+                        node.send(d, 7, MsgKind::Data, vec![0; 1 + node.id() * 3]);
+                    }
+                }
+                for _ in 0..node.nprocs() - 1 {
+                    node.recv_match(|p| p.tag == 7);
+                }
+                node.now().to_bits()
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(
+            a.results, b.results,
+            "per-node clocks must be bitwise equal"
+        );
+        assert_eq!(a.elapsed.to_bits(), b.elapsed.to_bits());
+        assert_eq!(a.stats.msgs, b.stats.msgs);
+        assert_eq!(a.stats.bytes, b.stats.bytes);
     }
 }

@@ -1,0 +1,160 @@
+//! The threaded engine: one OS thread per simulated node, service loops
+//! as extra OS threads, packets over unbounded channels.
+//!
+//! This is the original execution backend, extracted behind
+//! [`Fabric`](super::Fabric). It exercises the protocol under real
+//! concurrency — useful for shaking out protocol races — at the cost of
+//! wall-clock speed (every blocking virtual-time receive is a real
+//! thread block) and of nondeterministic tie-breaking wherever two
+//! packets race to the same queue.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use super::{node_body, Fabric, ServiceHandle};
+use crate::cluster::{ClusterConfig, RunOutput};
+use crate::cost::CostModel;
+use crate::node::Node;
+use crate::packet::{Packet, Port};
+use crate::stats::NetStats;
+use crate::time::VTime;
+
+struct PortChannels {
+    tx: Vec<Sender<Packet>>,
+    /// Receivers behind uncontended mutexes: each (node, port) queue has
+    /// exactly one consumer (the owning node or service thread), so the
+    /// lock only ever serializes that consumer against itself.
+    rx: Vec<Mutex<Receiver<Packet>>>,
+}
+
+impl PortChannels {
+    fn new(n: usize) -> PortChannels {
+        let mut tx = Vec::with_capacity(n);
+        let mut rx = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (t, r) = unbounded();
+            tx.push(t);
+            rx.push(Mutex::new(r));
+        }
+        PortChannels { tx, rx }
+    }
+}
+
+pub(crate) struct ThreadedFabric {
+    app: PortChannels,
+    srv: PortChannels,
+    cost: CostModel,
+    stats: NetStats,
+    finals: Vec<AtomicU64>,
+    rendezvous: Barrier,
+    services: Mutex<HashMap<u64, JoinHandle<()>>>,
+    next_service: AtomicU64,
+}
+
+impl ThreadedFabric {
+    fn ports(&self, port: Port) -> &PortChannels {
+        match port {
+            Port::App => &self.app,
+            Port::Service => &self.srv,
+        }
+    }
+}
+
+impl Fabric for ThreadedFabric {
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn deliver(&self, dst: usize, port: Port, pkt: Packet) {
+        // A send can only fail after the destination thread has exited,
+        // which happens during teardown; dropping the packet is then
+        // harmless.
+        let _ = self.ports(port).tx[dst].send(pkt);
+    }
+
+    fn recv(&self, id: usize, port: Port) -> Option<Packet> {
+        self.ports(port).rx[id].lock().recv().ok()
+    }
+
+    fn record_final(&self, id: usize, t: VTime) {
+        self.finals[id].store(t.to_bits(), Ordering::SeqCst);
+    }
+
+    fn rendezvous(&self) {
+        self.rendezvous.wait();
+    }
+
+    fn spawn_service(&self, f: Box<dyn FnOnce() + Send>) -> ServiceHandle {
+        let id = self.next_service.fetch_add(1, Ordering::Relaxed);
+        let handle = std::thread::spawn(f);
+        self.services.lock().insert(id, handle);
+        ServiceHandle(id)
+    }
+
+    fn join_service(&self, h: ServiceHandle) {
+        let handle = self
+            .services
+            .lock()
+            .remove(&h.0)
+            .expect("service handle joined twice");
+        handle.join().expect("service thread panicked");
+    }
+}
+
+/// Run `f` on every node, each on its own OS thread.
+pub(crate) fn run<R, F>(cfg: ClusterConfig, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&Node) -> R + Sync,
+{
+    let n = cfg.nprocs;
+    let fabric = Arc::new(ThreadedFabric {
+        app: PortChannels::new(n),
+        srv: PortChannels::new(n),
+        cost: cfg.cost,
+        stats: NetStats::new(),
+        finals: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        rendezvous: Barrier::new(n),
+        services: Mutex::new(HashMap::new()),
+        next_service: AtomicU64::new(0),
+    });
+    let dyn_fabric: Arc<dyn Fabric> = Arc::clone(&fabric) as Arc<dyn Fabric>;
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    {
+        let slots: Vec<_> = results.iter_mut().collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (id, slot) in slots.into_iter().enumerate() {
+                let fabric = Arc::clone(&dyn_fabric);
+                let fref = &f;
+                handles.push(scope.spawn(move || node_body(id, n, &fabric, fref, slot)));
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+    }
+
+    let elapsed = fabric
+        .finals
+        .iter()
+        .map(|a| VTime::from_bits(a.load(Ordering::SeqCst)))
+        .fold(VTime::ZERO, VTime::max);
+    RunOutput {
+        results: results.into_iter().map(|r| r.expect("node ran")).collect(),
+        elapsed,
+        stats: fabric.stats.snapshot(),
+    }
+}

@@ -25,12 +25,21 @@
 //! and on the relative composition of compute, communication and
 //! synchronization time, all of which this model captures.
 //!
+//! ## Execution engines
+//!
+//! The simulated machine is carried by one of two pluggable execution
+//! engines (see [`engine`]): the default **threaded** engine (one OS
+//! thread per node, packets over channels) and the deterministic
+//! **sequential** engine (all nodes as cooperatively scheduled fibers
+//! of one OS thread — byte-for-byte reproducible and much faster in
+//! wall-clock terms). Select with [`ClusterConfig::with_engine`].
+//!
 //! ## Example
 //!
 //! ```
 //! use sp2sim::{Cluster, ClusterConfig, CostModel, MsgKind};
 //!
-//! let cfg = ClusterConfig { nprocs: 4, cost: CostModel::sp2() };
+//! let cfg = ClusterConfig::sp2(4);
 //! let out = Cluster::run(cfg, |node| {
 //!     // Everyone sends its id to node 0, which sums them.
 //!     if node.id() == 0 {
@@ -52,6 +61,7 @@
 pub mod cluster;
 pub mod codec;
 pub mod cost;
+pub mod engine;
 pub mod node;
 pub mod packet;
 pub mod rng;
@@ -61,6 +71,7 @@ pub mod time;
 pub use cluster::{Cluster, ClusterConfig, RunOutput};
 pub use codec::{f64s_to_words, words_to_f64s, WordReader, WordWriter};
 pub use cost::CostModel;
+pub use engine::{EngineKind, ServiceHandle};
 pub use node::{Endpoint, Node};
 pub use packet::{Packet, Port};
 pub use rng::SplitMix64;

@@ -1,26 +1,21 @@
-//! Node endpoints: per-thread handles for sending/receiving packets and
+//! Node endpoints: per-node handles for sending/receiving packets and
 //! advancing virtual time.
+//!
+//! Endpoints are engine-agnostic: all transport, scheduling and
+//! synchronization goes through the [`Fabric`] trait implemented by the
+//! execution engines (see [`crate::engine`]). An endpoint owns only
+//! what is private to its consumer — the virtual clock and the buffer
+//! of received-but-unmatched packets.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
-
 use crate::cost::CostModel;
+use crate::engine::{Fabric, ServiceHandle};
 use crate::packet::{Packet, Port};
 use crate::stats::{MsgKind, NetStats};
 use crate::time::VTime;
-
-pub(crate) struct Fabric {
-    pub(crate) app_tx: Vec<Sender<Packet>>,
-    pub(crate) srv_tx: Vec<Sender<Packet>>,
-    pub(crate) cost: Arc<CostModel>,
-    pub(crate) stats: Arc<NetStats>,
-    pub(crate) finals: Vec<std::sync::atomic::AtomicU64>,
-    pub(crate) rendezvous: std::sync::Barrier,
-}
 
 /// One side of the simulated network attached to a node: either the
 /// application port or the service port. An endpoint owns a private virtual
@@ -28,19 +23,19 @@ pub(crate) struct Fabric {
 pub struct Endpoint {
     id: usize,
     n: usize,
+    port: Port,
     clock: Cell<f64>,
-    rx: Receiver<Packet>,
     pending: RefCell<VecDeque<Packet>>,
-    fabric: Arc<Fabric>,
+    fabric: Arc<dyn Fabric>,
 }
 
 impl Endpoint {
-    pub(crate) fn new(id: usize, n: usize, rx: Receiver<Packet>, fabric: Arc<Fabric>) -> Endpoint {
+    pub(crate) fn new(id: usize, n: usize, port: Port, fabric: Arc<dyn Fabric>) -> Endpoint {
         Endpoint {
             id,
             n,
+            port,
             clock: Cell::new(0.0),
-            rx,
             pending: RefCell::new(VecDeque::new()),
             fabric,
         }
@@ -82,13 +77,13 @@ impl Endpoint {
     /// The cluster cost model.
     #[inline]
     pub fn cost(&self) -> &CostModel {
-        &self.fabric.cost
+        self.fabric.cost()
     }
 
     /// The cluster-wide statistics.
     #[inline]
     pub fn stats(&self) -> &NetStats {
-        &self.fabric.stats
+        self.fabric.stats()
     }
 
     /// Send a packet to `dst`'s `port`, stamping the arrival time from this
@@ -102,9 +97,9 @@ impl Endpoint {
             self.now()
         } else {
             let bytes = payload.len() * 8;
-            self.fabric.stats.record(kind, bytes);
-            self.advance(self.fabric.cost.occupancy_us(bytes));
-            self.now() + self.fabric.cost.latency_us
+            self.fabric.stats().record(kind, bytes);
+            self.advance(self.fabric.cost().occupancy_us(bytes));
+            self.now() + self.fabric.cost().latency_us
         };
         self.deliver(dst, port, tag, kind, payload, arrival);
     }
@@ -128,11 +123,11 @@ impl Endpoint {
             at
         } else {
             let bytes = payload.len() * 8;
-            self.fabric.stats.record(kind, bytes);
+            self.fabric.stats().record(kind, bytes);
             let t0 = at.max(self.now());
-            let done = t0 + self.fabric.cost.occupancy_us(bytes);
+            let done = t0 + self.fabric.cost().occupancy_us(bytes);
             self.clock.set(done.us());
-            done + self.fabric.cost.latency_us
+            done + self.fabric.cost().latency_us
         };
         self.deliver(dst, port, tag, kind, payload, arrival);
     }
@@ -153,14 +148,7 @@ impl Endpoint {
             arrival,
             payload,
         };
-        let txs = match port {
-            Port::App => &self.fabric.app_tx,
-            Port::Service => &self.fabric.srv_tx,
-        };
-        // A send can only fail after the destination thread has exited,
-        // which happens during teardown; dropping the packet is then
-        // harmless.
-        let _ = txs[dst].send(pkt);
+        self.fabric.deliver(dst, port, pkt);
     }
 
     /// Shorthand for [`Endpoint::send_to_port`] to the application port.
@@ -175,7 +163,7 @@ impl Endpoint {
     pub fn recv_match(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
         let pkt = self.wait_match(pred);
         self.advance_to(pkt.arrival);
-        self.advance(self.fabric.cost.recv_overhead_us);
+        self.advance(self.fabric.cost().recv_overhead_us);
         pkt
     }
 
@@ -191,7 +179,7 @@ impl Endpoint {
         if let Some(p) = self.pending.borrow_mut().pop_front() {
             return Some(p);
         }
-        self.rx.recv().ok()
+        self.fabric.recv(self.id, self.port)
     }
 
     fn wait_match(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
@@ -203,8 +191,8 @@ impl Endpoint {
         }
         loop {
             let pkt = self
-                .rx
-                .recv()
+                .fabric
+                .recv(self.id, self.port)
                 .expect("cluster torn down while a receive was outstanding");
             if pred(&pkt) {
                 return pkt;
@@ -224,7 +212,7 @@ impl Endpoint {
     }
 
     pub(crate) fn record_final_clock(&self) {
-        self.fabric.finals[self.id].store(self.now().to_bits(), Ordering::SeqCst);
+        self.fabric.record_final(self.id, self.now());
     }
 }
 
@@ -232,19 +220,24 @@ impl Endpoint {
 ///
 /// A `Node` bundles the application-port [`Endpoint`] with the node's
 /// service-port endpoint (claimed by the DSM layer via
-/// [`Node::take_service_endpoint`]) and a wall-clock rendezvous used only
-/// by the measurement harness.
+/// [`Node::take_service_endpoint`]), the engine's service executor, and
+/// a wall-clock rendezvous used only by the measurement harness.
 pub struct Node {
     ep: Endpoint,
     service: RefCell<Option<Endpoint>>,
-    fabric: Arc<Fabric>,
+    fabric: Arc<dyn Fabric>,
 }
 
 impl Node {
-    pub(crate) fn new(ep: Endpoint, service: Endpoint, fabric: Arc<Fabric>) -> Node {
+    pub(crate) fn new(id: usize, n: usize, fabric: Arc<dyn Fabric>) -> Node {
         Node {
-            ep,
-            service: RefCell::new(Some(service)),
+            ep: Endpoint::new(id, n, Port::App, Arc::clone(&fabric)),
+            service: RefCell::new(Some(Endpoint::new(
+                id,
+                n,
+                Port::Service,
+                Arc::clone(&fabric),
+            ))),
             fabric,
         }
     }
@@ -265,12 +258,26 @@ impl Node {
     }
 
     /// Claim the service-port endpoint (once). The DSM layer hands it to
-    /// its service thread; message-passing programs never touch it.
+    /// its service loop; message-passing programs never touch it.
     pub fn take_service_endpoint(&self) -> Endpoint {
         self.service
             .borrow_mut()
             .take()
             .expect("service endpoint already taken")
+    }
+
+    /// Run `f` concurrently with this node's application code: an OS
+    /// thread on the threaded engine, a cooperatively scheduled fiber on
+    /// the sequential engine. The DSM layer runs its protocol service
+    /// loop this way. Join with [`Node::join_service`].
+    pub fn spawn_service(&self, f: impl FnOnce() + Send + 'static) -> ServiceHandle {
+        self.fabric.spawn_service(Box::new(f))
+    }
+
+    /// Wait for a spawned service context to finish; panics if it
+    /// panicked (like joining a thread).
+    pub fn join_service(&self, h: ServiceHandle) {
+        self.fabric.join_service(h)
     }
 
     /// Current virtual time.
@@ -308,12 +315,13 @@ impl Node {
         self.ep.recv_from(src, tag)
     }
 
-    /// Wall-clock rendezvous of **all** node threads. This is measurement
-    /// infrastructure (not part of the simulated machine): the harness uses
-    /// it to take consistent statistics snapshots at the boundaries of the
-    /// timed region, mirroring the paper's exclusion of startup iterations.
+    /// Wall-clock rendezvous of **all** node contexts. This is
+    /// measurement infrastructure (not part of the simulated machine):
+    /// the harness uses it to take consistent statistics snapshots at the
+    /// boundaries of the timed region, mirroring the paper's exclusion of
+    /// startup iterations.
     pub fn rendezvous(&self) {
-        self.fabric.rendezvous.wait();
+        self.fabric.rendezvous();
     }
 }
 
@@ -321,12 +329,10 @@ impl Node {
 mod tests {
     use super::*;
     use crate::cluster::{Cluster, ClusterConfig};
+    use crate::engine::EngineKind;
 
     fn cfg(n: usize) -> ClusterConfig {
-        ClusterConfig {
-            nprocs: n,
-            cost: CostModel::sp2(),
-        }
+        ClusterConfig::sp2(n)
     }
 
     #[test]
@@ -363,19 +369,21 @@ mod tests {
 
     #[test]
     fn out_of_order_tags_are_buffered() {
-        let out = Cluster::run(cfg(2), |node| {
-            if node.id() == 0 {
-                node.send(1, 10, MsgKind::Data, vec![10]);
-                node.send(1, 20, MsgKind::Data, vec![20]);
-                0
-            } else {
-                // Receive tag 20 first even though tag 10 arrives first.
-                let b = node.recv_from(0, 20).payload[0];
-                let a = node.recv_from(0, 10).payload[0];
-                (b * 100 + a) as i64
-            }
-        });
-        assert_eq!(out.results[1], 2010);
+        for engine in EngineKind::ALL {
+            let out = Cluster::run(cfg(2).with_engine(engine), |node| {
+                if node.id() == 0 {
+                    node.send(1, 10, MsgKind::Data, vec![10]);
+                    node.send(1, 20, MsgKind::Data, vec![20]);
+                    0
+                } else {
+                    // Receive tag 20 first even though tag 10 arrives first.
+                    let b = node.recv_from(0, 20).payload[0];
+                    let a = node.recv_from(0, 10).payload[0];
+                    (b * 100 + a) as i64
+                }
+            });
+            assert_eq!(out.results[1], 2010, "engine {engine}");
+        }
     }
 
     #[test]

@@ -11,10 +11,9 @@ use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::ops::{Index, IndexMut, Range};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
-use sp2sim::{MsgKind, Node, Port, WordReader, WordWriter};
+use sp2sim::{MsgKind, Node, Port, ServiceHandle, WordReader, WordWriter};
 
 use crate::config::TmkConfig;
 use crate::protocol::{self, flags, op, tag, DiffReqEntry};
@@ -144,7 +143,7 @@ pub struct Tmk<'n> {
     node: &'n Node,
     state: Arc<Mutex<DsmState>>,
     cfg: TmkConfig,
-    svc: Cell<Option<JoinHandle<()>>>,
+    svc: Cell<Option<ServiceHandle>>,
     next_page: Cell<usize>,
     req_seq: Cell<u32>,
     fork_epoch: Cell<u64>,
@@ -153,8 +152,10 @@ pub struct Tmk<'n> {
 }
 
 impl<'n> Tmk<'n> {
-    /// Create this node's DSM instance and start its service thread.
-    /// Every node of the cluster must do this with identical `cfg`.
+    /// Create this node's DSM instance and start its service loop — an
+    /// OS thread or a fiber, depending on the cluster's execution
+    /// engine. Every node of the cluster must do this with identical
+    /// `cfg`.
     pub fn new(node: &'n Node, cfg: TmkConfig) -> Tmk<'n> {
         let state = Arc::new(Mutex::new(DsmState::new(
             node.id(),
@@ -163,7 +164,7 @@ impl<'n> Tmk<'n> {
         )));
         let svc_ep = node.take_service_endpoint();
         let svc_state = Arc::clone(&state);
-        let svc = std::thread::spawn(move || service_loop(svc_ep, svc_state));
+        let svc = node.spawn_service(move || service_loop(svc_ep, svc_state));
         Tmk {
             node,
             state,
@@ -318,17 +319,22 @@ impl<'n> Tmk<'n> {
                     outstanding.push((*writer, self.send_diff_req(*writer, reqs)));
                 } else {
                     for e in reqs {
-                        outstanding
-                            .push((*writer, self.send_diff_req(*writer, std::slice::from_ref(e))));
+                        outstanding.push((
+                            *writer,
+                            self.send_diff_req(*writer, std::slice::from_ref(e)),
+                        ));
                     }
                 }
             }
             for (writer, req_id) in outstanding {
-                let t = tag::DIFF_RESP | (req_id & 0xFFFF) as u32;
-                trace!("[{}] diff-req {} -> {} wait", self.proc_id(), req_id, writer);
-                let pkt = self
-                    .node
-                    .recv_match(|p| p.src == writer && p.tag == t);
+                let t = tag::DIFF_RESP | (req_id & 0xFFFF);
+                trace!(
+                    "[{}] diff-req {} -> {} wait",
+                    self.proc_id(),
+                    req_id,
+                    writer
+                );
+                let pkt = self.node.recv_match(|p| p.src == writer && p.tag == t);
                 trace!("[{}] diff-req {} got", self.proc_id(), req_id);
                 let mut r = WordReader::new(&pkt.payload);
                 for e in protocol::decode_diff_entries(&mut r) {
@@ -539,9 +545,13 @@ impl<'n> Tmk<'n> {
             })
         };
         if let Some((dst, payload)) = grant {
-            self.node
-                .endpoint()
-                .send_to_port(dst, Port::App, tag::LOCK_GRANT | lock, MsgKind::LockGrant, payload);
+            self.node.endpoint().send_to_port(
+                dst,
+                Port::App,
+                tag::LOCK_GRANT | lock,
+                MsgKind::LockGrant,
+                payload,
+            );
         }
     }
 
@@ -703,9 +713,13 @@ impl<'n> Tmk<'n> {
             }
             let mut w = WordWriter::new();
             protocol::encode_diff_entries(&mut w, &entries);
-            self.node
-                .endpoint()
-                .send_to_port(target, Port::App, tag::PUSH, MsgKind::Push, w.finish());
+            self.node.endpoint().send_to_port(
+                target,
+                Port::App,
+                tag::PUSH,
+                MsgKind::Push,
+                w.finish(),
+            );
             counts[target] += 1;
         }
         counts
@@ -758,8 +772,7 @@ impl<'n> Tmk<'n> {
 
         // Binomial-tree topology with `root` as virtual rank 0.
         let vrank = (me + n - root) % n;
-        let payload: Vec<u64>;
-        if me == root {
+        let payload: Vec<u64> = if me == root {
             // Publish local writes first so the broadcast content matches
             // the interval state observers are entitled to.
             let flush_us = {
@@ -781,12 +794,12 @@ impl<'n> Tmk<'n> {
                     w.put(x);
                 }
             }
-            payload = w.finish();
+            w.finish()
         } else {
             let parent = ((vrank & (vrank.wrapping_sub(1))) + root) % n;
             let pkt = self.node.recv_match(|p| p.src == parent && p.tag == t);
-            payload = pkt.payload;
-        }
+            pkt.payload
+        };
 
         // Forward to children.
         let lsb = if vrank == 0 {
@@ -799,9 +812,13 @@ impl<'n> Tmk<'n> {
             let vchild = vrank | m;
             if vchild < n && vchild != vrank {
                 let child = (vchild + root) % n;
-                self.node
-                    .endpoint()
-                    .send_to_port(child, Port::App, t, MsgKind::Bcast, payload.clone());
+                self.node.endpoint().send_to_port(
+                    child,
+                    Port::App,
+                    t,
+                    MsgKind::Bcast,
+                    payload.clone(),
+                );
             }
             m >>= 1;
         }
@@ -849,10 +866,14 @@ impl<'n> Tmk<'n> {
 
     fn stop_service(&self) {
         if let Some(handle) = self.svc.take() {
-            self.node
-                .endpoint()
-                .send_to_port(self.proc_id(), Port::Service, 0, MsgKind::Control, vec![op::SHUTDOWN]);
-            handle.join().expect("service thread panicked");
+            self.node.endpoint().send_to_port(
+                self.proc_id(),
+                Port::Service,
+                0,
+                MsgKind::Control,
+                vec![op::SHUTDOWN],
+            );
+            self.node.join_service(handle);
         }
     }
 }
@@ -1149,7 +1170,7 @@ mod tests {
         let plain_bytes = plain.stats.bytes_of(MsgKind::DiffResp);
         let agg_bytes = agg.stats.bytes_of(MsgKind::DiffResp);
         assert!(plain_bytes - agg_bytes <= 7 * 8);
-        assert!(agg_bytes > 8 * 512 * 8 as u64);
+        assert!(agg_bytes > 8 * 512 * 8u64);
         // Aggregation must be faster.
         assert!(agg.elapsed < plain.elapsed);
     }

@@ -81,7 +81,7 @@ mod tests {
         f.twin = Some(f.data.clone());
         let mut newer = f.data.clone();
         newer[2] = 42;
-        let d = Diff::create(&vec![0; 8], &newer);
+        let d = Diff::create(&[0; 8], &newer);
         f.apply_diff(&d);
         assert_eq!(f.data[2], 42);
         assert_eq!(f.twin.as_ref().unwrap()[2], 42);
@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn apply_diff_without_twin() {
         let mut f = Frame::new(4, 2);
-        let d = Diff::create(&vec![0; 4], &vec![9, 0, 0, 9]);
+        let d = Diff::create(&[0; 4], &[9, 0, 0, 9]);
         f.apply_diff(&d);
         assert_eq!(f.data, vec![9, 0, 0, 9]);
         assert!(f.twin.is_none());

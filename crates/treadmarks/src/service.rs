@@ -22,6 +22,13 @@ use crate::protocol::{self, op, tag};
 use crate::state::DsmState;
 
 /// Run the service loop until a `SHUTDOWN` opcode or cluster teardown.
+///
+/// A malformed request (unknown opcode) must not abort a whole
+/// parameter sweep: it is logged, counted in
+/// [`DsmStats::service_errors`](crate::DsmStats), and the loop shuts
+/// down gracefully — subsequent remote requests to this node will stall
+/// their senders, but the local application, and every other
+/// simulation of the sweep, keeps running.
 pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
     while let Some(pkt) = ep.recv_any_raw() {
         let arrival = pkt.arrival;
@@ -34,17 +41,22 @@ pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
             op::MASTER_FORK => handle_master_fork(&ep, &state, &mut r, arrival),
             op::MASTER_JOIN => handle_master_join(&ep, &state, &mut r, arrival),
             op::SHUTDOWN => break,
-            other => unreachable!("unknown service opcode {other}"),
+            other => {
+                eprintln!(
+                    "treadmarks[{}]: unknown service opcode {other} from node {} \
+                     ({} payload words); shutting the service loop down",
+                    ep.id(),
+                    pkt.src,
+                    pkt.payload.len(),
+                );
+                state.lock().stats.service_errors += 1;
+                break;
+            }
         }
     }
 }
 
-fn handle_diff_req(
-    ep: &Endpoint,
-    state: &Mutex<DsmState>,
-    r: &mut WordReader,
-    arrival: VTime,
-) {
+fn handle_diff_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
     let (req_id, requester, entries) = protocol::decode_diff_req(r);
     let mut st = state.lock();
     let cost = ep.cost().clone();
@@ -127,8 +139,14 @@ fn holder_grant_or_queue(
     let lk = st.lock_entry(lock);
     if requester == me {
         // Our own request chased the chain back to us (we kept the
-        // token): grant locally, no further message.
+        // token): grant locally, no further message. The lock is marked
+        // held *now*, under the state mutex — the self-grant is an
+        // asynchronous upcall, and until the application consumes it a
+        // concurrently arriving remote request would otherwise observe
+        // `has_token && !held` and steal the token, putting two nodes in
+        // the critical section at once (a lost-update race).
         debug_assert!(lk.has_token, "self-directed request implies token");
+        lk.held = true;
         let release_vt = lk.release_vt;
         ep.send_at(
             me,
@@ -211,6 +229,21 @@ fn handle_master_join(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader
     try_complete_epoch(ep, &mut st, epoch);
 }
 
+/// Order epoch arrivals by (virtual arrival time, node id) before the
+/// departures are serialized through the manager's link. The wall-clock
+/// order in which the service loop happened to process the arrivals is
+/// scheduling noise; sorting makes the departure sequence — and with it
+/// each node's departure time — a pure function of virtual time, which
+/// keeps the threaded engine's results reproducible wherever virtual
+/// arrival times themselves are.
+fn sort_arrivals(arrivals: &mut [(usize, crate::vc::Vc, VTime, Vec<u64>)]) {
+    arrivals.sort_by(|a, b| {
+        a.2.partial_cmp(&b.2)
+            .expect("virtual times are never NaN")
+            .then(a.0.cmp(&b.0))
+    });
+}
+
 /// Check whether `epoch` has everything it needs, and serve it.
 fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
     let n = st.n;
@@ -228,7 +261,8 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
             return;
         }
         // Integrate everyone's intervals, then issue departures.
-        let entry = st.epochs.remove(&epoch).expect("checked above");
+        let mut entry = st.epochs.remove(&epoch).expect("checked above");
+        sort_arrivals(&mut entry.arrivals);
         let max_at = entry
             .arrivals
             .iter()
@@ -246,8 +280,7 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
         let e16 = (epoch & 0xFFFF) as u32;
         for (src, vc, _, _) in &entry.arrivals {
             let intervals = st.intervals_since(vc);
-            let payload =
-                protocol::encode_departure(epoch, 0, push_to[*src], &[], &intervals);
+            let payload = protocol::encode_departure(epoch, 0, push_to[*src], &[], &intervals);
             let kind = if *src == me {
                 MsgKind::Control
             } else {
@@ -290,16 +323,14 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
             vec![epoch],
             dep_time,
         );
-        st.epochs
-            .get_mut(&epoch)
-            .expect("epoch exists")
-            .join_served = true;
+        st.epochs.get_mut(&epoch).expect("epoch exists").join_served = true;
     }
 
     let entry = st.epochs.get(&epoch).expect("epoch exists");
     if let Some(ctl) = entry.fork_ctl.clone() {
         let fork_vt = entry.fork_vt;
-        let entry = st.epochs.remove(&epoch).expect("epoch exists");
+        let mut entry = st.epochs.remove(&epoch).expect("epoch exists");
+        sort_arrivals(&mut entry.arrivals);
         st.integrate_pending(epoch);
         let flag_bits = ctl[0];
         let ctl_words = &ctl[1..];
@@ -315,6 +346,40 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
                 payload,
                 dep_time,
             );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TmkConfig;
+    use sp2sim::{Cluster, ClusterConfig, EngineKind};
+
+    /// A malformed request must end the service loop through the logged
+    /// error path (not a panic), observable as `service_errors == 1` and
+    /// a joinable service context — on both execution engines.
+    #[test]
+    fn unknown_opcode_shuts_down_gracefully() {
+        for engine in EngineKind::ALL {
+            let out = Cluster::run(ClusterConfig::sp2_on(1, engine), |node| {
+                let state = Arc::new(Mutex::new(DsmState::new(0, 1, TmkConfig::default())));
+                let ep = node.take_service_endpoint();
+                let svc_state = Arc::clone(&state);
+                let h = node.spawn_service(move || service_loop(ep, svc_state));
+                node.endpoint().send_to_port(
+                    0,
+                    Port::Service,
+                    0,
+                    MsgKind::Control,
+                    vec![0xBAAD_F00D],
+                );
+                // Joins only because the loop exits on the bad opcode.
+                node.join_service(h);
+                let errors = state.lock().stats.service_errors;
+                errors
+            });
+            assert_eq!(out.results[0], 1, "engine {engine}");
         }
     }
 }

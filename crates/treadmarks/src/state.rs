@@ -13,9 +13,9 @@
 //!
 //! * a page nobody ever fetches (the interior of Jacobi's partition)
 //!   costs *nothing* per interval — one twin, ever;
-//! * a page fetched every epoch (boundary columns) pays one fault + twin
-//!   + diff per epoch — the "overhead of detecting modifications" the
-//!   paper quantifies;
+//! * a page fetched every epoch (boundary columns) pays one fault +
+//!   twin + diff per epoch — the "overhead of detecting modifications"
+//!   the paper quantifies;
 //! * storage stays bounded: un-requested intervals coalesce into one
 //!   open range per page.
 //!
@@ -227,9 +227,7 @@ impl DsmState {
     /// Get or create the frame for `page`.
     pub fn frame_mut(&mut self, page: PageId) -> &mut Frame {
         let (pw, n) = (self.cfg.page_words, self.n);
-        self.frames
-            .entry(page)
-            .or_insert_with(|| Frame::new(pw, n))
+        self.frames.entry(page).or_insert_with(|| Frame::new(pw, n))
     }
 
     /// Write notices for `page` that are not yet applied to our frame.

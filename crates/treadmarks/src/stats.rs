@@ -31,6 +31,9 @@ pub struct DsmStats {
     pub pages_pushed: u64,
     /// Pages broadcast via the broadcast extension.
     pub pages_broadcast: u64,
+    /// Malformed service requests (unknown opcodes). Non-zero means the
+    /// node's service loop shut itself down defensively.
+    pub service_errors: u64,
 }
 
 impl DsmStats {
@@ -48,6 +51,7 @@ impl DsmStats {
         self.lock_local_hits += other.lock_local_hits;
         self.pages_pushed += other.pages_pushed;
         self.pages_broadcast += other.pages_broadcast;
+        self.service_errors += other.service_errors;
     }
 
     /// Sum a collection of per-node statistics.

@@ -74,10 +74,11 @@ pub fn block_owner(j: usize, n: usize, len: usize) -> usize {
     let cut = extra * (base + 1);
     if j < cut {
         j / (base + 1)
-    } else if base > 0 {
-        extra + (j - cut) / base
     } else {
-        n - 1
+        match (j - cut).checked_div(base) {
+            Some(q) => extra + q,
+            None => n - 1,
+        }
     }
 }
 
@@ -273,6 +274,7 @@ impl<'c, 'n> Xhpf<'c, 'n> {
         let n = self.size();
         let me = self.rank();
         all[me] = mine.to_vec();
+        #[allow(clippy::needless_range_loop)] // root is a rank, not an index
         for root in 0..n {
             let len_msg = if me == root { mine.len() } else { 0 };
             let mut total = vec![len_msg as f64];

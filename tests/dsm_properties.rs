@@ -45,11 +45,12 @@ proptest! {
         // modified its own slots; untouched words committed their fetched
         // (zero) values, which diff against the twin as "unchanged" and
         // do not propagate — the multiple-writer guarantee.
-        let mut expect = vec![0.0; len];
-        for i in 0..len {
-            let owner = (i + seed as usize) % nprocs;
-            expect[i] = (1000 * owner + i) as f64;
-        }
+        let expect: Vec<f64> = (0..len)
+            .map(|i| {
+                let owner = (i + seed as usize) % nprocs;
+                (1000 * owner + i) as f64
+            })
+            .collect();
         for v in out.results {
             prop_assert_eq!(&v, &expect);
         }

@@ -8,7 +8,16 @@
 //! passing [...] and only slightly underperforms the hand-coded message
 //! passing."
 
-use apps::{run, AppId, Version};
+use apps::{AppId, RunResult, Version};
+use sp2sim::EngineKind;
+
+/// All shape assertions run on the deterministic sequential engine:
+/// the asserted quantities are virtual-time ratios, and the threaded
+/// engine's wall-clock scheduling perturbs DSM virtual times by a few
+/// percent run-to-run — enough to flap thresholds this tight.
+fn run(app: AppId, version: Version, nprocs: usize, scale: f64) -> RunResult {
+    apps::runner::run_on(EngineKind::Sequential, app, version, nprocs, scale)
+}
 
 const SCALE: f64 = 0.06;
 /// The irregular-application *time* shape needs enough data volume for
@@ -37,8 +46,14 @@ fn regular_jacobi_message_passing_wins_but_dsm_is_close() {
     // The "same league" ratio needs per-iteration compute that dwarfs
     // fixed synchronization latencies, as in the paper's 2048^2 runs.
     let (spf, tmk, xhpf, pvme) = speedups_at(AppId::Jacobi, 0.3);
-    assert!(xhpf > spf, "XHPF {xhpf:.2} must beat SPF {spf:.2} on Jacobi");
-    assert!(pvme > tmk, "PVMe {pvme:.2} must beat Tmk {tmk:.2} on Jacobi");
+    assert!(
+        xhpf > spf,
+        "XHPF {xhpf:.2} must beat SPF {spf:.2} on Jacobi"
+    );
+    assert!(
+        pvme > tmk,
+        "PVMe {pvme:.2} must beat Tmk {tmk:.2} on Jacobi"
+    );
     assert!(tmk >= spf * 0.98, "hand-coded DSM at least matches SPF");
     // The paper's gap is 5.5%-7.5% for Jacobi: small, not catastrophic.
     assert!(
@@ -82,7 +97,10 @@ fn irregular_nbf_dsm_beats_compiled_message_passing() {
         spf > xhpf * 1.2,
         "SPF {spf:.2} must clearly beat XHPF {xhpf:.2} on NBF"
     );
-    assert!(tmk > spf * 0.95, "Tmk {tmk:.2} at least matches SPF {spf:.2}");
+    assert!(
+        tmk > spf * 0.95,
+        "Tmk {tmk:.2} at least matches SPF {spf:.2}"
+    );
     assert!(
         spf > pvme * 0.7,
         "SPF {spf:.2} must be close to PVMe {pvme:.2} on NBF"

@@ -1,0 +1,343 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal, API-compatible stand-ins for its external
+//! dependencies (see `vendor/README.md`). This shim keeps the
+//! `criterion_group!`/`criterion_main!` bench structure compiling and
+//! provides honest (if simple) wall-clock measurements: each benchmark
+//! runs a warm-up, then a fixed number of samples, and the median,
+//! minimum and maximum per-iteration times are printed.
+//!
+//! `cargo bench` output therefore remains useful for comparing the two
+//! execution engines and the DSM primitives, without the statistical
+//! machinery of real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the shim treats all
+/// variants identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup output per batch of iterations.
+    PerIteration,
+}
+
+/// The benchmark driver handle passed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            warm_up: None,
+            measurement: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let cfg = SampleConfig {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        run_benchmark(&name.into(), cfg, f);
+        self
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SampleConfig {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+/// A group of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    warm_up: Option<Duration>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = Some(d);
+        self
+    }
+
+    /// Target total measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let cfg = SampleConfig {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            warm_up: self.warm_up.unwrap_or(self.criterion.warm_up),
+            measurement: self.measurement.unwrap_or(self.criterion.measurement),
+        };
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, cfg, f);
+        self
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Collected per-iteration durations (seconds).
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+enum Mode {
+    WarmUp {
+        until: Instant,
+        spent_iters: u64,
+        spent: Duration,
+    },
+    Measure,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        match &mut self.mode {
+            Mode::WarmUp {
+                until,
+                spent_iters,
+                spent,
+            } => {
+                while Instant::now() < *until {
+                    let t0 = Instant::now();
+                    black_box(f());
+                    *spent += t0.elapsed();
+                    *spent_iters += 1;
+                }
+            }
+            Mode::Measure => {
+                let iters = self.iters_per_sample.max(1);
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                self.samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+            }
+        }
+    }
+
+    /// Measure `routine` with per-iteration `setup` excluded from timing.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        match &mut self.mode {
+            Mode::WarmUp {
+                until,
+                spent_iters,
+                spent,
+            } => {
+                while Instant::now() < *until {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    *spent += t0.elapsed();
+                    *spent_iters += 1;
+                }
+            }
+            Mode::Measure => {
+                let iters = self.iters_per_sample.max(1);
+                let t0 = Instant::now();
+                let mut inner = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let t1 = Instant::now();
+                    black_box(routine(input));
+                    inner += t1.elapsed();
+                }
+                let _ = t0;
+                self.samples.push(inner.as_secs_f64() / iters as f64);
+            }
+        }
+    }
+}
+
+fn run_benchmark(name: &str, cfg: SampleConfig, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up pass: also estimates the per-iteration cost.
+    let mut b = Bencher {
+        mode: Mode::WarmUp {
+            until: Instant::now() + cfg.warm_up,
+            spent_iters: 0,
+            spent: Duration::ZERO,
+        },
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    let (est_iter, any_iters) = match b.mode {
+        Mode::WarmUp {
+            spent_iters, spent, ..
+        } if spent_iters > 0 => (spent.as_secs_f64() / spent_iters as f64, true),
+        _ => (0.0, false),
+    };
+    if !any_iters {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+
+    // Size samples so the measurement phase lands near `measurement`.
+    let budget = cfg.measurement.as_secs_f64();
+    let per_sample = budget / cfg.sample_size as f64;
+    let iters = if est_iter > 0.0 {
+        (per_sample / est_iter).max(1.0).min(1e7) as u64
+    } else {
+        1
+    };
+
+    let mut b = Bencher {
+        mode: Mode::Measure,
+        samples: Vec::with_capacity(cfg.sample_size),
+        iters_per_sample: iters,
+    };
+    for _ in 0..cfg.sample_size {
+        f(&mut b);
+    }
+    let mut s = b.samples;
+    if s.is_empty() {
+        println!("  {name}: no samples");
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = s[s.len() / 2];
+    println!(
+        "  {name}: median {} (min {}, max {}, {} samples x {} iters)",
+        fmt_secs(median),
+        fmt_secs(s[0]),
+        fmt_secs(s[s.len() - 1]),
+        s.len(),
+        iters,
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{:.1}ns", s * 1e9)
+    }
+}
+
+/// Declare a group of benchmark functions, `criterion`-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` runs bench targets with `--test`;
+            // skip the (long) measurement pass there.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion {
+            sample_size: 2,
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(4),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}
