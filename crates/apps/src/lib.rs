@@ -15,6 +15,11 @@
 //! * [`Version::Spf`] — compiler-generated shared memory: the exact code
 //!   shape the Forge SPF compiler emits, on the [`spf`] fork-join run-time
 //!   over [`treadmarks`];
+//! * [`Version::SpfCri`] — the SPF shape plus the compiler–runtime
+//!   interface ([`cri`]): regular-section descriptors on every parallel
+//!   loop of the three describable regular apps (Jacobi, Shallow, 3-D
+//!   FFT) drive aggregated validates, barrier-time pushes and direct
+//!   reductions; irregular apps degenerate to plain SPF;
 //! * [`Version::Tmk`] — hand-coded TreadMarks (SPMD, private scratch,
 //!   minimal barriers, locality-aware placement);
 //! * [`Version::Xhpf`] — compiler-generated message passing: the code

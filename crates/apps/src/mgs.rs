@@ -392,7 +392,9 @@ pub fn run_on(
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
         Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg, false)).results,
         Version::HandOpt => Cluster::run(c, |node| tmk_node(node, &p, &cfg, true)).results,
-        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
+        // No regular-section descriptors for MGS's triangular loops:
+        // SPF+CRI degenerates to plain SPF.
+        Version::Spf | Version::SpfCri => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
         Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
         Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
     };

@@ -661,7 +661,9 @@ pub fn run_on(
     let outs = match version {
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
         Version::Tmk | Version::HandOpt => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
-        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
+        // Irregular interaction lists: no regular-section descriptors,
+        // SPF+CRI is plain SPF.
+        Version::Spf | Version::SpfCri => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
         Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
         Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
     };

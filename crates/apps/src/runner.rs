@@ -57,6 +57,13 @@ pub enum Version {
     Seq,
     /// Compiler-generated shared memory (SPF over TreadMarks).
     Spf,
+    /// SPF with the compiler–runtime interface: the compiler's
+    /// regular-section descriptors drive aggregated validates,
+    /// barrier-time pushes and direct reductions. Falls back to plain
+    /// SPF for the irregular applications, whose subscripts the
+    /// compiler cannot describe as regular sections — the paper's
+    /// distinction exactly.
+    SpfCri,
     /// Hand-coded TreadMarks.
     Tmk,
     /// Compiler-generated message passing (XHPF).
@@ -76,6 +83,7 @@ impl Version {
         match self {
             Version::Seq => "Sequential",
             Version::Spf => "SPF/Tmk",
+            Version::SpfCri => "SPF+CRI",
             Version::Tmk => "TreadMarks",
             Version::Xhpf => "XHPF",
             Version::Pvme => "PVMe",

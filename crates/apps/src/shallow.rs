@@ -630,8 +630,11 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
 }
 
 /// SPF-generated version; `fused` selects the §5.2 hand-optimized shape
-/// (row wraps merged into the step loops).
-fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, fused: bool) -> NodeOut {
+/// (row wraps merged into the step loops); `cri` attaches the compiler's
+/// regular-section descriptors to every parallel loop, so ghost columns,
+/// false-shared boundary pages, and the master's column-wrap inputs are
+/// pushed by their producers instead of being demand-fetched.
+fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, fused: bool, cri: bool) -> NodeOut {
     let n = p.n;
     let me = node.id();
     let np = node.nprocs();
@@ -701,6 +704,162 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, fused: bool) -> NodeOut {
             sh.do_step3(node, tmk, n, &jr3, ctl.args[0] != 0);
         }
     });
+
+    if cri {
+        use cri::{Access, Section};
+        let whole = 1..n + 1;
+        let arrs = sh.arrs;
+        let np1 = sh.np1;
+        // Column-block helper: `cols` of one array as a word section.
+        let sec = move |w: usize, cols: Range<usize>| {
+            (arrs[w], Section::range(cols.start * np1..cols.end * np1))
+        };
+        let my_jr =
+            move |iters: &Range<usize>, me: usize, np: usize| block_range(me, np, iters.clone());
+        let my_jr3 = move |jr: &Range<usize>, me: usize| {
+            if me == 0 && !jr.is_empty() {
+                0..jr.end
+            } else {
+                jr.clone()
+            }
+        };
+        // Writes of one array over `cols`, with the given consuming loop;
+        // the owner of column n additionally feeds the master's
+        // sequential column wrap.
+        let wrap_feeds_master = move |w: usize, jr: &Range<usize>| {
+            let (arr, s) = sec(w, n..n + 1);
+            jr.contains(&n)
+                .then(|| Access::write(arr, s).consumed_by_node(0))
+        };
+        spf.hints().set(l_init, {
+            let whole = whole.clone();
+            move |iters: &Range<usize>, me: usize, np: usize| {
+                let jr = my_jr(iters, me, np);
+                let jr3 = my_jr3(&jr, me);
+                if jr3.is_empty() {
+                    return vec![];
+                }
+                [U, V, P, UOLD, VOLD, POLD]
+                    .into_iter()
+                    .map(|w| {
+                        let (arr, s) = sec(w, jr3.clone());
+                        let consumer = if w == U || w == V || w == P {
+                            l_s1
+                        } else {
+                            l_s2
+                        };
+                        Access::write(arr, s).consumed_by_loop(consumer, whole.clone())
+                    })
+                    .collect()
+            }
+        });
+        spf.hints().set(l_s1, {
+            let whole = whole.clone();
+            move |iters: &Range<usize>, me: usize, np: usize| {
+                let jr = my_jr(iters, me, np);
+                if jr.is_empty() {
+                    return vec![];
+                }
+                let gr = jr.start - 1..jr.end;
+                let mut v: Vec<Access> = [P, U, V]
+                    .into_iter()
+                    .map(|w| {
+                        let (arr, s) = sec(w, gr.clone());
+                        Access::read(arr, s)
+                    })
+                    .collect();
+                for w in [CU, CV, Z, H] {
+                    let (arr, s) = sec(w, jr.clone());
+                    v.push(Access::write(arr, s).consumed_by_loop(l_wrap1, whole.clone()));
+                }
+                v
+            }
+        });
+        spf.hints().set(l_wrap1, {
+            let whole = whole.clone();
+            move |iters: &Range<usize>, me: usize, np: usize| {
+                let jr = my_jr(iters, me, np);
+                if jr.is_empty() {
+                    return vec![];
+                }
+                let mut v = Vec::new();
+                for w in [CU, CV, Z, H] {
+                    let (arr, s) = sec(w, jr.clone());
+                    v.push(Access::read(arr, s.clone()));
+                    v.push(Access::write(arr, s).consumed_by_loop(l_s2, whole.clone()));
+                    v.extend(wrap_feeds_master(w, &jr));
+                }
+                v
+            }
+        });
+        spf.hints().set(l_s2, {
+            let whole = whole.clone();
+            move |iters: &Range<usize>, me: usize, np: usize| {
+                let jr = my_jr(iters, me, np);
+                if jr.is_empty() {
+                    return vec![];
+                }
+                let gr = jr.start - 1..jr.end;
+                let mut v = Vec::new();
+                for w in [CU, CV, Z, H] {
+                    let (arr, s) = sec(w, gr.clone());
+                    v.push(Access::read(arr, s));
+                }
+                for w in [UOLD, VOLD, POLD] {
+                    let (arr, s) = sec(w, jr.clone());
+                    v.push(Access::read(arr, s));
+                }
+                for w in [UNEW, VNEW, PNEW] {
+                    let (arr, s) = sec(w, jr.clone());
+                    v.push(Access::write(arr, s).consumed_by_loop(l_wrap2, whole.clone()));
+                }
+                v
+            }
+        });
+        spf.hints().set(l_wrap2, {
+            let whole = whole.clone();
+            move |iters: &Range<usize>, me: usize, np: usize| {
+                let jr = my_jr(iters, me, np);
+                if jr.is_empty() {
+                    return vec![];
+                }
+                let mut v = Vec::new();
+                for w in [UNEW, VNEW, PNEW] {
+                    let (arr, s) = sec(w, jr.clone());
+                    v.push(Access::read(arr, s.clone()));
+                    v.push(Access::write(arr, s).consumed_by_loop(l_s3, whole.clone()));
+                    v.extend(wrap_feeds_master(w, &jr));
+                }
+                v
+            }
+        });
+        spf.hints().set(l_s3, {
+            let whole = whole.clone();
+            move |iters: &Range<usize>, me: usize, np: usize| {
+                let jr = my_jr(iters, me, np);
+                let jr3 = my_jr3(&jr, me);
+                if jr3.is_empty() {
+                    return vec![];
+                }
+                let mut v = Vec::new();
+                for w in [UNEW, VNEW, PNEW] {
+                    let (arr, s) = sec(w, jr3.clone());
+                    v.push(Access::read(arr, s));
+                }
+                for w in [U, V, P] {
+                    let (arr, s) = sec(w, jr3.clone());
+                    v.push(Access::read(arr, s.clone()));
+                    v.push(Access::write(arr, s).consumed_by_loop(l_s1, whole.clone()));
+                }
+                for w in [UOLD, VOLD, POLD] {
+                    let (arr, s) = sec(w, jr3.clone());
+                    v.push(Access::read(arr, s.clone()));
+                    v.push(Access::write(arr, s).consumed_by_loop(l_s2, whole.clone()));
+                }
+                v
+            }
+        });
+    }
 
     let cs = spf.run(|mr| {
         let whole = 1..n + 1;
@@ -1057,8 +1216,9 @@ pub fn run_on(
     let outs = match version {
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
         Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
-        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg, false)).results,
-        Version::HandOpt => Cluster::run(c, |node| spf_node(node, &p, &cfg, true)).results,
+        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg, false, false)).results,
+        Version::SpfCri => Cluster::run(c, |node| spf_node(node, &p, &cfg, false, true)).results,
+        Version::HandOpt => Cluster::run(c, |node| spf_node(node, &p, &cfg, true, false)).results,
         Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
         Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
     };
@@ -1085,6 +1245,22 @@ mod tests {
             let r = crate::runner::run(AppId::Shallow, v, 4, SCALE);
             assert_eq!(r.checksum, seq.checksum, "version {v:?}");
         }
+    }
+
+    #[test]
+    fn cri_matches_sequential_bitwise_and_cuts_messages() {
+        let seq = run(Version::Seq, 1, SCALE, TmkConfig::default());
+        let spf = run(Version::Spf, 4, SCALE, TmkConfig::default());
+        let cri = run(Version::SpfCri, 4, SCALE, TmkConfig::default());
+        assert_eq!(cri.checksum, seq.checksum);
+        assert_eq!(cri.checksum, spf.checksum);
+        assert!(
+            cri.messages < spf.messages,
+            "cri {} vs spf {}",
+            cri.messages,
+            spf.messages
+        );
+        assert!(cri.dsm.pages_pushed > 0);
     }
 
     #[test]

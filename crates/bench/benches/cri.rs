@@ -1,0 +1,136 @@
+//! Benchmarks of the compiler–runtime interface's three mechanisms
+//! against the unhinted protocol paths they replace: aggregated
+//! validate vs demand fault-in, barrier-time push vs demand pull, and
+//! direct tree reduction vs lock-and-shared-page folding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp2sim::{Cluster, ClusterConfig, EngineKind};
+use treadmarks::{Tmk, TmkConfig};
+
+const PAGES: usize = 16;
+const PW: usize = 512;
+
+/// One writer fills `PAGES` pages; the reader brings them in — by
+/// faulting page by page, or by one aggregated validate.
+fn bench_validate_vs_fault(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cri");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let run = |validate: bool| {
+        Cluster::run(
+            ClusterConfig::sp2_on(2, EngineKind::Sequential),
+            move |node| {
+                let tmk = Tmk::new(node, TmkConfig::default());
+                let a = tmk.malloc_f64(PW * PAGES);
+                if tmk.proc_id() == 0 {
+                    let mut w = tmk.write(a, 0..PW * PAGES);
+                    for (i, x) in w.slice_mut().iter_mut().enumerate() {
+                        *x = i as f64;
+                    }
+                }
+                tmk.barrier(0);
+                if tmk.proc_id() == 1 {
+                    if validate {
+                        tmk.validate(&[(a, 0..PW * PAGES)]);
+                    }
+                    let r = tmk.read(a, 0..PW * PAGES);
+                    std::hint::black_box(r.slice()[PW]);
+                }
+                tmk.barrier(1);
+                tmk.finish();
+            },
+        )
+    };
+    g.bench_function("fault_in_16_pages", |b| b.iter(|| run(false)));
+    g.bench_function("validate_16_pages", |b| b.iter(|| run(true)));
+    g.finish();
+}
+
+/// The same producer/consumer exchange over a barrier — with the
+/// consumer pulling on demand, or the producer pushing at the barrier.
+fn bench_push_vs_pull(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cri");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let run = |push: bool| {
+        Cluster::run(
+            ClusterConfig::sp2_on(2, EngineKind::Sequential),
+            move |node| {
+                let tmk = Tmk::new(node, TmkConfig::default());
+                let a = tmk.malloc_f64(PW * PAGES);
+                for round in 0..4u32 {
+                    if tmk.proc_id() == 0 {
+                        let mut w = tmk.write(a, 0..PW * PAGES);
+                        for (i, x) in w.slice_mut().iter_mut().enumerate() {
+                            *x = (i + round as usize) as f64;
+                        }
+                        drop(w);
+                        if push {
+                            tmk.push_at_next_sync(1, a, 0..PW * PAGES);
+                        }
+                    }
+                    tmk.barrier(round);
+                    if tmk.proc_id() == 1 {
+                        let r = tmk.read(a, 0..PW * PAGES);
+                        std::hint::black_box(r.slice()[PW]);
+                    }
+                    tmk.barrier(100 + round);
+                }
+                tmk.finish();
+            },
+        )
+    };
+    g.bench_function("pull_16_pages_4_rounds", |b| b.iter(|| run(false)));
+    g.bench_function("push_16_pages_4_rounds", |b| b.iter(|| run(true)));
+    g.finish();
+}
+
+/// Scalar sum reduction on 8 nodes: the SPF lock-and-shared-page fold
+/// vs the direct binomial-tree combine.
+fn bench_reduce_direct_vs_lock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cri");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let run = |direct: bool| {
+        Cluster::run(
+            ClusterConfig::sp2_on(8, EngineKind::Sequential),
+            move |node| {
+                let tmk = Tmk::new(node, TmkConfig::default());
+                let var = tmk.malloc_f64(1);
+                let me = tmk.proc_id() as f64;
+                for round in 0..3u32 {
+                    if direct {
+                        let t = tmk.reduce(&[me + 1.0]);
+                        std::hint::black_box(t[0]);
+                    } else {
+                        if tmk.proc_id() == 0 {
+                            tmk.write_one(var, 0, 0.0);
+                        }
+                        tmk.barrier(round);
+                        tmk.acquire(1);
+                        let cur = tmk.read_one(var, 0);
+                        tmk.write_one(var, 0, cur + me + 1.0);
+                        tmk.release(1);
+                        tmk.barrier(100 + round);
+                        std::hint::black_box(tmk.read_one(var, 0));
+                    }
+                }
+                tmk.finish();
+            },
+        )
+    };
+    g.bench_function("reduce_lock_fold_8p", |b| b.iter(|| run(false)));
+    g.bench_function("reduce_direct_tree_8p", |b| b.iter(|| run(true)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_validate_vs_fault,
+    bench_push_vs_pull,
+    bench_reduce_direct_vs_lock
+);
+criterion_main!(benches);

@@ -1,0 +1,231 @@
+//! The hint engine: turning access descriptors into runtime actions.
+//!
+//! A compiler that knows the regular sections a parallel loop touches
+//! can tell the DSM three things the paper's measurements show it pays
+//! dearly for discovering at fault time:
+//!
+//! * **what a phase will read** — so the runtime issues one *aggregated
+//!   validate* round trip per writer before the loop body runs, instead
+//!   of taking a page fault (and a request/response pair) per page;
+//! * **who consumes what a phase wrote** — so producers *push* the
+//!   overlapping pages with the next synchronization rendezvous and the
+//!   consumers never request them;
+//! * **that a reduction is a reduction** — handled by
+//!   [`treadmarks::Tmk::reduce`] (direct tree combining) rather than the
+//!   lock-and-shared-page folding SPF emits by default.
+//!
+//! The engine is deliberately mechanical: descriptors are evaluated per
+//! node from `(iteration range, proc id, nprocs)`, mirroring how the
+//! compiler's runtime would evaluate its symbolic sections with the
+//! loop bounds of the current dispatch.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::rc::Rc;
+
+use treadmarks::{SharedArray, Tmk};
+
+use crate::section::Section;
+
+/// Whether an access reads or writes its section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessMode {
+    /// The loop reads the section.
+    Read,
+    /// The loop writes the section (a write view also fetches the
+    /// current content, so write sections are validated too).
+    Write,
+}
+
+/// Who reads a written section next — the producer side of the
+/// barrier-time push.
+#[derive(Clone, Debug)]
+pub enum Consumer {
+    /// The registered loop `id`, next dispatched over `iters`: every
+    /// node's read sections of that loop are evaluated and the page
+    /// overlap with the producer's writes is pushed.
+    Loop {
+        /// Consuming loop id (registration order).
+        id: usize,
+        /// The iteration space that loop will be dispatched over.
+        iters: Range<usize>,
+    },
+    /// A specific node's sequential code (e.g. the master's wrap-around
+    /// copies in Shallow): the whole written section is pushed there.
+    Node(usize),
+}
+
+/// One access of a loop: a regular section of a shared array, its mode,
+/// and (for writes) the known consumers.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// The shared array.
+    pub arr: SharedArray,
+    /// The section touched.
+    pub section: Section,
+    /// Read or write.
+    pub mode: AccessMode,
+    /// Consumers of a written section (ignored for reads).
+    pub consumers: Vec<Consumer>,
+}
+
+impl Access {
+    /// A read access.
+    pub fn read(arr: SharedArray, section: Section) -> Access {
+        Access {
+            arr,
+            section,
+            mode: AccessMode::Read,
+            consumers: Vec::new(),
+        }
+    }
+
+    /// A write access.
+    pub fn write(arr: SharedArray, section: Section) -> Access {
+        Access {
+            arr,
+            section,
+            mode: AccessMode::Write,
+            consumers: Vec::new(),
+        }
+    }
+
+    /// Declare that registered loop `id`, dispatched over `iters`, reads
+    /// this written section next.
+    pub fn consumed_by_loop(mut self, id: usize, iters: Range<usize>) -> Access {
+        self.consumers.push(Consumer::Loop { id, iters });
+        self
+    }
+
+    /// Declare that node `q`'s sequential code reads this written
+    /// section next.
+    pub fn consumed_by_node(mut self, q: usize) -> Access {
+        self.consumers.push(Consumer::Node(q));
+        self
+    }
+}
+
+/// A loop's access descriptor: evaluated with the dispatched iteration
+/// range and a `(proc id, nprocs)` pair — for this node before/after the
+/// body, and for every peer when computing push targets.
+pub type AccessFn<'t> = Rc<dyn Fn(&Range<usize>, usize, usize) -> Vec<Access> + 't>;
+
+/// The per-node hint engine, layered on one [`Tmk`] instance.
+pub struct HintEngine<'t, 'n> {
+    tmk: &'t Tmk<'n>,
+    fns: RefCell<Vec<Option<AccessFn<'t>>>>,
+}
+
+impl<'t, 'n> HintEngine<'t, 'n> {
+    /// An engine with no descriptors.
+    pub fn new(tmk: &'t Tmk<'n>) -> HintEngine<'t, 'n> {
+        HintEngine {
+            tmk,
+            fns: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The DSM instance.
+    pub fn tmk(&self) -> &'t Tmk<'n> {
+        self.tmk
+    }
+
+    /// Attach `access` as loop `id`'s descriptor (same registration order
+    /// on every node, like the loop bodies themselves).
+    pub fn set(&self, id: usize, access: impl Fn(&Range<usize>, usize, usize) -> Vec<Access> + 't) {
+        let mut fns = self.fns.borrow_mut();
+        if fns.len() <= id {
+            fns.resize_with(id + 1, || None);
+        }
+        fns[id] = Some(Rc::new(access));
+    }
+
+    /// True when loop `id` has a descriptor.
+    pub fn has(&self, id: usize) -> bool {
+        self.fns.borrow().get(id).is_some_and(|f| f.is_some())
+    }
+
+    fn get(&self, id: usize) -> Option<AccessFn<'t>> {
+        self.fns.borrow().get(id).and_then(|f| f.clone())
+    }
+
+    /// Pre-loop hint: aggregated validate of every section the body will
+    /// touch. Returns the number of pages that needed fetching.
+    pub fn before_loop(&self, id: usize, iters: &Range<usize>) -> u64 {
+        let Some(f) = self.get(id) else { return 0 };
+        let me = self.tmk.proc_id();
+        let np = self.tmk.nprocs();
+        let mut sections: Vec<(SharedArray, Range<usize>)> = Vec::new();
+        for a in f(iters, me, np) {
+            for r in a.section.word_ranges() {
+                sections.push((a.arr, r));
+            }
+        }
+        if sections.is_empty() {
+            return 0;
+        }
+        self.tmk.validate(&sections)
+    }
+
+    /// Post-loop hint: register pushes for every written section with
+    /// known consumers. A consumer's pages are computed from *its* read
+    /// descriptor; only the page-level overlap with the producer's writes
+    /// travels (page granularity also captures the false-sharing fetches
+    /// a page-based DSM would otherwise pay). Returns the number of
+    /// `(target, page)` registrations.
+    pub fn after_loop(&self, id: usize, iters: &Range<usize>) -> u64 {
+        let Some(f) = self.get(id) else { return 0 };
+        let me = self.tmk.proc_id();
+        let np = self.tmk.nprocs();
+        let mut registered = 0;
+        for a in f(iters, me, np) {
+            if a.mode != AccessMode::Write || a.consumers.is_empty() {
+                continue;
+            }
+            let mine = self.pages_of(a.arr, &a.section);
+            if mine.is_empty() {
+                continue;
+            }
+            for c in &a.consumers {
+                match c {
+                    Consumer::Loop { id: cid, iters: ci } => {
+                        let Some(cf) = self.get(*cid) else { continue };
+                        for q in (0..np).filter(|&q| q != me) {
+                            // Union of q's accesses on this array — reads
+                            // and writes alike, since a write view fetches
+                            // the current content too.
+                            let mut theirs = BTreeSet::new();
+                            for ca in cf(ci, q, np) {
+                                if ca.arr == a.arr {
+                                    theirs.extend(self.pages_of(ca.arr, &ca.section));
+                                }
+                            }
+                            for &p in mine.intersection(&theirs) {
+                                self.tmk.push_page_at_next_sync(q, p);
+                                registered += 1;
+                            }
+                        }
+                    }
+                    Consumer::Node(q) => {
+                        if *q != me {
+                            for &p in &mine {
+                                self.tmk.push_page_at_next_sync(*q, p);
+                                registered += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        registered
+    }
+
+    fn pages_of(&self, arr: SharedArray, section: &Section) -> BTreeSet<usize> {
+        let mut pages = BTreeSet::new();
+        for r in section.word_ranges() {
+            pages.extend(self.tmk.page_span(arr, &r));
+        }
+        pages
+    }
+}

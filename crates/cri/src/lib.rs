@@ -1,0 +1,218 @@
+//! # cri — the compiler–runtime interface for the DSM
+//!
+//! The paper's conclusion attributes most of the SPF-on-TreadMarks gap
+//! to information the compiler had and the runtime did not: which pages
+//! a parallel loop will fault, who consumes the data it produces, and
+//! which shared updates are really reductions. This crate is that
+//! interface, following the integrated compile-time/run-time approach of
+//! Dwarkadas, Cox & Zwaenepoel:
+//!
+//! * [`Section`] — **regular-section access descriptors** (lo/hi/stride
+//!   per dimension) the compiler attaches to each parallelized loop;
+//! * [`Access`] / [`AccessFn`] — a loop's touched sections, evaluated
+//!   per node from the dispatched iteration range, with read/write mode
+//!   and (for writes) the known [`Consumer`]s;
+//! * [`HintEngine`] — evaluates descriptors around every loop body:
+//!   an **aggregated validate** (one round trip per writer for all pages
+//!   the phase will fault — [`treadmarks::Tmk::validate`]) before the
+//!   body, and **barrier-time push** registrations (producer pushes the
+//!   page overlap to each consumer with the next rendezvous —
+//!   [`treadmarks::Tmk::push_page_at_next_sync`]) after it.
+//!
+//! The third mechanism, **direct reductions**, lives on the DSM handle
+//! itself ([`treadmarks::Tmk::reduce`]): partials combine up a binomial
+//! tree in `2 (n - 1)` messages instead of folding into a lock-guarded
+//! shared page.
+//!
+//! Hints are *performance-only*: every validate fetches exactly the
+//! diffs a fault would have fetched, every push delivers diffs the
+//! consumer would have requested (gapped pushes are dropped, not
+//! misapplied), so hinted and unhinted executions produce byte-identical
+//! shared memory. `tests/cri_equivalence.rs` pins that property.
+//!
+//! ## Example
+//!
+//! ```
+//! use sp2sim::{Cluster, ClusterConfig};
+//! use treadmarks::{Tmk, TmkConfig};
+//! use cri::{Access, HintEngine, Section};
+//!
+//! let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+//!     let tmk = Tmk::new(node, TmkConfig::default());
+//!     let hints = HintEngine::new(&tmk);
+//!     let a = tmk.malloc_f64(1024);
+//!     // "Loop 0 writes the block `iters` of `a`, read next by loop 1."
+//!     hints.set(0, move |iters, me, np| {
+//!         let r = spf_like_block(me, np, iters.clone());
+//!         vec![Access::write(a, Section::range(r)).consumed_by_loop(1, 0..1024)]
+//!     });
+//!     hints.set(1, move |_iters, _me, _np| {
+//!         vec![Access::read(a, Section::range(0..1024))]
+//!     });
+//!     // ... the fork-join runtime invokes before_loop/after_loop around
+//!     // each dispatched body (see the `spf` crate).
+//!     tmk.finish();
+//! });
+//!
+//! fn spf_like_block(me: usize, np: usize, r: std::ops::Range<usize>) -> std::ops::Range<usize> {
+//!     let len = (r.end - r.start) / np;
+//!     r.start + me * len..r.start + (me + 1) * len
+//! }
+//! ```
+
+pub mod hints;
+pub mod section;
+
+pub use hints::{Access, AccessFn, AccessMode, Consumer, HintEngine};
+pub use section::{merge_ranges, Dim, Section};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2sim::{Cluster, ClusterConfig, MsgKind};
+    use treadmarks::{Tmk, TmkConfig};
+
+    /// before_loop validates everything a phase will read: the body's
+    /// views then fault nothing, and the whole exchange is one
+    /// ValidateReq/Resp pair per (reader, writer) pair.
+    #[test]
+    fn before_loop_prevalidates_reads() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let hints = HintEngine::new(&tmk);
+            let a = tmk.malloc_f64(512 * 4);
+            hints.set(0, move |_iters, me, _np| {
+                if me == 1 {
+                    vec![Access::read(a, Section::range(0..512 * 4))]
+                } else {
+                    vec![]
+                }
+            });
+            if tmk.proc_id() == 0 {
+                let mut w = tmk.write(a, 0..512 * 4);
+                for (i, x) in w.slice_mut().iter_mut().enumerate() {
+                    *x = i as f64;
+                }
+            }
+            tmk.barrier(0);
+            let mut ok = true;
+            if tmk.proc_id() == 1 {
+                let validated = hints.before_loop(0, &(0..4));
+                assert_eq!(validated, 4);
+                let before = tmk.stats_snapshot().faults;
+                let r = tmk.read(a, 0..512 * 4);
+                ok = (0..512 * 4).all(|i| r[i] == i as f64);
+                assert_eq!(tmk.stats_snapshot().faults, before, "reads must not fault");
+            }
+            tmk.barrier(1);
+            tmk.finish();
+            ok
+        });
+        assert!(out.results.iter().all(|&ok| ok));
+        assert_eq!(out.stats.messages(MsgKind::ValidateReq), 1);
+        assert_eq!(out.stats.messages(MsgKind::DiffReq), 0);
+    }
+
+    /// after_loop registers pushes for exactly the page overlap between
+    /// the producer's writes and each consumer's declared reads.
+    #[test]
+    fn after_loop_pushes_producer_consumer_overlap() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let hints = HintEngine::new(&tmk);
+            let a = tmk.malloc_f64(512 * 4);
+            // Loop 0: node 0 writes the first two pages; loop 1: node 1
+            // reads pages 1..3 — the overlap is exactly page 1.
+            hints.set(0, move |_iters, me, _np| {
+                if me == 0 {
+                    vec![Access::write(a, Section::range(0..512 * 2)).consumed_by_loop(1, 0..1)]
+                } else {
+                    vec![]
+                }
+            });
+            hints.set(1, move |_iters, me, _np| {
+                if me == 1 {
+                    vec![Access::read(a, Section::range(512..512 * 3))]
+                } else {
+                    vec![]
+                }
+            });
+            let mut probe = 0.0;
+            if tmk.proc_id() == 0 {
+                let mut w = tmk.write(a, 0..512 * 2);
+                for (i, x) in w.slice_mut().iter_mut().enumerate() {
+                    *x = 1.0 + i as f64;
+                }
+                drop(w);
+                let registered = hints.after_loop(0, &(0..1));
+                assert_eq!(registered, 1, "only the overlapping page");
+            }
+            tmk.barrier(0);
+            if tmk.proc_id() == 1 {
+                let before = tmk.stats_snapshot().faults;
+                let r = tmk.read(a, 512..1024); // the pushed page
+                probe = r[512];
+                assert_eq!(tmk.stats_snapshot().faults, before, "pushed page");
+            }
+            tmk.barrier(1);
+            tmk.finish();
+            probe
+        });
+        assert_eq!(out.results[1], 513.0);
+        assert_eq!(out.stats.messages(MsgKind::Push), 1);
+    }
+
+    /// Consumer::Node pushes the whole written section to one node's
+    /// sequential code.
+    #[test]
+    fn node_consumer_receives_everything() {
+        let out = Cluster::run(ClusterConfig::sp2(3), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let hints = HintEngine::new(&tmk);
+            let a = tmk.malloc_f64(512 * 3);
+            hints.set(0, move |_iters, me, np| {
+                // Each node writes its own page, destined for node 0.
+                let r = me * 512..(me + 1) * 512;
+                let _ = np;
+                vec![Access::write(a, Section::range(r)).consumed_by_node(0)]
+            });
+            {
+                let me = tmk.proc_id();
+                let mut w = tmk.write(a, me * 512..(me + 1) * 512);
+                for i in me * 512..(me + 1) * 512 {
+                    w[i] = me as f64;
+                }
+            }
+            hints.after_loop(0, &(0..3));
+            tmk.barrier(0);
+            let mut sum = 0.0;
+            if tmk.proc_id() == 0 {
+                let before = tmk.stats_snapshot().faults;
+                let r = tmk.read(a, 0..512 * 3);
+                sum = (0..3).map(|q| r[q * 512 + 7]).sum();
+                assert_eq!(tmk.stats_snapshot().faults, before);
+            }
+            tmk.barrier(1);
+            tmk.finish();
+            sum
+        });
+        assert_eq!(out.results[0], 3.0);
+        // Node 1 and node 2 each push their page; node 0's self-push is
+        // dropped at registration.
+        assert_eq!(out.stats.messages(MsgKind::Push), 2);
+        assert_eq!(out.stats.messages(MsgKind::DiffReq), 0);
+    }
+
+    #[test]
+    fn loops_without_descriptors_are_untouched() {
+        let out = Cluster::run(ClusterConfig::sp2(1), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let hints = HintEngine::new(&tmk);
+            assert!(!hints.has(3));
+            assert_eq!(hints.before_loop(3, &(0..10)), 0);
+            assert_eq!(hints.after_loop(3, &(0..10)), 0);
+            tmk.finish();
+        });
+        assert_eq!(out.stats.total_messages(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Regular-section descriptors (RSDs).
+//!
+//! A regular section describes the set of array elements a loop nest
+//! touches as a small product of strided dimensions — the representation
+//! parallelizing compilers (Forge SPF, the Rice compiler of Dwarkadas et
+//! al.) derive from subscript analysis of DO loops. The descriptor is
+//! pure data: evaluating it enumerates element ranges without running
+//! the loop, which is what lets the runtime fetch or push everything a
+//! phase needs ahead of the accesses.
+
+use std::ops::Range;
+
+/// One dimension of a regular section: indices `lo..hi`, each scaled by
+/// `stride` words. The innermost dimension of a dense access has
+/// `stride == 1` and contributes a contiguous run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dim {
+    /// First index (inclusive).
+    pub lo: usize,
+    /// Last index (exclusive).
+    pub hi: usize,
+    /// Words between consecutive indices.
+    pub stride: usize,
+}
+
+/// A regular section over a flat (column-major) shared array: the set of
+/// word indices `Σ_k i_k · stride_k` for `i_k ∈ lo_k..hi_k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Dimensions, outermost first.
+    pub dims: Vec<Dim>,
+}
+
+impl Section {
+    /// A contiguous 1-D section.
+    pub fn range(r: Range<usize>) -> Section {
+        Section {
+            dims: vec![Dim {
+                lo: r.start,
+                hi: r.end,
+                stride: 1,
+            }],
+        }
+    }
+
+    /// A column block of a column-major 2-D array with `rows` words per
+    /// column: all of columns `cols`.
+    pub fn cols(cols: Range<usize>, rows: usize) -> Section {
+        Section {
+            dims: vec![
+                Dim {
+                    lo: cols.start,
+                    hi: cols.end,
+                    stride: rows,
+                },
+                Dim {
+                    lo: 0,
+                    hi: rows,
+                    stride: 1,
+                },
+            ],
+        }
+    }
+
+    /// An `outer`-strided section of contiguous `inner` runs: for each
+    /// `i ∈ outer`, words `i·stride + inner.start .. i·stride + inner.end`.
+    pub fn strided(outer: Range<usize>, stride: usize, inner: Range<usize>) -> Section {
+        Section {
+            dims: vec![
+                Dim {
+                    lo: outer.start,
+                    hi: outer.end,
+                    stride,
+                },
+                Dim {
+                    lo: inner.start,
+                    hi: inner.end,
+                    stride: 1,
+                },
+            ],
+        }
+    }
+
+    /// True when any dimension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty() || self.dims.iter().any(|d| d.lo >= d.hi)
+    }
+
+    /// Number of words described.
+    pub fn words(&self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        self.dims.iter().map(|d| d.hi - d.lo).product()
+    }
+
+    /// Enumerate the section as maximal contiguous word ranges (sorted,
+    /// merged). This is what the hint engine hands to
+    /// [`treadmarks::Tmk::validate`] and the page-overlap computation.
+    pub fn word_ranges(&self) -> Vec<Range<usize>> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let (outer, last) = self.dims.split_at(self.dims.len() - 1);
+        let last = &last[0];
+        let mut bases = vec![0usize];
+        for d in outer {
+            let mut next = Vec::with_capacity(bases.len() * (d.hi - d.lo));
+            for b in &bases {
+                for i in d.lo..d.hi {
+                    next.push(b + i * d.stride);
+                }
+            }
+            bases = next;
+        }
+        let mut runs: Vec<Range<usize>> = Vec::new();
+        for b in bases {
+            if last.stride == 1 {
+                runs.push(b + last.lo..b + last.hi);
+            } else {
+                for i in last.lo..last.hi {
+                    let w = b + i * last.stride;
+                    runs.push(w..w + 1);
+                }
+            }
+        }
+        merge_ranges(runs)
+    }
+}
+
+/// Sort and merge overlapping or adjacent ranges.
+pub fn merge_ranges(mut runs: Vec<Range<usize>>) -> Vec<Range<usize>> {
+    runs.retain(|r| r.start < r.end);
+    runs.sort_by_key(|r| r.start);
+    let mut out: Vec<Range<usize>> = Vec::with_capacity(runs.len());
+    for r in runs {
+        match out.last_mut() {
+            Some(last) if r.start <= last.end => last.end = last.end.max(r.end),
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_range_is_one_run() {
+        assert_eq!(Section::range(5..12).word_ranges(), vec![5..12]);
+        assert_eq!(Section::range(5..12).words(), 7);
+        assert!(Section::range(5..5).is_empty());
+        assert!(Section::range(5..5).word_ranges().is_empty());
+    }
+
+    #[test]
+    fn full_columns_coalesce_into_one_run() {
+        // Columns 2..5 of a 10-row array are contiguous in column-major
+        // layout: the enumeration must merge them.
+        assert_eq!(Section::cols(2..5, 10).word_ranges(), vec![20..50]);
+    }
+
+    #[test]
+    fn strided_interior_stays_fragmented() {
+        // Rows 1..4 of columns 0..3 (10 rows): three runs of three.
+        let s = Section {
+            dims: vec![
+                Dim {
+                    lo: 0,
+                    hi: 3,
+                    stride: 10,
+                },
+                Dim {
+                    lo: 1,
+                    hi: 4,
+                    stride: 1,
+                },
+            ],
+        };
+        assert_eq!(s.word_ranges(), vec![1..4, 11..14, 21..24]);
+        assert_eq!(s.words(), 9);
+    }
+
+    #[test]
+    fn strided_helper_matches_manual_dims() {
+        let s = Section::strided(2..4, 100, 10..20);
+        assert_eq!(s.word_ranges(), vec![210..220, 310..320]);
+    }
+
+    #[test]
+    fn non_unit_innermost_stride_enumerates_single_words() {
+        let s = Section {
+            dims: vec![Dim {
+                lo: 0,
+                hi: 3,
+                stride: 4,
+            }],
+        };
+        assert_eq!(s.word_ranges(), vec![0..1, 4..5, 8..9]);
+    }
+
+    #[test]
+    fn merge_handles_overlap_and_adjacency() {
+        assert_eq!(
+            merge_ranges(vec![8..10, 0..4, 4..6, 5..9, 20..20]),
+            vec![0..10]
+        );
+    }
+}

@@ -23,6 +23,7 @@ fn main() {
     run("figure2_table3", &argv);
     run("handopt", &argv);
     run("interface_ablation", &argv);
+    run("compiler_opt", &argv);
     run("scaling", &argv);
     run("page_size", &argv);
 }

@@ -1,0 +1,133 @@
+//! Regenerates the compiler–runtime-interface gap-closing experiment the
+//! paper's conclusion calls for: SPF baseline vs SPF+CRI (regular-section
+//! hints: aggregated validate, barrier-time push, direct reduction) vs
+//! hand-coded message passing, with message/byte/time columns.
+//!
+//! Usage: `compiler_opt [scale] [nprocs] [--engine E] [--check-baseline FILE]`
+//! (defaults 0.1 and 8).
+//!
+//! With `--check-baseline FILE`, the binary additionally asserts the CI
+//! regression gate: FILE records `scale nprocs max_msgs`, and hinted
+//! Jacobi — run at exactly that recorded configuration, overriding any
+//! conflicting command-line scale/nprocs — must not exceed `max_msgs`
+//! and must stay ≥ 30% below the SPF baseline. Exit status 1 on
+//! regression, 2 on an unreadable or malformed baseline file.
+
+use harness::report::{f2, render_table};
+use harness::Table;
+
+/// Parsed `scale nprocs max_msgs` baseline record.
+struct Baseline {
+    scale: f64,
+    nprocs: usize,
+    max_msgs: u64,
+}
+
+fn read_baseline(path: &str) -> Baseline {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    let fields: Vec<&str> = text.split_whitespace().collect();
+    let parsed = (|| -> Option<Baseline> {
+        let [scale, nprocs, max_msgs] = fields.as_slice() else {
+            return None;
+        };
+        Some(Baseline {
+            scale: scale.parse().ok()?,
+            nprocs: nprocs.parse().ok()?,
+            max_msgs: max_msgs.parse().ok()?,
+        })
+    })();
+    parsed.unwrap_or_else(|| {
+        eprintln!("baseline {path} must contain `scale nprocs max_msgs`, got {text:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut baseline_path = None;
+    let cli = harness::cli::parse_with(0.1, 8, |flag, args| {
+        if flag == "--check-baseline" {
+            match args.next() {
+                Some(p) => baseline_path = Some(p),
+                None => {
+                    eprintln!("error: missing file after --check-baseline");
+                    std::process::exit(2);
+                }
+            }
+            true
+        } else {
+            false
+        }
+    });
+    let baseline = baseline_path.as_deref().map(read_baseline);
+    // The gate is only meaningful at the configuration the baseline was
+    // recorded at: silently comparing counts across scales would flag
+    // phantom regressions, so the recorded (scale, nprocs) win over the
+    // command line (and a mismatch is reported).
+    let (scale, nprocs) = match &baseline {
+        Some(b) => {
+            if b.scale != cli.scale || b.nprocs != cli.nprocs {
+                eprintln!(
+                    "note: baseline recorded at scale {} / {} procs; \
+                     running the gate there (command line said {} / {})",
+                    b.scale, b.nprocs, cli.scale, cli.nprocs
+                );
+            }
+            (b.scale, b.nprocs)
+        }
+        None => (cli.scale, cli.nprocs),
+    };
+    println!("Compiler-runtime interface: closing the SPF gap (scale {scale}, {nprocs} procs)\n");
+    let rows = harness::compiler_opt(nprocs, scale, cli.engine);
+    let mut t = Table::new(vec![
+        "Program", "Version", "Time (s)", "Speedup", "Msgs", "KBytes",
+    ]);
+    for r in &rows {
+        for (name, run) in [("SPF", &r.spf), ("SPF+CRI", &r.cri), ("PVMe", &r.mpl)] {
+            t.row(vec![
+                r.app.name().to_string(),
+                name.to_string(),
+                f2(run.time_us / 1e6),
+                f2(run.speedup_vs(r.seq_us)),
+                run.messages.to_string(),
+                run.kbytes.to_string(),
+            ]);
+        }
+    }
+    println!("{}", render_table(&t));
+    for r in &rows {
+        println!(
+            "{}: CRI eliminates {:.1}% of SPF's messages \
+             (validates {}, pages pushed {}, direct reduces {})",
+            r.app.name(),
+            100.0 * r.message_reduction(),
+            r.cri.dsm.validates,
+            r.cri.dsm.pages_pushed,
+            r.cri.dsm.direct_reduces,
+        );
+    }
+
+    if let Some(b) = baseline {
+        let jacobi = rows
+            .iter()
+            .find(|r| r.app == apps::AppId::Jacobi)
+            .expect("jacobi row present");
+        let msgs = jacobi.cri.messages;
+        let reduction = jacobi.message_reduction();
+        println!(
+            "\nbaseline check (scale {}, {} procs): hinted Jacobi {msgs} msgs \
+             (recorded max {}), reduction {:.1}% (required >= 30%)",
+            b.scale,
+            b.nprocs,
+            b.max_msgs,
+            100.0 * reduction
+        );
+        if msgs > b.max_msgs || reduction < 0.30 {
+            eprintln!("REGRESSION: hinted Jacobi message count above baseline");
+            std::process::exit(1);
+        }
+        println!("baseline check passed");
+    }
+}

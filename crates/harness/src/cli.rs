@@ -28,6 +28,19 @@ pub struct Cli {
 /// abort with a usage message; extra positionals beyond two are
 /// rejected.
 pub fn parse(default_scale: f64, default_nprocs: usize) -> Cli {
+    parse_with(default_scale, default_nprocs, |_, _| false)
+}
+
+/// Like [`parse`], but a binary-specific flag handler sees every flag
+/// the common parser does not recognize first: return `true` to claim
+/// it (consuming its value from `args` if needed), `false` to fall
+/// through to the usage error. Keeps one argument grammar across all
+/// harness binaries (`compiler_opt` adds `--check-baseline` this way).
+pub fn parse_with(
+    default_scale: f64,
+    default_nprocs: usize,
+    mut extra_flag: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> bool,
+) -> Cli {
     let mut cli = Cli {
         scale: default_scale,
         nprocs: default_nprocs,
@@ -46,7 +59,9 @@ pub fn parse(default_scale: f64, default_nprocs: usize) -> Cli {
         } else if a == "--help" || a == "-h" {
             usage("");
         } else if a.starts_with("--") {
-            usage(&format!("unknown flag {a}"));
+            if !extra_flag(&a, &mut args) {
+                usage(&format!("unknown flag {a}"));
+            }
         } else {
             match positional {
                 0 => {

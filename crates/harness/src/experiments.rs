@@ -250,6 +250,67 @@ pub fn interface_ablation(
         .collect()
 }
 
+/// A compiler–runtime-interface row: the gap-closing experiment of the
+/// paper's conclusion. For one regular application: SPF baseline,
+/// SPF+CRI (regular-section hints driving aggregated validate,
+/// barrier-time push and direct reduction), and the hand-coded
+/// message-passing reference.
+#[derive(Clone, Debug)]
+pub struct CompilerOptRow {
+    /// Application.
+    pub app: AppId,
+    /// Sequential time (µs), the speedup baseline.
+    pub seq_us: f64,
+    /// SPF without hints.
+    pub spf: RunResult,
+    /// SPF with the CRI hints.
+    pub cri: RunResult,
+    /// Hand-coded message passing (PVMe).
+    pub mpl: RunResult,
+}
+
+impl CompilerOptRow {
+    /// Fraction of the SPF baseline's messages the hints eliminated.
+    pub fn message_reduction(&self) -> f64 {
+        if self.spf.messages == 0 {
+            return 0.0;
+        }
+        1.0 - self.cri.messages as f64 / self.spf.messages as f64
+    }
+}
+
+/// The CRI gap-closing experiment: SPF vs SPF+CRI vs hand-coded MPL for
+/// the three regular applications with compiler-describable sections.
+pub fn compiler_opt(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<CompilerOptRow> {
+    let apps = [AppId::Jacobi, AppId::Shallow, AppId::Fft3d];
+    let mut jobs: Vec<(AppId, Version, usize)> = Vec::new();
+    for &app in &apps {
+        jobs.push((app, Version::Seq, 1));
+        for v in [Version::Spf, Version::SpfCri, Version::Pvme] {
+            jobs.push((app, v, nprocs));
+        }
+    }
+    let mut results = sweep_map(engine, jobs, |(app, v, np)| {
+        run_on(engine, app, v, np, scale)
+    })
+    .into_iter();
+    apps.iter()
+        .map(|&app| {
+            let seq = results.next().expect("sequential baseline present");
+            let spf = results.next().expect("spf run present");
+            let cri = results.next().expect("cri run present");
+            let mpl = results.next().expect("mpl run present");
+            CompilerOptRow {
+                app,
+                seq_us: seq.time_us,
+                spf,
+                cri,
+                mpl,
+            }
+        })
+        .collect()
+}
+
 /// A scaling-study row: speedups at each processor count.
 #[derive(Clone, Debug)]
 pub struct ScaleRow {
@@ -323,6 +384,23 @@ mod tests {
         for r in &rows {
             assert!(r.secs > 0.0, "{:?} has positive sequential time", r.app);
             assert!(!r.size.is_empty());
+        }
+    }
+
+    #[test]
+    fn compiler_opt_covers_regular_apps_and_reduces_messages() {
+        let rows = compiler_opt(4, SCALE, EngineKind::Sequential);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.seq_us > 0.0);
+            assert!(
+                r.cri.messages < r.spf.messages,
+                "{:?}: cri {} vs spf {}",
+                r.app,
+                r.cri.messages,
+                r.spf.messages
+            );
+            assert!(r.message_reduction() > 0.0);
         }
     }
 

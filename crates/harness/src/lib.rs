@@ -8,6 +8,7 @@
 //! | [`experiments::figure2_table3`] | Figure 2 + Table 3: irregular apps |
 //! | [`experiments::handopt`] | §5 "Results of Hand Optimizations" |
 //! | [`experiments::interface_ablation`] | §2.3 fork-join interface ablation |
+//! | [`experiments::compiler_opt`] | conclusion: SPF vs SPF+CRI vs hand-coded MPL |
 //! | [`experiments::scaling`] | 1..8-processor scaling study (extension) |
 //!
 //! Each function returns structured rows; the `report` module renders
@@ -26,8 +27,8 @@ pub mod report;
 pub mod sweep;
 
 pub use experiments::{
-    figure1, figure2_table3, handopt, interface_ablation, scaling, table1, HandOptRow, ScaleRow,
-    SeqRow, SpeedupRow,
+    compiler_opt, figure1, figure2_table3, handopt, interface_ablation, scaling, table1,
+    CompilerOptRow, HandOptRow, ScaleRow, SeqRow, SpeedupRow,
 };
 pub use report::{render_table, Table};
 pub use sweep::sweep_map;

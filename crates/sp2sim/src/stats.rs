@@ -40,10 +40,19 @@ pub enum MsgKind {
     Bcast = 10,
     /// Process management (startup/shutdown); excluded from totals.
     Control = 11,
+    /// CRI aggregated-validate request: one round trip covering every
+    /// page a compiler-described phase will touch.
+    ValidateReq = 12,
+    /// CRI aggregated-validate response (carries diffs — data volume).
+    ValidateResp = 13,
+    /// CRI direct-reduction partial, combined up a binomial tree.
+    ReducePart = 14,
+    /// CRI direct-reduction result, distributed down the tree.
+    ReduceResult = 15,
 }
 
 /// Number of `MsgKind` variants.
-pub const NKINDS: usize = 12;
+pub const NKINDS: usize = 16;
 
 /// All message kinds, in discriminant order.
 pub const ALL_KINDS: [MsgKind; NKINDS] = [
@@ -59,15 +68,28 @@ pub const ALL_KINDS: [MsgKind; NKINDS] = [
     MsgKind::Push,
     MsgKind::Bcast,
     MsgKind::Control,
+    MsgKind::ValidateReq,
+    MsgKind::ValidateResp,
+    MsgKind::ReducePart,
+    MsgKind::ReduceResult,
 ];
 
 impl MsgKind {
     /// True for categories that represent application data movement
     /// rather than synchronization.
     pub fn is_data(self) -> bool {
+        // Reduction partials/results carry application values, like the
+        // hand-coded versions' allreduce messages (MsgKind::Data): both
+        // sides of the SPF+CRI vs message-passing comparison count them.
         matches!(
             self,
-            MsgKind::Data | MsgKind::DiffResp | MsgKind::Push | MsgKind::Bcast
+            MsgKind::Data
+                | MsgKind::DiffResp
+                | MsgKind::Push
+                | MsgKind::Bcast
+                | MsgKind::ValidateResp
+                | MsgKind::ReducePart
+                | MsgKind::ReduceResult
         )
     }
 
@@ -86,6 +108,10 @@ impl MsgKind {
             MsgKind::Push => "push",
             MsgKind::Bcast => "bcast",
             MsgKind::Control => "control",
+            MsgKind::ValidateReq => "val-req",
+            MsgKind::ValidateResp => "val-resp",
+            MsgKind::ReducePart => "red-part",
+            MsgKind::ReduceResult => "red-res",
         }
     }
 }

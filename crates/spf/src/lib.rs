@@ -31,6 +31,13 @@
 //!   two shared pages and releases the workers through a full barrier;
 //!   workers fault the control pages in — `8 (n - 1)` messages per loop.
 //!
+//! When a loop is registered through [`Spf::register_with_access`], its
+//! regular-section descriptor (see the [`cri`] crate) is evaluated
+//! around every execution of the body: the run-time pre-validates all
+//! pages the body will fault in one aggregated exchange, and registers
+//! producer→consumer pushes that ride the next rendezvous. This is the
+//! compiler–DSM interface the paper's conclusion calls for.
+//!
 //! ## Example
 //!
 //! ```
@@ -70,6 +77,7 @@
 use std::cell::RefCell;
 use std::ops::Range;
 
+use cri::{Access, HintEngine};
 use treadmarks::{SharedArray, Tmk};
 
 /// Loop iteration scheduling, as selected by the SPF directives.
@@ -166,6 +174,7 @@ type LoopBody<'t> = Box<dyn Fn(&LoopCtl) + 't>;
 pub struct Spf<'t, 'n> {
     tmk: &'t Tmk<'n>,
     loops: RefCell<Vec<LoopBody<'t>>>,
+    hints: HintEngine<'t, 'n>,
     // Original-interface control locations: the loop-index word and the
     // argument words live on separate shared pages, as the paper
     // describes — two faults per worker per loop.
@@ -182,6 +191,7 @@ impl<'t, 'n> Spf<'t, 'n> {
         Spf {
             tmk,
             loops: RefCell::new(Vec::new()),
+            hints: HintEngine::new(tmk),
             ctl_idx,
             ctl_args,
         }
@@ -192,12 +202,34 @@ impl<'t, 'n> Spf<'t, 'n> {
         self.tmk
     }
 
+    /// The CRI hint engine (descriptors registered through
+    /// [`Spf::register_with_access`]).
+    pub fn hints(&self) -> &HintEngine<'t, 'n> {
+        &self.hints
+    }
+
     /// Register the subroutine a parallel loop was encapsulated into.
     /// Must be called in the same order on every node.
     pub fn register(&self, body: impl Fn(&LoopCtl) + 't) -> usize {
         let mut loops = self.loops.borrow_mut();
         loops.push(Box::new(body));
         loops.len() - 1
+    }
+
+    /// Register a loop *with* its regular-section access descriptor —
+    /// what a compiler that performed subscript analysis emits. When a
+    /// descriptor is present the run-time brackets every execution of
+    /// the body with CRI hints: an aggregated validate of everything the
+    /// body will touch before it runs, and barrier-time push
+    /// registrations for the declared consumers after it.
+    pub fn register_with_access(
+        &self,
+        body: impl Fn(&LoopCtl) + 't,
+        access: impl Fn(&Range<usize>, usize, usize) -> Vec<Access> + 't,
+    ) -> usize {
+        let id = self.register(body);
+        self.hints.set(id, access);
+        id
     }
 
     /// Enter the fork-join execution model: the master (processor 0) runs
@@ -220,8 +252,17 @@ impl<'t, 'n> Spf<'t, 'n> {
     }
 
     fn execute(&self, ctl: &LoopCtl) {
-        let loops = self.loops.borrow();
-        (loops[ctl.id])(ctl);
+        let hinted = self.hints.has(ctl.id);
+        if hinted {
+            self.hints.before_loop(ctl.id, &ctl.range);
+        }
+        {
+            let loops = self.loops.borrow();
+            (loops[ctl.id])(ctl);
+        }
+        if hinted {
+            self.hints.after_loop(ctl.id, &ctl.range);
+        }
     }
 
     fn worker_loop(&self) {
@@ -452,6 +493,78 @@ mod tests {
         // Control-page faults show up as diff traffic in the original
         // interface only.
         assert!(stats_old.messages(MsgKind::DiffReq) > stats_new.messages(MsgKind::DiffReq));
+    }
+
+    /// A two-loop producer/consumer pipeline, registered plain vs with
+    /// access descriptors: identical results, strictly fewer messages
+    /// (validates collapse the faults; pushes replace the demand
+    /// fetches).
+    #[test]
+    fn hinted_registration_agrees_and_saves_messages() {
+        use cri::{Access, Section};
+
+        let run_with = |hinted: bool| {
+            Cluster::run(ClusterConfig::sp2(4), move |node| {
+                let tmk = Tmk::new(node, TmkConfig::default());
+                let spf = Spf::new(&tmk);
+                let len = 512 * 8; // eight pages
+                let a = tmk.malloc_f64(len);
+                let body_prod = {
+                    let tmk = &tmk;
+                    move |ctl: &LoopCtl| {
+                        let r = ctl.my_block(tmk.proc_id(), tmk.nprocs());
+                        if !r.is_empty() {
+                            let mut w = tmk.write(a, r.clone());
+                            for i in r {
+                                w[i] = i as f64;
+                            }
+                        }
+                    }
+                };
+                let body_sum = {
+                    let tmk = &tmk;
+                    move |ctl: &LoopCtl| {
+                        let _ = ctl;
+                        let r = tmk.read(a, 0..len);
+                        assert!((0..len).all(|i| r[i] == i as f64));
+                    }
+                };
+                let (prod, sum) = if hinted {
+                    let prod = spf.register_with_access(body_prod, move |iters, me, np| {
+                        vec![
+                            Access::write(a, Section::range(block_range(me, np, iters.clone())))
+                                .consumed_by_loop(1, 0..len),
+                        ]
+                    });
+                    let sum = spf.register_with_access(body_sum, move |_iters, _me, _np| {
+                        vec![Access::read(a, Section::range(0..len))]
+                    });
+                    (prod, sum)
+                } else {
+                    (spf.register(body_prod), spf.register(body_sum))
+                };
+                let r = spf.run(|m| {
+                    m.par_loop(prod, 0..len, Schedule::Block, &[]);
+                    m.par_loop(sum, 0..len, Schedule::Block, &[]);
+                    1
+                });
+                tmk.finish();
+                r
+            })
+        };
+        let plain = run_with(false);
+        let hinted = run_with(true);
+        assert_eq!(plain.results[0], Some(1));
+        assert_eq!(hinted.results[0], Some(1));
+        assert!(
+            hinted.stats.total_messages() < plain.stats.total_messages(),
+            "hinted {} vs plain {}",
+            hinted.stats.total_messages(),
+            plain.stats.total_messages()
+        );
+        // The demand diff traffic is gone entirely: consumers never ask.
+        assert_eq!(hinted.stats.messages(MsgKind::DiffReq), 0);
+        assert!(plain.stats.messages(MsgKind::DiffReq) > 0);
     }
 
     #[test]

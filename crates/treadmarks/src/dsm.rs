@@ -7,7 +7,7 @@
 //! access checks that `mprotect` performed in the original system.
 
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::marker::PhantomData;
 use std::ops::{Index, IndexMut, Range};
 use std::sync::Arc;
@@ -17,8 +17,8 @@ use sp2sim::{MsgKind, Node, Port, ServiceHandle, WordReader, WordWriter};
 
 use crate::config::TmkConfig;
 use crate::protocol::{self, flags, op, tag, DiffReqEntry};
-use crate::service::service_loop;
-use crate::state::{DiffRange, DsmState};
+use crate::service::{forward_reduce, service_loop};
+use crate::state::{reduce_children, DiffRange, DsmState};
 use crate::stats::DsmStats;
 
 macro_rules! trace {
@@ -149,6 +149,7 @@ pub struct Tmk<'n> {
     fork_epoch: Cell<u64>,
     barrier_epoch: Cell<u64>,
     bcast_seq: Cell<u32>,
+    reduce_seq: Cell<u32>,
 }
 
 impl<'n> Tmk<'n> {
@@ -175,6 +176,7 @@ impl<'n> Tmk<'n> {
             fork_epoch: Cell::new(0),
             barrier_epoch: Cell::new(0),
             bcast_seq: Cell::new(0),
+            reduce_seq: Cell::new(0),
         }
     }
 
@@ -264,6 +266,108 @@ impl<'n> Tmk<'n> {
         );
         let base = arr.first_page * self.cfg.page_words;
         (base + range.start, base + range.end)
+    }
+
+    /// Global page ids covered by `range` of `arr` (empty for an empty
+    /// range). The compiler–runtime interface uses this to turn regular
+    /// sections into page sets for validates and pushes.
+    pub fn page_span(&self, arr: SharedArray, range: &Range<usize>) -> Range<usize> {
+        let (wlo, whi) = self.word_bounds(arr, range);
+        if wlo == whi {
+            return 0..0;
+        }
+        let pw = self.cfg.page_words;
+        wlo / pw..(whi - 1) / pw + 1
+    }
+
+    /// CRI aggregated validate: make every page of `sections` consistent
+    /// up front, with **one** access fault and **one** request round trip
+    /// per writer for the whole phase — instead of one fault and one
+    /// round trip per page as the loop body's views would take. Returns
+    /// the number of pages that actually needed diffs.
+    ///
+    /// This is the compiler-described counterpart of the per-view
+    /// aggregation of [`TmkConfig::aggregation`]: the compiler knows the
+    /// regular sections a loop will touch before it runs, so the runtime
+    /// can fetch everything the phase will fault in a single exchange.
+    pub fn validate(&self, sections: &[(SharedArray, Range<usize>)]) -> u64 {
+        let pw = self.cfg.page_words;
+        let mut pages: BTreeSet<usize> = BTreeSet::new();
+        for (arr, range) in sections {
+            let (wlo, whi) = self.word_bounds(*arr, range);
+            if wlo < whi {
+                pages.extend(wlo / pw..=(whi - 1) / pw);
+            }
+        }
+        let cost = self.node.cost().clone();
+        let mut by_writer: BTreeMap<usize, Vec<DiffReqEntry>> = BTreeMap::new();
+        let mut missing_pages = 0u64;
+        {
+            let mut st = self.state.lock();
+            st.stats.validates += 1;
+            for &p in &pages {
+                st.frame_mut(p);
+                let missing = st.missing_by_writer(p);
+                if !missing.is_empty() {
+                    missing_pages += 1;
+                    for (writer, first_needed) in missing {
+                        trace!(
+                            "[{}] validate: page {p} writer {writer} from seq {first_needed}",
+                            self.proc_id()
+                        );
+                        by_writer.entry(writer).or_default().push(DiffReqEntry {
+                            page: p,
+                            first_needed,
+                        });
+                    }
+                }
+            }
+            st.stats.validate_pages += missing_pages;
+            if missing_pages > 0 {
+                st.stats.faults += 1;
+            }
+        }
+        if by_writer.is_empty() {
+            return 0;
+        }
+        self.node.advance(cost.page_fault_us);
+        let mut outstanding: Vec<(usize, u32)> = Vec::new();
+        for (writer, reqs) in &by_writer {
+            let id = self.req_seq.get();
+            self.req_seq.set(id.wrapping_add(1));
+            let payload = protocol::encode_page_req(op::VALIDATE_REQ, id, self.proc_id(), reqs);
+            self.node.endpoint().send_to_port(
+                *writer,
+                Port::Service,
+                0,
+                MsgKind::ValidateReq,
+                payload,
+            );
+            outstanding.push((*writer, id));
+        }
+        let mut entries: Vec<(usize, protocol::DiffRespEntry)> = Vec::new();
+        for (writer, req_id) in outstanding {
+            let t = tag::VALIDATE_RESP | (req_id & 0xFFFF);
+            let pkt = self.node.recv_match(|p| p.src == writer && p.tag == t);
+            let mut r = WordReader::new(&pkt.payload);
+            for e in protocol::decode_diff_entries(&mut r) {
+                entries.push((writer, e));
+            }
+        }
+        entries.sort_by_key(|(w, e)| (e.lamport, *w));
+        let mut st = self.state.lock();
+        let mut us = 0.0;
+        for (writer, e) in &entries {
+            let applied = st.frame_mut(e.page).applied[*writer];
+            if e.hi <= applied {
+                continue;
+            }
+            st.apply_range(e.page, *writer, e.hi, &e.diff);
+            us += cost.diff_apply_us(e.diff.encoded_words());
+        }
+        drop(st);
+        self.node.advance(us);
+        missing_pages
     }
 
     /// The fault engine: make `[wlo, whi)` consistent, optionally
@@ -572,13 +676,19 @@ impl<'n> Tmk<'n> {
         self.fork_epoch.set(e + 1);
         let flush_us = {
             let mut st = self.state.lock();
-            debug_assert!(st.pending_push.is_empty(), "pushes only at barriers");
             st.stats.forks += 1;
             st.flush(self.node.cost())
         };
         self.node.advance(flush_us);
-        let mut w = WordWriter::with_capacity(4 + ctl.len());
-        w.put(op::MASTER_FORK).put(e).put(flag_bits).put_words(ctl);
+        // Registered pushes ride the dispatch: the workers learn how many
+        // to expect from the fork departure.
+        let push_counts = self.do_pushes();
+        let mut w = WordWriter::with_capacity(4 + push_counts.len() + ctl.len());
+        w.put(op::MASTER_FORK).put(e).put(flag_bits);
+        for &c in &push_counts {
+            w.put(c);
+        }
+        w.put_words(ctl);
         self.node
             .endpoint()
             .send_to_port(0, Port::Service, 0, MsgKind::Control, w.finish());
@@ -601,10 +711,15 @@ impl<'n> Tmk<'n> {
             .send_to_port(0, Port::Service, 0, MsgKind::Control, w.finish());
         let t = tag::JOIN_DEP | (e & 0xFFFF) as u32;
         trace!("[0] join {} wait", e);
-        let _ = self.node.recv_match(|p| p.tag == t);
+        let pkt = self.node.recv_match(|p| p.tag == t);
         trace!("[0] join {} done", e);
         // Interval integration happened inside the manager service at
-        // epoch completion (our own state); nothing further to do.
+        // epoch completion (our own state); only the workers' pushes to
+        // the master remain to be consumed.
+        let mut r = WordReader::new(&pkt.payload);
+        let _epoch = r.get();
+        let expected_push = r.get();
+        self.receive_pushes(expected_push);
     }
 
     /// Worker: report arrival at the rendezvous and wait for the next
@@ -619,6 +734,9 @@ impl<'n> Tmk<'n> {
             st.flush(self.node.cost())
         };
         self.node.advance(flush_us);
+        // Pushes registered after the previous loop body ride the
+        // rendezvous, exactly like the barrier-time pushes.
+        let push_counts = self.do_pushes();
         let (vc, ivs) = {
             let mut st = self.state.lock();
             (st.vc.clone(), st.take_unreported())
@@ -627,7 +745,7 @@ impl<'n> Tmk<'n> {
             op::WORKER_ARRIVE,
             e,
             self.proc_id(),
-            &vec![0; self.nprocs()],
+            &push_counts,
             &vc,
             &ivs,
         );
@@ -645,6 +763,13 @@ impl<'n> Tmk<'n> {
                 st.integrate_interval(iv);
             }
         }
+        trace!(
+            "[{}] worker_wait {} expects {} pushes",
+            self.proc_id(),
+            e,
+            dep.expected_push
+        );
+        self.receive_pushes(dep.expected_push);
         if dep.flag_bits & flags::SHUTDOWN != 0 {
             None
         } else {
@@ -661,33 +786,41 @@ impl<'n> Tmk<'n> {
     // Extensions (paper §8 / Dwarkadas et al.): push and broadcast
     // ------------------------------------------------------------------
 
-    /// Register `range` of `arr` to be pushed to `target` at the next
-    /// barrier, instead of being demand-fetched afterwards.
-    pub fn push_at_next_barrier(&self, target: usize, arr: SharedArray, range: Range<usize>) {
-        let (wlo, whi) = self.word_bounds(arr, &range);
-        if wlo == whi {
-            return;
-        }
-        let pw = self.cfg.page_words;
-        let mut st = self.state.lock();
-        for p in wlo / pw..=(whi - 1) / pw {
-            st.pending_push.push((target, p));
+    /// Register `range` of `arr` to be pushed to `target` at this node's
+    /// next synchronization rendezvous (barrier arrival, worker arrival
+    /// or master fork), instead of being demand-fetched afterwards.
+    pub fn push_at_next_sync(&self, target: usize, arr: SharedArray, range: Range<usize>) {
+        for p in self.page_span(arr, &range) {
+            self.push_page_at_next_sync(target, p);
         }
     }
 
-    /// Execute registered pushes (called inside `barrier`, after the
-    /// flush). Returns the per-destination message counts for the arrival.
+    /// Register a single (global) page for pushing to `target` at the
+    /// next synchronization rendezvous. Self-pushes are dropped — the
+    /// page is already local. The CRI hint engine feeds page overlaps of
+    /// producer and consumer sections through this entry point.
+    pub fn push_page_at_next_sync(&self, target: usize, page: usize) {
+        if target == self.proc_id() {
+            return;
+        }
+        self.state.lock().pending_push.push((target, page));
+    }
+
+    /// Execute registered pushes (called at the synchronization
+    /// rendezvous, after the flush). Returns the per-destination message
+    /// counts for the arrival.
     fn do_pushes(&self) -> Vec<u64> {
         let n = self.nprocs();
         let mut counts = vec![0u64; n];
-        let groups: BTreeMap<usize, Vec<usize>> = {
+        let groups: BTreeMap<usize, BTreeSet<usize>> = {
             let mut st = self.state.lock();
             if st.pending_push.is_empty() {
                 return counts;
             }
-            let mut g: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            // Deduplicate: several hinted accesses may name one page.
+            let mut g: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
             for (t, p) in std::mem::take(&mut st.pending_push) {
-                g.entry(t).or_default().push(p);
+                g.entry(t).or_default().insert(p);
             }
             g
         };
@@ -713,6 +846,11 @@ impl<'n> Tmk<'n> {
             }
             let mut w = WordWriter::new();
             protocol::encode_diff_entries(&mut w, &entries);
+            trace!(
+                "[{}] push-send -> {target}: {} entries",
+                self.proc_id(),
+                entries.len()
+            );
             self.node.endpoint().send_to_port(
                 target,
                 Port::App,
@@ -745,14 +883,101 @@ impl<'n> Tmk<'n> {
         let mut us = 0.0;
         for (writer, e) in &all {
             let applied = st.frame_mut(e.page).applied[*writer];
+            trace!(
+                "[{}] push-recv: page {} writer {writer} range {}..={} applied {applied}",
+                self.proc_id(),
+                e.page,
+                e.lo,
+                e.hi
+            );
             if e.hi <= applied {
                 continue;
+            }
+            if e.lo > applied + 1 {
+                // The pushed range starts beyond our watermark. That is a
+                // real gap only if some *unapplied notice for this page*
+                // falls in between — interval numbers are per-node, so a
+                // writer's intervening intervals that touched other pages
+                // leave no hole here. (The rendezvous integrated all of
+                // the writer's intervals up to the pushed one before the
+                // pushes are consumed, so the notice list is complete.)
+                // On a real gap, accepting the diff would leave older
+                // words stale behind an advanced `applied` watermark:
+                // drop it — the page stays invalid and the next access
+                // fetches the full set.
+                let gap = st.notices.get(&e.page).is_some_and(|list| {
+                    list.iter()
+                        .any(|nt| nt.node == *writer && nt.seq > applied && nt.seq < e.lo)
+                });
+                if gap {
+                    trace!(
+                        "[{}] push-recv: dropping gapped range for page {}",
+                        self.proc_id(),
+                        e.page
+                    );
+                    continue;
+                }
             }
             st.apply_range(e.page, *writer, e.hi, &e.diff);
             us += cost.diff_apply_us(e.diff.encoded_words());
         }
         drop(st);
         self.node.advance(us);
+    }
+
+    /// CRI direct reduction: combine `vals` elementwise across all nodes
+    /// along a binomial tree and return the totals everywhere. Collective
+    /// — every node must call it at the same point. `2 (n - 1)` messages
+    /// replace the lock-acquire/diff/release chains of the SPF
+    /// lock-and-shared-page reduction. The combine order is fixed by the
+    /// tree, so results are deterministic (though not bitwise equal to a
+    /// sequential left fold — floating-point addition is not associative).
+    pub fn reduce(&self, vals: &[f64]) -> Vec<f64> {
+        let me = self.proc_id();
+        let n = self.nprocs();
+        let seq = self.reduce_seq.get();
+        self.reduce_seq.set(seq.wrapping_add(1));
+        let t16 = seq & 0xFFFF;
+        let children = reduce_children(me, n);
+        let completed = {
+            let mut st = self.state.lock();
+            st.stats.direct_reduces += 1;
+            st.reduce_contribute(seq as u64, None, vals.to_vec())
+        };
+        if let Some(sub) = &completed {
+            // Our subtree is already complete (leaf node, or every child
+            // part beat our deposit): forward from the application side.
+            if me != 0 {
+                forward_reduce(self.node.endpoint(), seq, sub, self.node.now());
+            }
+        }
+        let total = if me == 0 {
+            match completed {
+                Some(total) => total,
+                None => {
+                    // The service completes the slot when the last child
+                    // part arrives and upcalls the total to us.
+                    let t = tag::REDUCE_DONE | t16;
+                    let pkt = self.node.recv_match(|p| p.tag == t);
+                    protocol::decode_reduce_vals(&mut WordReader::new(&pkt.payload))
+                }
+            }
+        } else {
+            let t = tag::REDUCE_RESULT | t16;
+            let pkt = self.node.recv_match(|p| p.tag == t);
+            protocol::decode_reduce_vals(&mut WordReader::new(&pkt.payload))
+        };
+        // Distribute the total down the same tree.
+        for &c in &children {
+            self.node.endpoint().send_to_port(
+                c,
+                Port::App,
+                tag::REDUCE_RESULT | t16,
+                MsgKind::ReduceResult,
+                protocol::encode_reduce_vals(&total),
+            );
+        }
+        total
     }
 
     /// Broadcast the current content of `range` of `arr` from `root` to
@@ -1061,7 +1286,7 @@ mod tests {
                     w[i] = 5.0;
                 }
                 drop(w);
-                tmk.push_at_next_barrier(1, a, 0..16);
+                tmk.push_at_next_sync(1, a, 0..16);
             }
             tmk.barrier(0);
             let before = tmk.stats_snapshot().faults;
@@ -1075,6 +1300,199 @@ mod tests {
         assert_eq!(out.results[1].1, 0);
         assert!(out.stats.messages(MsgKind::Push) == 1);
         assert!(out.stats.messages(MsgKind::DiffReq) == 0);
+    }
+
+    #[test]
+    fn validate_aggregates_the_whole_phase_into_one_round_trip() {
+        // One writer fills two arrays (8 + 4 pages); the reader validates
+        // both sections at once: exactly one ValidateReq/ValidateResp
+        // pair, one access fault, and zero diff requests afterwards.
+        let out = run(2, |tmk| {
+            let a = tmk.malloc_f64(512 * 8);
+            let b = tmk.malloc_f64(512 * 4);
+            if tmk.proc_id() == 0 {
+                let mut w = tmk.write(a, 0..512 * 8);
+                for x in w.slice_mut().iter_mut() {
+                    *x = 2.0;
+                }
+                drop(w);
+                let mut w = tmk.write(b, 0..512 * 4);
+                for x in w.slice_mut().iter_mut() {
+                    *x = 3.0;
+                }
+            }
+            tmk.barrier(0);
+            let mut probe = (0.0, 0.0, 0, 0);
+            if tmk.proc_id() == 1 {
+                let before = tmk.stats_snapshot();
+                let pages = tmk.validate(&[(a, 0..512 * 8), (b, 0..512 * 4)]);
+                assert_eq!(pages, 12);
+                let ra = tmk.read(a, 0..512 * 8);
+                let rb = tmk.read(b, 0..512 * 4);
+                let after = tmk.stats_snapshot();
+                probe = (
+                    ra[100],
+                    rb[100],
+                    (after.faults - before.faults) as usize,
+                    (after.validate_pages - before.validate_pages) as usize,
+                );
+            }
+            tmk.barrier(1);
+            tmk.finish();
+            probe
+        });
+        let (va, vb, faults, vpages) = out.results[1];
+        assert_eq!((va, vb), (2.0, 3.0));
+        // One aggregate fault for the validate, none for the reads.
+        assert_eq!(faults, 1);
+        assert_eq!(vpages, 12);
+        assert_eq!(out.stats.messages(MsgKind::ValidateReq), 1);
+        assert_eq!(out.stats.messages(MsgKind::ValidateResp), 1);
+        assert_eq!(out.stats.messages(MsgKind::DiffReq), 0);
+    }
+
+    #[test]
+    fn validate_is_a_noop_when_everything_is_consistent() {
+        let out = run(2, |tmk| {
+            let a = tmk.malloc_f64(64);
+            tmk.barrier(0);
+            let missing = tmk.validate(&[(a, 0..64)]);
+            tmk.barrier(1);
+            tmk.finish();
+            missing
+        });
+        assert_eq!(out.results, vec![0, 0]);
+        assert_eq!(out.stats.messages(MsgKind::ValidateReq), 0);
+    }
+
+    #[test]
+    fn direct_reduce_combines_across_all_nodes() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let out = run(n, |tmk| {
+                let me = tmk.proc_id() as f64;
+                let t = tmk.reduce(&[me + 1.0, 2.0 * me]);
+                // A second reduction reuses nothing from the first.
+                let t2 = tmk.reduce(&[1.0]);
+                tmk.finish();
+                (t, t2)
+            });
+            let sum1: f64 = (0..n).map(|q| q as f64 + 1.0).sum();
+            let sum2: f64 = (0..n).map(|q| 2.0 * q as f64).sum();
+            for (t, t2) in &out.results {
+                assert_eq!(t, &vec![sum1, sum2], "n = {n}");
+                assert_eq!(t2, &vec![n as f64], "n = {n}");
+            }
+            if n > 1 {
+                // 2 (n - 1) messages per reduction.
+                assert_eq!(
+                    out.stats.messages(MsgKind::ReducePart),
+                    2 * (n as u64 - 1),
+                    "n = {n}"
+                );
+                assert_eq!(
+                    out.stats.messages(MsgKind::ReduceResult),
+                    2 * (n as u64 - 1),
+                    "n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pushes_ride_the_forkjoin_rendezvous() {
+        // Worker 1 writes a page and registers a push to worker 2 and to
+        // the master; the pushes are delivered with the next fork-join
+        // cycle and neither consumer faults.
+        let n = 3;
+        let out = Cluster::run(ClusterConfig::sp2(n), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let a = tmk.malloc_f64(16);
+            if tmk.proc_id() == 0 {
+                tmk.fork(&[1]); // loop 1: worker 1 writes
+                tmk.join();
+                tmk.fork(&[2]); // loop 2: everyone reads
+                let before = tmk.stats_snapshot().faults;
+                let v = tmk.read_one(a, 3);
+                let faults = tmk.stats_snapshot().faults - before;
+                tmk.join();
+                tmk.shutdown_workers();
+                tmk.finish();
+                (v, faults)
+            } else {
+                let mut seen = (0.0, 0u64);
+                while let Some(ctl) = tmk.worker_wait() {
+                    match ctl[0] {
+                        1 => {
+                            if tmk.proc_id() == 1 {
+                                let mut w = tmk.write(a, 0..16);
+                                for i in 0..16 {
+                                    w[i] = 7.0;
+                                }
+                                drop(w);
+                                tmk.push_at_next_sync(2, a, 0..16);
+                                tmk.push_at_next_sync(0, a, 0..16);
+                            }
+                        }
+                        _ => {
+                            let before = tmk.stats_snapshot().faults;
+                            let v = tmk.read_one(a, 3);
+                            seen = (v, tmk.stats_snapshot().faults - before);
+                        }
+                    }
+                }
+                tmk.finish();
+                seen
+            }
+        });
+        for (id, (v, faults)) in out.results.iter().enumerate() {
+            if id == 1 {
+                continue; // the writer
+            }
+            assert_eq!(*v, 7.0, "node {id} sees the pushed data");
+            assert_eq!(*faults, 0, "node {id} must not fault");
+        }
+        assert_eq!(out.stats.messages(MsgKind::Push), 2);
+        assert_eq!(out.stats.messages(MsgKind::DiffReq), 0);
+    }
+
+    #[test]
+    fn gapped_push_is_dropped_not_misapplied() {
+        // Writer creates interval 1 (word 0), which the consumer fetches;
+        // then intervals 2 and 3 in separate frozen ranges (a diff request
+        // from node 2 freezes range [2..2]); the push of the *latest*
+        // range [3..3] to node 1 would skip range [2..2] there — the
+        // consumer must drop it and demand-fetch the full set instead.
+        let out = run(3, |tmk| {
+            let a = tmk.malloc_f64(8);
+            let me = tmk.proc_id();
+            if me == 0 {
+                tmk.write_one(a, 0, 1.0);
+            }
+            tmk.barrier(0);
+            // Everyone applies interval 1.
+            let _ = tmk.read(a, 0..8);
+            tmk.barrier(1);
+            if me == 0 {
+                tmk.write_one(a, 1, 2.0); // interval 2
+            }
+            tmk.barrier(2);
+            if me == 2 {
+                let _ = tmk.read(a, 0..8); // freezes range [2..2]
+            }
+            tmk.barrier(3);
+            if me == 0 {
+                tmk.write_one(a, 2, 3.0); // interval 3 (open range [3..3])
+                tmk.push_at_next_sync(1, a, 0..8);
+            }
+            tmk.barrier(4);
+            let r = tmk.read(a, 0..8);
+            let v = (r[0], r[1], r[2]);
+            tmk.finish();
+            v
+        });
+        for (id, v) in out.results.iter().enumerate() {
+            assert_eq!(*v, (1.0, 2.0, 3.0), "node {id}");
+        }
     }
 
     #[test]

@@ -47,6 +47,14 @@
 //!   (one diff request per writer covering a whole view), data push at
 //!   barriers, and page broadcast — used by the hand-optimized program
 //!   versions of Section 5.
+//! * **Compiler–runtime interface services.** Three entry points the
+//!   `cri` crate's hint engine drives from compiler-provided
+//!   regular-section descriptors: [`dsm::Tmk::validate`] (aggregated
+//!   validate — one round trip per writer for every page a phase will
+//!   fault), [`dsm::Tmk::push_page_at_next_sync`] (producer→consumer
+//!   pushes riding every rendezvous, barriers and fork-join alike), and
+//!   [`dsm::Tmk::reduce`] (direct binomial-tree reduction, `2 (n - 1)`
+//!   messages instead of lock-and-shared-page folding).
 //!
 //! ## Example
 //!

@@ -28,6 +28,13 @@ pub mod op {
     pub const MASTER_JOIN: u64 = 6;
     /// Shut the service thread down (local, at `finish`).
     pub const SHUTDOWN: u64 = 7;
+    /// CRI aggregated validate: like `DIFF_REQ`, but the entry list covers
+    /// every page a compiler-described phase will fault — one round trip
+    /// replaces N page-fault request/response pairs.
+    pub const VALIDATE_REQ: u64 = 8;
+    /// CRI direct reduction: a partial value travelling up the binomial
+    /// combine tree; the service combines children and forwards.
+    pub const REDUCE_PART: u64 = 9;
 }
 
 /// Application-port tag bases. User-level message tags (in `mpl`) stay
@@ -47,6 +54,14 @@ pub mod tag {
     pub const PUSH: u32 = 0x4500_0000;
     /// Broadcast pages: `BCAST | (seq & 0xFFFF)`.
     pub const BCAST: u32 = 0x4600_0000;
+    /// CRI validate response: `VALIDATE_RESP | (req_id & 0xFFFF)`.
+    pub const VALIDATE_RESP: u32 = 0x4700_0000;
+    /// CRI reduction total, root's service to its own application port:
+    /// `REDUCE_DONE | (seq & 0xFFFF)`.
+    pub const REDUCE_DONE: u32 = 0x4800_0000;
+    /// CRI reduction result travelling down the tree:
+    /// `REDUCE_RESULT | (seq & 0xFFFF)`.
+    pub const REDUCE_RESULT: u32 = 0x4900_0000;
 }
 
 /// Departure flag bits.
@@ -71,8 +86,19 @@ pub struct DiffReqEntry {
 
 /// Encode a diff request.
 pub fn encode_diff_req(req_id: u32, requester: usize, entries: &[DiffReqEntry]) -> Vec<u64> {
+    encode_page_req(op::DIFF_REQ, req_id, requester, entries)
+}
+
+/// Encode a page-set request under `opcode` (`DIFF_REQ` or
+/// `VALIDATE_REQ` — both share the entry format).
+pub fn encode_page_req(
+    opcode: u64,
+    req_id: u32,
+    requester: usize,
+    entries: &[DiffReqEntry],
+) -> Vec<u64> {
     let mut w = WordWriter::with_capacity(4 + entries.len() * 2);
-    w.put(op::DIFF_REQ)
+    w.put(opcode)
         .put(req_id as u64)
         .put_usize(requester)
         .put_usize(entries.len());
@@ -101,6 +127,10 @@ pub fn decode_diff_req(r: &mut WordReader) -> (u32, usize, Vec<DiffReqEntry>) {
 pub struct DiffRespEntry {
     /// The page.
     pub page: PageId,
+    /// Lowest interval sequence covered (receivers use it to detect
+    /// gaps: a pushed range that skips unapplied intervals must not be
+    /// applied, or older words would silently stay stale).
+    pub lo: u32,
     /// Highest interval sequence covered.
     pub hi: u32,
     /// Lamport stamp of that interval (application order).
@@ -113,7 +143,10 @@ pub struct DiffRespEntry {
 pub fn encode_diff_entries(w: &mut WordWriter, entries: &[(PageId, DiffRange)]) {
     w.put_usize(entries.len());
     for (page, r) in entries {
-        w.put_usize(*page).put(r.hi as u64).put(r.lamport);
+        w.put_usize(*page)
+            .put(r.lo as u64)
+            .put(r.hi as u64)
+            .put(r.lamport);
         r.diff.encode(w);
     }
 }
@@ -124,11 +157,13 @@ pub fn decode_diff_entries(r: &mut WordReader) -> Vec<DiffRespEntry> {
     (0..n)
         .map(|_| {
             let page = r.get_usize();
+            let lo = r.get() as u32;
             let hi = r.get() as u32;
             let lamport = r.get();
             let diff = Diff::decode(r);
             DiffRespEntry {
                 page,
+                lo,
                 hi,
                 lamport,
                 diff,
@@ -261,6 +296,48 @@ pub fn decode_departure(r: &mut WordReader) -> Departure {
     }
 }
 
+/// Encode a direct-reduction partial travelling up the combine tree
+/// (service-port message, first word is the opcode).
+pub fn encode_reduce_part(seq: u32, src: usize, vals: &[f64]) -> Vec<u64> {
+    let mut w = WordWriter::with_capacity(4 + vals.len());
+    w.put(op::REDUCE_PART)
+        .put(seq as u64)
+        .put_usize(src)
+        .put_usize(vals.len());
+    for &v in vals {
+        w.put(v.to_bits());
+    }
+    w.finish()
+}
+
+/// Decode the body of a reduction partial (after the opcode word):
+/// `(seq, src, values)`.
+pub fn decode_reduce_part(r: &mut WordReader) -> (u32, usize, Vec<f64>) {
+    let seq = r.get() as u32;
+    let src = r.get_usize();
+    let k = r.get_usize();
+    let vals = (0..k).map(|_| f64::from_bits(r.get())).collect();
+    (seq, src, vals)
+}
+
+/// Encode a reduction result (application-port message: the combined
+/// total travelling down the distribution tree, or the root service's
+/// upcall to its own application).
+pub fn encode_reduce_vals(vals: &[f64]) -> Vec<u64> {
+    let mut w = WordWriter::with_capacity(1 + vals.len());
+    w.put_usize(vals.len());
+    for &v in vals {
+        w.put(v.to_bits());
+    }
+    w.finish()
+}
+
+/// Decode a reduction result.
+pub fn decode_reduce_vals(r: &mut WordReader) -> Vec<f64> {
+    let k = r.get_usize();
+    (0..k).map(|_| f64::from_bits(r.get())).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +404,34 @@ mod tests {
     }
 
     #[test]
+    fn validate_req_shares_entry_format_with_diff_req() {
+        let entries = vec![DiffReqEntry {
+            page: 12,
+            first_needed: 3,
+        }];
+        let buf = encode_page_req(op::VALIDATE_REQ, 7, 1, &entries);
+        let mut r = WordReader::new(&buf);
+        assert_eq!(r.get(), op::VALIDATE_REQ);
+        let (id, who, got) = decode_diff_req(&mut r);
+        assert_eq!((id, who), (7, 1));
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn reduce_part_and_vals_roundtrip() {
+        let buf = encode_reduce_part(9, 3, &[1.5, -2.25]);
+        let mut r = WordReader::new(&buf);
+        assert_eq!(r.get(), op::REDUCE_PART);
+        let (seq, src, vals) = decode_reduce_part(&mut r);
+        assert_eq!((seq, src), (9, 3));
+        assert_eq!(vals, vec![1.5, -2.25]);
+
+        let buf = encode_reduce_vals(&[0.5]);
+        let got = decode_reduce_vals(&mut WordReader::new(&buf));
+        assert_eq!(got, vec![0.5]);
+    }
+
+    #[test]
     fn diff_entries_roundtrip() {
         let diff = Diff::create(&[0, 0, 0, 0], &[1, 0, 0, 2]);
         let range = DiffRange {
@@ -341,6 +446,7 @@ mod tests {
         let got = decode_diff_entries(&mut WordReader::new(&buf));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].page, 7);
+        assert_eq!(got[0].lo, 1);
         assert_eq!(got[0].hi, 4);
         assert_eq!(got[0].lamport, 10);
         assert_eq!(got[0].diff, diff);

@@ -35,6 +35,8 @@ pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
         let mut r = WordReader::new(&pkt.payload);
         match r.get() {
             op::DIFF_REQ => handle_diff_req(&ep, &state, &mut r, arrival),
+            op::VALIDATE_REQ => handle_validate_req(&ep, &state, &mut r, arrival),
+            op::REDUCE_PART => handle_reduce_part(&ep, &state, &mut r, arrival),
             op::LOCK_REQ => handle_lock_req(&ep, &state, &mut r, arrival),
             op::BARRIER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, false),
             op::WORKER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, true),
@@ -57,6 +59,32 @@ pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
 }
 
 fn handle_diff_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+    serve_page_req(ep, state, r, arrival, tag::DIFF_RESP, MsgKind::DiffResp);
+}
+
+/// CRI aggregated validate: identical serving logic to a diff request —
+/// the difference is on the requesting side, where one validate covers
+/// every page of a phase — answered on its own tag/kind so the traffic
+/// tables can attribute it.
+fn handle_validate_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+    serve_page_req(
+        ep,
+        state,
+        r,
+        arrival,
+        tag::VALIDATE_RESP,
+        MsgKind::ValidateResp,
+    );
+}
+
+fn serve_page_req(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    resp_tag: u32,
+    resp_kind: MsgKind,
+) {
     let (req_id, requester, entries) = protocol::decode_diff_req(r);
     let mut st = state.lock();
     let cost = ep.cost().clone();
@@ -79,11 +107,50 @@ fn handle_diff_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, a
     ep.send_at(
         requester,
         Port::App,
-        tag::DIFF_RESP | (req_id & 0xFFFF),
-        MsgKind::DiffResp,
+        resp_tag | (req_id & 0xFFFF),
+        resp_kind,
         w.finish(),
         arrival + service_us,
     );
+}
+
+/// CRI direct reduction: a child subtree's partial arrives; combine it
+/// into the slot and forward the subtree total when complete. The
+/// application thread's own deposit uses the same slot (see
+/// [`Tmk::reduce`](crate::Tmk::reduce)), so whichever contribution
+/// arrives last triggers the forwarding.
+fn handle_reduce_part(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+    let (seq, src, vals) = protocol::decode_reduce_part(r);
+    let combined = state.lock().reduce_contribute(seq as u64, Some(src), vals);
+    if let Some(total) = combined {
+        forward_reduce(ep, seq, &total, arrival + ep.cost().service_us);
+    }
+}
+
+/// Send a completed subtree total one hop: up to the parent's service
+/// (interior node) or to the root's own application port (the total).
+pub(crate) fn forward_reduce(ep: &Endpoint, seq: u32, total: &[f64], ready: VTime) {
+    let me = ep.id();
+    if me == 0 {
+        // Self-delivery: a local upcall, free and uncounted.
+        ep.send_at(
+            me,
+            Port::App,
+            tag::REDUCE_DONE | (seq & 0xFFFF),
+            MsgKind::Control,
+            protocol::encode_reduce_vals(total),
+            ready,
+        );
+    } else {
+        ep.send_at(
+            crate::state::reduce_parent(me),
+            Port::Service,
+            0,
+            MsgKind::ReducePart,
+            protocol::encode_reduce_part(seq, me, total),
+            ready,
+        );
+    }
 }
 
 fn handle_lock_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
@@ -206,6 +273,7 @@ fn handle_arrival(
 fn handle_master_fork(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
     let epoch = r.get();
     let flag_bits = r.get();
+    let push_counts: Vec<u64> = (0..ep.nprocs()).map(|_| r.get()).collect();
     let ctl = {
         let words = r.get_words();
         let mut v = Vec::with_capacity(words.len() + 1);
@@ -215,6 +283,7 @@ fn handle_master_fork(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader
     };
     let mut st = state.lock();
     let entry = st.epochs.entry(epoch).or_default();
+    entry.fork_push = push_counts;
     entry.fork_ctl = Some(ctl);
     entry.fork_vt = arrival;
     try_complete_epoch(ep, &mut st, epoch);
@@ -310,6 +379,14 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
         .fold(VTime::ZERO, VTime::max);
     let e16 = (epoch & 0xFFFF) as u32;
 
+    // Pushes announced in this epoch's worker arrivals, per destination.
+    let mut push_to = vec![0u64; n];
+    for (_, _, _, counts) in &entry.arrivals {
+        for (d, c) in counts.iter().enumerate() {
+            push_to[d] += c;
+        }
+    }
+
     let joined = entry.joined && !entry.join_served;
     let join_vt = entry.join_vt;
     if joined {
@@ -320,7 +397,7 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
             Port::App,
             tag::JOIN_DEP | e16,
             MsgKind::Control,
-            vec![epoch],
+            vec![epoch, push_to[me]],
             dep_time,
         );
         st.epochs.get_mut(&epoch).expect("epoch exists").join_served = true;
@@ -332,12 +409,18 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
         let mut entry = st.epochs.remove(&epoch).expect("epoch exists");
         sort_arrivals(&mut entry.arrivals);
         st.integrate_pending(epoch);
+        // The master's own pushes ride the fork and are expected by the
+        // workers along with their peers' arrival-time pushes.
+        for (d, c) in entry.fork_push.iter().enumerate() {
+            push_to[d] += c;
+        }
         let flag_bits = ctl[0];
         let ctl_words = &ctl[1..];
         let dep_time = max_at.max(fork_vt) + (n as f64 - 1.0) * manager_us;
         for (src, vc, _, _) in &entry.arrivals {
             let intervals = st.intervals_since(vc);
-            let payload = protocol::encode_departure(epoch, flag_bits, 0, ctl_words, &intervals);
+            let payload =
+                protocol::encode_departure(epoch, flag_bits, push_to[*src], ctl_words, &intervals);
             ep.send_at(
                 *src,
                 Port::App,

@@ -112,12 +112,53 @@ pub struct QueuedReq {
     pub arrival: VTime,
 }
 
+/// One in-flight direct reduction at a combine-tree node: the children's
+/// partials (combined by the service thread) plus the local partial
+/// (deposited by the application thread). Whichever side completes the
+/// slot forwards the combined value up the tree.
+#[derive(Debug, Default)]
+pub struct ReduceSlot {
+    /// Subtree partials received from children, keyed by child rank.
+    pub parts: BTreeMap<usize, Vec<f64>>,
+    /// This node's own partial, once deposited.
+    pub local: Option<Vec<f64>>,
+}
+
+/// Children of `rank` in the binomial combine tree rooted at 0
+/// (ascending rank order — the deterministic combine order).
+pub fn reduce_children(rank: usize, n: usize) -> Vec<usize> {
+    let lsb = if rank == 0 {
+        n.next_power_of_two()
+    } else {
+        rank & rank.wrapping_neg()
+    };
+    let mut out = Vec::new();
+    let mut m = 1;
+    while m < lsb {
+        let c = rank | m;
+        if c < n && c != rank {
+            out.push(c);
+        }
+        m <<= 1;
+    }
+    out
+}
+
+/// Parent of `rank != 0` in the binomial combine tree.
+pub fn reduce_parent(rank: usize) -> usize {
+    debug_assert_ne!(rank, 0);
+    rank & (rank - 1)
+}
+
 /// Barrier/fork-join bookkeeping for one epoch at the manager.
 #[derive(Debug, Default)]
 pub struct EpochState {
     /// Arrivals received so far: `(src, vc, arrival time, pushes to expect
     /// per destination)`.
     pub arrivals: Vec<(usize, Vc, VTime, Vec<u64>)>,
+    /// Push counts carried by the master's fork (pushes the master sent
+    /// right before dispatching this epoch's loop).
+    pub fork_push: Vec<u64>,
     /// Master fork control payload, once `fork` was called this epoch.
     pub fork_ctl: Option<Vec<u64>>,
     /// Virtual time of the master's fork call.
@@ -164,8 +205,11 @@ pub struct DsmState {
     /// completion (the local application must not observe future write
     /// notices mid-epoch).
     pub pending_ivs: BTreeMap<u64, Vec<Interval>>,
-    /// Pushes registered for the next barrier: `(target, page)`.
+    /// Pushes registered for the next synchronization rendezvous
+    /// (barrier, worker arrival or master fork): `(target, page)`.
     pub pending_push: Vec<(usize, PageId)>,
+    /// In-flight direct reductions, keyed by reduction sequence number.
+    pub reduces: BTreeMap<u64, ReduceSlot>,
     /// Per-node protocol statistics.
     pub stats: DsmStats,
 }
@@ -190,8 +234,42 @@ impl DsmState {
             epochs: BTreeMap::new(),
             pending_ivs: BTreeMap::new(),
             pending_push: Vec::new(),
+            reduces: BTreeMap::new(),
             stats: DsmStats::default(),
         }
+    }
+
+    /// Record one contribution to reduction `seq` — a child subtree's
+    /// partial (`from = Some(child)`) or the local deposit (`from =
+    /// None`) — and, if the slot is now complete, combine and return the
+    /// subtree total. The combine order is fixed (own partial first, then
+    /// children ascending by rank), so the result is deterministic.
+    pub fn reduce_contribute(
+        &mut self,
+        seq: u64,
+        from: Option<usize>,
+        vals: Vec<f64>,
+    ) -> Option<Vec<f64>> {
+        let slot = self.reduces.entry(seq).or_default();
+        match from {
+            Some(child) => {
+                slot.parts.insert(child, vals);
+            }
+            None => slot.local = Some(vals),
+        }
+        let nchildren = reduce_children(self.me, self.n).len();
+        let complete = slot.local.is_some() && slot.parts.len() == nchildren;
+        if !complete {
+            return None;
+        }
+        let slot = self.reduces.remove(&seq).expect("slot exists");
+        let mut acc = slot.local.expect("complete slot has a local partial");
+        for (_, part) in slot.parts {
+            for (a, b) in acc.iter_mut().zip(part) {
+                *a += b;
+            }
+        }
+        Some(acc)
     }
 
     /// Lock-state entry with correct token initialization: the token
@@ -562,6 +640,39 @@ mod tests {
         write_words(&mut s, 1, &[(2, 1)]);
         s.flush(&CostModel::sp2());
         assert_eq!(s.take_unreported().len(), 2);
+    }
+
+    #[test]
+    fn reduce_tree_is_a_partition() {
+        for n in 1..=9usize {
+            // Every non-root rank has exactly one parent whose child list
+            // contains it; the root has none.
+            for r in 1..n {
+                let p = reduce_parent(r);
+                assert!(p < r, "parent below child rank");
+                assert!(reduce_children(p, n).contains(&r), "n={n} r={r}");
+            }
+            let mut seen = vec![0u32; n];
+            seen[0] += 1;
+            for r in 0..n {
+                for c in reduce_children(r, n) {
+                    seen[c] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "each rank one parent, n={n}");
+        }
+    }
+
+    #[test]
+    fn reduce_contribute_combines_in_rank_order() {
+        // Node 0 of 4 has children 1 and 2; completion requires the local
+        // deposit plus both subtree parts, in any arrival order.
+        let mut s = state(0, 4);
+        assert!(s.reduce_contribute(5, Some(2), vec![30.0]).is_none());
+        assert!(s.reduce_contribute(5, None, vec![1.0]).is_none());
+        let total = s.reduce_contribute(5, Some(1), vec![20.0]);
+        assert_eq!(total, Some(vec![51.0]));
+        assert!(s.reduces.is_empty(), "slot consumed");
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct DsmStats {
     pub pages_pushed: u64,
     /// Pages broadcast via the broadcast extension.
     pub pages_broadcast: u64,
+    /// CRI aggregated-validate operations (one per hinted phase with at
+    /// least one section).
+    pub validates: u64,
+    /// Pages made consistent through aggregated validates (would each
+    /// have been a separate access fault without the hint).
+    pub validate_pages: u64,
+    /// CRI direct (tree-combined) reductions this node participated in.
+    pub direct_reduces: u64,
     /// Malformed service requests (unknown opcodes). Non-zero means the
     /// node's service loop shut itself down defensively.
     pub service_errors: u64,
@@ -51,6 +59,9 @@ impl DsmStats {
         self.lock_local_hits += other.lock_local_hits;
         self.pages_pushed += other.pages_pushed;
         self.pages_broadcast += other.pages_broadcast;
+        self.validates += other.validates;
+        self.validate_pages += other.validate_pages;
+        self.direct_reduces += other.direct_reduces;
         self.service_errors += other.service_errors;
     }
 

@@ -10,12 +10,14 @@
 //! * [`sp2sim`] — virtual-time simulated SP/2 cluster (substrate)
 //! * [`mpl`] — MPL/PVMe-style message-passing library
 //! * [`treadmarks`] — the page-based software DSM (core contribution)
+//! * [`cri`] — the compiler–runtime interface (regular-section hints)
 //! * [`spf`] — the SPF fork-join compiler model targeting the DSM
 //! * [`xhpf`] — the XHPF SPMD compiler model targeting message passing
 //! * [`apps`] — the six applications in five versions each
 //! * [`harness`] — experiment driver for every table/figure in the paper
 
 pub use apps;
+pub use cri;
 pub use harness;
 pub use mpl;
 pub use sp2sim;

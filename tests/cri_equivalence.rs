@@ -1,0 +1,206 @@
+//! CRI correctness: hints are performance-only.
+//!
+//! The compiler–runtime interface may only change *how* data moves
+//! (aggregated validates instead of page faults, pushes instead of
+//! demand fetches, tree reductions instead of lock folding) — never
+//! *what* ends up in shared memory. On the deterministic sequential
+//! engine, hinted and unhinted executions of the same program must
+//! produce byte-identical shared memory and identical application
+//! results, and the hinted run must send measurably fewer messages.
+//! This extends the `tests/engine_equivalence.rs` pattern to the
+//! hinted/unhinted axis.
+
+use std::ops::Range;
+
+use apps::{AppId, Version};
+use cri::{Access, Section};
+use proptest::prelude::*;
+use sp2sim::{Cluster, ClusterConfig, EngineKind};
+use spf::{block_range, LoopCtl, Schedule, Spf};
+use treadmarks::{Tmk, TmkConfig};
+
+/// A synthetic phase-regular pipeline over one shared array: `rounds`
+/// iterations of (produce blocks with neighbour-dependent values, then
+/// consume ghost regions), hinted or not. Returns every node's final
+/// view of the whole array as bits, so the comparison is bytewise.
+fn pipeline_bits(hinted: bool, nprocs: usize, len: usize, rounds: usize) -> Vec<Vec<u64>> {
+    let out = Cluster::run(ClusterConfig::sp2_on(nprocs, EngineKind::Sequential), {
+        move |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let spf = Spf::new(&tmk);
+            let a = tmk.malloc_f64(len);
+            let body_prod = {
+                let tmk = &tmk;
+                move |ctl: &LoopCtl| {
+                    let r = ctl.my_block(tmk.proc_id(), tmk.nprocs());
+                    if r.is_empty() {
+                        return;
+                    }
+                    let round = ctl.args[0] as usize;
+                    // Read the ghost-extended region, write own block.
+                    let lo = r.start.saturating_sub(17);
+                    let hi = (r.end + 17).min(len);
+                    let input = tmk.read(a, lo..hi);
+                    let mut w = tmk.write(a, r.clone());
+                    for i in r {
+                        w[i] = input[i] + (round * 1000 + i) as f64 * 0.5;
+                    }
+                }
+            };
+            let access_prod = move |iters: &Range<usize>, me: usize, np: usize| {
+                let r = block_range(me, np, iters.clone());
+                if r.is_empty() {
+                    return vec![];
+                }
+                let lo = r.start.saturating_sub(17);
+                let hi = (r.end + 17).min(len);
+                vec![
+                    Access::read(a, Section::range(lo..hi)),
+                    Access::write(a, Section::range(r)).consumed_by_loop(0, 0..len),
+                ]
+            };
+            let prod = if hinted {
+                spf.register_with_access(body_prod, access_prod)
+            } else {
+                spf.register(body_prod)
+            };
+            assert_eq!(prod, 0, "descriptor self-reference assumes id 0");
+            spf.run(|m| {
+                for round in 0..rounds {
+                    m.par_loop(prod, 0..len, Schedule::Block, &[round as u64]);
+                }
+            });
+            tmk.barrier(0);
+            let r = tmk.read(a, 0..len);
+            let bits: Vec<u64> = r.slice().iter().map(|v| v.to_bits()).collect();
+            tmk.finish();
+            bits
+        }
+    });
+    out.results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: for random cluster sizes, array lengths and round
+    /// counts, the hinted run's shared memory is byte-identical to the
+    /// unhinted run's on every node.
+    #[test]
+    fn prop_hinted_and_unhinted_memory_bitwise_equal(
+        nprocs in 2usize..6,
+        len in 200usize..4000,
+        rounds in 1usize..5,
+    ) {
+        let plain = pipeline_bits(false, nprocs, len, rounds);
+        let hinted = pipeline_bits(true, nprocs, len, rounds);
+        for (q, (p, h)) in plain.iter().zip(&hinted).enumerate() {
+            prop_assert_eq!(p, h, "node {} memory differs", q);
+        }
+    }
+}
+
+/// The acceptance experiment: on the deterministic engine at 8 nodes,
+/// SPF+CRI Jacobi sends at least 30% fewer DSM messages than the SPF
+/// baseline, with byte-identical shared-memory state (the checksum
+/// covers the full grid plus probe points, all compared bitwise).
+#[test]
+fn jacobi_cri_cuts_messages_30_percent_with_identical_state() {
+    let spf = apps::runner::run_on(EngineKind::Sequential, AppId::Jacobi, Version::Spf, 8, 0.08);
+    let cri = apps::runner::run_on(
+        EngineKind::Sequential,
+        AppId::Jacobi,
+        Version::SpfCri,
+        8,
+        0.08,
+    );
+    let spf_bits: Vec<u64> = spf.checksum.iter().map(|v| v.to_bits()).collect();
+    let cri_bits: Vec<u64> = cri.checksum.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(spf_bits, cri_bits, "shared-memory state must be identical");
+    assert!(
+        (cri.messages as f64) <= 0.70 * spf.messages as f64,
+        "CRI must cut >= 30% of messages: cri {} vs spf {}",
+        cri.messages,
+        spf.messages
+    );
+}
+
+/// Shallow (13 coupled arrays, master-executed column wraps): hinted
+/// equals unhinted bitwise, fewer messages.
+#[test]
+fn shallow_cri_identical_state_fewer_messages() {
+    let spf = apps::runner::run_on(
+        EngineKind::Sequential,
+        AppId::Shallow,
+        Version::Spf,
+        8,
+        0.03,
+    );
+    let cri = apps::runner::run_on(
+        EngineKind::Sequential,
+        AppId::Shallow,
+        Version::SpfCri,
+        8,
+        0.03,
+    );
+    let spf_bits: Vec<u64> = spf.checksum.iter().map(|v| v.to_bits()).collect();
+    let cri_bits: Vec<u64> = cri.checksum.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(spf_bits, cri_bits);
+    assert!(cri.messages < spf.messages);
+}
+
+/// 3-D FFT uses the direct reduction, whose combine order legitimately
+/// differs from lock-acquisition order: accumulators agree to relative
+/// tolerance, the reduction-free probe stays bit-exact, and the hinted
+/// transpose moves in far fewer messages.
+#[test]
+fn fft3d_cri_equivalent_results_fewer_messages() {
+    let spf = apps::runner::run_on(EngineKind::Sequential, AppId::Fft3d, Version::Spf, 8, 0.05);
+    let cri = apps::runner::run_on(
+        EngineKind::Sequential,
+        AppId::Fft3d,
+        Version::SpfCri,
+        8,
+        0.05,
+    );
+    assert!(apps::common::checksums_close(
+        &cri.checksum,
+        &spf.checksum,
+        1e-9
+    ));
+    assert_eq!(
+        cri.checksum[2..]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        spf.checksum[2..]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "probe is reduction-free and must be bit-exact"
+    );
+    assert!((cri.messages as f64) <= 0.70 * spf.messages as f64);
+    assert!(cri.dsm.direct_reduces > 0);
+}
+
+/// Hinted runs are themselves deterministic on the sequential engine:
+/// repeated executions are byte-for-byte identical (traffic and state).
+#[test]
+fn hinted_runs_are_deterministic() {
+    let run = || {
+        apps::runner::run_on(
+            EngineKind::Sequential,
+            AppId::Jacobi,
+            Version::SpfCri,
+            4,
+            0.03,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.time_us.to_bits(), b.time_us.to_bits());
+    assert_eq!(a.stats.msgs, b.stats.msgs);
+    assert_eq!(a.stats.bytes, b.stats.bytes);
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.dsm, b.dsm);
+}

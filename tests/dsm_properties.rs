@@ -132,7 +132,7 @@ proptest! {
                     w[i] = i as f64 + 0.5;
                 }
                 drop(w);
-                tmk.push_at_next_barrier(target, a, 0..len);
+                tmk.push_at_next_sync(target, a, 0..len);
             }
             tmk.barrier(0);
             let r = tmk.read(a, 0..len);
