@@ -49,4 +49,4 @@ pub mod nbf;
 pub mod runner;
 pub mod shallow;
 
-pub use runner::{run, run_on, AppId, RunResult, Version};
+pub use runner::{run, run_on, run_protocol_on, AppId, RunResult, Version};

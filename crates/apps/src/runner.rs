@@ -1,7 +1,7 @@
 //! Application/version dispatch and result assembly.
 
-use sp2sim::{EngineKind, StatsSnapshot};
-use treadmarks::{DsmStats, TmkConfig};
+use sp2sim::{EngineKind, MsgKind, StatsSnapshot};
+use treadmarks::{DsmStats, ProtocolMode, TmkConfig};
 
 /// The six applications of the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -164,6 +164,21 @@ impl RunResult {
     pub fn speedup_vs(&self, seq_us: f64) -> f64 {
         seq_us / self.time_us
     }
+
+    /// Access-miss round trips of the timed region: demand diff
+    /// requests (LRC), aggregated validates (CRI) and whole-page home
+    /// fetches (HLRC). The quantity HLRC trades update traffic to
+    /// reduce — the `protocol_compare` experiment's headline metric.
+    pub fn miss_round_trips(&self) -> u64 {
+        self.stats.messages(MsgKind::DiffReq)
+            + self.stats.messages(MsgKind::ValidateReq)
+            + self.stats.messages(MsgKind::PageReq)
+    }
+
+    /// Eager update-traffic bytes (HLRC home flushes); zero under LRC.
+    pub fn flush_bytes(&self) -> u64 {
+        self.stats.bytes_of(MsgKind::HomeFlush)
+    }
 }
 
 /// The TreadMarks configuration a version runs with.
@@ -172,6 +187,33 @@ pub fn tmk_config_for(version: Version) -> TmkConfig {
         Version::HandOpt => TmkConfig::aggregated(),
         _ => TmkConfig::default(),
     }
+}
+
+/// The version's configuration under an explicit coherence protocol.
+/// Message-passing versions and the sequential baseline ignore it.
+pub fn tmk_config_for_protocol(version: Version, protocol: ProtocolMode) -> TmkConfig {
+    tmk_config_for(version).with_protocol(protocol)
+}
+
+/// Run `app` in `version` under an explicit engine **and** coherence
+/// protocol — the full (engine × protocol × version) cross product the
+/// harness sweeps.
+pub fn run_protocol_on(
+    engine: EngineKind,
+    protocol: ProtocolMode,
+    app: AppId,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+) -> RunResult {
+    run_with_cfg_on(
+        engine,
+        app,
+        version,
+        nprocs,
+        scale,
+        tmk_config_for_protocol(version, protocol),
+    )
 }
 
 /// Run `app` in `version` on `nprocs` simulated processors at `scale`

@@ -1,0 +1,100 @@
+//! Benchmarks of the protocol axis: the same access patterns under the
+//! original distributed-diff protocol (LRC) and home-based LRC (HLRC).
+//! The interesting comparison is the multi-writer access miss — one
+//! whole-page home fetch vs one diff round trip per writer — and the
+//! price HLRC pays for it at every release (eager home flushes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp2sim::{Cluster, ClusterConfig, EngineKind};
+use treadmarks::{ProtocolMode, Tmk, TmkConfig};
+
+const PW: usize = 512;
+
+/// Four writers fill disjoint quarters of four shared pages; a fifth
+/// node then reads everything. LRC pays four diff round trips per page,
+/// HLRC one whole-page fetch per page.
+fn bench_multi_writer_miss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let run = |protocol: ProtocolMode| {
+        Cluster::run(
+            ClusterConfig::sp2_on(5, EngineKind::Sequential),
+            move |node| {
+                let tmk = Tmk::new(node, TmkConfig::default().with_protocol(protocol));
+                let len = PW * 4;
+                let a = tmk.malloc_f64(len);
+                let me = tmk.proc_id();
+                if me < 4 {
+                    // Strided quarters: every page gets all four writers.
+                    for page in 0..4 {
+                        let lo = page * PW + me * (PW / 4);
+                        let mut w = tmk.write(a, lo..lo + PW / 4);
+                        for (i, x) in w.slice_mut().iter_mut().enumerate() {
+                            *x = (me * len + i) as f64;
+                        }
+                    }
+                }
+                tmk.barrier(0);
+                if me == 4 {
+                    let r = tmk.read(a, 0..len);
+                    std::hint::black_box(r.slice()[PW]);
+                }
+                tmk.barrier(1);
+                tmk.finish();
+            },
+        )
+    };
+    g.bench_function("multi_writer_miss_lrc", |b| {
+        b.iter(|| run(ProtocolMode::Lrc))
+    });
+    g.bench_function("multi_writer_miss_hlrc", |b| {
+        b.iter(|| run(ProtocolMode::Hlrc))
+    });
+    g.finish();
+}
+
+/// A producer/consumer ping over four rounds of barriers: the steady
+/// state where HLRC's eager flushes ride every release whether or not a
+/// consumer shows up.
+fn bench_release_flush_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let run = |protocol: ProtocolMode| {
+        Cluster::run(
+            ClusterConfig::sp2_on(2, EngineKind::Sequential),
+            move |node| {
+                let tmk = Tmk::new(node, TmkConfig::default().with_protocol(protocol));
+                let a = tmk.malloc_f64(PW * 8);
+                for round in 0..4u32 {
+                    if tmk.proc_id() == 0 {
+                        let mut w = tmk.write(a, 0..PW * 8);
+                        for (i, x) in w.slice_mut().iter_mut().enumerate() {
+                            *x = (i + round as usize) as f64;
+                        }
+                    }
+                    tmk.barrier(round);
+                    if tmk.proc_id() == 1 {
+                        let r = tmk.read(a, 0..PW * 8);
+                        std::hint::black_box(r.slice()[PW]);
+                    }
+                    tmk.barrier(100 + round);
+                }
+                tmk.finish();
+            },
+        )
+    };
+    g.bench_function("producer_consumer_lrc", |b| {
+        b.iter(|| run(ProtocolMode::Lrc))
+    });
+    g.bench_function("producer_consumer_hlrc", |b| {
+        b.iter(|| run(ProtocolMode::Hlrc))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_multi_writer_miss, bench_release_flush_cost);
+criterion_main!(benches);

@@ -20,11 +20,11 @@
 //! loop bounds of the current dispatch.
 
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 use std::rc::Rc;
 
-use treadmarks::{SharedArray, Tmk};
+use treadmarks::{ProtocolMode, SharedArray, Tmk};
 
 use crate::section::Section;
 
@@ -150,8 +150,16 @@ impl<'t, 'n> HintEngine<'t, 'n> {
         self.fns.borrow().get(id).and_then(|f| f.clone())
     }
 
-    /// Pre-loop hint: aggregated validate of every section the body will
-    /// touch. Returns the number of pages that needed fetching.
+    /// Pre-loop hint: an aggregated validate of every section the body
+    /// will touch. Returns the number of pages that needed fetching.
+    ///
+    /// Home placement is **not** done here: the nodes reach
+    /// `before_loop` with different interval views (the master may
+    /// already have published its post-body interval into the dispatch
+    /// departure), so a per-node placement decision could diverge. The
+    /// fork-join runtime instead decides once on the master at fork
+    /// time — see [`HintEngine::planned_homes`] and the `spf` crate —
+    /// and ships the accepted overrides with the dispatch.
     pub fn before_loop(&self, id: usize, iters: &Range<usize>) -> u64 {
         let Some(f) = self.get(id) else { return 0 };
         let me = self.tmk.proc_id();
@@ -168,16 +176,74 @@ impl<'t, 'n> HintEngine<'t, 'n> {
         self.tmk.validate(&sections)
     }
 
+    /// HLRC home-placement candidates from loop `id`'s descriptor: every
+    /// page exactly one node's write section covers, paired with that
+    /// node — the declared producer. Pure (nothing installed): the
+    /// fork-join runtime filters the candidates through the runtime's
+    /// no-notice guard on the master at fork time (when every worker is
+    /// parked in its dispatch wait and no interval is in flight, so the
+    /// decision state is cluster-complete) and ships the accepted list
+    /// with the dispatch for the workers to install verbatim.
+    pub fn planned_homes(&self, id: usize, iters: &Range<usize>) -> Vec<(usize, usize)> {
+        if self.tmk.config().protocol != ProtocolMode::Hlrc {
+            return Vec::new();
+        }
+        let Some(f) = self.get(id) else {
+            return Vec::new();
+        };
+        let np = self.tmk.nprocs();
+        let mut writers: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for q in 0..np {
+            for a in f(iters, q, np) {
+                if a.mode != AccessMode::Write {
+                    continue;
+                }
+                for p in self.pages_of(a.arr, &a.section) {
+                    writers.entry(p).or_default().insert(q);
+                }
+            }
+        }
+        writers
+            .into_iter()
+            .filter_map(|(p, ws)| {
+                (ws.len() == 1).then(|| (p, *ws.iter().next().expect("single writer")))
+            })
+            .collect()
+    }
+
+    /// Install the producer-home candidates of loop `id` directly, each
+    /// through the runtime's no-notice guard. Only safe at a globally
+    /// quiescent point (same call on every node with no unintegrated
+    /// intervals anywhere — e.g. right after startup, or between two
+    /// barriers with no writes in between); inside the fork-join flow
+    /// use the master-decides path instead (see
+    /// [`HintEngine::planned_homes`]). Returns the overrides accepted.
+    pub fn declare_homes(&self, id: usize, iters: &Range<usize>) -> u64 {
+        let mut accepted = 0;
+        for (p, producer) in self.planned_homes(id, iters) {
+            if self.tmk.set_page_home(p, producer) {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
     /// Post-loop hint: register pushes for every written section with
     /// known consumers. A consumer's pages are computed from *its* read
     /// descriptor; only the page-level overlap with the producer's writes
     /// travels (page granularity also captures the false-sharing fetches
-    /// a page-based DSM would otherwise pay). Returns the number of
-    /// `(target, page)` registrations.
+    /// a page-based DSM would otherwise pay). Under HLRC a consumer that
+    /// is the page's home is skipped: the producer's eager home flush
+    /// already carries the same diff there, so a push would only arrive
+    /// as a duplicate for the stale-flush guard to drop — this is where
+    /// a hinted body chooses push vs home-flush per `(consumer, page)`.
+    /// Returns the number of `(target, page)` registrations.
     pub fn after_loop(&self, id: usize, iters: &Range<usize>) -> u64 {
         let Some(f) = self.get(id) else { return 0 };
         let me = self.tmk.proc_id();
         let np = self.tmk.nprocs();
+        let hlrc = self.tmk.config().protocol == ProtocolMode::Hlrc;
+        let flushed_to = |q: usize, p: usize| hlrc && self.tmk.page_home(p) == q;
         let mut registered = 0;
         for a in f(iters, me, np) {
             if a.mode != AccessMode::Write || a.consumers.is_empty() {
@@ -202,6 +268,9 @@ impl<'t, 'n> HintEngine<'t, 'n> {
                                 }
                             }
                             for &p in mine.intersection(&theirs) {
+                                if flushed_to(q, p) {
+                                    continue;
+                                }
                                 self.tmk.push_page_at_next_sync(q, p);
                                 registered += 1;
                             }
@@ -210,6 +279,9 @@ impl<'t, 'n> HintEngine<'t, 'n> {
                     Consumer::Node(q) => {
                         if *q != me {
                             for &p in &mine {
+                                if flushed_to(*q, p) {
+                                    continue;
+                                }
                                 self.tmk.push_page_at_next_sync(*q, p);
                                 registered += 1;
                             }

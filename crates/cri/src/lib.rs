@@ -24,6 +24,15 @@
 //! tree in `2 (n - 1)` messages instead of folding into a lock-guarded
 //! shared page.
 //!
+//! Under the home-based protocol ([`treadmarks::ProtocolMode::Hlrc`])
+//! the descriptors additionally drive **home placement**: before a
+//! hinted body runs, every page exactly one node's write section covers
+//! is re-homed at that node ([`HintEngine::declare_homes`]), so the
+//! declared producer's eager flushes become local no-ops; and a push to
+//! a consumer that *is* the page's home is skipped — the regular home
+//! flush already carries the same diff there. This is the per-page
+//! push-vs-home-flush choice of a hinted body.
+//!
 //! Hints are *performance-only*: every validate fetches exactly the
 //! diffs a fault would have fetched, every push delivers diffs the
 //! consumer would have requested (gapped pushes are dropped, not
@@ -201,6 +210,116 @@ mod tests {
         // dropped at registration.
         assert_eq!(out.stats.messages(MsgKind::Push), 2);
         assert_eq!(out.stats.messages(MsgKind::DiffReq), 0);
+    }
+
+    /// HLRC: the declared producer of a single-writer page becomes its
+    /// home, so the producer's eager flushes are local no-ops; the push
+    /// to the (non-home) consumer still rides the barrier.
+    #[test]
+    fn declare_homes_makes_the_producer_the_home() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let tmk = Tmk::new(node, TmkConfig::hlrc());
+            let hints = HintEngine::new(&tmk);
+            let a = tmk.malloc_f64(512 * 2);
+            hints.set(0, move |_iters, me, _np| {
+                if me == 0 {
+                    vec![Access::write(a, Section::range(0..512 * 2)).consumed_by_loop(1, 0..1)]
+                } else {
+                    vec![]
+                }
+            });
+            hints.set(1, move |_iters, me, _np| {
+                if me == 1 {
+                    vec![Access::read(a, Section::range(0..512 * 2))]
+                } else {
+                    vec![]
+                }
+            });
+            let accepted = hints.declare_homes(0, &(0..1));
+            // Page 1 would be homed at node 1 block-cyclically; the
+            // descriptor re-homes both pages at the producer, node 0.
+            assert_eq!(tmk.page_home(a.first_page()), 0);
+            assert_eq!(tmk.page_home(a.first_page() + 1), 0);
+            let mut probe = 0.0;
+            if tmk.proc_id() == 0 {
+                let mut w = tmk.write(a, 0..512 * 2);
+                for (i, x) in w.slice_mut().iter_mut().enumerate() {
+                    *x = 1.0 + i as f64;
+                }
+                drop(w);
+                hints.after_loop(0, &(0..1));
+            }
+            tmk.barrier(0);
+            if tmk.proc_id() == 1 {
+                let before = tmk.stats_snapshot().faults;
+                let r = tmk.read(a, 0..512 * 2);
+                probe = r[700];
+                assert_eq!(tmk.stats_snapshot().faults, before, "pushed pages");
+            }
+            tmk.barrier(1);
+            tmk.finish();
+            (accepted, probe)
+        });
+        assert_eq!(out.results[0].0, 2, "both pages re-homed (evaluated on 0)");
+        assert_eq!(out.results[1].1, 701.0);
+        // Producer is the home: no flush traffic; both pages pushed.
+        assert_eq!(out.stats.messages(MsgKind::HomeFlush), 0);
+        assert_eq!(out.stats.messages(MsgKind::Push), 1);
+        assert_eq!(out.stats.messages(MsgKind::PageReq), 0);
+    }
+
+    /// HLRC: when a consumer *is* the page's home (re-homing was refused
+    /// because the page already had notices), the push is skipped — the
+    /// producer's home flush already carries the same diff there.
+    #[test]
+    fn push_to_home_consumer_is_replaced_by_the_flush() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let tmk = Tmk::new(node, TmkConfig::hlrc());
+            let hints = HintEngine::new(&tmk);
+            // Page 1 is homed at node 1. Pre-existing notices on both
+            // pages: node 1 wrote them before the descriptors were ever
+            // evaluated.
+            let a = tmk.malloc_f64(512 * 2);
+            if tmk.proc_id() == 1 {
+                let mut w = tmk.write(a, 0..512 * 2);
+                for x in w.slice_mut().iter_mut() {
+                    *x = 1.0;
+                }
+            }
+            tmk.barrier(0);
+            hints.set(0, move |_iters, me, _np| {
+                if me == 0 {
+                    vec![Access::write(a, Section::range(512..512 * 2)).consumed_by_node(1)]
+                } else {
+                    vec![]
+                }
+            });
+            let accepted = hints.declare_homes(0, &(0..1));
+            assert_eq!(tmk.page_home(a.first_page() + 1), 1, "re-home refused");
+            let mut registered = 0;
+            if tmk.proc_id() == 0 {
+                let _ = tmk.read(a, 512..512 * 2);
+                let mut w = tmk.write(a, 512..512 * 2);
+                for x in w.slice_mut().iter_mut() {
+                    *x = 9.0;
+                }
+                drop(w);
+                registered = hints.after_loop(0, &(0..1));
+            }
+            tmk.barrier(1);
+            let mut probe = 0.0;
+            if tmk.proc_id() == 1 {
+                probe = tmk.read_one(a, 600); // folds the flush at the home
+            }
+            tmk.barrier(2);
+            tmk.finish();
+            (accepted, registered, probe)
+        });
+        assert_eq!(out.results[0].0, 0, "no override accepted");
+        assert_eq!(out.results[0].1, 0, "push to the home is skipped");
+        assert_eq!(out.results[1].2, 9.0, "the flush delivered the data");
+        assert_eq!(out.stats.messages(MsgKind::Push), 0);
+        assert!(out.stats.messages(MsgKind::HomeFlush) >= 1);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Shared `--check-baseline` machinery for the CI regression-gate
+//! binaries (`compiler_opt`, `protocol_compare`).
+//!
+//! A baseline file records `scale nprocs max_count` — the configuration
+//! a deterministic (sequential-engine) sweep was recorded at and the
+//! count it must not exceed there. What the count bounds (messages,
+//! access-miss round trips, ...) is the binary's business; the parsing
+//! and the recorded-config-wins rule are shared so both gates keep one
+//! contract. Exit status 2 signals an unreadable or malformed baseline.
+
+use crate::cli::{self, Cli};
+
+/// Parsed `scale nprocs max_count` baseline record.
+pub struct Baseline {
+    /// Problem scale the baseline was recorded at.
+    pub scale: f64,
+    /// Processor count the baseline was recorded at.
+    pub nprocs: usize,
+    /// The gated quantity's recorded maximum.
+    pub max_count: u64,
+}
+
+fn read_baseline(path: &str, what: &str) -> Baseline {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    let fields: Vec<&str> = text.split_whitespace().collect();
+    let parsed = (|| -> Option<Baseline> {
+        let [scale, nprocs, max_count] = fields.as_slice() else {
+            return None;
+        };
+        Some(Baseline {
+            scale: scale.parse().ok()?,
+            nprocs: nprocs.parse().ok()?,
+            max_count: max_count.parse().ok()?,
+        })
+    })();
+    parsed.unwrap_or_else(|| {
+        eprintln!("baseline {path} must contain `scale nprocs {what}`, got {text:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Parse the common CLI plus an optional `--check-baseline FILE` flag,
+/// reading FILE when present. `what` names the count field in error
+/// messages (e.g. `max_msgs`).
+pub fn parse_cli(default_scale: f64, default_nprocs: usize, what: &str) -> (Cli, Option<Baseline>) {
+    let mut baseline_path = None;
+    let cli = cli::parse_with(default_scale, default_nprocs, |flag, args| {
+        if flag == "--check-baseline" {
+            match args.next() {
+                Some(p) => baseline_path = Some(p),
+                None => {
+                    eprintln!("error: missing file after --check-baseline");
+                    std::process::exit(2);
+                }
+            }
+            true
+        } else {
+            false
+        }
+    });
+    let baseline = baseline_path.as_deref().map(|p| read_baseline(p, what));
+    (cli, baseline)
+}
+
+/// The configuration the gated sweep must run at. Counts are only
+/// comparable at the configuration the baseline was recorded at —
+/// silently comparing across scales would flag phantom regressions —
+/// so the recorded `(scale, nprocs)` win over the command line, and a
+/// mismatch is reported.
+pub fn gate_config(cli: &Cli, baseline: Option<&Baseline>) -> (f64, usize) {
+    match baseline {
+        Some(b) => {
+            if b.scale != cli.scale || b.nprocs != cli.nprocs {
+                eprintln!(
+                    "note: baseline recorded at scale {} / {} procs; \
+                     running the gate there (command line said {} / {})",
+                    b.scale, b.nprocs, cli.scale, cli.nprocs
+                );
+            }
+            (b.scale, b.nprocs)
+        }
+        None => (cli.scale, cli.nprocs),
+    }
+}

@@ -16,14 +16,21 @@ fn main() {
         assert!(status.success(), "{bin} failed");
     };
     let engine = format!("--engine={}", cli.engine);
-    let argv = vec![scale.to_string(), nprocs.to_string(), engine.clone()];
-    run("table1", &vec![scale.to_string(), engine]);
+    let protocol = format!("--protocol={}", cli.protocol);
+    let argv = vec![
+        scale.to_string(),
+        nprocs.to_string(),
+        engine.clone(),
+        protocol,
+    ];
+    run("table1", &[scale.to_string(), engine]);
     run("figure1", &argv);
     run("table2", &argv);
     run("figure2_table3", &argv);
     run("handopt", &argv);
     run("interface_ablation", &argv);
     run("compiler_opt", &argv);
+    run("protocol_compare", &argv);
     run("scaling", &argv);
     run("page_size", &argv);
 }

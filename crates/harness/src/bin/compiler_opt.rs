@@ -16,71 +16,11 @@
 use harness::report::{f2, render_table};
 use harness::Table;
 
-/// Parsed `scale nprocs max_msgs` baseline record.
-struct Baseline {
-    scale: f64,
-    nprocs: usize,
-    max_msgs: u64,
-}
-
-fn read_baseline(path: &str) -> Baseline {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read baseline {path}: {e}");
-        std::process::exit(2);
-    });
-    let fields: Vec<&str> = text.split_whitespace().collect();
-    let parsed = (|| -> Option<Baseline> {
-        let [scale, nprocs, max_msgs] = fields.as_slice() else {
-            return None;
-        };
-        Some(Baseline {
-            scale: scale.parse().ok()?,
-            nprocs: nprocs.parse().ok()?,
-            max_msgs: max_msgs.parse().ok()?,
-        })
-    })();
-    parsed.unwrap_or_else(|| {
-        eprintln!("baseline {path} must contain `scale nprocs max_msgs`, got {text:?}");
-        std::process::exit(2);
-    })
-}
-
 fn main() {
-    let mut baseline_path = None;
-    let cli = harness::cli::parse_with(0.1, 8, |flag, args| {
-        if flag == "--check-baseline" {
-            match args.next() {
-                Some(p) => baseline_path = Some(p),
-                None => {
-                    eprintln!("error: missing file after --check-baseline");
-                    std::process::exit(2);
-                }
-            }
-            true
-        } else {
-            false
-        }
-    });
-    let baseline = baseline_path.as_deref().map(read_baseline);
-    // The gate is only meaningful at the configuration the baseline was
-    // recorded at: silently comparing counts across scales would flag
-    // phantom regressions, so the recorded (scale, nprocs) win over the
-    // command line (and a mismatch is reported).
-    let (scale, nprocs) = match &baseline {
-        Some(b) => {
-            if b.scale != cli.scale || b.nprocs != cli.nprocs {
-                eprintln!(
-                    "note: baseline recorded at scale {} / {} procs; \
-                     running the gate there (command line said {} / {})",
-                    b.scale, b.nprocs, cli.scale, cli.nprocs
-                );
-            }
-            (b.scale, b.nprocs)
-        }
-        None => (cli.scale, cli.nprocs),
-    };
+    let (cli, baseline) = harness::baseline::parse_cli(0.1, 8, "max_msgs");
+    let (scale, nprocs) = harness::baseline::gate_config(&cli, baseline.as_ref());
     println!("Compiler-runtime interface: closing the SPF gap (scale {scale}, {nprocs} procs)\n");
-    let rows = harness::compiler_opt(nprocs, scale, cli.engine);
+    let rows = harness::compiler_opt(nprocs, scale, cli.engine, cli.protocol);
     let mut t = Table::new(vec![
         "Program", "Version", "Time (s)", "Speedup", "Msgs", "KBytes",
     ]);
@@ -121,10 +61,10 @@ fn main() {
              (recorded max {}), reduction {:.1}% (required >= 30%)",
             b.scale,
             b.nprocs,
-            b.max_msgs,
+            b.max_count,
             100.0 * reduction
         );
-        if msgs > b.max_msgs || reduction < 0.30 {
+        if msgs > b.max_count || reduction < 0.30 {
             eprintln!("REGRESSION: hinted Jacobi message count above baseline");
             std::process::exit(1);
         }

@@ -11,11 +11,12 @@ fn main() {
     let cli = harness::cli::parse(0.1, 8);
     let (scale, nprocs) = (cli.scale, cli.nprocs);
     println!(
-        "Figure 1: {nprocs}-Processor Speedups, Regular Applications (scale {scale}, {} engine)\n",
-        cli.engine
+        "Figure 1: {nprocs}-Processor Speedups, Regular Applications (scale {scale}, {} engine, {} protocol)\n",
+        cli.engine,
+        cli.protocol
     );
     let mut t = Table::new(vec!["Program", "SPF/Tmk", "Tmk", "XHPF", "PVMe"]);
-    for row in harness::figure1(nprocs, scale, cli.engine) {
+    for row in harness::figure1(nprocs, scale, cli.engine, cli.protocol) {
         t.row(vec![
             row.app.name().to_string(),
             f2(row.speedup(0)),

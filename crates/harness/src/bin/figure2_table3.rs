@@ -9,7 +9,7 @@ use harness::Table;
 fn main() {
     let cli = harness::cli::parse(0.1, 8);
     let (scale, nprocs) = (cli.scale, cli.nprocs);
-    let rows = harness::figure2_table3(nprocs, scale, cli.engine);
+    let rows = harness::figure2_table3(nprocs, scale, cli.engine, cli.protocol);
     println!("Figure 2: {nprocs}-Processor Speedups, Irregular Applications (scale {scale})\n");
     let mut t = Table::new(vec!["Program", "SPF/Tmk", "Tmk", "XHPF", "PVMe"]);
     for row in &rows {

@@ -18,7 +18,7 @@ fn main() {
         "Reference",
         "(vs)",
     ]);
-    for r in harness::handopt(nprocs, scale, cli.engine) {
+    for r in harness::handopt(nprocs, scale, cli.engine, cli.protocol) {
         t.row(vec![
             r.app.name().to_string(),
             r.what.to_string(),

@@ -20,7 +20,7 @@ fn main() {
         "Original time(s)",
         "Slowdown",
     ]);
-    for (app, imp, orig) in harness::interface_ablation(nprocs, scale, cli.engine) {
+    for (app, imp, orig) in harness::interface_ablation(nprocs, scale, cli.engine, cli.protocol) {
         t.row(vec![
             app.name().to_string(),
             imp.messages.to_string(),

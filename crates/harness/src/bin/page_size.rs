@@ -22,7 +22,8 @@ fn main() {
             let cfg = TmkConfig {
                 page_words,
                 ..TmkConfig::default()
-            };
+            }
+            .with_protocol(cli.protocol);
             let r =
                 apps::runner::run_with_cfg_on(cli.engine, app, Version::Tmk, nprocs, scale, cfg);
             t.row(vec![

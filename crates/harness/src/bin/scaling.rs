@@ -10,8 +10,11 @@ use harness::Table;
 fn main() {
     let cli = harness::cli::parse(0.1, 8);
     let (scale, maxp) = (cli.scale, cli.nprocs);
-    println!("Scaling study (scale {scale}, up to {maxp} procs)\n");
-    let rows = harness::scaling(maxp, scale, &AppId::ALL, cli.engine);
+    println!(
+        "Scaling study (scale {scale}, up to {maxp} procs, {} protocol)\n",
+        cli.protocol
+    );
+    let rows = harness::scaling(maxp, scale, &AppId::ALL, cli.engine, cli.protocol);
     let mut header = vec!["Program".to_string(), "Version".to_string()];
     let mut np = 1;
     while np <= maxp {

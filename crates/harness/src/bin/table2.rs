@@ -11,9 +11,10 @@ fn main() {
     let cli = harness::cli::parse(0.1, 8);
     let (scale, nprocs) = (cli.scale, cli.nprocs);
     println!(
-        "Table 2: {nprocs}-Processor Message Totals and Data Totals (KB), Regular Applications (scale {scale})\n"
+        "Table 2: {nprocs}-Processor Message Totals and Data Totals (KB), Regular Applications (scale {scale}, {} protocol)\n",
+        cli.protocol
     );
-    let rows = harness::figure1(nprocs, scale, cli.engine);
+    let rows = harness::figure1(nprocs, scale, cli.engine, cli.protocol);
     let mut t = Table::new(vec!["", "Program", "SPF", "Tmk", "XHPF", "PVMe"]);
     for (k, row) in rows.iter().enumerate() {
         t.row(vec![

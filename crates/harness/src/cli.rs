@@ -3,15 +3,21 @@
 //! Every binary accepts the same shape:
 //!
 //! ```text
-//! <bin> [scale] [nprocs] [--engine threaded|sequential]
+//! <bin> [scale] [nprocs] [--engine threaded|sequential] [--protocol lrc|hlrc]
 //! ```
 //!
 //! The default engine is **sequential**: the regenerated tables are then
 //! deterministic (identical on every invocation) and the sweep fans out
 //! across CPU cores, one single-threaded simulation per worker. Pass
 //! `--engine threaded` to run on the original thread-per-node backend.
+//!
+//! The default protocol is **lrc** (the original TreadMarks protocol);
+//! `--protocol hlrc` runs the shared-memory versions under home-based
+//! LRC instead. The `protocol_compare` binary sweeps both sides itself
+//! and ignores the flag's default.
 
 use sp2sim::EngineKind;
+use treadmarks::ProtocolMode;
 
 /// Parsed common arguments.
 #[derive(Clone, Copy, Debug)]
@@ -22,6 +28,8 @@ pub struct Cli {
     pub nprocs: usize,
     /// Execution engine for every simulation of the sweep.
     pub engine: EngineKind,
+    /// Coherence protocol for the shared-memory versions.
+    pub protocol: ProtocolMode,
 }
 
 /// Parse `std::env::args()` with the given defaults. Unknown flags
@@ -45,6 +53,7 @@ pub fn parse_with(
         scale: default_scale,
         nprocs: default_nprocs,
         engine: EngineKind::Sequential,
+        protocol: ProtocolMode::Lrc,
     };
     let mut positional = 0;
     let mut args = std::env::args().skip(1);
@@ -56,6 +65,13 @@ pub fn parse_with(
             cli.engine = v.parse().unwrap_or_else(|e: String| usage(&e));
         } else if let Some(v) = a.strip_prefix("--engine=") {
             cli.engine = v.parse().unwrap_or_else(|e: String| usage(&e));
+        } else if a == "--protocol" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| usage("missing value after --protocol"));
+            cli.protocol = v.parse().unwrap_or_else(|e: String| usage(&e));
+        } else if let Some(v) = a.strip_prefix("--protocol=") {
+            cli.protocol = v.parse().unwrap_or_else(|e: String| usage(&e));
         } else if a == "--help" || a == "-h" {
             usage("");
         } else if a.starts_with("--") {
@@ -92,6 +108,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [scale] [nprocs] [--engine threaded|sequential]");
+    eprintln!("usage: <bin> [scale] [nprocs] [--engine threaded|sequential] [--protocol lrc|hlrc]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

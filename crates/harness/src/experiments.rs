@@ -2,10 +2,10 @@
 
 use std::collections::HashMap;
 
-use apps::runner::{run_on, run_with_cfg_on};
+use apps::runner::{run_on, run_protocol_on, run_with_cfg_on};
 use apps::{AppId, RunResult, Version};
 use sp2sim::EngineKind;
-use treadmarks::TmkConfig;
+use treadmarks::{ProtocolMode, TmkConfig};
 
 use crate::sweep::sweep_map;
 
@@ -100,6 +100,7 @@ fn speedup_rows(
     nprocs: usize,
     scale: f64,
     engine: EngineKind,
+    protocol: ProtocolMode,
 ) -> Vec<SpeedupRow> {
     let mut jobs: Vec<(AppId, Version, usize)> = Vec::new();
     for &app in app_list {
@@ -109,7 +110,7 @@ fn speedup_rows(
         }
     }
     let mut results = sweep_map(engine, jobs, |(app, v, np)| {
-        run_on(engine, app, v, np, scale)
+        run_protocol_on(engine, protocol, app, v, np, scale)
     })
     .into_iter();
     app_list
@@ -128,14 +129,27 @@ fn speedup_rows(
         .collect()
 }
 
-/// Figure 1 + Table 2: the regular applications.
-pub fn figure1(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<SpeedupRow> {
-    speedup_rows(&AppId::REGULAR, nprocs, scale, engine)
+/// Figure 1 + Table 2: the regular applications. `protocol` selects the
+/// coherence protocol of the shared-memory versions (the message-passing
+/// columns are unaffected), making the whole sweep a (version ×
+/// protocol) grid.
+pub fn figure1(
+    nprocs: usize,
+    scale: f64,
+    engine: EngineKind,
+    protocol: ProtocolMode,
+) -> Vec<SpeedupRow> {
+    speedup_rows(&AppId::REGULAR, nprocs, scale, engine, protocol)
 }
 
 /// Figure 2 + Table 3: the irregular applications.
-pub fn figure2_table3(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<SpeedupRow> {
-    speedup_rows(&AppId::IRREGULAR, nprocs, scale, engine)
+pub fn figure2_table3(
+    nprocs: usize,
+    scale: f64,
+    engine: EngineKind,
+    protocol: ProtocolMode,
+) -> Vec<SpeedupRow> {
+    speedup_rows(&AppId::IRREGULAR, nprocs, scale, engine, protocol)
 }
 
 /// A §5 hand-optimization row.
@@ -157,8 +171,13 @@ pub struct HandOptRow {
 
 /// §5 "Results of Hand Optimizations": per-application hand-optimized
 /// shared-memory variants vs their baselines and references.
-pub fn handopt(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<HandOptRow> {
-    let run = |app, v, np, scale| run_on(engine, app, v, np, scale);
+pub fn handopt(
+    nprocs: usize,
+    scale: f64,
+    engine: EngineKind,
+    protocol: ProtocolMode,
+) -> Vec<HandOptRow> {
+    let run = |app, v, np, scale| run_protocol_on(engine, protocol, app, v, np, scale);
     let mut rows = Vec::new();
     // Jacobi: SPF + data aggregation, compared against PVMe (7.23/7.55).
     {
@@ -230,12 +249,13 @@ pub fn interface_ablation(
     nprocs: usize,
     scale: f64,
     engine: EngineKind,
+    protocol: ProtocolMode,
 ) -> Vec<(AppId, RunResult, RunResult)> {
     let apps = [AppId::Jacobi, AppId::Fft3d];
     let mut jobs: Vec<(AppId, TmkConfig)> = Vec::new();
     for &app in &apps {
-        jobs.push((app, TmkConfig::default()));
-        jobs.push((app, TmkConfig::legacy_forkjoin()));
+        jobs.push((app, TmkConfig::default().with_protocol(protocol)));
+        jobs.push((app, TmkConfig::legacy_forkjoin().with_protocol(protocol)));
     }
     let mut results = sweep_map(engine, jobs, |(app, cfg)| {
         run_with_cfg_on(engine, app, Version::Spf, nprocs, scale, cfg)
@@ -280,8 +300,15 @@ impl CompilerOptRow {
 }
 
 /// The CRI gap-closing experiment: SPF vs SPF+CRI vs hand-coded MPL for
-/// the three regular applications with compiler-describable sections.
-pub fn compiler_opt(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<CompilerOptRow> {
+/// the three regular applications with compiler-describable sections,
+/// under either coherence protocol (hinted HLRC additionally re-homes
+/// producer pages and trades pushes against home flushes).
+pub fn compiler_opt(
+    nprocs: usize,
+    scale: f64,
+    engine: EngineKind,
+    protocol: ProtocolMode,
+) -> Vec<CompilerOptRow> {
     let apps = [AppId::Jacobi, AppId::Shallow, AppId::Fft3d];
     let mut jobs: Vec<(AppId, Version, usize)> = Vec::new();
     for &app in &apps {
@@ -291,7 +318,7 @@ pub fn compiler_opt(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<Compil
         }
     }
     let mut results = sweep_map(engine, jobs, |(app, v, np)| {
-        run_on(engine, app, v, np, scale)
+        run_protocol_on(engine, protocol, app, v, np, scale)
     })
     .into_iter();
     apps.iter()
@@ -311,6 +338,70 @@ pub fn compiler_opt(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<Compil
         .collect()
 }
 
+/// A protocol-comparison row: the same application and version under
+/// LRC and HLRC — the harness's second protocol axis.
+#[derive(Clone, Debug)]
+pub struct ProtocolCompareRow {
+    /// Application.
+    pub app: AppId,
+    /// Program version both protocols ran (SPF, the compiler target).
+    pub version: Version,
+    /// Sequential time (µs), the speedup baseline.
+    pub seq_us: f64,
+    /// The run under the original distributed-diff protocol.
+    pub lrc: RunResult,
+    /// The run under home-based LRC.
+    pub hlrc: RunResult,
+}
+
+impl ProtocolCompareRow {
+    /// Fraction of LRC's access-miss round trips HLRC eliminated
+    /// (negative if HLRC took more).
+    pub fn round_trip_reduction(&self) -> f64 {
+        let lrc = self.lrc.miss_round_trips();
+        if lrc == 0 {
+            return 0.0;
+        }
+        1.0 - self.hlrc.miss_round_trips() as f64 / lrc as f64
+    }
+}
+
+/// The protocol-comparison experiment: LRC vs HLRC for the regular
+/// applications' SPF versions — time, messages, bytes, access-miss
+/// round trips and eager-flush traffic. The expected shape: HLRC cuts
+/// round trips (one whole-page fetch per miss instead of one diff
+/// exchange per writer) and pays for it in update traffic (flush and
+/// whole-page bytes).
+pub fn protocol_compare(nprocs: usize, scale: f64, engine: EngineKind) -> Vec<ProtocolCompareRow> {
+    let version = Version::Spf;
+    let mut jobs: Vec<(AppId, Version, usize, ProtocolMode)> = Vec::new();
+    for &app in &AppId::REGULAR {
+        jobs.push((app, Version::Seq, 1, ProtocolMode::Lrc));
+        for protocol in ProtocolMode::ALL {
+            jobs.push((app, version, nprocs, protocol));
+        }
+    }
+    let mut results = sweep_map(engine, jobs, |(app, v, np, protocol)| {
+        run_protocol_on(engine, protocol, app, v, np, scale)
+    })
+    .into_iter();
+    AppId::REGULAR
+        .iter()
+        .map(|&app| {
+            let seq = results.next().expect("sequential baseline present");
+            let lrc = results.next().expect("lrc run present");
+            let hlrc = results.next().expect("hlrc run present");
+            ProtocolCompareRow {
+                app,
+                version,
+                seq_us: seq.time_us,
+                lrc,
+                hlrc,
+            }
+        })
+        .collect()
+}
+
 /// A scaling-study row: speedups at each processor count.
 #[derive(Clone, Debug)]
 pub struct ScaleRow {
@@ -322,12 +413,14 @@ pub struct ScaleRow {
     pub points: Vec<(usize, f64)>,
 }
 
-/// Extension: 1..=`max_procs` scaling for every app and figure version.
+/// Extension: 1..=`max_procs` scaling for every app and figure version,
+/// under the selected coherence protocol.
 pub fn scaling(
     max_procs: usize,
     scale: f64,
     app_list: &[AppId],
     engine: EngineKind,
+    protocol: ProtocolMode,
 ) -> Vec<ScaleRow> {
     // Baselines first (one per app), then the full cross product — the
     // largest sweep of the suite, and the reason the sweep runner exists.
@@ -351,7 +444,7 @@ pub fn scaling(
         }
     }
     let results = sweep_map(engine, jobs.clone(), |(app, v, np)| {
-        run_on(engine, app, v, np, scale)
+        run_protocol_on(engine, protocol, app, v, np, scale)
     });
 
     let mut rows: Vec<ScaleRow> = Vec::new();
@@ -389,27 +482,51 @@ mod tests {
 
     #[test]
     fn compiler_opt_covers_regular_apps_and_reduces_messages() {
-        let rows = compiler_opt(4, SCALE, EngineKind::Sequential);
-        assert_eq!(rows.len(), 3);
-        for r in &rows {
-            assert!(r.seq_us > 0.0);
-            assert!(
-                r.cri.messages < r.spf.messages,
-                "{:?}: cri {} vs spf {}",
-                r.app,
-                r.cri.messages,
-                r.spf.messages
-            );
-            assert!(r.message_reduction() > 0.0);
+        for protocol in ProtocolMode::ALL {
+            let rows = compiler_opt(4, SCALE, EngineKind::Sequential, protocol);
+            assert_eq!(rows.len(), 3);
+            for r in &rows {
+                assert!(r.seq_us > 0.0);
+                assert!(
+                    r.cri.messages < r.spf.messages,
+                    "{protocol}/{:?}: cri {} vs spf {}",
+                    r.app,
+                    r.cri.messages,
+                    r.spf.messages
+                );
+                assert!(r.message_reduction() > 0.0);
+            }
         }
     }
 
     #[test]
     fn speedup_row_accessors() {
-        let rows = figure2_table3(2, SCALE, EngineKind::Sequential);
+        let rows = figure2_table3(2, SCALE, EngineKind::Sequential, ProtocolMode::Lrc);
         assert_eq!(rows.len(), 2);
         let r = &rows[0];
         assert_eq!(r.get(Version::Spf).version, Version::Spf);
         assert!(r.speedup(0) > 0.0);
+    }
+
+    #[test]
+    fn protocol_compare_shape() {
+        let rows = protocol_compare(4, SCALE, EngineKind::Sequential);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(
+                r.lrc.checksum, r.hlrc.checksum,
+                "{:?}: protocols must agree",
+                r.app
+            );
+            assert!(
+                r.hlrc.miss_round_trips() < r.lrc.miss_round_trips(),
+                "{:?}: HLRC {} vs LRC {} round trips",
+                r.app,
+                r.hlrc.miss_round_trips(),
+                r.lrc.miss_round_trips()
+            );
+            assert!(r.hlrc.flush_bytes() > 0, "{:?}: eager flushes", r.app);
+            assert_eq!(r.lrc.flush_bytes(), 0);
+        }
     }
 }

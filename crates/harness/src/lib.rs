@@ -9,6 +9,7 @@
 //! | [`experiments::handopt`] | §5 "Results of Hand Optimizations" |
 //! | [`experiments::interface_ablation`] | §2.3 fork-join interface ablation |
 //! | [`experiments::compiler_opt`] | conclusion: SPF vs SPF+CRI vs hand-coded MPL |
+//! | [`experiments::protocol_compare`] | LRC vs HLRC protocol comparison (extension) |
 //! | [`experiments::scaling`] | 1..8-processor scaling study (extension) |
 //!
 //! Each function returns structured rows; the `report` module renders
@@ -21,14 +22,15 @@
 //! scales run in seconds and preserve the paper's qualitative shape,
 //! while `scale = 1.0` reproduces the calibrated magnitudes.
 
+pub mod baseline;
 pub mod cli;
 pub mod experiments;
 pub mod report;
 pub mod sweep;
 
 pub use experiments::{
-    compiler_opt, figure1, figure2_table3, handopt, interface_ablation, scaling, table1,
-    CompilerOptRow, HandOptRow, ScaleRow, SeqRow, SpeedupRow,
+    compiler_opt, figure1, figure2_table3, handopt, interface_ablation, protocol_compare, scaling,
+    table1, CompilerOptRow, HandOptRow, ProtocolCompareRow, ScaleRow, SeqRow, SpeedupRow,
 };
 pub use report::{render_table, Table};
 pub use sweep::sweep_map;

@@ -49,10 +49,17 @@ pub enum MsgKind {
     ReducePart = 14,
     /// CRI direct-reduction result, distributed down the tree.
     ReduceResult = 15,
+    /// HLRC eager diff flush from a writer to a page's home node
+    /// (carries diffs — counted as data volume).
+    HomeFlush = 16,
+    /// HLRC whole-page fetch request to a page's home node.
+    PageReq = 17,
+    /// HLRC whole-page fetch response (carries page content — data).
+    PageResp = 18,
 }
 
 /// Number of `MsgKind` variants.
-pub const NKINDS: usize = 16;
+pub const NKINDS: usize = 19;
 
 /// All message kinds, in discriminant order.
 pub const ALL_KINDS: [MsgKind; NKINDS] = [
@@ -72,6 +79,9 @@ pub const ALL_KINDS: [MsgKind; NKINDS] = [
     MsgKind::ValidateResp,
     MsgKind::ReducePart,
     MsgKind::ReduceResult,
+    MsgKind::HomeFlush,
+    MsgKind::PageReq,
+    MsgKind::PageResp,
 ];
 
 impl MsgKind {
@@ -90,6 +100,8 @@ impl MsgKind {
                 | MsgKind::ValidateResp
                 | MsgKind::ReducePart
                 | MsgKind::ReduceResult
+                | MsgKind::HomeFlush
+                | MsgKind::PageResp
         )
     }
 
@@ -112,6 +124,9 @@ impl MsgKind {
             MsgKind::ValidateResp => "val-resp",
             MsgKind::ReducePart => "red-part",
             MsgKind::ReduceResult => "red-res",
+            MsgKind::HomeFlush => "home-flush",
+            MsgKind::PageReq => "page-req",
+            MsgKind::PageResp => "page-resp",
         }
     }
 }

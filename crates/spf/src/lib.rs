@@ -36,7 +36,13 @@
 //! around every execution of the body: the run-time pre-validates all
 //! pages the body will fault in one aggregated exchange, and registers
 //! producer→consumer pushes that ride the next rendezvous. This is the
-//! compiler–DSM interface the paper's conclusion calls for.
+//! compiler–DSM interface the paper's conclusion calls for. The same
+//! bracketing carries the protocol axis: under
+//! [`treadmarks::ProtocolMode::Hlrc`] a hinted body re-homes its
+//! single-writer pages at the declared producer and chooses, per
+//! `(consumer, page)`, between a direct push and the home flush that is
+//! already travelling — so hinted HLRC runs avoid both the consumer's
+//! fetch round trip and most of the eager update traffic.
 //!
 //! ## Example
 //!
@@ -155,6 +161,30 @@ fn encode_ctl(ctl: &LoopCtl) -> Vec<u64> {
     v
 }
 
+/// Frame a dispatch for the improved interface: the master's fork-time
+/// home-placement decision (HLRC; empty otherwise) rides in front of
+/// the loop-control words, so every worker installs the same overrides
+/// before its body runs.
+fn encode_dispatch(homes: &[(usize, usize)], ctl: &LoopCtl) -> Vec<u64> {
+    let mut v = Vec::with_capacity(1 + homes.len() * 2 + 4 + ctl.args.len());
+    v.push(homes.len() as u64);
+    for &(page, home) in homes {
+        v.push(page as u64);
+        v.push(home as u64);
+    }
+    v.extend_from_slice(&encode_ctl(ctl));
+    v
+}
+
+/// Split a dispatch back into home overrides and loop-control words.
+fn decode_dispatch(words: &[u64]) -> (Vec<(usize, usize)>, &[u64]) {
+    let n = words[0] as usize;
+    let homes = (0..n)
+        .map(|k| (words[1 + 2 * k] as usize, words[2 + 2 * k] as usize))
+        .collect();
+    (homes, &words[1 + 2 * n..])
+}
+
 fn decode_ctl(words: &[u64]) -> LoopCtl {
     LoopCtl {
         id: words[0] as usize,
@@ -268,7 +298,9 @@ impl<'t, 'n> Spf<'t, 'n> {
     fn worker_loop(&self) {
         if self.improved() {
             while let Some(words) = self.tmk.worker_wait() {
-                self.execute(&decode_ctl(&words));
+                let (homes, ctl_words) = decode_dispatch(&words);
+                self.tmk.install_page_homes(&homes);
+                self.execute(&decode_ctl(ctl_words));
             }
         } else {
             loop {
@@ -321,6 +353,15 @@ impl<'s, 't, 'n> Master<'s, 't, 'n> {
     /// Dispatch one parallel loop, participate in its execution, then
     /// wait for all workers (fork ... join). This is what SPF emits for
     /// every parallelized DO loop.
+    ///
+    /// Under HLRC with a hinted loop, this is also where home placement
+    /// is decided: at fork time every worker is parked in its dispatch
+    /// wait, so the master's interval view is cluster-complete — it
+    /// filters the descriptor's producer-home candidates through the
+    /// runtime's guard once, installs them, and ships the accepted list
+    /// inside the dispatch for the workers to install verbatim. (The
+    /// original interface ships control through shared pages and skips
+    /// the decision — every node skips, so the maps still agree.)
     pub fn par_loop(&self, id: usize, range: Range<usize>, sched: Schedule, args: &[u64]) {
         let ctl = LoopCtl {
             id,
@@ -329,7 +370,9 @@ impl<'s, 't, 'n> Master<'s, 't, 'n> {
             args: args.to_vec(),
         };
         if self.spf.improved() {
-            self.spf.tmk.fork(&encode_ctl(&ctl));
+            let planned = self.spf.hints.planned_homes(id, &ctl.range);
+            let homes = self.spf.tmk.adopt_page_homes(&planned);
+            self.spf.tmk.fork(&encode_dispatch(&homes, &ctl));
             self.spf.execute(&ctl);
             self.spf.tmk.join();
         } else {
@@ -565,6 +608,71 @@ mod tests {
         // The demand diff traffic is gone entirely: consumers never ask.
         assert_eq!(hinted.stats.messages(MsgKind::DiffReq), 0);
         assert!(plain.stats.messages(MsgKind::DiffReq) > 0);
+    }
+
+    /// The protocol axis is orthogonal to the fork-join transport: the
+    /// same hinted program produces the same result under LRC and HLRC,
+    /// and the hinted HLRC run re-homes the producer blocks so its eager
+    /// flushes stay local.
+    #[test]
+    fn hinted_pipeline_agrees_across_protocols() {
+        use cri::{Access, Section};
+        use treadmarks::ProtocolMode;
+
+        let run_with = |protocol: ProtocolMode| {
+            Cluster::run(ClusterConfig::sp2(4), move |node| {
+                let tmk = Tmk::new(node, TmkConfig::default().with_protocol(protocol));
+                let spf = Spf::new(&tmk);
+                let len = 512 * 8;
+                let a = tmk.malloc_f64(len);
+                let body_prod = {
+                    let tmk = &tmk;
+                    move |ctl: &LoopCtl| {
+                        let r = ctl.my_block(tmk.proc_id(), tmk.nprocs());
+                        if !r.is_empty() {
+                            let mut w = tmk.write(a, r.clone());
+                            for i in r {
+                                w[i] = (7 * i) as f64;
+                            }
+                        }
+                    }
+                };
+                let body_sum = {
+                    let tmk = &tmk;
+                    move |ctl: &LoopCtl| {
+                        let _ = ctl;
+                        let r = tmk.read(a, 0..len);
+                        assert!((0..len).all(|i| r[i] == (7 * i) as f64));
+                    }
+                };
+                let prod = spf.register_with_access(body_prod, move |iters, me, np| {
+                    vec![
+                        Access::write(a, Section::range(block_range(me, np, iters.clone())))
+                            .consumed_by_loop(1, 0..len),
+                    ]
+                });
+                let sum = spf.register_with_access(body_sum, move |_iters, _me, _np| {
+                    vec![Access::read(a, Section::range(0..len))]
+                });
+                let r = spf.run(|m| {
+                    m.par_loop(prod, 0..len, Schedule::Block, &[]);
+                    m.par_loop(sum, 0..len, Schedule::Block, &[]);
+                    m.tmk().read(a, 0..len).into_vec()
+                });
+                tmk.finish();
+                r
+            })
+        };
+        let lrc = run_with(ProtocolMode::Lrc);
+        let hlrc = run_with(ProtocolMode::Hlrc);
+        assert_eq!(lrc.results[0], hlrc.results[0], "protocols agree bitwise");
+        // Producers were re-homed at themselves: no eager flush traffic
+        // for the interior blocks (boundary pages stay multi-writer).
+        assert!(
+            hlrc.stats.messages(MsgKind::HomeFlush) <= hlrc.stats.messages(MsgKind::Push) + 4,
+            "home flushes are confined to shared boundary pages"
+        );
+        assert_eq!(hlrc.stats.messages(MsgKind::DiffReq), 0);
     }
 
     #[test]

@@ -1,5 +1,65 @@
 //! DSM configuration.
 
+use std::fmt;
+use std::str::FromStr;
+
+/// Which coherence protocol the DSM runs.
+///
+/// Both protocols implement lazy release consistency with the
+/// multiple-writer (twin/diff) mechanism; they differ in **where diffs
+/// live** between the release that creates them and the access miss that
+/// needs them:
+///
+/// * [`ProtocolMode::Lrc`] — the original TreadMarks protocol. Diffs stay
+///   with their writers (lazily materialized on first request); an access
+///   miss sends one diff request per writer that has modified the page.
+/// * [`ProtocolMode::Hlrc`] — home-based LRC (Zhou et al.). Every page
+///   has a **home node** that eagerly receives each writer's diffs at the
+///   release that publishes them; an access miss fetches the whole page
+///   from its home in a single round trip, regardless of how many writers
+///   modified it. HLRC trades update traffic (the eager flushes, and
+///   whole-page responses) for fault round trips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// Distributed (writer-held) diffs — the original TreadMarks
+    /// protocol of Amza et al.
+    Lrc,
+    /// Home-based LRC: eager per-release diff flushes to a per-page home
+    /// node, whole-page fetches on access misses.
+    Hlrc,
+}
+
+impl ProtocolMode {
+    /// Both protocol modes, in comparison order (LRC first).
+    pub const ALL: [ProtocolMode; 2] = [ProtocolMode::Lrc, ProtocolMode::Hlrc];
+
+    /// Stable lower-case name (accepted back by [`FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolMode::Lrc => "lrc",
+            ProtocolMode::Hlrc => "hlrc",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ProtocolMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ProtocolMode, String> {
+        match s {
+            "lrc" => Ok(ProtocolMode::Lrc),
+            "hlrc" => Ok(ProtocolMode::Hlrc),
+            other => Err(format!("unknown protocol {other:?} (use lrc or hlrc)")),
+        }
+    }
+}
+
 /// Configuration of one TreadMarks instance. All nodes of a cluster must
 /// construct their instance with identical configuration.
 #[derive(Clone, Debug)]
@@ -18,7 +78,17 @@ pub struct TmkConfig {
     /// writer covering every missing page of the view, instead of one
     /// request per page per writer. This is the "communication
     /// aggregation" hand-optimization of paper §5 (Dwarkadas et al.).
+    /// Under [`ProtocolMode::Hlrc`] the aggregation unit is the home
+    /// node: one page request per home covering every missing page the
+    /// home owns, instead of one request per page.
     pub aggregation: bool,
+    /// Coherence protocol: distributed diffs (LRC, the default) or
+    /// home-based LRC (HLRC). Home assignment is block-cyclic
+    /// (`page % nprocs`) unless overridden per page before the page's
+    /// first write notice — the CRI hint engine overrides it so a
+    /// compiler-declared producer becomes the home (see
+    /// `cri::HintEngine`).
+    pub protocol: ProtocolMode,
 }
 
 impl Default for TmkConfig {
@@ -27,6 +97,7 @@ impl Default for TmkConfig {
             page_words: 512,
             improved_forkjoin: true,
             aggregation: false,
+            protocol: ProtocolMode::Lrc,
         }
     }
 }
@@ -49,6 +120,19 @@ impl TmkConfig {
             ..TmkConfig::default()
         }
     }
+
+    /// Default configuration under the home-based protocol.
+    pub fn hlrc() -> TmkConfig {
+        TmkConfig {
+            protocol: ProtocolMode::Hlrc,
+            ..TmkConfig::default()
+        }
+    }
+
+    /// This configuration with the given protocol mode.
+    pub fn with_protocol(self, protocol: ProtocolMode) -> TmkConfig {
+        TmkConfig { protocol, ..self }
+    }
 }
 
 #[cfg(test)]
@@ -61,11 +145,28 @@ mod tests {
         assert_eq!(c.page_words * 8, 4096);
         assert!(c.improved_forkjoin);
         assert!(!c.aggregation);
+        assert_eq!(c.protocol, ProtocolMode::Lrc);
     }
 
     #[test]
     fn presets() {
         assert!(TmkConfig::aggregated().aggregation);
         assert!(!TmkConfig::legacy_forkjoin().improved_forkjoin);
+        assert_eq!(TmkConfig::hlrc().protocol, ProtocolMode::Hlrc);
+        assert_eq!(
+            TmkConfig::default()
+                .with_protocol(ProtocolMode::Hlrc)
+                .protocol,
+            ProtocolMode::Hlrc
+        );
+    }
+
+    #[test]
+    fn protocol_mode_roundtrips_through_names() {
+        for m in ProtocolMode::ALL {
+            assert_eq!(m.name().parse::<ProtocolMode>(), Ok(m));
+            assert_eq!(format!("{m}"), m.name());
+        }
+        assert!("treadmarks".parse::<ProtocolMode>().is_err());
     }
 }

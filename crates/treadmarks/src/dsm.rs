@@ -15,7 +15,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sp2sim::{MsgKind, Node, Port, ServiceHandle, WordReader, WordWriter};
 
-use crate::config::TmkConfig;
+use crate::config::{ProtocolMode, TmkConfig};
+use crate::diff::Diff;
 use crate::protocol::{self, flags, op, tag, DiffReqEntry};
 use crate::service::{forward_reduce, service_loop};
 use crate::state::{reduce_children, DiffRange, DsmState};
@@ -47,6 +48,13 @@ impl SharedArray {
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Global page id of the allocation's first page. Together with
+    /// [`Tmk::page_span`] this lets home-placement code (the CRI hint
+    /// engine, tests) name the global pages an allocation occupies.
+    pub fn first_page(&self) -> usize {
+        self.first_page
     }
 
     /// True if the array is empty.
@@ -219,6 +227,125 @@ impl<'n> Tmk<'n> {
         self.state.lock().stats
     }
 
+    /// True when this instance runs the home-based protocol.
+    fn hlrc(&self) -> bool {
+        self.cfg.protocol == ProtocolMode::Hlrc
+    }
+
+    /// The home node of a global page (block-cyclic unless overridden).
+    /// Meaningful under [`ProtocolMode::Hlrc`]; under LRC it reports what
+    /// the assignment *would* be.
+    pub fn page_home(&self, page: usize) -> usize {
+        self.state.lock().home_of(page)
+    }
+
+    /// Override the home of `page` (HLRC). Every node must install the
+    /// same override, and it is refused — returning `false` — once any
+    /// write notice names the page (diffs may already live at the old
+    /// home). The CRI hint engine uses this to make a compiler-declared
+    /// producer the home of the pages it writes, which turns that
+    /// producer's eager flushes into local no-ops.
+    pub fn set_page_home(&self, page: usize, home: usize) -> bool {
+        assert!(home < self.nprocs(), "home {home} out of range");
+        self.state.lock().set_home(page, home)
+    }
+
+    /// Decision side of coordinated home placement (HLRC): filter
+    /// `candidates` through the no-notice guard — additionally refusing
+    /// pages that are locally dirty, whose diffs the next release will
+    /// still send to the *old* home — and install the survivors.
+    /// Returns the installed list, which the caller must deliver to
+    /// every other node for [`Tmk::install_page_homes`] verbatim. Only
+    /// meaningful at a point where this node's interval view is
+    /// cluster-complete (the SPF master at fork time: all workers are
+    /// parked in their dispatch wait, so nothing is in flight).
+    pub fn adopt_page_homes(&self, candidates: &[(usize, usize)]) -> Vec<(usize, usize)> {
+        let mut st = self.state.lock();
+        let mut installed = Vec::new();
+        for &(page, home) in candidates {
+            if st.dirty.contains(&page) {
+                continue;
+            }
+            if st.set_home(page, home) {
+                installed.push((page, home));
+            }
+        }
+        installed
+    }
+
+    /// Apply home overrides decided elsewhere (the master's fork-time
+    /// [`Tmk::adopt_page_homes`], delivered in the dispatch departure).
+    /// Unconditional: the decision point is causally complete even when
+    /// this node's own view already contains newer intervals — e.g. the
+    /// master's post-body interval leaking into the same departure — so
+    /// re-checking the guard here could diverge from the decision.
+    pub fn install_page_homes(&self, homes: &[(usize, usize)]) {
+        if homes.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+        for &(page, home) in homes {
+            debug_assert!(home < st.n);
+            st.home_override.insert(page, home);
+        }
+    }
+
+    /// Release-side publication: create the interval covering all dirty
+    /// pages and, under HLRC, eagerly materialize each page's diff and
+    /// send it to the page's home. Called at every rendezvous (barrier,
+    /// fork, join, worker arrival), lock release and broadcast root —
+    /// every point where [`DsmState::flush`] used to run bare.
+    fn publish(&self) {
+        let (flush_us, pages) = {
+            let mut st = self.state.lock();
+            let pages: Vec<usize> = if self.hlrc() {
+                st.dirty.iter().copied().collect()
+            } else {
+                Vec::new()
+            };
+            (st.flush(self.node.cost()), pages)
+        };
+        self.node.advance(flush_us);
+        if pages.is_empty() {
+            return;
+        }
+        let cost = self.node.cost().clone();
+        let me = self.proc_id();
+        let mut groups: BTreeMap<usize, Vec<(usize, DiffRange)>> = BTreeMap::new();
+        let mut us = 0.0;
+        {
+            let mut st = self.state.lock();
+            let seq = st.vc[me];
+            for p in pages {
+                let home = st.home_of(p);
+                let (ranges, f_us) = st.serve_diffs(p, seq, &cost);
+                us += f_us;
+                if let Some(r) = ranges.into_iter().next_back() {
+                    if home == me {
+                        // We are the home: buffer our own published range
+                        // into the home copy locally — no message. (The
+                        // working frame is NOT the home copy: it would
+                        // leak unpublished or unsynchronized content to
+                        // requesters; see `state::HomePage`.)
+                        st.home_buffer_own(p, r);
+                    } else {
+                        st.stats.home_flush_pages += 1;
+                        groups.entry(home).or_default().push((p, r));
+                    }
+                }
+            }
+            st.stats.home_flushes += groups.len() as u64;
+        }
+        self.node.advance(us);
+        for (home, entries) in groups {
+            trace!("[{me}] home-flush -> {home}: {} pages", entries.len());
+            let payload = protocol::encode_home_flush(me, &entries);
+            self.node
+                .endpoint()
+                .send_to_port(home, Port::Service, 0, MsgKind::HomeFlush, payload);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Shared-memory access (the simulated VM layer)
     // ------------------------------------------------------------------
@@ -301,6 +428,7 @@ impl<'n> Tmk<'n> {
         }
         let cost = self.node.cost().clone();
         let mut by_writer: BTreeMap<usize, Vec<DiffReqEntry>> = BTreeMap::new();
+        let mut hlrc_pages: Vec<usize> = Vec::new();
         let mut missing_pages = 0u64;
         {
             let mut st = self.state.lock();
@@ -310,6 +438,10 @@ impl<'n> Tmk<'n> {
                 let missing = st.missing_by_writer(p);
                 if !missing.is_empty() {
                     missing_pages += 1;
+                    if self.hlrc() {
+                        hlrc_pages.push(p);
+                        continue;
+                    }
                     for (writer, first_needed) in missing {
                         trace!(
                             "[{}] validate: page {p} writer {writer} from seq {first_needed}",
@@ -326,6 +458,15 @@ impl<'n> Tmk<'n> {
             if missing_pages > 0 {
                 st.stats.faults += 1;
             }
+        }
+        if self.hlrc() {
+            // Home-based validate: one whole-page round trip per home
+            // covering everything the phase will touch.
+            if !hlrc_pages.is_empty() {
+                self.node.advance(cost.page_fault_us);
+                self.fetch_pages_from_homes(&hlrc_pages, true);
+            }
+            return missing_pages;
         }
         if by_writer.is_empty() {
             return 0;
@@ -381,12 +522,15 @@ impl<'n> Tmk<'n> {
         let cost = self.node.cost().clone();
         let (p0, p1) = (wlo / pw, (whi - 1) / pw);
 
-        // Phase 1: find missing write notices, grouped by writer. Under
-        // aggregation the whole view takes a single access fault (the
-        // integrated compile-time/run-time scheme of Dwarkadas et al.);
-        // otherwise each invalidated page faults separately, like the
-        // original mprotect-driven system.
+        // Phase 1: find missing write notices. Under LRC they are grouped
+        // by writer (the nodes that hold the diffs); under HLRC only the
+        // set of invalid pages matters — each is fetched whole from its
+        // home. Under aggregation the whole view takes a single access
+        // fault (the integrated compile-time/run-time scheme of
+        // Dwarkadas et al.); otherwise each invalidated page faults
+        // separately, like the original mprotect-driven system.
         let mut by_writer: BTreeMap<usize, Vec<DiffReqEntry>> = BTreeMap::new();
+        let mut missing_pages: Vec<usize> = Vec::new();
         {
             let mut st = self.state.lock();
             let mut faulted_pages = 0u64;
@@ -395,11 +539,15 @@ impl<'n> Tmk<'n> {
                 let missing = st.missing_by_writer(p);
                 if !missing.is_empty() {
                     faulted_pages += 1;
-                    for (writer, first_needed) in missing {
-                        by_writer.entry(writer).or_default().push(DiffReqEntry {
-                            page: p,
-                            first_needed,
-                        });
+                    if self.hlrc() {
+                        missing_pages.push(p);
+                    } else {
+                        for (writer, first_needed) in missing {
+                            by_writer.entry(writer).or_default().push(DiffReqEntry {
+                                page: p,
+                                first_needed,
+                            });
+                        }
                     }
                 }
             }
@@ -413,8 +561,15 @@ impl<'n> Tmk<'n> {
             self.node.advance(faults as f64 * cost.page_fault_us);
         }
 
-        // Phase 2: fetch. One request per writer (aggregation on) or one
-        // per page per writer (default TreadMarks behaviour).
+        // Phase 2 (HLRC): fetch every invalid page whole from its home —
+        // one round trip per page (or per home, under aggregation),
+        // independent of how many writers modified it.
+        if !missing_pages.is_empty() {
+            self.fetch_pages_from_homes(&missing_pages, self.cfg.aggregation);
+        }
+
+        // Phase 2 (LRC): fetch diffs. One request per writer (aggregation
+        // on) or one per page per writer (default TreadMarks behaviour).
         let mut entries: Vec<(usize, protocol::DiffRespEntry)> = Vec::new();
         if !by_writer.is_empty() {
             let mut outstanding: Vec<(usize, u32)> = Vec::new();
@@ -493,6 +648,95 @@ impl<'n> Tmk<'n> {
         out
     }
 
+    /// HLRC fetch engine: retrieve `pages` whole from their homes and
+    /// install them. Each request carries the requester's per-writer
+    /// notice watermarks; the home answers once its copy covers them
+    /// (deferring while a required flush is still in flight), so the
+    /// result is exactly as consistent as the LRC diff fetch would have
+    /// been. `aggregated` groups all pages of one home into one round
+    /// trip; otherwise each page is its own request.
+    fn fetch_pages_from_homes(&self, pages: &[usize], aggregated: bool) {
+        let cost = self.node.cost().clone();
+        let pw = self.cfg.page_words;
+        let groups: BTreeMap<usize, Vec<protocol::PageReqEntry>> = {
+            let st = self.state.lock();
+            let mut g: BTreeMap<usize, Vec<protocol::PageReqEntry>> = BTreeMap::new();
+            for &p in pages {
+                g.entry(st.home_of(p))
+                    .or_default()
+                    .push(protocol::PageReqEntry {
+                        page: p,
+                        required: st.required_watermarks(p),
+                    });
+            }
+            g
+        };
+        let mut outstanding: Vec<(usize, u32)> = Vec::new();
+        for (home, entries) in &groups {
+            for e in entries {
+                trace!(
+                    "[{}] page-req plan: page {} home {} required {:?}",
+                    self.proc_id(),
+                    e.page,
+                    home,
+                    e.required
+                );
+            }
+            if aggregated {
+                outstanding.push((*home, self.send_page_req(*home, entries)));
+            } else {
+                for e in entries {
+                    outstanding.push((*home, self.send_page_req(*home, std::slice::from_ref(e))));
+                }
+            }
+        }
+        let mut incoming: Vec<protocol::PageRespEntry> = Vec::new();
+        for (home, req_id) in outstanding {
+            let t = tag::PAGE_RESP | (req_id & 0xFFFF);
+            trace!("[{}] page-req {} -> {} wait", self.proc_id(), req_id, home);
+            let pkt = self.node.recv_match(|p| p.src == home && p.tag == t);
+            trace!("[{}] page-req {} got", self.proc_id(), req_id);
+            let mut r = WordReader::new(&pkt.payload);
+            incoming.extend(protocol::decode_page_resp(&mut r, self.nprocs(), pw));
+        }
+        let mut st = self.state.lock();
+        let mut us = 0.0;
+        for e in incoming {
+            let frame = st.frame_mut(e.page);
+            if let Some(twin) = frame.twin.take() {
+                // The page is write-enabled with local in-progress
+                // modifications: reinstall them on top of the home's
+                // copy, and re-twin at the home's copy so the eventual
+                // diff still captures exactly the local delta.
+                let local = Diff::create(&twin, &frame.data);
+                frame.data.copy_from_slice(&e.data);
+                frame.twin = Some(e.data);
+                local.apply(&mut frame.data);
+            } else {
+                frame.data.copy_from_slice(&e.data);
+            }
+            for (a, &b) in frame.applied.iter_mut().zip(&e.applied) {
+                if b > *a {
+                    *a = b;
+                }
+            }
+            st.stats.page_fetches += 1;
+            us += cost.diff_apply_us(pw);
+        }
+        drop(st);
+        self.node.advance(us);
+    }
+
+    fn send_page_req(&self, home: usize, entries: &[protocol::PageReqEntry]) -> u32 {
+        let id = self.req_seq.get();
+        self.req_seq.set(id.wrapping_add(1));
+        let payload = protocol::encode_page_fetch_req(id, self.proc_id(), entries);
+        self.node
+            .endpoint()
+            .send_to_port(home, Port::Service, 0, MsgKind::PageReq, payload);
+        id
+    }
+
     fn send_diff_req(&self, writer: usize, entries: &[DiffReqEntry]) -> u32 {
         let id = self.req_seq.get();
         self.req_seq.set(id.wrapping_add(1));
@@ -534,11 +778,7 @@ impl<'n> Tmk<'n> {
         self.barrier_epoch.set(e + 1);
         let epoch = e | protocol::BARRIER_EPOCH_BIT;
 
-        let flush_us = {
-            let mut st = self.state.lock();
-            st.flush(self.node.cost())
-        };
-        self.node.advance(flush_us);
+        self.publish();
 
         // Send registered pushes before arriving.
         let push_counts = self.do_pushes();
@@ -627,11 +867,7 @@ impl<'n> Tmk<'n> {
     /// Release a lock (`Tmk_lock_release`). Performs the release-side
     /// flush; communicates only if a request is already queued here.
     pub fn release(&self, lock: u32) {
-        let flush_us = {
-            let mut st = self.state.lock();
-            st.flush(self.node.cost())
-        };
-        self.node.advance(flush_us);
+        self.publish();
         let grant = {
             let mut st = self.state.lock();
             let lk = st.lock_entry(lock);
@@ -674,12 +910,8 @@ impl<'n> Tmk<'n> {
         assert_eq!(self.proc_id(), 0, "only the master forks");
         let e = self.fork_epoch.get();
         self.fork_epoch.set(e + 1);
-        let flush_us = {
-            let mut st = self.state.lock();
-            st.stats.forks += 1;
-            st.flush(self.node.cost())
-        };
-        self.node.advance(flush_us);
+        self.state.lock().stats.forks += 1;
+        self.publish();
         // Registered pushes ride the dispatch: the workers learn how many
         // to expect from the fork departure.
         let push_counts = self.do_pushes();
@@ -699,11 +931,7 @@ impl<'n> Tmk<'n> {
     pub fn join(&self) {
         assert_eq!(self.proc_id(), 0, "only the master joins");
         let e = self.fork_epoch.get();
-        let flush_us = {
-            let mut st = self.state.lock();
-            st.flush(self.node.cost())
-        };
-        self.node.advance(flush_us);
+        self.publish();
         let mut w = WordWriter::with_capacity(2);
         w.put(op::MASTER_JOIN).put(e);
         self.node
@@ -729,11 +957,7 @@ impl<'n> Tmk<'n> {
         assert_ne!(self.proc_id(), 0, "workers only");
         let e = self.fork_epoch.get();
         self.fork_epoch.set(e + 1);
-        let flush_us = {
-            let mut st = self.state.lock();
-            st.flush(self.node.cost())
-        };
-        self.node.advance(flush_us);
+        self.publish();
         // Pushes registered after the previous loop body ride the
         // rendezvous, exactly like the barrier-time pushes.
         let push_counts = self.do_pushes();
@@ -1000,11 +1224,7 @@ impl<'n> Tmk<'n> {
         let payload: Vec<u64> = if me == root {
             // Publish local writes first so the broadcast content matches
             // the interval state observers are entitled to.
-            let flush_us = {
-                let mut st = self.state.lock();
-                st.flush(&cost)
-            };
-            self.node.advance(flush_us);
+            self.publish();
             let mut w = WordWriter::new();
             let st = self.state.lock();
             w.put_usize(p1 - p0 + 1);
@@ -1119,6 +1339,12 @@ mod tests {
     fn run<R: Send>(n: usize, f: impl Fn(&Tmk) -> R + Sync) -> sp2sim::RunOutput<R> {
         Cluster::run(ClusterConfig::sp2(n), move |node| {
             f(&Tmk::new(node, TmkConfig::default()))
+        })
+    }
+
+    fn run_hlrc<R: Send>(n: usize, f: impl Fn(&Tmk) -> R + Sync) -> sp2sim::RunOutput<R> {
+        Cluster::run(ClusterConfig::sp2(n), move |node| {
+            f(&Tmk::new(node, TmkConfig::hlrc()))
         })
     }
 
@@ -1521,6 +1747,215 @@ mod tests {
             }
         }
         assert_eq!(out.stats.messages(MsgKind::DiffReq), 0);
+    }
+
+    #[test]
+    fn hlrc_single_writer_propagates_via_home() {
+        let out = run_hlrc(3, |tmk| {
+            let a = tmk.malloc_f64(100);
+            if tmk.proc_id() == 1 {
+                let mut w = tmk.write(a, 10..20);
+                for i in 10..20 {
+                    w[i] = (i * 2) as f64;
+                }
+                drop(w);
+            }
+            tmk.barrier(0);
+            let r = tmk.read(a, 10..20);
+            let v: Vec<f64> = r.slice().to_vec();
+            let stats = tmk.finish();
+            (v, stats)
+        });
+        for (res, _) in &out.results {
+            assert_eq!(res, &(10..20).map(|i| (i * 2) as f64).collect::<Vec<_>>());
+        }
+        // Page 0 of the array is homed at node 0 (block-cyclic): the
+        // writer (node 1) flushed its diff there, and the readers fetched
+        // the whole page from the home instead of diffing with the writer.
+        assert!(out.stats.messages(MsgKind::HomeFlush) >= 1);
+        assert!(out.stats.messages(MsgKind::PageReq) >= 1);
+        assert_eq!(
+            out.stats.messages(MsgKind::PageReq),
+            out.stats.messages(MsgKind::PageResp)
+        );
+        assert_eq!(out.stats.messages(MsgKind::DiffReq), 0);
+        let dsm = DsmStats::total(out.results.iter().map(|(_, s)| s));
+        assert!(dsm.home_flush_pages >= 1);
+        assert!(dsm.page_fetches >= 1);
+    }
+
+    #[test]
+    fn hlrc_multi_writer_page_takes_one_round_trip() {
+        // Four nodes write disjoint quarters of one page. Under LRC a
+        // fifth-party reader pays one diff round trip per writer; under
+        // HLRC the merged page comes from the home in a single round trip.
+        let body = |tmk: &Tmk| {
+            let a = tmk.malloc_f64(128);
+            let me = tmk.proc_id();
+            if me < 4 {
+                let lo = me * 32;
+                let mut w = tmk.write(a, lo..lo + 32);
+                for i in lo..lo + 32 {
+                    w[i] = (1000 * me + i) as f64;
+                }
+            }
+            tmk.barrier(0);
+            let snap = tmk.node().stats().snapshot();
+            let sum: f64 = if me == 4 {
+                let r = tmk.read(a, 0..128);
+                r.slice().iter().sum()
+            } else {
+                0.0
+            };
+            let delta = tmk.node().stats().snapshot().delta(&snap);
+            tmk.barrier(1);
+            tmk.finish();
+            (sum, delta)
+        };
+        let expect: f64 = (0..4)
+            .flat_map(|m| (m * 32..m * 32 + 32).map(move |i| (1000 * m + i) as f64))
+            .sum();
+        let lrc = run(5, body);
+        let hlrc = run_hlrc(5, body);
+        assert_eq!(lrc.results[4].0, expect);
+        assert_eq!(hlrc.results[4].0, expect);
+        let (_, lrc_d) = &lrc.results[4];
+        let (_, hlrc_d) = &hlrc.results[4];
+        assert_eq!(lrc_d.messages(MsgKind::DiffReq), 4, "one per writer");
+        assert_eq!(hlrc_d.messages(MsgKind::PageReq), 1, "one per page");
+        assert_eq!(hlrc_d.messages(MsgKind::DiffReq), 0);
+    }
+
+    #[test]
+    fn hlrc_lock_counter_round_robin() {
+        let out = run_hlrc(4, |tmk| {
+            let a = tmk.malloc_f64(1);
+            for _round in 0..3 {
+                tmk.acquire(7);
+                let cur = tmk.read_one(a, 0);
+                tmk.write_one(a, 0, cur + 1.0);
+                tmk.release(7);
+            }
+            tmk.barrier(0);
+            let v = tmk.read_one(a, 0);
+            tmk.finish();
+            v
+        });
+        for v in out.results {
+            assert_eq!(v, 12.0);
+        }
+    }
+
+    #[test]
+    fn hlrc_home_override_silences_producer_flushes() {
+        // Node 1 writes page 2 of the array, block-cyclically homed at
+        // node 2. Overriding the home to the producer (node 1, before
+        // any notice names the page) makes the producer's eager flush a
+        // local no-op; a later override attempt is refused.
+        let out = run_hlrc(3, |tmk| {
+            let a = tmk.malloc_f64(512 * 3); // pages 0, 1, 2
+            let page = a.first_page + 2;
+            assert_eq!(tmk.page_home(page), 2, "block-cyclic default");
+            let accepted = tmk.set_page_home(page, 1);
+            assert_eq!(tmk.page_home(page), 1);
+            tmk.barrier(0);
+            if tmk.proc_id() == 1 {
+                let mut w = tmk.write(a, 512 * 2..512 * 3);
+                for x in w.slice_mut().iter_mut() {
+                    *x = 4.0;
+                }
+            }
+            tmk.barrier(1);
+            let refused = tmk.set_page_home(page, 2);
+            let v = tmk.read_one(a, 512 * 2 + 88);
+            tmk.barrier(2);
+            let stats = tmk.finish();
+            (accepted, refused, v, stats)
+        });
+        for (accepted, refused, v, _) in &out.results {
+            assert!(*accepted, "pre-notice override accepted");
+            assert!(!*refused, "post-notice override refused");
+            assert_eq!(*v, 4.0);
+        }
+        // The producer is the home: its writes flush nowhere.
+        assert_eq!(out.stats.messages(MsgKind::HomeFlush), 0);
+        let dsm = DsmStats::total(out.results.iter().map(|(_, _, _, s)| s));
+        assert_eq!(dsm.home_flushes, 0);
+        // Consumers still fetch the page — from the producer-home.
+        assert_eq!(out.stats.messages(MsgKind::PageReq), 2);
+    }
+
+    #[test]
+    fn hlrc_push_and_flush_to_the_same_home_coexist() {
+        // Node 1 writes a page homed at node 0 and *also* registers a
+        // push to node 0. The pushed diff feeds node 0's *working* frame
+        // (so its own read takes no fault) while the eager flush feeds
+        // the *home copy* (so node 2's whole-page fetch is served) — two
+        // separate copies by design, so neither delivery is a duplicate
+        // of the other and nothing is dropped. Sequential engine: the
+        // message ordering this asserts is virtual-time deterministic.
+        let out = Cluster::run(
+            ClusterConfig::sp2_on(3, sp2sim::EngineKind::Sequential),
+            |node| {
+                let tmk = Tmk::new(node, TmkConfig::hlrc());
+                let a = tmk.malloc_f64(16); // page 0, homed at node 0
+                if tmk.proc_id() == 1 {
+                    let mut w = tmk.write(a, 0..16);
+                    for i in 0..16 {
+                        w[i] = 6.0;
+                    }
+                    drop(w);
+                    tmk.push_at_next_sync(0, a, 0..16);
+                }
+                tmk.barrier(0);
+                let faults_before = tmk.stats_snapshot().faults;
+                // Node 2 did not get a push: its read fetches the page
+                // whole from the home copy. Node 0's read is satisfied
+                // by the pushed diff, fault-free.
+                let v = tmk.read_one(a, 3);
+                let faulted = tmk.stats_snapshot().faults > faults_before;
+                tmk.barrier(1);
+                let stats = tmk.finish();
+                (v, faulted, stats)
+            },
+        );
+        for (v, _, _) in &out.results {
+            assert_eq!(*v, 6.0);
+        }
+        assert!(!out.results[0].1, "the push made the home's read local");
+        assert!(out.results[2].1, "node 2 faulted and fetched");
+        let dsm = DsmStats::total(out.results.iter().map(|(_, _, s)| s));
+        assert_eq!(dsm.stale_flush_drops, 0, "push and flush are not dupes");
+        assert!(
+            dsm.page_fetches >= 1,
+            "node 2 was served from the home copy"
+        );
+    }
+
+    #[test]
+    fn sequential_consistency_of_epochs_hlrc() {
+        let out = run_hlrc(3, |tmk| {
+            let a = tmk.malloc_f64(8);
+            let mut seen = Vec::new();
+            for epoch in 0..5u32 {
+                if tmk.proc_id() == 0 {
+                    let mut w = tmk.write(a, 0..8);
+                    for i in 0..8 {
+                        w[i] = f64::from(epoch);
+                    }
+                    drop(w);
+                }
+                tmk.barrier(epoch);
+                let r = tmk.read(a, 0..8);
+                seen.push(r[0]);
+                tmk.barrier(100 + epoch);
+            }
+            tmk.finish();
+            seen
+        });
+        for r in out.results {
+            assert_eq!(r, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        }
     }
 
     #[test]

@@ -47,6 +47,22 @@
 //!   (one diff request per writer covering a whole view), data push at
 //!   barriers, and page broadcast — used by the hand-optimized program
 //!   versions of Section 5.
+//! * **Two protocol modes.** [`config::ProtocolMode`] selects between the
+//!   original distributed-diff protocol (**LRC**, the default) and
+//!   **home-based LRC** (**HLRC**, Zhou et al.): every page has a home
+//!   node — block-cyclic `page % n`, overridable per page before its
+//!   first write notice — that eagerly receives each writer's diffs at
+//!   the release that publishes them (`HOME_FLUSH`); an access miss then
+//!   fetches the whole page from its home in one round trip (`PAGE_REQ`),
+//!   however many writers modified it. The home keeps a dedicated home
+//!   copy per page ([`state::HomePage`], separate from its working
+//!   frame) and constructs every response at *exactly* the requester's
+//!   notice watermarks, applying buffered ranges in `(lamport, writer)`
+//!   order — never local unpublished words, never intervals the
+//!   requester has not synchronized with; requests the buffered history
+//!   cannot cover yet are deferred until the in-flight flush arrives.
+//!   HLRC trades update traffic for fault round trips — the second
+//!   protocol axis of the harness.
 //! * **Compiler–runtime interface services.** Three entry points the
 //!   `cri` crate's hint engine drives from compiler-provided
 //!   regular-section descriptors: [`dsm::Tmk::validate`] (aggregated
@@ -94,7 +110,7 @@ pub mod state;
 pub mod stats;
 pub mod vc;
 
-pub use config::TmkConfig;
+pub use config::{ProtocolMode, TmkConfig};
 pub use diff::Diff;
 pub use dsm::{ReadView, SharedArray, Tmk, WriteView};
 pub use stats::DsmStats;

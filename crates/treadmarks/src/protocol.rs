@@ -35,6 +35,16 @@ pub mod op {
     /// CRI direct reduction: a partial value travelling up the binomial
     /// combine tree; the service combines children and forwards.
     pub const REDUCE_PART: u64 = 9;
+    /// HLRC: a writer eagerly flushes the diffs of its latest release to
+    /// the modified pages' home nodes. No reply; the home buffers the
+    /// ranges and folds them into its frame when the page is next served
+    /// or locally needed.
+    pub const HOME_FLUSH: u64 = 10;
+    /// HLRC: fetch whole pages from their home. The request carries, per
+    /// page, the per-writer interval watermarks the requester knows; a
+    /// home that has not yet received a required flush defers the reply
+    /// until it arrives.
+    pub const PAGE_REQ: u64 = 11;
 }
 
 /// Application-port tag bases. User-level message tags (in `mpl`) stay
@@ -62,6 +72,8 @@ pub mod tag {
     /// CRI reduction result travelling down the tree:
     /// `REDUCE_RESULT | (seq & 0xFFFF)`.
     pub const REDUCE_RESULT: u32 = 0x4900_0000;
+    /// HLRC whole-page fetch response: `PAGE_RESP | (req_id & 0xFFFF)`.
+    pub const PAGE_RESP: u32 = 0x4A00_0000;
 }
 
 /// Departure flag bits.
@@ -338,6 +350,111 @@ pub fn decode_reduce_vals(r: &mut WordReader) -> Vec<f64> {
     (0..k).map(|_| f64::from_bits(r.get())).collect()
 }
 
+/// Encode an HLRC home flush: the writer's identity followed by the
+/// frozen diff ranges destined for this home (same entry format as diff
+/// responses and pushes).
+pub fn encode_home_flush(writer: usize, entries: &[(PageId, DiffRange)]) -> Vec<u64> {
+    let mut w = WordWriter::new();
+    w.put(op::HOME_FLUSH).put_usize(writer);
+    encode_diff_entries(&mut w, entries);
+    w.finish()
+}
+
+/// Decode the body of a home flush (after the opcode word):
+/// `(writer, entries)`.
+pub fn decode_home_flush(r: &mut WordReader) -> (usize, Vec<DiffRespEntry>) {
+    let writer = r.get_usize();
+    let entries = decode_diff_entries(r);
+    (writer, entries)
+}
+
+/// One entry of an HLRC page request: fetch `page`, which is consistent
+/// at the home once it has applied interval `required[w]` of every
+/// writer `w` (the requester's per-writer notice watermarks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageReqEntry {
+    /// Page to fetch (the destination is its home).
+    pub page: PageId,
+    /// Required interval watermark per writer node.
+    pub required: Vec<u32>,
+}
+
+/// Encode an HLRC page request.
+pub fn encode_page_fetch_req(req_id: u32, requester: usize, entries: &[PageReqEntry]) -> Vec<u64> {
+    let n = entries.first().map_or(0, |e| e.required.len());
+    let mut w = WordWriter::with_capacity(4 + entries.len() * (1 + n));
+    w.put(op::PAGE_REQ)
+        .put(req_id as u64)
+        .put_usize(requester)
+        .put_usize(entries.len());
+    for e in entries {
+        w.put_usize(e.page);
+        for &s in &e.required {
+            w.put(s as u64);
+        }
+    }
+    w.finish()
+}
+
+/// Decode the body of a page request (after the opcode word), for a
+/// cluster of `n` nodes.
+pub fn decode_page_fetch_req(r: &mut WordReader, n: usize) -> (u32, usize, Vec<PageReqEntry>) {
+    let req_id = r.get() as u32;
+    let requester = r.get_usize();
+    let k = r.get_usize();
+    let entries = (0..k)
+        .map(|_| PageReqEntry {
+            page: r.get_usize(),
+            required: (0..n).map(|_| r.get() as u32).collect(),
+        })
+        .collect();
+    (req_id, requester, entries)
+}
+
+/// One entry of an HLRC page response: the home's current copy of a page
+/// plus its per-writer applied watermarks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PageRespEntry {
+    /// The page.
+    pub page: PageId,
+    /// The home's applied interval watermark per writer node.
+    pub applied: Vec<u32>,
+    /// The full page content.
+    pub data: Vec<u64>,
+}
+
+/// Encode a page response (count-prefixed entries).
+pub fn encode_page_resp(entries: &[PageRespEntry]) -> Vec<u64> {
+    let per = entries
+        .first()
+        .map_or(0, |e| 1 + e.applied.len() + e.data.len());
+    let mut w = WordWriter::with_capacity(1 + entries.len() * per);
+    w.put_usize(entries.len());
+    for e in entries {
+        w.put_usize(e.page);
+        for &a in &e.applied {
+            w.put(a as u64);
+        }
+        for &x in &e.data {
+            w.put(x);
+        }
+    }
+    w.finish()
+}
+
+/// Decode a page response for a cluster of `n` nodes with `page_words`
+/// words per page.
+pub fn decode_page_resp(r: &mut WordReader, n: usize, page_words: usize) -> Vec<PageRespEntry> {
+    let k = r.get_usize();
+    (0..k)
+        .map(|_| PageRespEntry {
+            page: r.get_usize(),
+            applied: (0..n).map(|_| r.get() as u32).collect(),
+            data: (0..page_words).map(|_| r.get()).collect(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +546,56 @@ mod tests {
         let buf = encode_reduce_vals(&[0.5]);
         let got = decode_reduce_vals(&mut WordReader::new(&buf));
         assert_eq!(got, vec![0.5]);
+    }
+
+    #[test]
+    fn home_flush_roundtrip() {
+        let diff = Diff::create(&[0, 0, 0, 0], &[0, 5, 5, 0]);
+        let range = DiffRange {
+            lo: 2,
+            hi: 3,
+            lamport: 9,
+            diff: Arc::new(diff.clone()),
+        };
+        let buf = encode_home_flush(4, &[(11usize, range)]);
+        let mut r = WordReader::new(&buf);
+        assert_eq!(r.get(), op::HOME_FLUSH);
+        let (writer, entries) = decode_home_flush(&mut r);
+        assert_eq!(writer, 4);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].page, 11);
+        assert_eq!((entries[0].lo, entries[0].hi), (2, 3));
+        assert_eq!(entries[0].lamport, 9);
+        assert_eq!(entries[0].diff, diff);
+    }
+
+    #[test]
+    fn page_req_and_resp_roundtrip() {
+        let entries = vec![
+            PageReqEntry {
+                page: 3,
+                required: vec![0, 2, 1],
+            },
+            PageReqEntry {
+                page: 9,
+                required: vec![1, 0, 0],
+            },
+        ];
+        let buf = encode_page_fetch_req(17, 2, &entries);
+        let mut r = WordReader::new(&buf);
+        assert_eq!(r.get(), op::PAGE_REQ);
+        let (id, who, got) = decode_page_fetch_req(&mut r, 3);
+        assert_eq!((id, who), (17, 2));
+        assert_eq!(got, entries);
+
+        let resp = vec![PageRespEntry {
+            page: 3,
+            applied: vec![0, 2, 1],
+            data: vec![7, 8, 9, 10],
+        }];
+        let buf = encode_page_resp(&resp);
+        let got = decode_page_resp(&mut WordReader::new(&buf), 3, 4);
+        assert_eq!(got, resp);
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
         match r.get() {
             op::DIFF_REQ => handle_diff_req(&ep, &state, &mut r, arrival),
             op::VALIDATE_REQ => handle_validate_req(&ep, &state, &mut r, arrival),
+            op::HOME_FLUSH => handle_home_flush(&ep, &state, &mut r, arrival),
+            op::PAGE_REQ => handle_page_req(&ep, &state, &mut r, arrival),
             op::REDUCE_PART => handle_reduce_part(&ep, &state, &mut r, arrival),
             op::LOCK_REQ => handle_lock_req(&ep, &state, &mut r, arrival),
             op::BARRIER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, false),
@@ -111,6 +113,105 @@ fn serve_page_req(
         resp_kind,
         w.finish(),
         arrival + service_us,
+    );
+}
+
+/// HLRC: a writer's eager flush arrives at this home. Each range is
+/// buffered into the page's home copy (duplicate ranges the copy
+/// already holds are dropped, never re-applied — the stale-flush
+/// guard), then any deferred page request this flush completes is
+/// answered.
+fn handle_home_flush(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+    let (writer, entries) = protocol::decode_home_flush(r);
+    let mut st = state.lock();
+    for e in entries {
+        st.home_flush_in(
+            writer,
+            e.page,
+            crate::state::DiffRange {
+                lo: e.lo,
+                hi: e.hi,
+                lamport: e.lamport,
+                diff: Arc::new(e.diff),
+            },
+        );
+    }
+    serve_ready_page_reqs(ep, &mut st, arrival);
+}
+
+/// HLRC: a whole-page fetch arrives at this home. If the buffered
+/// ranges can construct every requested page at the requester's
+/// watermarks, the full pages are returned in one response. Otherwise
+/// the request is deferred until the missing flushes arrive — they are
+/// always in flight, because a writer flushes every interval at the
+/// release that publishes its notice, before that notice can reach any
+/// requester.
+fn handle_page_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+    let (req_id, requester, entries) = protocol::decode_page_fetch_req(r, ep.nprocs());
+    let mut st = state.lock();
+    let ready = entries.iter().all(|e| st.home_covers(e.page, &e.required));
+    if ready {
+        serve_page_fetch(ep, &mut st, req_id, requester, &entries, arrival);
+    } else {
+        st.waiting_page_reqs.push(crate::state::WaitingPageReq {
+            req_id,
+            requester,
+            entries,
+            arrival,
+        });
+    }
+}
+
+/// Answer every deferred page request the current flush state can
+/// satisfy. `now` is the arrival time of the flush that triggered the
+/// retry: a deferred response cannot leave before the data it waited
+/// for has arrived.
+fn serve_ready_page_reqs(ep: &Endpoint, st: &mut DsmState, now: VTime) {
+    loop {
+        let idx = st.waiting_page_reqs.iter().position(|wr| {
+            wr.entries
+                .iter()
+                .all(|e| st.home_covers(e.page, &e.required))
+        });
+        let Some(i) = idx else { return };
+        let wr = st.waiting_page_reqs.remove(i);
+        let at = if wr.arrival > now { wr.arrival } else { now };
+        serve_page_fetch(ep, st, wr.req_id, wr.requester, &wr.entries, at);
+    }
+}
+
+/// Construct every requested page at exactly the requester's watermarks
+/// (see [`DsmState::home_serve`]) and reply with the full pages.
+/// Construction of a multi-page response is pipelined with transmission
+/// like an aggregated diff response: only the costliest page's
+/// construction delays the reply.
+fn serve_page_fetch(
+    ep: &Endpoint,
+    st: &mut DsmState,
+    req_id: u32,
+    requester: usize,
+    entries: &[protocol::PageReqEntry],
+    arrival: VTime,
+) {
+    let cost = ep.cost().clone();
+    let mut first_us: f64 = 0.0;
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let (data, applied, us) = st.home_serve(e.page, &e.required, &cost);
+        first_us = first_us.max(us);
+        out.push(protocol::PageRespEntry {
+            page: e.page,
+            applied,
+            data,
+        });
+    }
+    ep.send_at(
+        requester,
+        Port::App,
+        tag::PAGE_RESP | (req_id & 0xFFFF),
+        MsgKind::PageResp,
+        protocol::encode_page_resp(&out),
+        arrival + cost.service_us + first_us,
     );
 }
 

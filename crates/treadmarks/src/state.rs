@@ -150,6 +150,50 @@ pub fn reduce_parent(rank: usize) -> usize {
     rank & (rank - 1)
 }
 
+/// An HLRC page request the home could not yet answer: some flush it
+/// needs (per the requester's watermarks) has not arrived. Retried on
+/// every incoming home flush.
+#[derive(Debug)]
+pub struct WaitingPageReq {
+    /// Request id (echoed in the response tag).
+    pub req_id: u32,
+    /// Requesting node.
+    pub requester: usize,
+    /// Requested pages with their per-writer required watermarks.
+    pub entries: Vec<crate::protocol::PageReqEntry>,
+    /// Virtual arrival time of the request.
+    pub arrival: VTime,
+}
+
+/// HLRC home-side state of one page homed at this node.
+///
+/// The home copy is deliberately **not** the node's working frame: the
+/// frame contains local writes the moment they commit, published or
+/// not, while a served page must reflect *exactly* the publication
+/// state the requester's watermarks demand. The paper's applications
+/// exploit LRC's laziness (e.g. the Shallow master rewrites boundary
+/// columns concurrently with the workers' interior sweeps, relying on
+/// those writes staying invisible until the next barrier), so serving
+/// anything newer than requested — unpublished words, or published
+/// intervals the requester has no notice for — silently changes what a
+/// concurrent reader computes. Instead the home buffers every
+/// published diff range (remote flushes and its own release-frozen
+/// diffs alike) and constructs each response by applying, onto the
+/// zero base, the ranges with `hi <= required[w]`, in `(lamport,
+/// writer)` order — making the response a pure function of the
+/// requester's happens-before, independent of message timing. The
+/// buffered history mirrors what LRC's writers retain as frozen diffs.
+#[derive(Debug, Default)]
+pub struct HomePage {
+    /// Buffered published diff ranges, `(writer, range)`, arrival order.
+    pub ranges: Vec<(usize, DiffRange)>,
+    /// Memoized last construction `(required, data, applied)`: a request
+    /// with component-wise ≥ watermarks extends it by applying only the
+    /// newly covered ranges, so steady-state serving is O(new diffs) like
+    /// an LRC fault, not O(history).
+    cache: Option<(Vec<u32>, Vec<u64>, Vec<u32>)>,
+}
+
 /// Barrier/fork-join bookkeeping for one epoch at the manager.
 #[derive(Debug, Default)]
 pub struct EpochState {
@@ -210,6 +254,19 @@ pub struct DsmState {
     pub pending_push: Vec<(usize, PageId)>,
     /// In-flight direct reductions, keyed by reduction sequence number.
     pub reduces: BTreeMap<u64, ReduceSlot>,
+    /// HLRC: per-page home overrides (block-cyclic `page % n` otherwise).
+    /// Every node must install identical overrides, before the page's
+    /// first write notice exists — see [`DsmState::set_home`].
+    pub home_override: HashMap<PageId, usize>,
+    /// HLRC home-side: the home copies of pages homed here, fed only by
+    /// *published* diffs (remote writers' eager flushes, and our own
+    /// frozen diffs buffered at release) — deliberately separate from
+    /// [`DsmState::frames`], whose content includes local unpublished
+    /// writes that must never be served.
+    pub homed: HashMap<PageId, HomePage>,
+    /// HLRC home-side: page requests deferred until the flushes they
+    /// require arrive.
+    pub waiting_page_reqs: Vec<WaitingPageReq>,
     /// Per-node protocol statistics.
     pub stats: DsmStats,
 }
@@ -235,8 +292,145 @@ impl DsmState {
             pending_ivs: BTreeMap::new(),
             pending_push: Vec::new(),
             reduces: BTreeMap::new(),
+            home_override: HashMap::new(),
+            homed: HashMap::new(),
+            waiting_page_reqs: Vec::new(),
             stats: DsmStats::default(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // HLRC home machinery
+    // ------------------------------------------------------------------
+
+    /// The home node of `page`: block-cyclic by default, overridden by
+    /// [`DsmState::set_home`].
+    pub fn home_of(&self, page: PageId) -> usize {
+        self.home_override
+            .get(&page)
+            .copied()
+            .unwrap_or(page % self.n)
+    }
+
+    /// Install a home override for `page`. Refused (returns `false`)
+    /// once any write notice names the page: by then diffs may already
+    /// live at the old home, and rehoming would lose them. Callers must
+    /// install identical overrides on every node (the CRI hint engine
+    /// evaluates the same descriptors everywhere, which guarantees it);
+    /// the no-notice guard is consistent across nodes because notice
+    /// sets agree at loop boundaries.
+    pub fn set_home(&mut self, page: PageId, home: usize) -> bool {
+        debug_assert!(home < self.n);
+        if self.notices.contains_key(&page) {
+            return false;
+        }
+        self.home_override.insert(page, home);
+        true
+    }
+
+    /// The requester-side watermark vector for a page request: the
+    /// highest interval sequence number this node has a write notice for,
+    /// per writer. The home must have applied at least these before its
+    /// copy is consistent for us.
+    pub fn required_watermarks(&self, page: PageId) -> Vec<u32> {
+        let mut req = vec![0u32; self.n];
+        if let Some(list) = self.notices.get(&page) {
+            for nt in list {
+                if nt.seq > req[nt.node] {
+                    req[nt.node] = nt.seq;
+                }
+            }
+        }
+        req
+    }
+
+    /// Home-side: buffer one published diff range from `writer` (a
+    /// remote `HOME_FLUSH`, or our own release-frozen diff via
+    /// [`DsmState::home_buffer_own`]). A range the home copy already
+    /// holds — a duplicate delivery — is dropped and counted, the
+    /// stale-flush guard: re-applying it during a later construction
+    /// would overwrite newer words with old values. Returns `true` if
+    /// the range was buffered.
+    pub fn home_flush_in(&mut self, writer: usize, page: PageId, range: DiffRange) -> bool {
+        let hp = self.homed.entry(page).or_default();
+        if hp
+            .ranges
+            .iter()
+            .any(|(w, r)| *w == writer && r.hi >= range.hi)
+        {
+            self.stats.stale_flush_drops += 1;
+            return false;
+        }
+        hp.cache = None;
+        hp.ranges.push((writer, range));
+        true
+    }
+
+    /// Home-side: buffer one of our *own* frozen diff ranges at release —
+    /// the local leg of the eager flush, no message needed (our frame is
+    /// the working copy; the home copy still needs the published range to
+    /// serve others).
+    pub fn home_buffer_own(&mut self, page: PageId, range: DiffRange) {
+        let me = self.me;
+        let hp = self.homed.entry(page).or_default();
+        hp.cache = None;
+        hp.ranges.push((me, range));
+    }
+
+    /// Home-side: can a copy of `page` satisfying `required` be
+    /// constructed from the buffered ranges? When it cannot, the missing
+    /// flush is still in flight (writers flush every interval at the
+    /// release that publishes its notice, before the notice can reach
+    /// any requester) and the request must wait.
+    pub fn home_covers(&self, page: PageId, required: &[u32]) -> bool {
+        let ranges = self.homed.get(&page).map(|hp| &hp.ranges);
+        required.iter().enumerate().all(|(w, &need)| {
+            need == 0 || ranges.is_some_and(|v| v.iter().any(|(wr, r)| *wr == w && r.hi >= need))
+        })
+    }
+
+    /// Home-side: construct the copy of `page` at exactly the `required`
+    /// watermarks — the zero base plus every buffered range with
+    /// `hi <= required[w]`, applied in `(lamport, writer)` order (a
+    /// linear extension of happens-before, the same order the LRC fault
+    /// path applies diffs). Returns `(data, applied, time to charge)`.
+    /// Monotonically growing watermarks (the common case: every consumer
+    /// of an epoch, then the next epoch) extend the memoized previous
+    /// construction instead of replaying history.
+    pub fn home_serve(
+        &mut self,
+        page: PageId,
+        required: &[u32],
+        cost: &CostModel,
+    ) -> (Vec<u64>, Vec<u32>, f64) {
+        let pw = self.cfg.page_words;
+        let n = self.n;
+        let hp = self.homed.entry(page).or_default();
+        let (floor, mut data, mut applied) = match &hp.cache {
+            Some((req, data, applied)) if req == required => {
+                return (data.clone(), applied.clone(), 0.0);
+            }
+            Some((req, data, applied)) if req.iter().zip(required).all(|(c, r)| c <= r) => {
+                (req.clone(), data.clone(), applied.clone())
+            }
+            _ => (vec![0u32; n], vec![0u64; pw], vec![0u32; n]),
+        };
+        let mut batch: Vec<&(usize, DiffRange)> = hp
+            .ranges
+            .iter()
+            .filter(|(w, r)| r.hi > floor[*w] && r.hi <= required[*w])
+            .collect();
+        batch.sort_by_key(|(w, r)| (r.lamport, *w));
+        let mut us = 0.0;
+        for (w, r) in batch {
+            r.diff.apply(&mut data);
+            if r.hi > applied[*w] {
+                applied[*w] = r.hi;
+            }
+            us += cost.diff_apply_us(r.diff.encoded_words());
+        }
+        hp.cache = Some((required.to_vec(), data.clone(), applied.clone()));
+        (data, applied, us)
     }
 
     /// Record one contribution to reduction `seq` — a child subtree's
@@ -673,6 +867,102 @@ mod tests {
         let total = s.reduce_contribute(5, Some(1), vec![20.0]);
         assert_eq!(total, Some(vec![51.0]));
         assert!(s.reduces.is_empty(), "slot consumed");
+    }
+
+    #[test]
+    fn home_default_is_block_cyclic_and_override_guarded() {
+        let mut s = state(0, 4);
+        assert_eq!(s.home_of(0), 0);
+        assert_eq!(s.home_of(5), 1);
+        assert_eq!(s.home_of(7), 3);
+        assert!(s.set_home(7, 2), "no notices yet: override accepted");
+        assert_eq!(s.home_of(7), 2);
+        // Once a notice names the page, rehoming is refused.
+        s.integrate_interval(Interval {
+            node: 1,
+            seq: 1,
+            lamport: 1,
+            pages: vec![5],
+        });
+        assert!(!s.set_home(5, 0));
+        assert_eq!(s.home_of(5), 1);
+    }
+
+    #[test]
+    fn required_watermarks_track_notices() {
+        let mut s = state(0, 3);
+        assert_eq!(s.required_watermarks(4), vec![0, 0, 0]);
+        for seq in 1..=2 {
+            s.integrate_interval(Interval {
+                node: 2,
+                seq,
+                lamport: seq as u64,
+                pages: vec![4],
+            });
+        }
+        assert_eq!(s.required_watermarks(4), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn home_serve_constructs_at_watermarks_in_lamport_order() {
+        let mut s = state(0, 3); // home side
+        let cost = CostModel::sp2();
+        // Writer 2's interval (lamport 5) causally follows writer 1's
+        // (lamport 3) and overwrites its word; buffer them out of order.
+        let d1 = Diff::create(&[0, 0], &[7, 7]); // writer 1 writes both
+        let d2 = Diff::create(&[7, 7], &[9, 7]); // writer 2 overwrites [0]
+        s.home_flush_in(
+            2,
+            0,
+            DiffRange {
+                lo: 1,
+                hi: 1,
+                lamport: 5,
+                diff: Arc::new(d2),
+            },
+        );
+        s.home_flush_in(
+            1,
+            0,
+            DiffRange {
+                lo: 1,
+                hi: 1,
+                lamport: 3,
+                diff: Arc::new(d1.clone()),
+            },
+        );
+        assert!(s.home_covers(0, &[0, 1, 1]));
+        assert!(!s.home_covers(0, &[0, 2, 1]), "writer 1 seq 2 not flushed");
+        let (data, applied, us) = s.home_serve(0, &[0, 1, 1], &cost);
+        assert!(us > 0.0);
+        // Lamport order: writer 1 first, then writer 2's overwrite wins.
+        assert_eq!((data[0], data[1]), (9, 7));
+        assert_eq!(applied, vec![0, 1, 1]);
+        // Memoized: identical watermarks replay nothing.
+        let (again, _, us2) = s.home_serve(0, &[0, 1, 1], &cost);
+        assert_eq!(again[0], 9);
+        assert_eq!(us2, 0.0);
+        // A requester that has not synchronized with writer 2 must not
+        // see its interval — the construction is exact, never ahead.
+        let (old, old_applied, _) = s.home_serve(0, &[0, 1, 0], &cost);
+        assert_eq!(old[0], 7, "unsynchronized interval stays invisible");
+        assert_eq!(old_applied, vec![0, 1, 0]);
+        // A duplicate flush is dropped at arrival — the stale-flush
+        // guard (re-applying it during a later construction would
+        // resurrect 7 over 9).
+        assert!(!s.home_flush_in(
+            1,
+            0,
+            DiffRange {
+                lo: 1,
+                hi: 1,
+                lamport: 3,
+                diff: Arc::new(d1),
+            },
+        ));
+        assert_eq!(s.stats.stale_flush_drops, 1);
+        let (data, _, _) = s.home_serve(0, &[0, 1, 1], &cost);
+        assert_eq!(data[0], 9, "stale flush must not re-apply");
     }
 
     #[test]

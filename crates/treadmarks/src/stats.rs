@@ -3,7 +3,7 @@
 /// Per-node counters of DSM protocol actions. Network message counts live
 /// in [`sp2sim::NetStats`]; these counters cover the shared-memory
 /// machinery itself — the "overhead of detecting modifications" the paper
-//  analyzes (twinning, diffing, page faults) plus synchronization events.
+/// analyzes (twinning, diffing, page faults) plus synchronization events.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DsmStats {
     /// Access faults taken (read faults on invalidated pages and write
@@ -39,6 +39,18 @@ pub struct DsmStats {
     pub validate_pages: u64,
     /// CRI direct (tree-combined) reductions this node participated in.
     pub direct_reduces: u64,
+    /// HLRC: home-flush messages sent at releases/rendezvous (one per
+    /// destination home with at least one fresh diff).
+    pub home_flushes: u64,
+    /// HLRC: page diffs eagerly flushed to their homes.
+    pub home_flush_pages: u64,
+    /// HLRC: whole pages fetched from their homes on access misses.
+    pub page_fetches: u64,
+    /// HLRC home-side: flushed ranges dropped because the home copy
+    /// already buffered them (duplicate deliveries) — the stale-flush
+    /// guard; re-applying a stale range during a later page construction
+    /// would overwrite newer words with old values.
+    pub stale_flush_drops: u64,
     /// Malformed service requests (unknown opcodes). Non-zero means the
     /// node's service loop shut itself down defensively.
     pub service_errors: u64,
@@ -62,6 +74,10 @@ impl DsmStats {
         self.validates += other.validates;
         self.validate_pages += other.validate_pages;
         self.direct_reduces += other.direct_reduces;
+        self.home_flushes += other.home_flushes;
+        self.home_flush_pages += other.home_flush_pages;
+        self.page_fetches += other.page_fetches;
+        self.stale_flush_drops += other.stale_flush_drops;
         self.service_errors += other.service_errors;
     }
 

@@ -17,16 +17,23 @@ use cri::{Access, Section};
 use proptest::prelude::*;
 use sp2sim::{Cluster, ClusterConfig, EngineKind};
 use spf::{block_range, LoopCtl, Schedule, Spf};
-use treadmarks::{Tmk, TmkConfig};
+use treadmarks::{ProtocolMode, Tmk, TmkConfig};
 
 /// A synthetic phase-regular pipeline over one shared array: `rounds`
 /// iterations of (produce blocks with neighbour-dependent values, then
-/// consume ghost regions), hinted or not. Returns every node's final
-/// view of the whole array as bits, so the comparison is bytewise.
-fn pipeline_bits(hinted: bool, nprocs: usize, len: usize, rounds: usize) -> Vec<Vec<u64>> {
+/// consume ghost regions), hinted or not, under either protocol — the
+/// full 2x2 grid. Returns every node's final view of the whole array as
+/// bits, so the comparison is bytewise.
+fn pipeline_bits(
+    hinted: bool,
+    protocol: ProtocolMode,
+    nprocs: usize,
+    len: usize,
+    rounds: usize,
+) -> Vec<Vec<u64>> {
     let out = Cluster::run(ClusterConfig::sp2_on(nprocs, EngineKind::Sequential), {
         move |node| {
-            let tmk = Tmk::new(node, TmkConfig::default());
+            let tmk = Tmk::new(node, TmkConfig::default().with_protocol(protocol));
             let spf = Spf::new(&tmk);
             let a = tmk.malloc_f64(len);
             let body_prod = {
@@ -85,17 +92,29 @@ proptest! {
 
     /// Property: for random cluster sizes, array lengths and round
     /// counts, the hinted run's shared memory is byte-identical to the
-    /// unhinted run's on every node.
+    /// unhinted run's on every node — under both protocols, and the
+    /// whole 2x2 grid (LRC/HLRC x hinted/unhinted) agrees bitwise.
     #[test]
-    fn prop_hinted_and_unhinted_memory_bitwise_equal(
+    fn prop_full_grid_memory_bitwise_equal(
         nprocs in 2usize..6,
         len in 200usize..4000,
         rounds in 1usize..5,
     ) {
-        let plain = pipeline_bits(false, nprocs, len, rounds);
-        let hinted = pipeline_bits(true, nprocs, len, rounds);
-        for (q, (p, h)) in plain.iter().zip(&hinted).enumerate() {
-            prop_assert_eq!(p, h, "node {} memory differs", q);
+        let reference = pipeline_bits(false, ProtocolMode::Lrc, nprocs, len, rounds);
+        for protocol in ProtocolMode::ALL {
+            for hinted in [false, true] {
+                if !hinted && protocol == ProtocolMode::Lrc {
+                    continue; // that cell *is* the reference
+                }
+                let run = pipeline_bits(hinted, protocol, nprocs, len, rounds);
+                for (q, (p, h)) in reference.iter().zip(&run).enumerate() {
+                    prop_assert_eq!(
+                        p, h,
+                        "node {} memory differs ({}, hinted {})",
+                        q, protocol, hinted
+                    );
+                }
+            }
         }
     }
 }
@@ -103,26 +122,55 @@ proptest! {
 /// The acceptance experiment: on the deterministic engine at 8 nodes,
 /// SPF+CRI Jacobi sends at least 30% fewer DSM messages than the SPF
 /// baseline, with byte-identical shared-memory state (the checksum
-/// covers the full grid plus probe points, all compared bitwise).
+/// covers the full grid plus probe points, all compared bitwise) —
+/// pinned **per protocol**, so the hint machinery keeps its contract on
+/// both sides of the LRC/HLRC axis, and the whole 2x2 grid converges to
+/// one memory image.
 #[test]
-fn jacobi_cri_cuts_messages_30_percent_with_identical_state() {
-    let spf = apps::runner::run_on(EngineKind::Sequential, AppId::Jacobi, Version::Spf, 8, 0.08);
-    let cri = apps::runner::run_on(
+fn jacobi_cri_cuts_messages_30_percent_with_identical_state_per_protocol() {
+    let reference = apps::run_protocol_on(
         EngineKind::Sequential,
+        ProtocolMode::Lrc,
         AppId::Jacobi,
-        Version::SpfCri,
+        Version::Spf,
         8,
         0.08,
     );
-    let spf_bits: Vec<u64> = spf.checksum.iter().map(|v| v.to_bits()).collect();
-    let cri_bits: Vec<u64> = cri.checksum.iter().map(|v| v.to_bits()).collect();
-    assert_eq!(spf_bits, cri_bits, "shared-memory state must be identical");
-    assert!(
-        (cri.messages as f64) <= 0.70 * spf.messages as f64,
-        "CRI must cut >= 30% of messages: cri {} vs spf {}",
-        cri.messages,
-        spf.messages
-    );
+    let ref_bits: Vec<u64> = reference.checksum.iter().map(|v| v.to_bits()).collect();
+    for protocol in ProtocolMode::ALL {
+        let spf = apps::run_protocol_on(
+            EngineKind::Sequential,
+            protocol,
+            AppId::Jacobi,
+            Version::Spf,
+            8,
+            0.08,
+        );
+        let cri = apps::run_protocol_on(
+            EngineKind::Sequential,
+            protocol,
+            AppId::Jacobi,
+            Version::SpfCri,
+            8,
+            0.08,
+        );
+        let spf_bits: Vec<u64> = spf.checksum.iter().map(|v| v.to_bits()).collect();
+        let cri_bits: Vec<u64> = cri.checksum.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            spf_bits, ref_bits,
+            "{protocol}: unhinted state must match the LRC reference"
+        );
+        assert_eq!(
+            spf_bits, cri_bits,
+            "{protocol}: shared-memory state must be identical"
+        );
+        assert!(
+            (cri.messages as f64) <= 0.70 * spf.messages as f64,
+            "{protocol}: CRI must cut >= 30% of messages: cri {} vs spf {}",
+            cri.messages,
+            spf.messages
+        );
+    }
 }
 
 /// Shallow (13 coupled arrays, master-executed column wraps): hinted

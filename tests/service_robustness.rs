@@ -12,14 +12,18 @@ use treadmarks::service::service_loop;
 use treadmarks::state::DsmState;
 use treadmarks::{Tmk, TmkConfig};
 
-/// The opcode space currently ends at `REDUCE_PART`: the next free
-/// opcode must take the graceful error path. Pinning the boundary means
-/// a future opcode addition that forgets the service dispatch arm shows
-/// up here as a counted error, not as a sweep-wide `unreachable!`.
-/// `join_service` returning at all *is* the graceful-exit assertion —
-/// the loop left through the error path, not a panic.
+/// The opcode space currently ends at `PAGE_REQ` (the HLRC whole-page
+/// fetch): the next free opcode must take the graceful error path.
+/// Pinning the boundary means a future opcode addition that forgets the
+/// service dispatch arm shows up here as a counted error, not as a
+/// sweep-wide `unreachable!`. `join_service` returning at all *is* the
+/// graceful-exit assertion — the loop left through the error path, not
+/// a panic.
 #[test]
 fn first_unassigned_opcode_is_rejected_gracefully() {
+    // HOME_FLUSH and PAGE_REQ are the two highest assigned opcodes; the
+    // boundary sits one past PAGE_REQ.
+    assert_eq!(op::PAGE_REQ, op::HOME_FLUSH + 1, "opcode map moved");
     for engine in EngineKind::ALL {
         let out = Cluster::run(ClusterConfig::sp2_on(2, engine), |node| {
             if node.id() == 0 {
@@ -38,12 +42,107 @@ fn first_unassigned_opcode_is_rejected_gracefully() {
                     Port::Service,
                     0,
                     MsgKind::Control,
-                    vec![op::REDUCE_PART + 1],
+                    vec![op::PAGE_REQ + 1],
                 );
                 0
             }
         });
         assert_eq!(out.results[0], 1, "engine {engine}");
+    }
+}
+
+/// HLRC stale-flush guard at the service level, with message order
+/// fully under test control: a home that already served a page keeps a
+/// late-arriving duplicate flush from re-applying — re-application
+/// would overwrite newer content whenever the frame is ahead of the
+/// flushed range. The flush is counted and dropped; a subsequent fetch
+/// returns the unchanged (newer) page.
+#[test]
+fn flush_arriving_after_the_home_served_the_page_is_dropped() {
+    use treadmarks::diff::Diff;
+    use treadmarks::protocol::{self, tag, PageReqEntry};
+    use treadmarks::state::DiffRange;
+
+    for engine in EngineKind::ALL {
+        let out = Cluster::run(ClusterConfig::sp2_on(2, engine), |node| {
+            if node.id() == 0 {
+                // The home: a bare service loop over HLRC state.
+                let state = Arc::new(Mutex::new(DsmState::new(0, 2, TmkConfig::hlrc())));
+                let ep = node.take_service_endpoint();
+                let h = node.spawn_service({
+                    let state = Arc::clone(&state);
+                    move || service_loop(ep, state)
+                });
+                node.join_service(h);
+                let st = state.lock();
+                // The home copy lives in `homed`, not in the working
+                // frames: serving must never have touched a frame.
+                assert!(st.frames.is_empty(), "home copy leaked into frames");
+                st.stats.stale_flush_drops
+            } else {
+                let pw = TmkConfig::default().page_words;
+                let send_flush = |hi: u32, lamport: u64, word: u64| {
+                    let diff = Diff::create(&vec![0; pw], &{
+                        let mut d = vec![0; pw];
+                        d[0] = word;
+                        d
+                    });
+                    let range = DiffRange {
+                        lo: hi,
+                        hi,
+                        lamport,
+                        diff: Arc::new(diff),
+                    };
+                    node.endpoint().send_to_port(
+                        0,
+                        Port::Service,
+                        0,
+                        MsgKind::HomeFlush,
+                        protocol::encode_home_flush(1, &[(3usize, range)]),
+                    );
+                };
+                let fetch = |req_id: u32, required: u32| {
+                    let entries = [PageReqEntry {
+                        page: 3,
+                        required: vec![0, required],
+                    }];
+                    node.endpoint().send_to_port(
+                        0,
+                        Port::Service,
+                        0,
+                        MsgKind::PageReq,
+                        protocol::encode_page_fetch_req(req_id, 1, &entries),
+                    );
+                    let t = tag::PAGE_RESP | (req_id & 0xFFFF);
+                    let pkt = node.recv_match(|p| p.src == 0 && p.tag == t);
+                    let mut r = sp2sim::WordReader::new(&pkt.payload);
+                    protocol::decode_page_resp(&mut r, 2, pw)[0].data[0]
+                };
+                // Interval 1 flushes, the home serves it (fold applies).
+                send_flush(1, 1, 41);
+                let first = fetch(7, 1);
+                // Interval 2 supersedes; served again.
+                send_flush(2, 2, 42);
+                let second = fetch(8, 2);
+                // The duplicate of interval 1 arrives *after* the home
+                // already served (and folded past) it: must be dropped,
+                // not re-applied over the newer word.
+                send_flush(1, 1, 41);
+                let third = fetch(9, 2);
+                assert_eq!((first, second, third), (41, 42, 42), "engine {engine}");
+                // Shut the home's service loop down.
+                node.endpoint().send_to_port(
+                    0,
+                    Port::Service,
+                    0,
+                    MsgKind::Control,
+                    vec![op::SHUTDOWN],
+                );
+                0
+            }
+        });
+        let drops = out.results[0];
+        assert_eq!(drops, 1, "engine {engine}: exactly the duplicate dropped");
     }
 }
 

@@ -240,7 +240,7 @@ fn run_benchmark(name: &str, cfg: SampleConfig, mut f: impl FnMut(&mut Bencher))
     let budget = cfg.measurement.as_secs_f64();
     let per_sample = budget / cfg.sample_size as f64;
     let iters = if est_iter > 0.0 {
-        (per_sample / est_iter).max(1.0).min(1e7) as u64
+        (per_sample / est_iter).clamp(1.0, 1e7) as u64
     } else {
         1
     };
