@@ -25,6 +25,7 @@
 
 use std::cell::RefCell;
 
+use cri::{Access, Section, TriSection};
 use mpl::Comm;
 use sp2sim::{Cluster, ClusterConfig, EngineKind, Node};
 use spf::{LoopCtl, Schedule, Spf};
@@ -216,7 +217,16 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig, use_bcast: bool) -> NodeOu
 // SPF-generated shared memory
 // ---------------------------------------------------------------------
 
-fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
+/// The SPF version; with `cri` the compiler's descriptors hint the
+/// broadcast-producing structure of §5.3: the orthogonalize loop's
+/// cyclic column sets are **triangular sections** (`DO J = I+1, N` —
+/// regular but not rectangular, [`TriSection`]), the next pivot's owner
+/// pushes it to the master's sequential normalization
+/// (`consumed_by_node(0)`), and the master declares its normalize write
+/// through [`spf::Master::produce`] so the pivot rides the next fork to
+/// every worker — data merged into synchronization exactly like the
+/// hand broadcast, but compiler-described.
+fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, cri: bool) -> NodeOut {
     let n = p.n;
     let me = node.id();
     let np = node.nprocs();
@@ -262,16 +272,86 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         }
     });
 
+    if cri {
+        let (arr, stride, len) = (a.arr, a.stride, a.n);
+        // Orthogonalize loop over `i+1 .. n` at pivot `i = iters.start-1`:
+        // reads the pivot column; reads+writes the node's cyclic column
+        // set — a triangular section (affine base, one column per outer
+        // step of `np` columns). Written columns feed the next dispatch
+        // of the same loop; the next pivot additionally feeds the
+        // master's sequential normalization.
+        spf.hints().set(l_upd, {
+            move |iters: &std::ops::Range<usize>, q: usize, nprocs: usize| {
+                if iters.start == 0 {
+                    return vec![];
+                }
+                // Note the final dispatch (i = n-1 over the empty range
+                // n..n) still declares the pivot read: the encapsulated
+                // body reads column i unconditionally, before checking
+                // its own (empty) iteration set — the descriptor must
+                // match the body, not the schedule.
+                let i = iters.start - 1;
+                let mut acc = vec![Access::read(
+                    arr,
+                    Section::range(i * stride..i * stride + len),
+                )];
+                let tri = TriSection::cyclic_cols(iters.clone(), q, nprocs, stride, 0..len);
+                if !tri.is_empty() {
+                    let mut w = Access::write(arr, tri);
+                    if iters.start + 1 < n {
+                        w = w.consumed_by_loop(l_upd, iters.start + 1..n);
+                    }
+                    acc.push(w);
+                }
+                if iters.start < n && iters.start % nprocs == q {
+                    // The next pivot: its owner pushes it to the
+                    // master's sequential code at the join.
+                    acc.push(
+                        Access::write(
+                            arr,
+                            Section::range(iters.start * stride..iters.start * stride + len),
+                        )
+                        .consumed_by_node(0),
+                    );
+                }
+                acc
+            }
+        });
+        // The initialization loop writes the cyclic column sets; the
+        // first orthogonalize dispatch reads column 0 as its pivot.
+        spf.hints().set(l_init, {
+            move |iters: &std::ops::Range<usize>, q: usize, nprocs: usize| {
+                let tri = TriSection::cyclic_cols(iters.clone(), q, nprocs, stride, 0..len);
+                if tri.is_empty() {
+                    return vec![];
+                }
+                vec![Access::write(arr, tri).consumed_by_loop(l_upd, 1..n)]
+            }
+        });
+    }
+
     let cs = spf.run(|mr| {
         mr.par_loop(l_init, 0..n, Schedule::Cyclic, &[]);
         mr.par_loop(l_start, 0..0, Schedule::Block, &[]);
         for i in 0..n {
             // Normalization is sequential code: the master executes it,
-            // pulling vector i over from its owner.
+            // pulling vector i over from its owner (pushed there by the
+            // hinted versions).
             let mut col = a.read_col(mr.tmk(), i);
             normalize(&mut col);
             a.write_col(mr.tmk(), i, &col);
             node.advance(n as f64 * NORM_US);
+            if cri {
+                // The compiler's descriptor for the sequential write:
+                // the normalized pivot is read by every node of the next
+                // dispatch — push it with the fork (§5.3's merged data +
+                // synchronization, compiler-described).
+                mr.produce(&[Access::write(
+                    a.arr,
+                    Section::range(a.col_range(i).start..a.col_range(i).start + a.n),
+                )
+                .consumed_by_loop(l_upd, i + 1..n)]);
+            }
             mr.par_loop(l_upd, i + 1..n, Schedule::Cyclic, &[i as u64]);
         }
         mr.par_loop(l_stop, 0..0, Schedule::Block, &[]);
@@ -392,9 +472,10 @@ pub fn run_on(
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
         Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg, false)).results,
         Version::HandOpt => Cluster::run(c, |node| tmk_node(node, &p, &cfg, true)).results,
-        // No regular-section descriptors for MGS's triangular loops:
-        // SPF+CRI degenerates to plain SPF.
-        Version::Spf | Version::SpfCri => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
+        // MGS's loops are regular but triangular: the CRI version hints
+        // them through `cri::TriSection` and the master's `produce`.
+        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg, false)).results,
+        Version::SpfCri => Cluster::run(c, |node| spf_node(node, &p, &cfg, true)).results,
         Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
         Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
     };
@@ -427,6 +508,38 @@ mod tests {
         let seq = run(Version::Seq, 1, SCALE, TmkConfig::default());
         // Third checksum component is an off-diagonal inner product.
         assert!(seq.checksum[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangular_cri_is_bitwise_identical_and_cheaper() {
+        let spf = run_on(
+            EngineKind::Sequential,
+            Version::Spf,
+            4,
+            SCALE,
+            TmkConfig::default(),
+        );
+        let cri = run_on(
+            EngineKind::Sequential,
+            Version::SpfCri,
+            4,
+            SCALE,
+            TmkConfig::default(),
+        );
+        // Hints only move data: the basis is bitwise identical.
+        assert_eq!(
+            spf.checksum.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            cri.checksum.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        assert!(
+            cri.messages < spf.messages,
+            "cri {} vs spf {}",
+            cri.messages,
+            spf.messages
+        );
+        // Every demand fetch became a push riding a rendezvous.
+        assert_eq!(cri.stats.messages(sp2sim::MsgKind::DiffReq), 0);
+        assert!(cri.dsm.pages_pushed > 0);
     }
 
     #[test]

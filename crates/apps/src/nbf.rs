@@ -26,6 +26,8 @@
 use std::cell::RefCell;
 use std::ops::Range;
 
+use cri::{Access, Section};
+use inspector::Inspector;
 use mpl::Comm;
 use sp2sim::{Cluster, ClusterConfig, EngineKind, Node, SplitMix64};
 use spf::{block_range, LoopCtl, Schedule, Spf};
@@ -424,6 +426,177 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
 }
 
 // ---------------------------------------------------------------------
+// SPF + CRI: inspector over the partner lists, force merge through the
+// windowed ordered reduction
+// ---------------------------------------------------------------------
+
+/// The SPF shape of [`spf_node`] with the inspector/executor repair for
+/// the interaction lists:
+///
+/// * the **force loop** carries an inspector that walks each molecule's
+///   partner list once and materializes the coordinate words it will
+///   read as a dynamic section — validated up front, and the target of
+///   the coordinate-update pushes;
+/// * the **merge phase**'s symmetric-contribution summation — an
+///   interaction-list reduction — is routed through the direct
+///   binomial tree as a *windowed ordered* reduction
+///   ([`Tmk::reduce_windows`]): each processor contributes its buffer
+///   window, the root folds windows in ascending node order (bitwise
+///   the unhinted merge loop's addition sequence), and `2 (n - 1)`
+///   messages per dimension replace one demand diff exchange per
+///   overlapping `(reader, writer, page)` triple.
+fn spf_cri_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
+    let me = node.id();
+    let np = node.nprocs();
+    let m = p.m;
+    let meter = RefCell::new(None);
+    let measured = RefCell::new(None);
+    let insp = Inspector::new(node);
+    let tmk = Tmk::new(node, cfg.clone());
+    let sh = SharedNbf::alloc(&tmk, p.m, np);
+    let partners = build_partners(p);
+    let it = DsmIter::new(p, &partners, me, np);
+    let spf = Spf::new(&tmk);
+
+    let l_start = spf.register(|_ctl: &LoopCtl| {
+        *meter.borrow_mut() = Some(meter_start(node));
+    });
+    let l_stop = spf.register(|_ctl: &LoopCtl| {
+        let m = meter.borrow_mut().take().expect("meter started");
+        *measured.borrow_mut() = Some(meter_stop(node, m));
+    });
+    let l_init = spf.register({
+        let (tmk, sh, it) = (&tmk, &sh, &it);
+        move |_ctl: &LoopCtl| {
+            if it.block.is_empty() {
+                return;
+            }
+            let (x0, y0, z0) = init_coords(p.m);
+            for (d, src) in [&x0, &y0, &z0].into_iter().enumerate() {
+                let mut w = tmk.write(sh.coords[d], it.block.clone());
+                w.slice_mut().copy_from_slice(&src[it.block.clone()]);
+            }
+        }
+    });
+    let l_force = spf.register({
+        let (tmk, sh, it) = (&tmk, &sh, &it);
+        move |_ctl: &LoopCtl| it.force(node, tmk, sh, me)
+    });
+    // The hinted merge: identical numerics to `DsmIter::merge_update`
+    // (the windowed reduce folds contributions in the same ascending
+    // node order), with the peer-buffer page fetches replaced by the
+    // tree. Every node participates in the collective — an empty block
+    // contributes an empty window, exactly the unhinted early return.
+    let l_merge = spf.register({
+        let (tmk, sh, it) = (&tmk, &sh, &it);
+        move |_ctl: &LoopCtl| {
+            let b = it.block.clone();
+            let span = it.span.clone();
+            // One collective for all three dimensions: the conceptual
+            // reduced vector is the xyz-interleaved force array, so the
+            // window stays a single contiguous range and the exchange is
+            // one round trip. Per-component addition sequences are those
+            // of the unhinted per-buffer fold — bitwise identical.
+            let mine: Vec<f64> = if b.is_empty() {
+                Vec::new()
+            } else {
+                let bufs: Vec<Vec<f64>> = (0..3)
+                    .map(|d| tmk.read(sh.bufs[me][d], span.clone()).into_vec())
+                    .collect();
+                (0..span.len())
+                    .flat_map(|i| bufs.iter().map(move |bd| bd[i]))
+                    .collect()
+            };
+            let lo = if b.is_empty() { 0 } else { span.start * 3 };
+            let need = b.start * 3..b.end * 3;
+            let folded = tmk.reduce_windows(3 * p.m, lo, &mine, need);
+            if b.is_empty() {
+                return;
+            }
+            // Same virtual merge cost as the unhinted per-buffer fold:
+            // the summation work exists wherever it runs.
+            let reads = (0..np)
+                .filter(|&q| {
+                    let qspan = buf_span(&block_range(q, np, 0..p.m), p.w, p.m);
+                    b.start.max(qspan.start) < b.end.min(qspan.end)
+                })
+                .count();
+            node.advance(b.len() as f64 * reads as f64 * MERGE_US);
+            let mut x = tmk.write(sh.coords[0], b.clone());
+            let mut y = tmk.write(sh.coords[1], b.clone());
+            let mut z = tmk.write(sh.coords[2], b.clone());
+            for i in b.clone() {
+                x[i] += DT * folded[i * 3];
+                y[i] += DT * folded[i * 3 + 1];
+                z[i] += DT * folded[i * 3 + 2];
+            }
+            node.advance(b.len() as f64 * UPD_US);
+        }
+    });
+
+    // Descriptors. The force loop's coordinate reads go through the
+    // partner lists — the inspector walks them per evaluated node and
+    // compacts the touched words; buffer writes are regular spans. The
+    // init and merge loops write coordinate blocks read next by the
+    // force loop (through its dynamic descriptor).
+    let coord_writes = {
+        let sh = &sh;
+        move |iters: &Range<usize>, q: usize, nprocs: usize| {
+            let block = block_range(q, nprocs, iters.clone());
+            if block.is_empty() {
+                return vec![];
+            }
+            (0..3)
+                .map(|d| {
+                    Access::write(sh.coords[d], Section::range(block.clone()))
+                        .consumed_by_loop(l_force, 0..m)
+                })
+                .collect()
+        }
+    };
+    spf.hints().set(l_init, coord_writes);
+    spf.hints().set(l_merge, coord_writes);
+    spf.hints().register_dynamic(l_force, {
+        let (partners, insp, sh) = (&partners, &insp, &sh);
+        let k = p.k;
+        move |iters: &Range<usize>, q: usize, nprocs: usize| {
+            let block = block_range(q, nprocs, iters.clone());
+            if block.is_empty() {
+                return vec![];
+            }
+            let span = buf_span(&block, p.w, p.m);
+            let touched = insp.gather(block.clone().flat_map(|i| {
+                std::iter::once(i).chain(partners[i * k..(i + 1) * k].iter().map(|&j| j as usize))
+            }));
+            let mut acc: Vec<Access> = (0..3)
+                .map(|d| Access::read(sh.coords[d], touched.clone()))
+                .collect();
+            acc.extend((0..3).map(|d| Access::write(sh.bufs[q][d], Section::range(span.clone()))));
+            acc
+        }
+    });
+
+    let cs = spf.run(|mr| {
+        mr.par_loop(l_init, 0..p.m, Schedule::Block, &[]);
+        mr.par_loop(l_start, 0..0, Schedule::Block, &[]);
+        for _ in 0..p.iters {
+            mr.par_loop(l_force, 0..p.m, Schedule::Block, &[]);
+            mr.par_loop(l_merge, 0..p.m, Schedule::Block, &[]);
+        }
+        mr.par_loop(l_stop, 0..0, Schedule::Block, &[]);
+        dsm_checksum(mr.tmk(), &sh, p.m)
+    });
+    let (elapsed_us, stats) = measured.borrow_mut().take().expect("meter ran");
+    let dsm = tmk.finish();
+    NodeOut {
+        elapsed_us,
+        stats,
+        checksum: cs,
+        dsm: Some(dsm),
+    }
+}
+
+// ---------------------------------------------------------------------
 // Message passing
 // ---------------------------------------------------------------------
 
@@ -656,14 +829,29 @@ pub fn run_on(
     scale: f64,
     cfg: TmkConfig,
 ) -> RunResult {
-    let p = params(scale);
+    run_params_on(engine, version, nprocs, scale, params(scale), cfg)
+}
+
+/// Like [`run_on`] with explicit workload parameters — tests use this to
+/// vary the iteration count alone (inspector-amortization pins).
+pub fn run_params_on(
+    engine: EngineKind,
+    version: Version,
+    nprocs: usize,
+    scale: f64,
+    p: Params,
+    cfg: TmkConfig,
+) -> RunResult {
     let c = ClusterConfig::sp2_on(nprocs, engine);
     let outs = match version {
         Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
         Version::Tmk | Version::HandOpt => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
-        // Irregular interaction lists: no regular-section descriptors,
-        // SPF+CRI is plain SPF.
-        Version::Spf | Version::SpfCri => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
+        // Irregular interaction lists: no regular-section descriptors.
+        // Plain SPF runs unhinted; SPF+CRI walks the partner lists with
+        // an inspector and routes the force merge through the windowed
+        // ordered reduction.
+        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
+        Version::SpfCri => Cluster::run(c, |node| spf_cri_node(node, &p, &cfg)).results,
         Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
         Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
     };
@@ -703,6 +891,39 @@ mod tests {
                 seq.checksum
             );
         }
+    }
+
+    #[test]
+    fn inspector_cri_is_bitwise_identical_and_cheaper() {
+        let spf = run_on(
+            EngineKind::Sequential,
+            Version::Spf,
+            8,
+            SCALE,
+            TmkConfig::default(),
+        );
+        let cri = run_on(
+            EngineKind::Sequential,
+            Version::SpfCri,
+            8,
+            SCALE,
+            TmkConfig::default(),
+        );
+        // The windowed ordered reduction preserves the unhinted merge's
+        // addition sequence exactly: coordinates are bitwise identical.
+        assert_eq!(
+            spf.checksum.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            cri.checksum.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        assert!(
+            cri.messages < spf.messages,
+            "cri {} vs spf {}",
+            cri.messages,
+            spf.messages
+        );
+        assert!(cri.dsm.inspections > 0);
+        assert!(cri.dsm.schedule_reuse > 0);
+        assert!(cri.dsm.direct_reduces > 0, "merge rides the tree");
     }
 
     #[test]

@@ -57,12 +57,15 @@ pub enum Version {
     Seq,
     /// Compiler-generated shared memory (SPF over TreadMarks).
     Spf,
-    /// SPF with the compiler–runtime interface: the compiler's
-    /// regular-section descriptors drive aggregated validates,
-    /// barrier-time pushes and direct reductions. Falls back to plain
-    /// SPF for the irregular applications, whose subscripts the
-    /// compiler cannot describe as regular sections — the paper's
-    /// distinction exactly.
+    /// SPF with the compiler–runtime interface: section descriptors
+    /// drive aggregated validates, rendezvous-time pushes and direct
+    /// reductions. Regular apps use the compiler's rectangular (and,
+    /// for MGS, triangular) sections; the irregular apps — whose
+    /// subscripts go through run-time indirection maps no compiler can
+    /// describe — run the inspector/executor repair of the paper's §6
+    /// suggestion: an inspector materializes the map into dynamic
+    /// sections once, and the cached communication schedule is reused
+    /// every iteration.
     SpfCri,
     /// Hand-coded TreadMarks.
     Tmk,
@@ -77,6 +80,17 @@ pub enum Version {
 impl Version {
     /// The four versions of Figures 1 and 2.
     pub const FIGURE: [Version; 4] = [Version::Spf, Version::Tmk, Version::Xhpf, Version::Pvme];
+
+    /// The figure versions plus the hinted column — the sweep-level CRI
+    /// report (`figure2_table3`, `table2 --hinted`, `scaling`), where
+    /// the gap-closing claim is visible across the whole grid.
+    pub const SWEEP: [Version; 5] = [
+        Version::Spf,
+        Version::SpfCri,
+        Version::Tmk,
+        Version::Xhpf,
+        Version::Pvme,
+    ];
 
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {

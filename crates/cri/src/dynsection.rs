@@ -1,0 +1,174 @@
+//! Dynamic section descriptors (the inspector/executor data format).
+//!
+//! A [`DynSection`] is what an inspector loop produces when it walks a
+//! run-time indirection map: the set of touched word indices, compacted
+//! into sorted run-length ranges. Unlike a [`Section`] it has no
+//! algebraic structure — it is the *materialized* access set — but it
+//! enumerates through the same `word_ranges` interface, so the hint
+//! engine's validate/push/home-placement machinery consumes both
+//! uniformly through [`SectionSet`].
+
+use std::ops::Range;
+
+use crate::section::{merge_ranges, Section, TriSection};
+
+/// A dynamic section: sorted, merged word-index runs — the run-length
+/// compacted image of an indirection map walk.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DynSection {
+    runs: Vec<Range<usize>>,
+}
+
+impl DynSection {
+    /// Compact an unordered stream of touched word indices. Duplicates
+    /// collapse; adjacent indices merge into runs.
+    pub fn from_indices(indices: impl IntoIterator<Item = usize>) -> DynSection {
+        DynSection {
+            runs: merge_ranges(indices.into_iter().map(|i| i..i + 1).collect()),
+        }
+    }
+
+    /// Compact a set of (possibly overlapping, unordered) runs.
+    pub fn from_runs(runs: Vec<Range<usize>>) -> DynSection {
+        DynSection {
+            runs: merge_ranges(runs),
+        }
+    }
+
+    /// The sorted maximal runs.
+    pub fn runs(&self) -> &[Range<usize>] {
+        &self.runs
+    }
+
+    /// True when no words are described.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of words described.
+    pub fn words(&self) -> usize {
+        self.runs.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// Enumerate as maximal contiguous word ranges (already canonical).
+    pub fn word_ranges(&self) -> Vec<Range<usize>> {
+        self.runs.clone()
+    }
+
+    /// Merge another section's words into this one — dynamic and
+    /// rectangular descriptors compose (an inspector result unioned with
+    /// the regular part the compiler *could* describe).
+    pub fn union(&mut self, other: &SectionSet) {
+        let mut runs = std::mem::take(&mut self.runs);
+        runs.extend(other.word_ranges());
+        self.runs = merge_ranges(runs);
+    }
+}
+
+impl From<&Section> for DynSection {
+    fn from(s: &Section) -> DynSection {
+        DynSection {
+            runs: s.word_ranges(),
+        }
+    }
+}
+
+/// Any of the three descriptor shapes a loop access can carry: the
+/// compiler's rectangular [`Section`], its triangular extension
+/// [`TriSection`], or an inspector-materialized [`DynSection`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SectionSet {
+    /// Regular (rectangular strided) section.
+    Regular(Section),
+    /// Triangular section (inner bounds affine in the outer index).
+    Tri(TriSection),
+    /// Dynamic section (inspector-materialized run list).
+    Dyn(DynSection),
+}
+
+impl SectionSet {
+    /// True when no words are described.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SectionSet::Regular(s) => s.is_empty(),
+            SectionSet::Tri(s) => s.is_empty(),
+            SectionSet::Dyn(s) => s.is_empty(),
+        }
+    }
+
+    /// Number of words described.
+    pub fn words(&self) -> usize {
+        match self {
+            SectionSet::Regular(s) => s.words(),
+            SectionSet::Tri(s) => s.words(),
+            SectionSet::Dyn(s) => s.words(),
+        }
+    }
+
+    /// Enumerate as maximal contiguous word ranges (sorted, merged).
+    pub fn word_ranges(&self) -> Vec<Range<usize>> {
+        match self {
+            SectionSet::Regular(s) => s.word_ranges(),
+            SectionSet::Tri(s) => s.word_ranges(),
+            SectionSet::Dyn(s) => s.word_ranges(),
+        }
+    }
+}
+
+impl From<Section> for SectionSet {
+    fn from(s: Section) -> SectionSet {
+        SectionSet::Regular(s)
+    }
+}
+
+impl From<TriSection> for SectionSet {
+    fn from(s: TriSection) -> SectionSet {
+        SectionSet::Tri(s)
+    }
+}
+
+impl From<DynSection> for SectionSet {
+    fn from(s: DynSection) -> SectionSet {
+        SectionSet::Dyn(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_compact_into_runs() {
+        let d = DynSection::from_indices([9, 3, 4, 5, 4, 10, 100]);
+        assert_eq!(d.runs(), &[3..6, 9..11, 100..101]);
+        assert_eq!(d.words(), 6);
+        assert!(!d.is_empty());
+        assert!(DynSection::from_indices([]).is_empty());
+    }
+
+    #[test]
+    fn union_merges_with_regular_sections() {
+        let mut d = DynSection::from_indices([0, 1, 2]);
+        d.union(&Section::range(3..10).into());
+        assert_eq!(d.runs(), &[0..10]);
+    }
+
+    #[test]
+    fn section_set_dispatches_enumeration() {
+        let reg: SectionSet = Section::range(5..8).into();
+        assert_eq!(reg.word_ranges(), vec![5..8]);
+        assert_eq!(reg.words(), 3);
+        let dy: SectionSet = DynSection::from_indices([1, 7]).into();
+        assert_eq!(dy.word_ranges(), vec![1..2, 7..8]);
+        let tri: SectionSet = TriSection::cyclic_cols(0..4, 1, 2, 10, 0..10).into();
+        assert_eq!(tri.word_ranges(), vec![10..20, 30..40]);
+        assert!(!tri.is_empty());
+    }
+
+    #[test]
+    fn dyn_from_section_matches_its_ranges() {
+        let s = Section::strided(0..3, 10, 2..5);
+        let d = DynSection::from(&s);
+        assert_eq!(d.word_ranges(), s.word_ranges());
+    }
+}

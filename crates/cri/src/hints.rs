@@ -18,15 +18,36 @@
 //! node from `(iteration range, proc id, nprocs)`, mirroring how the
 //! compiler's runtime would evaluate its symbolic sections with the
 //! loop bounds of the current dispatch.
+//!
+//! ## Dynamic descriptors (the inspector/executor split)
+//!
+//! When a loop's subscripts go through a run-time indirection map, no
+//! static section exists — the descriptor *function* must walk the map
+//! (an inspector loop) to discover the touched words, which it returns
+//! as [`DynSection`](crate::DynSection)-backed accesses. Registering
+//! such a function through [`HintEngine::register_dynamic`] makes the
+//! engine memoize every evaluation in a **schedule cache** keyed by
+//! `(loop, iteration range, node)`: the walk runs once per key per
+//! epoch, and every later dispatch of the same loop — the executor
+//! path — replays the cached sections straight into the validate /
+//! push / home-placement machinery at zero inspection cost. Cache
+//! effectiveness is observable as
+//! [`DsmStats::inspections`](treadmarks::DsmStats) (cache misses, with
+//! the walk's virtual time in `inspect_us`) versus
+//! [`DsmStats::schedule_reuse`](treadmarks::DsmStats) (hits). An
+//! epoch-invalidating event — the application rebuilt the map — clears
+//! the cache through [`HintEngine::invalidate_schedules`] (the `spf`
+//! runtime broadcasts the invalidation inside the next dispatch, so
+//! every node re-inspects at the same loop boundary).
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::rc::Rc;
 
 use treadmarks::{ProtocolMode, SharedArray, Tmk};
 
-use crate::section::Section;
+use crate::dynsection::SectionSet;
 
 /// Whether an access reads or writes its section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,14 +77,15 @@ pub enum Consumer {
     Node(usize),
 }
 
-/// One access of a loop: a regular section of a shared array, its mode,
-/// and (for writes) the known consumers.
+/// One access of a loop: a section of a shared array (regular,
+/// triangular or dynamic), its mode, and (for writes) the known
+/// consumers.
 #[derive(Clone, Debug)]
 pub struct Access {
     /// The shared array.
     pub arr: SharedArray,
     /// The section touched.
-    pub section: Section,
+    pub section: SectionSet,
     /// Read or write.
     pub mode: AccessMode,
     /// Consumers of a written section (ignored for reads).
@@ -72,20 +94,20 @@ pub struct Access {
 
 impl Access {
     /// A read access.
-    pub fn read(arr: SharedArray, section: Section) -> Access {
+    pub fn read(arr: SharedArray, section: impl Into<SectionSet>) -> Access {
         Access {
             arr,
-            section,
+            section: section.into(),
             mode: AccessMode::Read,
             consumers: Vec::new(),
         }
     }
 
     /// A write access.
-    pub fn write(arr: SharedArray, section: Section) -> Access {
+    pub fn write(arr: SharedArray, section: impl Into<SectionSet>) -> Access {
         Access {
             arr,
-            section,
+            section: section.into(),
             mode: AccessMode::Write,
             consumers: Vec::new(),
         }
@@ -111,10 +133,18 @@ impl Access {
 /// body, and for every peer when computing push targets.
 pub type AccessFn<'t> = Rc<dyn Fn(&Range<usize>, usize, usize) -> Vec<Access> + 't>;
 
+/// Schedule-cache key: `(loop id, iters.start, iters.end, node)`.
+type ScheduleKey = (usize, usize, usize, usize);
+
 /// The per-node hint engine, layered on one [`Tmk`] instance.
 pub struct HintEngine<'t, 'n> {
     tmk: &'t Tmk<'n>,
     fns: RefCell<Vec<Option<AccessFn<'t>>>>,
+    /// Which registered descriptors are dynamic (inspector-backed).
+    dynamic: RefCell<Vec<bool>>,
+    /// Schedule cache for dynamic descriptors:
+    /// `(loop id, iters.start, iters.end, node) -> evaluated accesses`.
+    schedules: RefCell<HashMap<ScheduleKey, Rc<Vec<Access>>>>,
 }
 
 impl<'t, 'n> HintEngine<'t, 'n> {
@@ -123,6 +153,8 @@ impl<'t, 'n> HintEngine<'t, 'n> {
         HintEngine {
             tmk,
             fns: RefCell::new(Vec::new()),
+            dynamic: RefCell::new(Vec::new()),
+            schedules: RefCell::new(HashMap::new()),
         }
     }
 
@@ -139,6 +171,29 @@ impl<'t, 'n> HintEngine<'t, 'n> {
             fns.resize_with(id + 1, || None);
         }
         fns[id] = Some(Rc::new(access));
+        let mut dynamic = self.dynamic.borrow_mut();
+        if dynamic.len() <= id {
+            dynamic.resize(id + 1, false);
+        }
+        dynamic[id] = false;
+        // Re-registration replaces the descriptor: any schedules cached
+        // from the previous one are stale.
+        self.schedules.borrow_mut().retain(|k, _| k.0 != id);
+    }
+
+    /// Attach a **dynamic** (inspector) descriptor to loop `id`: the
+    /// function walks a run-time indirection map, so its evaluations are
+    /// memoized in the schedule cache and counted (miss =
+    /// `DsmStats::inspections`, hit = `DsmStats::schedule_reuse`). The
+    /// walk's virtual-time cost — whatever the function charged through
+    /// `Node::advance` — is recorded in `DsmStats::inspect_us`.
+    pub fn register_dynamic(
+        &self,
+        id: usize,
+        inspect: impl Fn(&Range<usize>, usize, usize) -> Vec<Access> + 't,
+    ) {
+        self.set(id, inspect);
+        self.dynamic.borrow_mut()[id] = true;
     }
 
     /// True when loop `id` has a descriptor.
@@ -146,8 +201,48 @@ impl<'t, 'n> HintEngine<'t, 'n> {
         self.fns.borrow().get(id).is_some_and(|f| f.is_some())
     }
 
+    /// Drop every cached schedule: an epoch-invalidating event (the
+    /// application rebuilt an indirection map). The next evaluation of
+    /// each dynamic descriptor re-inspects. Every node must invalidate
+    /// at the same loop boundary — the `spf` runtime ships the
+    /// invalidation inside the dispatch so workers and master agree.
+    pub fn invalidate_schedules(&self) {
+        self.schedules.borrow_mut().clear();
+    }
+
     fn get(&self, id: usize) -> Option<AccessFn<'t>> {
         self.fns.borrow().get(id).and_then(|f| f.clone())
+    }
+
+    /// Evaluate loop `id`'s descriptor for node `q` over `iters`. Static
+    /// descriptors evaluate directly (they are cheap symbolic sections);
+    /// dynamic descriptors go through the schedule cache.
+    fn eval(
+        &self,
+        id: usize,
+        iters: &Range<usize>,
+        q: usize,
+        np: usize,
+    ) -> Option<Rc<Vec<Access>>> {
+        let f = self.get(id)?;
+        if !self.dynamic.borrow().get(id).copied().unwrap_or(false) {
+            return Some(Rc::new(f(iters, q, np)));
+        }
+        let key = (id, iters.start, iters.end, q);
+        if let Some(hit) = self.schedules.borrow().get(&key) {
+            self.tmk.note_schedule_reuse();
+            return Some(Rc::clone(hit));
+        }
+        // Inspection: run the walk and charge it as inspector cost (the
+        // walk advances virtual time itself; the delta is the cost).
+        let t0 = self.tmk.node().now().us();
+        let accesses = Rc::new(f(iters, q, np));
+        let us = self.tmk.node().now().us() - t0;
+        self.tmk.note_inspection(us);
+        self.schedules
+            .borrow_mut()
+            .insert(key, Rc::clone(&accesses));
+        Some(accesses)
     }
 
     /// Pre-loop hint: an aggregated validate of every section the body
@@ -161,11 +256,13 @@ impl<'t, 'n> HintEngine<'t, 'n> {
     /// time — see [`HintEngine::planned_homes`] and the `spf` crate —
     /// and ships the accepted overrides with the dispatch.
     pub fn before_loop(&self, id: usize, iters: &Range<usize>) -> u64 {
-        let Some(f) = self.get(id) else { return 0 };
         let me = self.tmk.proc_id();
         let np = self.tmk.nprocs();
+        let Some(accesses) = self.eval(id, iters, me, np) else {
+            return 0;
+        };
         let mut sections: Vec<(SharedArray, Range<usize>)> = Vec::new();
-        for a in f(iters, me, np) {
+        for a in accesses.iter() {
             for r in a.section.word_ranges() {
                 sections.push((a.arr, r));
             }
@@ -188,13 +285,16 @@ impl<'t, 'n> HintEngine<'t, 'n> {
         if self.tmk.config().protocol != ProtocolMode::Hlrc {
             return Vec::new();
         }
-        let Some(f) = self.get(id) else {
+        if !self.has(id) {
             return Vec::new();
-        };
+        }
         let np = self.tmk.nprocs();
         let mut writers: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
         for q in 0..np {
-            for a in f(iters, q, np) {
+            let Some(accesses) = self.eval(id, iters, q, np) else {
+                continue;
+            };
+            for a in accesses.iter() {
                 if a.mode != AccessMode::Write {
                     continue;
                 }
@@ -239,13 +339,33 @@ impl<'t, 'n> HintEngine<'t, 'n> {
     /// a hinted body chooses push vs home-flush per `(consumer, page)`.
     /// Returns the number of `(target, page)` registrations.
     pub fn after_loop(&self, id: usize, iters: &Range<usize>) -> u64 {
-        let Some(f) = self.get(id) else { return 0 };
+        let me = self.tmk.proc_id();
+        let np = self.tmk.nprocs();
+        let Some(accesses) = self.eval(id, iters, me, np) else {
+            return 0;
+        };
+        self.register_pushes(&accesses)
+    }
+
+    /// Declare sections *sequential* code on this node just wrote,
+    /// together with their consumers — the compiler's descriptor for
+    /// straight-line code between two dispatches (MGS's pivot
+    /// normalization on the master is the canonical case). Pushes ride
+    /// this node's next rendezvous exactly like a loop's `after_loop`
+    /// registrations; [`Consumer::Loop`] overlaps are evaluated through
+    /// the consumer's registered descriptor. Returns the number of
+    /// `(target, page)` registrations.
+    pub fn declare_produce(&self, accesses: &[Access]) -> u64 {
+        self.register_pushes(accesses)
+    }
+
+    fn register_pushes(&self, accesses: &[Access]) -> u64 {
         let me = self.tmk.proc_id();
         let np = self.tmk.nprocs();
         let hlrc = self.tmk.config().protocol == ProtocolMode::Hlrc;
         let flushed_to = |q: usize, p: usize| hlrc && self.tmk.page_home(p) == q;
         let mut registered = 0;
-        for a in f(iters, me, np) {
+        for a in accesses {
             if a.mode != AccessMode::Write || a.consumers.is_empty() {
                 continue;
             }
@@ -256,18 +376,20 @@ impl<'t, 'n> HintEngine<'t, 'n> {
             for c in &a.consumers {
                 match c {
                     Consumer::Loop { id: cid, iters: ci } => {
-                        let Some(cf) = self.get(*cid) else { continue };
                         for q in (0..np).filter(|&q| q != me) {
+                            let Some(theirs) = self.eval(*cid, ci, q, np) else {
+                                continue;
+                            };
                             // Union of q's accesses on this array — reads
                             // and writes alike, since a write view fetches
                             // the current content too.
-                            let mut theirs = BTreeSet::new();
-                            for ca in cf(ci, q, np) {
+                            let mut pages = BTreeSet::new();
+                            for ca in theirs.iter() {
                                 if ca.arr == a.arr {
-                                    theirs.extend(self.pages_of(ca.arr, &ca.section));
+                                    pages.extend(self.pages_of(ca.arr, &ca.section));
                                 }
                             }
-                            for &p in mine.intersection(&theirs) {
+                            for &p in mine.intersection(&pages) {
                                 if flushed_to(q, p) {
                                     continue;
                                 }
@@ -293,7 +415,7 @@ impl<'t, 'n> HintEngine<'t, 'n> {
         registered
     }
 
-    fn pages_of(&self, arr: SharedArray, section: &Section) -> BTreeSet<usize> {
+    fn pages_of(&self, arr: SharedArray, section: &SectionSet) -> BTreeSet<usize> {
         let mut pages = BTreeSet::new();
         for r in section.word_ranges() {
             pages.extend(self.tmk.page_span(arr, &r));

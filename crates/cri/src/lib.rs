@@ -8,7 +8,13 @@
 //! Dwarkadas, Cox & Zwaenepoel:
 //!
 //! * [`Section`] — **regular-section access descriptors** (lo/hi/stride
-//!   per dimension) the compiler attaches to each parallelized loop;
+//!   per dimension) the compiler attaches to each parallelized loop,
+//!   extended by [`TriSection`] (triangular: inner bounds affine in the
+//!   outer index, for `DO J = I+1, N`-shaped nests) and [`DynSection`]
+//!   (dynamic: the run-length-compacted image of an inspector's
+//!   indirection-map walk, registered through
+//!   [`HintEngine::register_dynamic`] and memoized in a per-`(loop,
+//!   range, node)` schedule cache — see the `inspector` crate);
 //! * [`Access`] / [`AccessFn`] — a loop's touched sections, evaluated
 //!   per node from the dispatched iteration range, with read/write mode
 //!   and (for writes) the known [`Consumer`]s;
@@ -69,11 +75,13 @@
 //! }
 //! ```
 
+pub mod dynsection;
 pub mod hints;
 pub mod section;
 
+pub use dynsection::{DynSection, SectionSet};
 pub use hints::{Access, AccessFn, AccessMode, Consumer, HintEngine};
-pub use section::{merge_ranges, Dim, Section};
+pub use section::{merge_ranges, AffineBound, Dim, Section, TriSection};
 
 #[cfg(test)]
 mod tests {

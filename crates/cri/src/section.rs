@@ -128,6 +128,108 @@ impl Section {
     }
 }
 
+/// An affine bound `base + coef * i` over an outer index `i`, clamped at
+/// zero. The building block of triangular sections: a compiler derives
+/// these from loop bounds like `DO J = I+1, N`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AffineBound {
+    /// Constant term (words).
+    pub base: i64,
+    /// Per-outer-index slope (words per index).
+    pub coef: i64,
+}
+
+impl AffineBound {
+    /// A constant bound (slope zero).
+    pub const fn constant(base: i64) -> AffineBound {
+        AffineBound { base, coef: 0 }
+    }
+
+    /// An affine bound `base + coef * i`.
+    pub const fn affine(base: i64, coef: i64) -> AffineBound {
+        AffineBound { base, coef }
+    }
+
+    /// Evaluate at outer index `i`, clamped at zero.
+    pub fn eval(&self, i: usize) -> usize {
+        (self.base + self.coef * i as i64).max(0) as usize
+    }
+}
+
+/// A triangular section: for each outer index `i ∈ outer`, the contiguous
+/// words `i·stride + lo(i) .. i·stride + hi(i)` with `lo`/`hi` affine in
+/// `i`. This is the shape [`Section`] cannot express: the inner extent
+/// varies with the outer index (MGS's `DO J = I+1, N` nests, triangular
+/// solves), and the affine base also gives plain strided runs an origin
+/// offset (a cyclic column set `j0, j0+np, …` of a padded matrix).
+///
+/// An empty inner range (`hi(i) <= lo(i)`) contributes nothing for that
+/// `i`, so descriptors may over-approximate the outer range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TriSection {
+    /// Outer index range.
+    pub outer: Range<usize>,
+    /// Words between consecutive outer indices.
+    pub stride: usize,
+    /// Inner lower bound (inclusive), affine in the outer index.
+    pub lo: AffineBound,
+    /// Inner upper bound (exclusive), affine in the outer index.
+    pub hi: AffineBound,
+}
+
+impl TriSection {
+    /// The cyclic column set `{j ∈ cols : j ≡ me (mod np)}` of a matrix
+    /// with `stride` words per column, each column contributing words
+    /// `inner` — the per-node section of a cyclically scheduled loop.
+    pub fn cyclic_cols(
+        cols: Range<usize>,
+        me: usize,
+        np: usize,
+        stride: usize,
+        inner: Range<usize>,
+    ) -> TriSection {
+        // First owned column at or after cols.start.
+        let j0 = cols.start + (me + np - cols.start % np) % np;
+        let count = if j0 >= cols.end {
+            0
+        } else {
+            (cols.end - j0).div_ceil(np)
+        };
+        TriSection {
+            outer: 0..count,
+            stride: np * stride,
+            lo: AffineBound::constant((j0 * stride + inner.start) as i64),
+            hi: AffineBound::constant((j0 * stride + inner.end) as i64),
+        }
+    }
+
+    /// True when no outer index contributes any words.
+    pub fn is_empty(&self) -> bool {
+        self.words() == 0
+    }
+
+    /// Number of words described.
+    pub fn words(&self) -> usize {
+        self.outer
+            .clone()
+            .map(|i| self.hi.eval(i).saturating_sub(self.lo.eval(i)))
+            .sum()
+    }
+
+    /// Enumerate as maximal contiguous word ranges (sorted, merged).
+    pub fn word_ranges(&self) -> Vec<Range<usize>> {
+        let runs = self
+            .outer
+            .clone()
+            .map(|i| {
+                let b = i * self.stride;
+                b + self.lo.eval(i)..b + self.hi.eval(i).max(self.lo.eval(i))
+            })
+            .collect();
+        merge_ranges(runs)
+    }
+}
+
 /// Sort and merge overlapping or adjacent ranges.
 pub fn merge_ranges(mut runs: Vec<Range<usize>>) -> Vec<Range<usize>> {
     runs.retain(|r| r.start < r.end);
@@ -206,5 +308,76 @@ mod tests {
             merge_ranges(vec![8..10, 0..4, 4..6, 5..9, 20..20]),
             vec![0..10]
         );
+    }
+
+    #[test]
+    fn triangular_shrinking_upper_bound() {
+        // For i in 0..3: words i*10 + (0 .. 6 - 2i): a lower-left triangle.
+        let t = TriSection {
+            outer: 0..3,
+            stride: 10,
+            lo: AffineBound::constant(0),
+            hi: AffineBound::affine(6, -2),
+        };
+        assert_eq!(t.word_ranges(), vec![0..6, 10..14, 20..22]);
+        assert_eq!(t.words(), 12);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn triangular_growing_lower_bound() {
+        // For i in 0..4: words i*4 + (i .. 4): the strict upper triangle of
+        // a 4x4 column-major matrix, column i rows i..4.
+        let t = TriSection {
+            outer: 0..4,
+            stride: 4,
+            lo: AffineBound::affine(0, 1),
+            hi: AffineBound::constant(4),
+        };
+        assert_eq!(t.word_ranges(), vec![0..4, 5..8, 10..12, 15..16]);
+        assert_eq!(t.words(), 10);
+    }
+
+    #[test]
+    fn triangular_empty_inner_ranges_drop_out() {
+        let t = TriSection {
+            outer: 0..5,
+            stride: 8,
+            lo: AffineBound::constant(0),
+            hi: AffineBound::affine(2, -1), // empty from i = 2 on
+        };
+        assert_eq!(t.word_ranges(), vec![0..2, 8..9]);
+        let empty = TriSection {
+            outer: 3..3,
+            stride: 8,
+            lo: AffineBound::constant(0),
+            hi: AffineBound::constant(4),
+        };
+        assert!(empty.is_empty());
+        assert!(empty.word_ranges().is_empty());
+    }
+
+    #[test]
+    fn cyclic_cols_partition_exactly() {
+        // Columns 3..17 over 4 nodes, 10-word columns of which words 2..7
+        // are touched: every column owned exactly once, by j % 4.
+        let (stride, inner) = (10usize, 2..7);
+        let mut seen = vec![0u32; 17 * stride];
+        for me in 0..4 {
+            let t = TriSection::cyclic_cols(3..17, me, 4, stride, inner.clone());
+            for r in t.word_ranges() {
+                for w in r {
+                    seen[w] += 1;
+                }
+            }
+        }
+        for j in 3..17 {
+            for i in 0..stride {
+                let expect = u32::from(inner.contains(&i));
+                assert_eq!(seen[j * stride + i], expect, "col {j} word {i}");
+            }
+        }
+        // A node with no column in range contributes nothing.
+        assert!(TriSection::cyclic_cols(5..6, 2, 4, 10, 0..10).is_empty());
     }
 }

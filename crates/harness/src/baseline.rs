@@ -46,6 +46,18 @@ fn read_baseline(path: &str, what: &str) -> Baseline {
 /// reading FILE when present. `what` names the count field in error
 /// messages (e.g. `max_msgs`).
 pub fn parse_cli(default_scale: f64, default_nprocs: usize, what: &str) -> (Cli, Option<Baseline>) {
+    parse_cli_with(default_scale, default_nprocs, what, |_, _| false)
+}
+
+/// Like [`parse_cli`], additionally offering binary-specific flags the
+/// same way [`cli::parse_with`] does (`compiler_opt` adds `--gate APP`
+/// to select which application's row the baseline bounds).
+pub fn parse_cli_with(
+    default_scale: f64,
+    default_nprocs: usize,
+    what: &str,
+    mut extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> bool,
+) -> (Cli, Option<Baseline>) {
     let mut baseline_path = None;
     let cli = cli::parse_with(default_scale, default_nprocs, |flag, args| {
         if flag == "--check-baseline" {
@@ -58,7 +70,7 @@ pub fn parse_cli(default_scale: f64, default_nprocs: usize, what: &str) -> (Cli,
             }
             true
         } else {
-            false
+            extra(flag, args)
         }
     });
     let baseline = baseline_path.as_deref().map(|p| read_baseline(p, what));

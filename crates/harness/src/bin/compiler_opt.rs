@@ -1,31 +1,51 @@
 //! Regenerates the compiler–runtime-interface gap-closing experiment the
-//! paper's conclusion calls for: SPF baseline vs SPF+CRI (regular-section
-//! hints: aggregated validate, barrier-time push, direct reduction) vs
-//! hand-coded message passing, with message/byte/time columns.
+//! paper's conclusion calls for: SPF baseline vs SPF+CRI vs hand-coded
+//! message passing, with message/byte/time columns. All six applications
+//! are hinted — the regular ones through rectangular (MGS: triangular)
+//! sections, the irregular ones (IGrid, NBF) through the
+//! inspector/executor subsystem, whose amortized walk cost is split out
+//! into its own columns (inspections, schedule reuses, inspector
+//! seconds).
 //!
-//! Usage: `compiler_opt [scale] [nprocs] [--engine E] [--check-baseline FILE]`
-//! (defaults 0.1 and 8).
+//! Usage: `compiler_opt [scale] [nprocs] [--engine E] [--gate APP]
+//! [--check-baseline FILE]` (defaults 0.1 and 8).
 //!
 //! With `--check-baseline FILE`, the binary additionally asserts the CI
-//! regression gate: FILE records `scale nprocs max_msgs`, and hinted
-//! Jacobi — run at exactly that recorded configuration, overriding any
-//! conflicting command-line scale/nprocs — must not exceed `max_msgs`
-//! and must stay ≥ 30% below the SPF baseline. Exit status 1 on
-//! regression, 2 on an unreadable or malformed baseline file.
+//! regression gate: FILE records `scale nprocs max_msgs`, and the gated
+//! application's hinted run — `--gate` selects it, default jacobi; run
+//! at exactly the recorded configuration, overriding any conflicting
+//! command-line scale/nprocs — must not exceed `max_msgs` and must stay
+//! ≥ 30% below the SPF baseline. Exit status 1 on regression, 2 on an
+//! unreadable or malformed baseline file.
 
 use harness::report::{f2, render_table};
 use harness::Table;
 
 fn main() {
-    let (cli, baseline) = harness::baseline::parse_cli(0.1, 8, "max_msgs");
+    let mut gate = String::from("jacobi");
+    let (cli, baseline) = harness::baseline::parse_cli_with(0.1, 8, "max_msgs", |flag, args| {
+        if flag == "--gate" {
+            match args.next() {
+                Some(app) => gate = app,
+                None => {
+                    eprintln!("error: missing application after --gate");
+                    std::process::exit(2);
+                }
+            }
+            true
+        } else {
+            false
+        }
+    });
     let (scale, nprocs) = harness::baseline::gate_config(&cli, baseline.as_ref());
     println!("Compiler-runtime interface: closing the SPF gap (scale {scale}, {nprocs} procs)\n");
     let rows = harness::compiler_opt(nprocs, scale, cli.engine, cli.protocol);
     let mut t = Table::new(vec![
-        "Program", "Version", "Time (s)", "Speedup", "Msgs", "KBytes",
+        "Program", "Version", "Time (s)", "Speedup", "Msgs", "KBytes", "Insp", "Reuse", "Insp (s)",
     ]);
     for r in &rows {
         for (name, run) in [("SPF", &r.spf), ("SPF+CRI", &r.cri), ("PVMe", &r.mpl)] {
+            let irregular = name == "SPF+CRI" && run.dsm.inspections > 0;
             t.row(vec![
                 r.app.name().to_string(),
                 name.to_string(),
@@ -33,6 +53,21 @@ fn main() {
                 f2(run.speedup_vs(r.seq_us)),
                 run.messages.to_string(),
                 run.kbytes.to_string(),
+                if irregular {
+                    run.dsm.inspections.to_string()
+                } else {
+                    "-".into()
+                },
+                if irregular {
+                    run.dsm.schedule_reuse.to_string()
+                } else {
+                    "-".into()
+                },
+                if irregular {
+                    f2(r.inspect_secs())
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }
@@ -50,22 +85,29 @@ fn main() {
     }
 
     if let Some(b) = baseline {
-        let jacobi = rows
+        let row = rows
             .iter()
-            .find(|r| r.app == apps::AppId::Jacobi)
-            .expect("jacobi row present");
-        let msgs = jacobi.cri.messages;
-        let reduction = jacobi.message_reduction();
+            .find(|r| r.app.name().eq_ignore_ascii_case(&gate))
+            .unwrap_or_else(|| {
+                eprintln!("unknown --gate application {gate:?}");
+                std::process::exit(2);
+            });
+        let msgs = row.cri.messages;
+        let reduction = row.message_reduction();
         println!(
-            "\nbaseline check (scale {}, {} procs): hinted Jacobi {msgs} msgs \
+            "\nbaseline check (scale {}, {} procs): hinted {} {msgs} msgs \
              (recorded max {}), reduction {:.1}% (required >= 30%)",
             b.scale,
             b.nprocs,
+            row.app.name(),
             b.max_count,
             100.0 * reduction
         );
         if msgs > b.max_count || reduction < 0.30 {
-            eprintln!("REGRESSION: hinted Jacobi message count above baseline");
+            eprintln!(
+                "REGRESSION: hinted {} message count above baseline",
+                row.app.name()
+            );
             std::process::exit(1);
         }
         println!("baseline check passed");

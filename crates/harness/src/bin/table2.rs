@@ -1,9 +1,13 @@
 //! Regenerates Table 2: 8-processor message totals and data totals
-//! (kilobytes) for the regular applications.
+//! (kilobytes) for the regular applications, with the hinted SPF+CRI
+//! column folded in — the sweep-level view of the gap-closing claim
+//! (`compiler_opt` shows one point; this shows the whole row).
 //!
 //! Usage: `table2 [scale] [nprocs] [--engine threaded|sequential]`
 //! (defaults 0.1, 8 and the deterministic sequential engine).
 
+use apps::{AppId, Version};
+use harness::experiments::speedup_rows;
 use harness::report::render_table;
 use harness::Table;
 
@@ -14,27 +18,35 @@ fn main() {
         "Table 2: {nprocs}-Processor Message Totals and Data Totals (KB), Regular Applications (scale {scale}, {} protocol)\n",
         cli.protocol
     );
-    let rows = harness::figure1(nprocs, scale, cli.engine, cli.protocol);
-    let mut t = Table::new(vec!["", "Program", "SPF", "Tmk", "XHPF", "PVMe"]);
+    let rows = speedup_rows(
+        &AppId::REGULAR,
+        &Version::SWEEP,
+        nprocs,
+        scale,
+        cli.engine,
+        cli.protocol,
+    );
+    let header: Vec<String> = ["", "Program"]
+        .into_iter()
+        .map(str::to_string)
+        .chain(Version::SWEEP.iter().map(|v| v.name().to_string()))
+        .collect();
+    let mut t = Table::new(header);
     for (k, row) in rows.iter().enumerate() {
-        t.row(vec![
+        let mut cells = vec![
             if k == 0 { "Message" } else { "" }.to_string(),
             row.app.name().to_string(),
-            row.results[0].messages.to_string(),
-            row.results[1].messages.to_string(),
-            row.results[2].messages.to_string(),
-            row.results[3].messages.to_string(),
-        ]);
+        ];
+        cells.extend(row.results.iter().map(|r| r.messages.to_string()));
+        t.row(cells);
     }
     for (k, row) in rows.iter().enumerate() {
-        t.row(vec![
+        let mut cells = vec![
             if k == 0 { "Data" } else { "" }.to_string(),
             row.app.name().to_string(),
-            row.results[0].kbytes.to_string(),
-            row.results[1].kbytes.to_string(),
-            row.results[2].kbytes.to_string(),
-            row.results[3].kbytes.to_string(),
-        ]);
+        ];
+        cells.extend(row.results.iter().map(|r| r.kbytes.to_string()));
+        t.row(cells);
     }
     println!("{}", render_table(&t));
 }

@@ -30,7 +30,8 @@ pub mod sweep;
 
 pub use experiments::{
     compiler_opt, figure1, figure2_table3, handopt, interface_ablation, protocol_compare, scaling,
-    table1, CompilerOptRow, HandOptRow, ProtocolCompareRow, ScaleRow, SeqRow, SpeedupRow,
+    speedup_rows, table1, CompilerOptRow, HandOptRow, ProtocolCompareRow, ScaleRow, SeqRow,
+    SpeedupRow,
 };
 pub use report::{render_table, Table};
 pub use sweep::sweep_map;

@@ -1,0 +1,263 @@
+//! # inspector — the inspector/executor runtime for irregular applications
+//!
+//! The paper's §6 conclusion identifies the one gap its compiler–runtime
+//! interface cannot reach: IGrid and NBF access shared arrays through
+//! **run-time indirection maps**, so no regular-section descriptor
+//! exists at compile time and SPF+CRI degenerates to plain SPF exactly
+//! where software DSM loses hardest. The classic repair (CHAOS/PARTI)
+//! splits every irregular loop in two:
+//!
+//! * an **inspector** that walks the indirection map once, materializing
+//!   the set of words the loop will actually touch;
+//! * an **executor** that reuses the resulting communication schedule on
+//!   every following iteration at zero inspection cost.
+//!
+//! This crate is the inspector half. It turns map walks into
+//! [`DynSection`]-backed [`cri::Access`] lists — run-length-compacted
+//! sorted index runs — while charging the walk's virtual time to the
+//! inspecting node, so the "inspector cost" column of the experiment
+//! tables is real. The executor half lives in `cri::HintEngine`: a
+//! descriptor registered through `HintEngine::register_dynamic` (or
+//! `spf::Spf::register_with_inspector`) has each `(loop, range, node)`
+//! evaluation memoized in the engine's schedule cache, and the cached
+//! accesses feed straight into the existing CRI machinery — aggregated
+//! validate before the body, rendezvous-time pushes after it, and HLRC
+//! producer-home placement at fork quiescence. Cache behaviour is
+//! observable per run as `DsmStats::{inspections, inspect_us,
+//! schedule_reuse}`.
+//!
+//! An **epoch-invalidating event** — the application rebuilt a map —
+//! flows through `spf::Spf::invalidate_schedules`: the master marks the
+//! event in sequential code, the next dispatch carries it, and every
+//! node drops its schedules at the same loop boundary (the same
+//! quiescent point HLRC home adoption uses), then re-inspects.
+//!
+//! ## Example
+//!
+//! ```
+//! use sp2sim::{Cluster, ClusterConfig};
+//! use treadmarks::{Tmk, TmkConfig};
+//! use cri::Access;
+//! use inspector::Inspector;
+//!
+//! Cluster::run(ClusterConfig::sp2(2), |node| {
+//!     let tmk = Tmk::new(node, TmkConfig::default());
+//!     let a = tmk.malloc_f64(1024);
+//!     // The run-time map: which element each iteration really reads.
+//!     let map: Vec<u32> = (0..1024).rev().collect();
+//!     let insp = Inspector::new(node);
+//!     // Inspect iterations 0..512 — the walk is charged virtual time.
+//!     let touched = insp.gather((0..512).map(|i| map[i] as usize));
+//!     let _access = Access::read(a, touched);
+//!     tmk.finish();
+//! });
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cri::DynSection;
+use sp2sim::Node;
+use treadmarks::{SharedArray, Tmk};
+
+/// Virtual cost per touched index an inspector walk produces: one map
+/// lookup plus one insertion into the compacted run set. Small against
+/// any real per-iteration compute (IGrid charges 8.2 µs per stencil
+/// point), but nonzero — amortization must be *demonstrated*, not
+/// assumed, which is what the `schedule_reuse` statistic is for.
+pub const INSPECT_ENTRY_US: f64 = 0.02;
+
+/// A node-bound inspector: compacts walked index streams into
+/// [`DynSection`]s and charges the walk's virtual time.
+pub struct Inspector<'n> {
+    node: &'n Node,
+}
+
+impl<'n> Inspector<'n> {
+    /// An inspector charging walk costs to `node`.
+    pub fn new(node: &'n Node) -> Inspector<'n> {
+        Inspector { node }
+    }
+
+    /// Walk a stream of touched word indices (duplicates welcome) into a
+    /// compacted dynamic section, charging [`INSPECT_ENTRY_US`] per
+    /// index produced.
+    pub fn gather(&self, touched: impl IntoIterator<Item = usize>) -> DynSection {
+        let mut count = 0usize;
+        let section = DynSection::from_indices(touched.into_iter().inspect(|_| count += 1));
+        self.node.advance(count as f64 * INSPECT_ENTRY_US);
+        section
+    }
+
+    /// Walk a stream of touched index *runs* (an inspector that can see
+    /// contiguity directly pays per run, not per element).
+    pub fn gather_runs(
+        &self,
+        runs: impl IntoIterator<Item = std::ops::Range<usize>>,
+    ) -> DynSection {
+        let mut count = 0usize;
+        let section = DynSection::from_runs(runs.into_iter().inspect(|_| count += 1).collect());
+        self.node.advance(count as f64 * INSPECT_ENTRY_US);
+        section
+    }
+}
+
+/// An application-registered indirection map living in shared memory
+/// (SPF allocates everything referenced inside a parallel loop in
+/// shared memory, maps included): the master establishes it, every node
+/// faults it in once and keeps a local integer materialization for the
+/// inspector to walk. Rebuilding the map (`publish` again) is an
+/// epoch-invalidating event — pair it with
+/// `spf::Spf::invalidate_schedules` and drop local caches via
+/// [`SharedMap::invalidate_local`] inside the next inspection.
+pub struct SharedMap {
+    arr: SharedArray,
+    len: usize,
+    cache: RefCell<Option<Rc<Vec<u32>>>>,
+}
+
+impl SharedMap {
+    /// Allocate a shared map of `len` entries (call on every node, same
+    /// allocation order).
+    pub fn alloc(tmk: &Tmk, len: usize) -> SharedMap {
+        SharedMap {
+            arr: tmk.malloc_f64(len),
+            len,
+            cache: RefCell::new(None),
+        }
+    }
+
+    /// The underlying shared array (for access descriptors: consumers
+    /// declare reads of the map itself, so its pages are pushed or
+    /// validated like any other shared data).
+    pub fn arr(&self) -> SharedArray {
+        self.arr
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Establish (or rebuild) the map — the master's run-time code.
+    pub fn publish(&self, tmk: &Tmk, vals: &[u32]) {
+        assert_eq!(vals.len(), self.len);
+        let mut w = tmk.write(self.arr, 0..self.len);
+        for (k, &v) in vals.iter().enumerate() {
+            w[k] = v as f64;
+        }
+        self.cache.borrow_mut().take();
+    }
+
+    /// The local integer materialization, faulting the shared pages in
+    /// on first use (the inspector loop's read of the map).
+    pub fn local(&self, tmk: &Tmk) -> Rc<Vec<u32>> {
+        if let Some(m) = self.cache.borrow().as_ref() {
+            return Rc::clone(m);
+        }
+        let r = tmk.read(self.arr, 0..self.len);
+        let m: Rc<Vec<u32>> = Rc::new(r.slice().iter().map(|&v| v as u32).collect());
+        *self.cache.borrow_mut() = Some(Rc::clone(&m));
+        m
+    }
+
+    /// Drop the local materialization (the map was rebuilt elsewhere;
+    /// the next [`SharedMap::local`] re-faults the current content).
+    pub fn invalidate_local(&self) {
+        self.cache.borrow_mut().take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2sim::{Cluster, ClusterConfig};
+    use treadmarks::TmkConfig;
+
+    #[test]
+    fn gather_compacts_and_charges_time() {
+        let out = Cluster::run(ClusterConfig::sp2(1), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let t0 = node.now().us();
+            let insp = Inspector::new(node);
+            let s = insp.gather([7usize, 3, 4, 5, 4]);
+            let us = node.now().us() - t0;
+            tmk.finish();
+            (s.runs().to_vec(), us)
+        });
+        let (runs, us) = out.results[0].clone();
+        assert_eq!(runs, vec![3..6, 7..8]);
+        assert!((us - 5.0 * INSPECT_ENTRY_US).abs() < 1e-9, "charged {us}");
+    }
+
+    #[test]
+    fn gather_runs_charges_per_run() {
+        let out = Cluster::run(ClusterConfig::sp2(1), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let t0 = node.now().us();
+            let insp = Inspector::new(node);
+            let s = insp.gather_runs([0..100, 100..200, 500..600]);
+            let us = node.now().us() - t0;
+            tmk.finish();
+            (s.runs().to_vec(), us)
+        });
+        let (runs, us) = out.results[0].clone();
+        assert_eq!(runs, vec![0..200, 500..600]);
+        assert!((us - 3.0 * INSPECT_ENTRY_US).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_map_publishes_and_materializes() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let map = SharedMap::alloc(&tmk, 600);
+            if tmk.proc_id() == 0 {
+                let vals: Vec<u32> = (0..600).map(|k| (k * 7 % 600) as u32).collect();
+                map.publish(&tmk, &vals);
+            }
+            tmk.barrier(0);
+            let m = map.local(&tmk);
+            // The second call is served from the cache (same Rc).
+            let m2 = map.local(&tmk);
+            assert!(Rc::ptr_eq(&m, &m2));
+            tmk.barrier(1);
+            let probe = (m[0], m[1], m[599]);
+            tmk.finish();
+            probe
+        });
+        for r in out.results {
+            assert_eq!(r, (0, 7, (599 * 7 % 600) as u32));
+        }
+    }
+
+    #[test]
+    fn shared_map_rebuild_invalidates_local_copies() {
+        let out = Cluster::run(ClusterConfig::sp2(2), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default());
+            let map = SharedMap::alloc(&tmk, 64);
+            if tmk.proc_id() == 0 {
+                map.publish(&tmk, &vec![1; 64]);
+            }
+            tmk.barrier(0);
+            assert_eq!(map.local(&tmk)[5], 1);
+            tmk.barrier(1);
+            if tmk.proc_id() == 0 {
+                map.publish(&tmk, &vec![2; 64]);
+            }
+            tmk.barrier(2);
+            // Stale until explicitly invalidated — the schedule-epoch
+            // contract: invalidation is a declared event, not implicit.
+            assert_eq!(map.local(&tmk)[5], if tmk.proc_id() == 0 { 2 } else { 1 });
+            map.invalidate_local();
+            let v = map.local(&tmk)[5];
+            tmk.finish();
+            v
+        });
+        assert_eq!(out.results, vec![2, 2]);
+    }
+}

@@ -161,12 +161,19 @@ fn encode_ctl(ctl: &LoopCtl) -> Vec<u64> {
     v
 }
 
-/// Frame a dispatch for the improved interface: the master's fork-time
-/// home-placement decision (HLRC; empty otherwise) rides in front of
-/// the loop-control words, so every worker installs the same overrides
-/// before its body runs.
-fn encode_dispatch(homes: &[(usize, usize)], ctl: &LoopCtl) -> Vec<u64> {
-    let mut v = Vec::with_capacity(1 + homes.len() * 2 + 4 + ctl.args.len());
+/// Dispatch flag: the master declared an epoch-invalidating event (an
+/// indirection map was rebuilt), so every node must drop its cached
+/// inspector schedules before this dispatch's body runs.
+const DISPATCH_INVALIDATE: u64 = 1;
+
+/// Frame a dispatch for the improved interface: a flags word (schedule
+/// invalidation), then the master's fork-time home-placement decision
+/// (HLRC; empty otherwise), then the loop-control words — so every
+/// worker installs the same overrides and drops the same caches before
+/// its body runs.
+fn encode_dispatch(flags: u64, homes: &[(usize, usize)], ctl: &LoopCtl) -> Vec<u64> {
+    let mut v = Vec::with_capacity(2 + homes.len() * 2 + 4 + ctl.args.len());
+    v.push(flags);
     v.push(homes.len() as u64);
     for &(page, home) in homes {
         v.push(page as u64);
@@ -176,13 +183,15 @@ fn encode_dispatch(homes: &[(usize, usize)], ctl: &LoopCtl) -> Vec<u64> {
     v
 }
 
-/// Split a dispatch back into home overrides and loop-control words.
-fn decode_dispatch(words: &[u64]) -> (Vec<(usize, usize)>, &[u64]) {
-    let n = words[0] as usize;
+/// Split a dispatch back into flags, home overrides and loop-control
+/// words.
+fn decode_dispatch(words: &[u64]) -> (u64, Vec<(usize, usize)>, &[u64]) {
+    let flags = words[0];
+    let n = words[1] as usize;
     let homes = (0..n)
-        .map(|k| (words[1 + 2 * k] as usize, words[2 + 2 * k] as usize))
+        .map(|k| (words[2 + 2 * k] as usize, words[3 + 2 * k] as usize))
         .collect();
-    (homes, &words[1 + 2 * n..])
+    (flags, homes, &words[2 + 2 * n..])
 }
 
 fn decode_ctl(words: &[u64]) -> LoopCtl {
@@ -205,6 +214,10 @@ pub struct Spf<'t, 'n> {
     tmk: &'t Tmk<'n>,
     loops: RefCell<Vec<LoopBody<'t>>>,
     hints: HintEngine<'t, 'n>,
+    /// Master-side: an epoch-invalidating event is pending; the next
+    /// dispatch carries [`DISPATCH_INVALIDATE`] so every node drops its
+    /// inspector schedules at the same loop boundary.
+    pending_invalidate: std::cell::Cell<bool>,
     // Original-interface control locations: the loop-index word and the
     // argument words live on separate shared pages, as the paper
     // describes — two faults per worker per loop.
@@ -222,6 +235,7 @@ impl<'t, 'n> Spf<'t, 'n> {
             tmk,
             loops: RefCell::new(Vec::new()),
             hints: HintEngine::new(tmk),
+            pending_invalidate: std::cell::Cell::new(false),
             ctl_idx,
             ctl_args,
         }
@@ -262,6 +276,37 @@ impl<'t, 'n> Spf<'t, 'n> {
         id
     }
 
+    /// Register a loop whose subscripts go through a **run-time
+    /// indirection map**, together with its inspector: `inspect` walks
+    /// the map and returns the materialized (dynamic-section) accesses.
+    /// The run-time brackets the body exactly like
+    /// [`Spf::register_with_access`], but evaluations are memoized in
+    /// the hint engine's schedule cache — the inspector runs once per
+    /// `(loop, range, node)` per epoch; every later dispatch is pure
+    /// executor. An application that rebuilds the map calls
+    /// [`Spf::invalidate_schedules`] (master, sequential code) and the
+    /// next dispatch re-inspects cluster-wide.
+    pub fn register_with_inspector(
+        &self,
+        body: impl Fn(&LoopCtl) + 't,
+        inspect: impl Fn(&Range<usize>, usize, usize) -> Vec<Access> + 't,
+    ) -> usize {
+        let id = self.register(body);
+        self.hints.register_dynamic(id, inspect);
+        id
+    }
+
+    /// Master-side (sequential code): declare an epoch-invalidating
+    /// event — an indirection map changed, so every cached inspector
+    /// schedule is stale. The invalidation ships inside the next
+    /// dispatch (improved interface), so master and workers drop their
+    /// caches at the same loop boundary; under the original interface
+    /// the dispatch cannot carry it and the call is a local no-op
+    /// recorded for the next improved dispatch.
+    pub fn invalidate_schedules(&self) {
+        self.pending_invalidate.set(true);
+    }
+
     /// Enter the fork-join execution model: the master (processor 0) runs
     /// `master_fn` and returns `Some` of its result; workers dispatch
     /// loops until shutdown and return `None`.
@@ -298,7 +343,10 @@ impl<'t, 'n> Spf<'t, 'n> {
     fn worker_loop(&self) {
         if self.improved() {
             while let Some(words) = self.tmk.worker_wait() {
-                let (homes, ctl_words) = decode_dispatch(&words);
+                let (flags, homes, ctl_words) = decode_dispatch(&words);
+                if flags & DISPATCH_INVALIDATE != 0 {
+                    self.hints.invalidate_schedules();
+                }
                 self.tmk.install_page_homes(&homes);
                 self.execute(&decode_ctl(ctl_words));
             }
@@ -350,6 +398,17 @@ impl<'s, 't, 'n> Master<'s, 't, 'n> {
         self.spf
     }
 
+    /// Declare sections the master's **sequential** code just wrote,
+    /// with their consumers — the compiler's descriptor for
+    /// straight-line code between two dispatches (MGS's pivot
+    /// normalization is the canonical case). The resulting pushes ride
+    /// the next fork, merging data movement into the dispatch exactly
+    /// like the §5.3 hand broadcast merges data into synchronization.
+    /// Returns the number of `(target, page)` push registrations.
+    pub fn produce(&self, accesses: &[Access]) -> u64 {
+        self.spf.hints.declare_produce(accesses)
+    }
+
     /// Dispatch one parallel loop, participate in its execution, then
     /// wait for all workers (fork ... join). This is what SPF emits for
     /// every parallelized DO loop.
@@ -370,9 +429,16 @@ impl<'s, 't, 'n> Master<'s, 't, 'n> {
             args: args.to_vec(),
         };
         if self.spf.improved() {
+            let mut flags = 0;
+            if self.spf.pending_invalidate.take() {
+                // Drop the master's own schedules before planning homes,
+                // and tell the workers to do the same at this boundary.
+                self.spf.hints.invalidate_schedules();
+                flags |= DISPATCH_INVALIDATE;
+            }
             let planned = self.spf.hints.planned_homes(id, &ctl.range);
             let homes = self.spf.tmk.adopt_page_homes(&planned);
-            self.spf.tmk.fork(&encode_dispatch(&homes, &ctl));
+            self.spf.tmk.fork(&encode_dispatch(flags, &homes, &ctl));
             self.spf.execute(&ctl);
             self.spf.tmk.join();
         } else {

@@ -19,7 +19,7 @@ use crate::config::{ProtocolMode, TmkConfig};
 use crate::diff::Diff;
 use crate::protocol::{self, flags, op, tag, DiffReqEntry};
 use crate::service::{forward_reduce, service_loop};
-use crate::state::{reduce_children, DiffRange, DsmState};
+use crate::state::{reduce_children, DiffRange, DsmState, ReduceOp};
 use crate::stats::DsmStats;
 
 macro_rules! trace {
@@ -29,6 +29,11 @@ macro_rules! trace {
         }
     };
 }
+
+/// Push payload mode words (first payload word of a `tag::PUSH`
+/// message): LRC pushes carry diff entries, HLRC pushes whole pages.
+const PUSH_MODE_DIFFS: u64 = 0;
+const PUSH_MODE_PAGES: u64 = 1;
 
 /// Handle to an allocation in the global shared address space.
 ///
@@ -158,6 +163,7 @@ pub struct Tmk<'n> {
     barrier_epoch: Cell<u64>,
     bcast_seq: Cell<u32>,
     reduce_seq: Cell<u32>,
+    reduce_list_seq: Cell<u32>,
 }
 
 impl<'n> Tmk<'n> {
@@ -185,6 +191,7 @@ impl<'n> Tmk<'n> {
             barrier_epoch: Cell::new(0),
             bcast_seq: Cell::new(0),
             reduce_seq: Cell::new(0),
+            reduce_list_seq: Cell::new(0),
         }
     }
 
@@ -225,6 +232,24 @@ impl<'n> Tmk<'n> {
     /// Snapshot of this node's DSM statistics.
     pub fn stats_snapshot(&self) -> DsmStats {
         self.state.lock().stats
+    }
+
+    /// Record one inspector walk (a dynamic-descriptor evaluation that
+    /// missed the schedule cache) and its virtual-time cost. Called by
+    /// the CRI hint engine's executor path.
+    pub fn note_inspection(&self, us: f64) {
+        let mut st = self.state.lock();
+        st.stats.inspections += 1;
+        // Ceil rather than round: a nonzero walk must never record as
+        // free (the amortization gates assert `inspect_us > 0`), and a
+        // ≤ 1 µs over-statement per inspection errs against the hint.
+        st.stats.inspect_us += us.ceil() as u64;
+    }
+
+    /// Record one schedule-cache hit (a dynamic-descriptor evaluation
+    /// served from the cached communication schedule).
+    pub fn note_schedule_reuse(&self) {
+        self.state.lock().stats.schedule_reuse += 1;
     }
 
     /// True when this instance runs the home-based protocol.
@@ -810,6 +835,9 @@ impl<'n> Tmk<'n> {
                 st.integrate_interval(iv);
             }
             st.stats.barriers += 1;
+            if self.hlrc() && !dep.min_vc.is_empty() {
+                st.prune_home_copies(&dep.min_vc);
+            }
         }
         self.receive_pushes(dep.expected_push);
     }
@@ -947,6 +975,10 @@ impl<'n> Tmk<'n> {
         let mut r = WordReader::new(&pkt.payload);
         let _epoch = r.get();
         let expected_push = r.get();
+        let min_vc = protocol::decode_vc_words(&mut r);
+        if self.hlrc() && !min_vc.is_empty() {
+            self.state.lock().prune_home_copies(&min_vc);
+        }
         self.receive_pushes(expected_push);
     }
 
@@ -985,6 +1017,9 @@ impl<'n> Tmk<'n> {
             let mut st = self.state.lock();
             for iv in dep.intervals {
                 st.integrate_interval(iv);
+            }
+            if self.hlrc() && !dep.min_vc.is_empty() {
+                st.prune_home_copies(&dep.min_vc);
             }
         }
         trace!(
@@ -1033,6 +1068,19 @@ impl<'n> Tmk<'n> {
     /// Execute registered pushes (called at the synchronization
     /// rendezvous, after the flush). Returns the per-destination message
     /// counts for the arrival.
+    ///
+    /// Under LRC a push carries the producer's newest frozen diff range
+    /// per page. Under HLRC that range alone is useless to a consumer
+    /// that has not tracked the page: every release eagerly flushed
+    /// (and froze) a per-epoch fragment, so the newest range starts far
+    /// above such a consumer's watermark and the gap guard would drop
+    /// it. An HLRC push therefore also ships the **whole page** at the
+    /// producer's publication state plus its per-writer applied
+    /// watermarks — the page-grained analogue of the diff push,
+    /// matching the protocol's whole-page fetches. The receiver merges
+    /// the diffs first (which resolves concurrent multi-writer pages,
+    /// where no single frame dominates) and then installs the page copy
+    /// only where its watermarks dominate.
     fn do_pushes(&self) -> Vec<u64> {
         let n = self.nprocs();
         let mut counts = vec![0u64; n];
@@ -1049,8 +1097,10 @@ impl<'n> Tmk<'n> {
             g
         };
         let cost = self.node.cost().clone();
+        let hlrc = self.hlrc();
         for (target, pages) in groups {
-            let mut entries: Vec<(usize, DiffRange)> = Vec::new();
+            let mut diffs: Vec<(usize, DiffRange)> = Vec::new();
+            let mut copies: Vec<protocol::PageRespEntry> = Vec::new();
             let mut us = 0.0;
             {
                 let mut st = self.state.lock();
@@ -1060,28 +1110,37 @@ impl<'n> Tmk<'n> {
                     us += f_us;
                     if let Some(r) = ranges.into_iter().next_back() {
                         st.stats.pages_pushed += 1;
-                        entries.push((p, r));
+                        diffs.push((p, r));
+                        if hlrc {
+                            let frame = st.frames.get(&p).expect("pushed page has a frame");
+                            copies.push(protocol::PageRespEntry {
+                                page: p,
+                                applied: frame.applied.clone(),
+                                data: frame.data.clone(),
+                            });
+                        }
                     }
                 }
             }
             self.node.advance(us);
-            if entries.is_empty() {
+            if diffs.is_empty() {
                 continue;
             }
             let mut w = WordWriter::new();
-            protocol::encode_diff_entries(&mut w, &entries);
-            trace!(
-                "[{}] push-send -> {target}: {} entries",
-                self.proc_id(),
-                entries.len()
-            );
-            self.node.endpoint().send_to_port(
-                target,
-                Port::App,
-                tag::PUSH,
-                MsgKind::Push,
-                w.finish(),
-            );
+            w.put(if hlrc {
+                PUSH_MODE_PAGES
+            } else {
+                PUSH_MODE_DIFFS
+            });
+            protocol::encode_diff_entries(&mut w, &diffs);
+            let mut payload = w.finish();
+            if hlrc {
+                payload.extend(protocol::encode_page_resp(&copies));
+            }
+            trace!("[{}] push-send -> {target}", self.proc_id());
+            self.node
+                .endpoint()
+                .send_to_port(target, Port::App, tag::PUSH, MsgKind::Push, payload);
             counts[target] += 1;
         }
         counts
@@ -1094,15 +1153,29 @@ impl<'n> Tmk<'n> {
             return;
         }
         let cost = self.node.cost().clone();
+        let pw = self.cfg.page_words;
         let mut all: Vec<(usize, protocol::DiffRespEntry)> = Vec::new();
+        let mut page_pushes: Vec<(usize, protocol::PageRespEntry)> = Vec::new();
         for _ in 0..expected {
             let pkt = self.node.recv_match(|p| p.tag == tag::PUSH);
             let mut r = WordReader::new(&pkt.payload);
+            let mode = r.get();
             for e in protocol::decode_diff_entries(&mut r) {
                 all.push((pkt.src, e));
             }
+            if mode == PUSH_MODE_PAGES {
+                page_pushes.extend(
+                    protocol::decode_page_resp(&mut r, self.nprocs(), pw)
+                        .into_iter()
+                        .map(|e| (pkt.src, e)),
+                );
+            }
         }
         all.sort_by_key(|(w, e)| (e.lamport, *w));
+        // Deterministic install order for the page copies, independent
+        // of message arrival order (the threaded engine may deliver
+        // pushes in any order).
+        page_pushes.sort_by_key(|(src, e)| (e.page, *src));
         let mut st = self.state.lock();
         let mut us = 0.0;
         for (writer, e) in &all {
@@ -1145,6 +1218,63 @@ impl<'n> Tmk<'n> {
             st.apply_range(e.page, *writer, e.hi, &e.diff);
             us += cost.diff_apply_us(e.diff.encoded_words());
         }
+        // HLRC whole-page pushes: install only where the pushed
+        // watermarks dominate ours componentwise — after the diff merge
+        // above, so a concurrent-writer page whose diffs both applied
+        // simply drops both (now dominated) copies. A stale push (we
+        // already hold something it lacks) is dropped and the page left
+        // for the fault path.
+        //
+        // Unlike the home-fetch path (which serves at *our* watermarks
+        // and may run mid-epoch), pushes arrive at a rendezvous: we just
+        // published, so the frame holds no unpublished modifications and
+        // nothing needs reinstalling over the pushed content. Crucially
+        // we must NOT re-apply `diff(twin, data)` here — that delta also
+        // contains *other writers'* diffs applied since the twin was
+        // taken, and re-imposing those over the strictly-newer pushed
+        // copy would hide stale words behind the advanced watermarks,
+        // permanently. Instead our own still-open (published,
+        // unmaterialized) diff is frozen first — so later requests for
+        // our intervals still serve our words — and the frame is then
+        // re-protected at the pushed content.
+        for (_, e) in page_pushes {
+            if st
+                .frames
+                .get(&e.page)
+                .is_some_and(|f| f.applied.iter().zip(&e.applied).any(|(mine, p)| p < mine))
+            {
+                trace!(
+                    "[{}] push-recv: dropping dominated page push {}",
+                    self.proc_id(),
+                    e.page
+                );
+                continue;
+            }
+            debug_assert!(
+                !st.dirty.contains(&e.page),
+                "page pushes are consumed at a rendezvous, after the flush"
+            );
+            if st
+                .diffs
+                .get(&e.page)
+                .and_then(|d| d.open.as_ref())
+                .is_some()
+            {
+                // Materialize our pending diff against the pre-push
+                // frame (this also drops the twin).
+                let (_, f_us) = st.serve_diffs(e.page, 0, &cost);
+                us += f_us;
+            }
+            let frame = st.frame_mut(e.page);
+            frame.twin = None;
+            frame.data.copy_from_slice(&e.data);
+            for (a, &b) in frame.applied.iter_mut().zip(&e.applied) {
+                if b > *a {
+                    *a = b;
+                }
+            }
+            us += cost.diff_apply_us(pw);
+        }
         drop(st);
         self.node.advance(us);
     }
@@ -1157,6 +1287,14 @@ impl<'n> Tmk<'n> {
     /// tree, so results are deterministic (though not bitwise equal to a
     /// sequential left fold — floating-point addition is not associative).
     pub fn reduce(&self, vals: &[f64]) -> Vec<f64> {
+        self.reduce_op(vals, ReduceOp::Sum)
+    }
+
+    /// [`Tmk::reduce`] with an explicit combining operator. Min/Max are
+    /// exact and order-insensitive, so a tree-combined comparison
+    /// reduction is bitwise identical to the lock-folded one it
+    /// replaces; Sum stays deterministic but tree-ordered.
+    pub fn reduce_op(&self, vals: &[f64], op: ReduceOp) -> Vec<f64> {
         let me = self.proc_id();
         let n = self.nprocs();
         let seq = self.reduce_seq.get();
@@ -1166,13 +1304,13 @@ impl<'n> Tmk<'n> {
         let completed = {
             let mut st = self.state.lock();
             st.stats.direct_reduces += 1;
-            st.reduce_contribute(seq as u64, None, vals.to_vec())
+            st.reduce_contribute(seq as u64, None, vals.to_vec(), op)
         };
         if let Some(sub) = &completed {
             // Our subtree is already complete (leaf node, or every child
             // part beat our deposit): forward from the application side.
             if me != 0 {
-                forward_reduce(self.node.endpoint(), seq, sub, self.node.now());
+                forward_reduce(self.node.endpoint(), seq, op, sub, self.node.now());
             }
         }
         let total = if me == 0 {
@@ -1202,6 +1340,105 @@ impl<'n> Tmk<'n> {
             );
         }
         total
+    }
+
+    /// CRI windowed **ordered** reduction: each node contributes the
+    /// element window `lo .. lo + vals.len()` of a conceptual shared
+    /// vector of `len` elements, and declares the result range `need`
+    /// it must read back. Element `i` of the reduced vector is the sum
+    /// of every covering contribution, folded in **ascending node
+    /// order**. Collective: every node must call it at the same point.
+    /// The returned vector is full-length, but only the caller's `need`
+    /// range is guaranteed meaningful — the down-pass sends each
+    /// subtree only the hull of its members' needs, so a node asking
+    /// for its own block does not ship the whole vector through the
+    /// tree.
+    ///
+    /// This is the segmented reduction of an inspector/executor
+    /// interaction list (NBF's symmetric force merge): `2 (n - 1)`
+    /// messages replace one demand diff fetch per overlapping
+    /// `(reader, writer, page)` triple. Unlike [`Tmk::reduce`], windows
+    /// cannot be combined en route — pre-folding any subset would
+    /// change the addition grouping — so the binomial tree degenerates
+    /// to a flat gather at node 0 (a tree would only re-serialize the
+    /// same windows at every level); the root folds in rank order and
+    /// scatters each node exactly the slice it declared. The result is
+    /// bitwise identical to a sequential loop that adds each node's
+    /// window in rank order — which is what keeps a hinted program's
+    /// floating-point results byte-identical to the unhinted original.
+    pub fn reduce_windows(
+        &self,
+        len: usize,
+        lo: usize,
+        vals: &[f64],
+        need: Range<usize>,
+    ) -> Vec<f64> {
+        let me = self.proc_id();
+        let seq = self.reduce_list_seq.get();
+        self.reduce_list_seq.set(seq.wrapping_add(1));
+        let t16 = seq & 0xFFFF;
+        debug_assert!(lo + vals.len() <= len, "window exceeds the vector");
+        debug_assert!(need.end <= len, "need exceeds the vector");
+        let window = protocol::ReduceWindow {
+            node: me,
+            lo,
+            vals: vals.to_vec(),
+            need_lo: need.start,
+            need_hi: need.end,
+        };
+        if me != 0 {
+            self.state.lock().stats.direct_reduces += 1;
+            self.node.endpoint().send_to_port(
+                0,
+                Port::Service,
+                0,
+                MsgKind::ReducePart,
+                protocol::encode_reduce_list(seq, me, &[window]),
+            );
+            let t = tag::REDUCE_LIST_RESULT | t16;
+            let pkt = self.node.recv_match(|p| p.src == 0 && p.tag == t);
+            let (res_lo, res) = protocol::decode_reduce_slice(&mut WordReader::new(&pkt.payload));
+            let mut out = vec![0.0f64; len];
+            out[res_lo..res_lo + res.len()].copy_from_slice(&res);
+            return out;
+        }
+        // Root: deposit, await the gather, fold in rank order.
+        let completed = {
+            let mut st = self.state.lock();
+            st.stats.direct_reduces += 1;
+            st.reduce_list_contribute(seq as u64, None, vec![window])
+        };
+        let list = match completed {
+            Some(list) => list,
+            None => {
+                let t = tag::REDUCE_LIST_DONE | t16;
+                let pkt = self.node.recv_match(|p| p.tag == t);
+                let mut r = WordReader::new(&pkt.payload);
+                let _opcode = r.get();
+                protocol::decode_reduce_list(&mut r).2
+            }
+        };
+        // The ordered fold: windows ascending by node, elementwise into
+        // the zero vector — the exact addition sequence of a sequential
+        // per-node merge loop.
+        let mut out = vec![0.0f64; len];
+        for w in &list {
+            for (i, &v) in w.vals.iter().enumerate() {
+                out[w.lo + i] += v;
+            }
+        }
+        // Scatter: each peer receives exactly its declared result range.
+        for w in list.iter().filter(|w| w.node != 0) {
+            let slice = &out[w.need_lo..w.need_hi];
+            self.node.endpoint().send_to_port(
+                w.node,
+                Port::App,
+                tag::REDUCE_LIST_RESULT | t16,
+                MsgKind::ReduceResult,
+                protocol::encode_reduce_slice(w.need_lo, slice),
+            );
+        }
+        out
     }
 
     /// Broadcast the current content of `range` of `arr` from `root` to
@@ -1622,6 +1859,104 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn windowed_reduce_folds_in_ascending_node_order() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let len = 24;
+            let out = run(n, move |tmk| {
+                let me = tmk.proc_id();
+                let np = tmk.nprocs();
+                // Node q contributes window q*2 .. q*2+8 (clipped).
+                let lo = (me * 2).min(len - 1);
+                let hi = (lo + 8).min(len);
+                let vals: Vec<f64> = (lo..hi).map(|i| (me * 100 + i) as f64 + 0.5).collect();
+                let t = tmk.reduce_windows(len, lo, &vals, 0..len);
+                tmk.finish();
+                let _ = np;
+                t
+            });
+            // Reference: sequential ascending-node fold.
+            let mut expect = vec![0.0f64; len];
+            for q in 0..n {
+                let lo = (q * 2).min(len - 1);
+                let hi = (lo + 8).min(len);
+                for i in lo..hi {
+                    expect[i] += (q * 100 + i) as f64 + 0.5;
+                }
+            }
+            for t in &out.results {
+                let tb: Vec<u64> = t.iter().map(|v| v.to_bits()).collect();
+                let eb: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(tb, eb, "n = {n}: bitwise ordered fold");
+            }
+            if n > 1 {
+                // One windowed reduction: n-1 up (ReducePart kind) and
+                // n-1 down (ReduceResult kind).
+                assert_eq!(out.stats.messages(MsgKind::ReducePart), n as u64 - 1);
+                assert_eq!(out.stats.messages(MsgKind::ReduceResult), n as u64 - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_reduce_trims_the_down_pass_to_declared_needs() {
+        // Each node contributes and needs only its own 8-word block; the
+        // down-pass must ship block hulls, not the whole vector.
+        let n = 8;
+        let len = 8 * n;
+        let out = run(n, move |tmk| {
+            let me = tmk.proc_id();
+            let block = me * 8..(me + 1) * 8;
+            let vals: Vec<f64> = block.clone().map(|i| i as f64).collect();
+            let t = tmk.reduce_windows(len, block.start, &vals, block.clone());
+            tmk.finish();
+            t[block.start..block.end].to_vec()
+        });
+        for (q, t) in out.results.iter().enumerate() {
+            let expect: Vec<f64> = (q * 8..(q + 1) * 8).map(|i| i as f64).collect();
+            assert_eq!(t, &expect);
+        }
+        // Down-pass bytes stay near the needs: well under a full-vector
+        // broadcast (which would be >= (n-1) * len words of payload).
+        let full = (n as u64 - 1) * (len as u64) * 8;
+        assert!(
+            out.stats.bytes_of(MsgKind::ReduceResult) < full / 2,
+            "down bytes {} vs full-vector {}",
+            out.stats.bytes_of(MsgKind::ReduceResult),
+            full
+        );
+    }
+
+    #[test]
+    fn hlrc_home_copies_prune_at_barriers() {
+        // Node 1 writes the same page every epoch; the page's home
+        // buffers one range per epoch. The min-VC piggyback on each
+        // barrier departure folds fully-passed ranges into the promoted
+        // base, so the buffered history stays bounded and reads still
+        // see the latest values.
+        let rounds = 6u32;
+        let out = run_hlrc(3, move |tmk| {
+            let a = tmk.malloc_f64(64);
+            for r in 0..rounds {
+                if tmk.proc_id() == 1 {
+                    let mut w = tmk.write(a, 0..8);
+                    for i in 0..8 {
+                        w[i] = (r * 10 + i as u32) as f64;
+                    }
+                }
+                tmk.barrier(r);
+                let v = tmk.read_one(a, 3);
+                assert_eq!(v, (r * 10 + 3) as f64, "round {r}");
+            }
+            let pruned = tmk.stats_snapshot().home_ranges_pruned;
+            tmk.finish();
+            pruned
+        });
+        // The page's home pruned ranges as barriers certified them.
+        let total: u64 = out.results.iter().sum();
+        assert!(total >= rounds as u64 - 2, "pruned {total} ranges");
     }
 
     #[test]

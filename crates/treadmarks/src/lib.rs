@@ -113,4 +113,5 @@ pub mod vc;
 pub use config::{ProtocolMode, TmkConfig};
 pub use diff::Diff;
 pub use dsm::{ReadView, SharedArray, Tmk, WriteView};
+pub use state::ReduceOp;
 pub use stats::DsmStats;

@@ -45,6 +45,13 @@ pub mod op {
     /// home that has not yet received a required flush defers the reply
     /// until it arrives.
     pub const PAGE_REQ: u64 = 11;
+    /// CRI windowed ordered reduction: a list of per-node `(lo, vals)`
+    /// windows travelling up the binomial combine tree. Unlike
+    /// `REDUCE_PART` the windows are *not* summed en route — the root
+    /// folds them in ascending node order, so the result is bitwise
+    /// identical to a sequential per-node fold (NBF's interaction-list
+    /// force merge).
+    pub const REDUCE_LIST: u64 = 12;
 }
 
 /// Application-port tag bases. User-level message tags (in `mpl`) stay
@@ -74,6 +81,12 @@ pub mod tag {
     pub const REDUCE_RESULT: u32 = 0x4900_0000;
     /// HLRC whole-page fetch response: `PAGE_RESP | (req_id & 0xFFFF)`.
     pub const PAGE_RESP: u32 = 0x4A00_0000;
+    /// CRI windowed-reduction total, root's service to its own
+    /// application port: `REDUCE_LIST_DONE | (seq & 0xFFFF)`.
+    pub const REDUCE_LIST_DONE: u32 = 0x4B00_0000;
+    /// CRI windowed-reduction result travelling down the tree:
+    /// `REDUCE_LIST_RESULT | (seq & 0xFFFF)`.
+    pub const REDUCE_LIST_RESULT: u32 = 0x4C00_0000;
 }
 
 /// Departure flag bits.
@@ -262,16 +275,35 @@ pub fn decode_arrival(r: &mut WordReader, n: usize) -> Arrival {
     }
 }
 
-/// Encode a departure (barrier or fork).
+/// Encode a count-prefixed watermark list — the min-VC piggyback's one
+/// wire form, shared by departures and the join reply.
+pub fn encode_vc_words(w: &mut WordWriter, vc: &[u32]) {
+    w.put_usize(vc.len());
+    for &x in vc {
+        w.put(x as u64);
+    }
+}
+
+/// Decode a count-prefixed watermark list.
+pub fn decode_vc_words(r: &mut WordReader) -> Vec<u32> {
+    let k = r.get_usize();
+    (0..k).map(|_| r.get() as u32).collect()
+}
+
+/// Encode a departure (barrier or fork). `min_vc` is the componentwise
+/// minimum of every participant's vector clock at the rendezvous — the
+/// HLRC home-copy pruning piggyback (empty slice to omit).
 pub fn encode_departure(
     epoch: u64,
     flag_bits: u64,
     expected_push: u64,
     ctl: &[u64],
     intervals: &[std::sync::Arc<Interval>],
+    min_vc: &[u32],
 ) -> Vec<u64> {
     let mut w = WordWriter::new();
     w.put(epoch).put(flag_bits).put(expected_push);
+    encode_vc_words(&mut w, min_vc);
     w.put_words(ctl);
     let owned: Vec<Interval> = intervals.iter().map(|iv| (**iv).clone()).collect();
     encode_intervals(&mut w, &owned);
@@ -286,6 +318,9 @@ pub struct Departure {
     pub flag_bits: u64,
     /// Push messages to expect before proceeding.
     pub expected_push: u64,
+    /// Componentwise minimum of all participants' vector clocks at the
+    /// rendezvous (HLRC home-copy pruning; empty when not piggybacked).
+    pub min_vc: Vec<u32>,
     /// Loop-control words (improved fork-join interface, §2.3).
     pub ctl: Vec<u64>,
     /// Intervals this node has not yet seen.
@@ -297,24 +332,28 @@ pub fn decode_departure(r: &mut WordReader) -> Departure {
     let epoch = r.get();
     let flag_bits = r.get();
     let expected_push = r.get();
+    let min_vc = decode_vc_words(r);
     let ctl = r.get_words().to_vec();
     let intervals = decode_intervals(r);
     Departure {
         epoch,
         flag_bits,
         expected_push,
+        min_vc,
         ctl,
         intervals,
     }
 }
 
 /// Encode a direct-reduction partial travelling up the combine tree
-/// (service-port message, first word is the opcode).
-pub fn encode_reduce_part(seq: u32, src: usize, vals: &[f64]) -> Vec<u64> {
-    let mut w = WordWriter::with_capacity(4 + vals.len());
+/// (service-port message, first word is the opcode). `op_code` is the
+/// combining operator's wire code (see `state::ReduceOp`).
+pub fn encode_reduce_part(seq: u32, src: usize, op_code: u64, vals: &[f64]) -> Vec<u64> {
+    let mut w = WordWriter::with_capacity(5 + vals.len());
     w.put(op::REDUCE_PART)
         .put(seq as u64)
         .put_usize(src)
+        .put(op_code)
         .put_usize(vals.len());
     for &v in vals {
         w.put(v.to_bits());
@@ -323,13 +362,14 @@ pub fn encode_reduce_part(seq: u32, src: usize, vals: &[f64]) -> Vec<u64> {
 }
 
 /// Decode the body of a reduction partial (after the opcode word):
-/// `(seq, src, values)`.
-pub fn decode_reduce_part(r: &mut WordReader) -> (u32, usize, Vec<f64>) {
+/// `(seq, src, op_code, values)`.
+pub fn decode_reduce_part(r: &mut WordReader) -> (u32, usize, u64, Vec<f64>) {
     let seq = r.get() as u32;
     let src = r.get_usize();
+    let op_code = r.get();
     let k = r.get_usize();
     let vals = (0..k).map(|_| f64::from_bits(r.get())).collect();
-    (seq, src, vals)
+    (seq, src, op_code, vals)
 }
 
 /// Encode a reduction result (application-port message: the combined
@@ -348,6 +388,88 @@ pub fn encode_reduce_vals(vals: &[f64]) -> Vec<u64> {
 pub fn decode_reduce_vals(r: &mut WordReader) -> Vec<f64> {
     let k = r.get_usize();
     (0..k).map(|_| f64::from_bits(r.get())).collect()
+}
+
+/// One node's contribution to a windowed ordered reduction: the element
+/// window `lo .. lo + vals.len()` of the reduced vector, plus the
+/// result range the node declared it needs back (`need_lo .. need_hi`)
+/// — the down-pass sends each subtree only the hull of its needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReduceWindow {
+    /// Contributing node.
+    pub node: usize,
+    /// First element covered by the contribution.
+    pub lo: usize,
+    /// The window's values.
+    pub vals: Vec<f64>,
+    /// First result element the node needs (inclusive).
+    pub need_lo: usize,
+    /// Last result element the node needs (exclusive).
+    pub need_hi: usize,
+}
+
+/// Encode a windowed-reduction list travelling up the combine tree
+/// (service-port message; `src` is the forwarding subtree root).
+pub fn encode_reduce_list(seq: u32, src: usize, windows: &[ReduceWindow]) -> Vec<u64> {
+    let mut w = WordWriter::new();
+    w.put(op::REDUCE_LIST)
+        .put(seq as u64)
+        .put_usize(src)
+        .put_usize(windows.len());
+    for win in windows {
+        w.put_usize(win.node)
+            .put_usize(win.lo)
+            .put_usize(win.need_lo)
+            .put_usize(win.need_hi)
+            .put_usize(win.vals.len());
+        for &v in &win.vals {
+            w.put(v.to_bits());
+        }
+    }
+    w.finish()
+}
+
+/// Decode the body of a windowed-reduction list (after the opcode word):
+/// `(seq, src, windows)`.
+pub fn decode_reduce_list(r: &mut WordReader) -> (u32, usize, Vec<ReduceWindow>) {
+    let seq = r.get() as u32;
+    let src = r.get_usize();
+    let k = r.get_usize();
+    let windows = (0..k)
+        .map(|_| {
+            let node = r.get_usize();
+            let lo = r.get_usize();
+            let need_lo = r.get_usize();
+            let need_hi = r.get_usize();
+            let len = r.get_usize();
+            ReduceWindow {
+                node,
+                lo,
+                vals: (0..len).map(|_| f64::from_bits(r.get())).collect(),
+                need_lo,
+                need_hi,
+            }
+        })
+        .collect();
+    (seq, src, windows)
+}
+
+/// Encode a windowed-reduction result slice travelling down the tree:
+/// elements `lo .. lo + vals.len()` of the folded vector.
+pub fn encode_reduce_slice(lo: usize, vals: &[f64]) -> Vec<u64> {
+    let mut w = WordWriter::with_capacity(2 + vals.len());
+    w.put_usize(lo).put_usize(vals.len());
+    for &v in vals {
+        w.put(v.to_bits());
+    }
+    w.finish()
+}
+
+/// Decode a windowed-reduction result slice: `(lo, vals)`.
+pub fn decode_reduce_slice(r: &mut WordReader) -> (usize, Vec<f64>) {
+    let lo = r.get_usize();
+    let k = r.get_usize();
+    (lo, (0..k).map(|_| f64::from_bits(r.get())).collect())
 }
 
 /// Encode an HLRC home flush: the writer's identity followed by the
@@ -511,13 +633,49 @@ mod tests {
         assert_eq!(a.intervals.len(), 1);
         assert_eq!(a.intervals[0].pages, vec![2, 3]);
 
-        let buf = encode_departure(12, flags::SHUTDOWN, 1, &[9, 9], &ivs);
+        let buf = encode_departure(12, flags::SHUTDOWN, 1, &[9, 9], &ivs, &[4, 2]);
         let d = decode_departure(&mut WordReader::new(&buf));
         assert_eq!(d.epoch, 12);
         assert_eq!(d.flag_bits, flags::SHUTDOWN);
         assert_eq!(d.expected_push, 1);
+        assert_eq!(d.min_vc, vec![4, 2]);
         assert_eq!(d.ctl, vec![9, 9]);
         assert_eq!(d.intervals.len(), 1);
+
+        let buf = encode_departure(3, 0, 0, &[], &[], &[]);
+        let d = decode_departure(&mut WordReader::new(&buf));
+        assert!(d.min_vc.is_empty());
+        assert!(d.ctl.is_empty());
+    }
+
+    #[test]
+    fn reduce_list_roundtrip() {
+        let windows = vec![
+            ReduceWindow {
+                node: 2,
+                lo: 10,
+                vals: vec![1.5, -2.0],
+                need_lo: 8,
+                need_hi: 14,
+            },
+            ReduceWindow {
+                node: 3,
+                lo: 0,
+                vals: vec![0.25],
+                need_lo: 0,
+                need_hi: 0,
+            },
+        ];
+        let buf = encode_reduce_list(5, 2, &windows);
+        let mut r = WordReader::new(&buf);
+        assert_eq!(r.get(), op::REDUCE_LIST);
+        let (seq, src, got) = decode_reduce_list(&mut r);
+        assert_eq!((seq, src), (5, 2));
+        assert_eq!(got, windows);
+
+        let buf = encode_reduce_slice(7, &[1.0, 2.0]);
+        let (lo, vals) = decode_reduce_slice(&mut WordReader::new(&buf));
+        assert_eq!((lo, vals), (7, vec![1.0, 2.0]));
     }
 
     #[test]
@@ -536,11 +694,11 @@ mod tests {
 
     #[test]
     fn reduce_part_and_vals_roundtrip() {
-        let buf = encode_reduce_part(9, 3, &[1.5, -2.25]);
+        let buf = encode_reduce_part(9, 3, 1, &[1.5, -2.25]);
         let mut r = WordReader::new(&buf);
         assert_eq!(r.get(), op::REDUCE_PART);
-        let (seq, src, vals) = decode_reduce_part(&mut r);
-        assert_eq!((seq, src), (9, 3));
+        let (seq, src, op_code, vals) = decode_reduce_part(&mut r);
+        assert_eq!((seq, src, op_code), (9, 3, 1));
         assert_eq!(vals, vec![1.5, -2.25]);
 
         let buf = encode_reduce_vals(&[0.5]);

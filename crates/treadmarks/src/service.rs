@@ -18,6 +18,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sp2sim::{Endpoint, MsgKind, Port, VTime, WordReader};
 
+use crate::config::ProtocolMode;
 use crate::protocol::{self, op, tag};
 use crate::state::DsmState;
 
@@ -39,6 +40,7 @@ pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
             op::HOME_FLUSH => handle_home_flush(&ep, &state, &mut r, arrival),
             op::PAGE_REQ => handle_page_req(&ep, &state, &mut r, arrival),
             op::REDUCE_PART => handle_reduce_part(&ep, &state, &mut r, arrival),
+            op::REDUCE_LIST => handle_reduce_list(&ep, &state, &mut r, arrival),
             op::LOCK_REQ => handle_lock_req(&ep, &state, &mut r, arrival),
             op::BARRIER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, false),
             op::WORKER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, true),
@@ -221,16 +223,25 @@ fn serve_page_fetch(
 /// [`Tmk::reduce`](crate::Tmk::reduce)), so whichever contribution
 /// arrives last triggers the forwarding.
 fn handle_reduce_part(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
-    let (seq, src, vals) = protocol::decode_reduce_part(r);
-    let combined = state.lock().reduce_contribute(seq as u64, Some(src), vals);
+    let (seq, src, op_code, vals) = protocol::decode_reduce_part(r);
+    let op = crate::state::ReduceOp::from_code(op_code);
+    let combined = state
+        .lock()
+        .reduce_contribute(seq as u64, Some(src), vals, op);
     if let Some(total) = combined {
-        forward_reduce(ep, seq, &total, arrival + ep.cost().service_us);
+        forward_reduce(ep, seq, op, &total, arrival + ep.cost().service_us);
     }
 }
 
 /// Send a completed subtree total one hop: up to the parent's service
 /// (interior node) or to the root's own application port (the total).
-pub(crate) fn forward_reduce(ep: &Endpoint, seq: u32, total: &[f64], ready: VTime) {
+pub(crate) fn forward_reduce(
+    ep: &Endpoint,
+    seq: u32,
+    op: crate::state::ReduceOp,
+    total: &[f64],
+    ready: VTime,
+) {
     let me = ep.id();
     if me == 0 {
         // Self-delivery: a local upcall, free and uncounted.
@@ -248,8 +259,34 @@ pub(crate) fn forward_reduce(ep: &Endpoint, seq: u32, total: &[f64], ready: VTim
             Port::Service,
             0,
             MsgKind::ReducePart,
-            protocol::encode_reduce_part(seq, me, total),
+            protocol::encode_reduce_part(seq, me, op.code(), total),
             ready,
+        );
+    }
+}
+
+/// CRI windowed ordered reduction: a peer's window arrives at the
+/// gather root; record it and, when the gather is complete, upcall the
+/// full sorted list to the root's application (which folds in rank
+/// order and scatters — see
+/// [`Tmk::reduce_windows`](crate::Tmk::reduce_windows)). Windows are
+/// never combined here: pre-folding would change the addition grouping
+/// the whole mechanism exists to preserve.
+fn handle_reduce_list(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+    let (seq, src, windows) = protocol::decode_reduce_list(r);
+    let complete = state
+        .lock()
+        .reduce_list_contribute(seq as u64, Some(src), windows);
+    if let Some(list) = complete {
+        // Self-delivery to the root's application port: a local upcall,
+        // free and uncounted.
+        ep.send_at(
+            ep.id(),
+            Port::App,
+            tag::REDUCE_LIST_DONE | (seq & 0xFFFF),
+            MsgKind::Control,
+            protocol::encode_reduce_list(seq, ep.id(), &list),
+            arrival + ep.cost().service_us,
         );
     }
 }
@@ -414,6 +451,38 @@ fn sort_arrivals(arrivals: &mut [(usize, crate::vc::Vc, VTime, Vec<u64>)]) {
     });
 }
 
+/// Componentwise minimum of the arrivals' vector clocks (optionally
+/// including `extra` — the master's own clock at a fork, since the
+/// master sends no arrival). This is the HLRC home-copy pruning
+/// piggyback: every interval at or below the minimum has been
+/// integrated by every participant, and the departure that carries the
+/// minimum also carries every interval the receiver still lacked — so
+/// by the time a receiver prunes, the bound is valid locally too.
+/// Under LRC there are no home copies to prune, so the piggyback is
+/// omitted (empty) rather than padding every departure with n words.
+fn min_arrival_vc(
+    arrivals: &[(usize, crate::vc::Vc, VTime, Vec<u64>)],
+    extra: Option<&crate::vc::Vc>,
+    n: usize,
+    protocol: ProtocolMode,
+) -> Vec<u32> {
+    if protocol != ProtocolMode::Hlrc {
+        return Vec::new();
+    }
+    let mut min = vec![u32::MAX; n];
+    for (_, vc, _, _) in arrivals {
+        for (m, &x) in min.iter_mut().zip(vc) {
+            *m = (*m).min(x);
+        }
+    }
+    if let Some(vc) = extra {
+        for (m, &x) in min.iter_mut().zip(vc) {
+            *m = (*m).min(x);
+        }
+    }
+    min
+}
+
 /// Check whether `epoch` has everything it needs, and serve it.
 fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
     let n = st.n;
@@ -448,9 +517,11 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
             }
         }
         let e16 = (epoch & 0xFFFF) as u32;
+        let min_vc = min_arrival_vc(&entry.arrivals, None, n, st.cfg.protocol);
         for (src, vc, _, _) in &entry.arrivals {
             let intervals = st.intervals_since(vc);
-            let payload = protocol::encode_departure(epoch, 0, push_to[*src], &[], &intervals);
+            let payload =
+                protocol::encode_departure(epoch, 0, push_to[*src], &[], &intervals, &min_vc);
             let kind = if *src == me {
                 MsgKind::Control
             } else {
@@ -492,13 +563,19 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
     let join_vt = entry.join_vt;
     if joined {
         st.integrate_pending(epoch);
+        let entry = st.epochs.get(&epoch).expect("epoch exists");
+        let min_vc = min_arrival_vc(&entry.arrivals, Some(&st.vc), n, st.cfg.protocol);
         let dep_time = max_at.max(join_vt) + (n as f64 - 1.0) * manager_us;
+        let mut w = sp2sim::WordWriter::with_capacity(3 + min_vc.len());
+        w.put(epoch).put(push_to[me]);
+        protocol::encode_vc_words(&mut w, &min_vc);
+        let payload = w.finish();
         ep.send_at(
             me,
             Port::App,
             tag::JOIN_DEP | e16,
             MsgKind::Control,
-            vec![epoch, push_to[me]],
+            payload,
             dep_time,
         );
         st.epochs.get_mut(&epoch).expect("epoch exists").join_served = true;
@@ -517,11 +594,18 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
         }
         let flag_bits = ctl[0];
         let ctl_words = &ctl[1..];
+        let min_vc = min_arrival_vc(&entry.arrivals, Some(&st.vc), n, st.cfg.protocol);
         let dep_time = max_at.max(fork_vt) + (n as f64 - 1.0) * manager_us;
         for (src, vc, _, _) in &entry.arrivals {
             let intervals = st.intervals_since(vc);
-            let payload =
-                protocol::encode_departure(epoch, flag_bits, push_to[*src], ctl_words, &intervals);
+            let payload = protocol::encode_departure(
+                epoch,
+                flag_bits,
+                push_to[*src],
+                ctl_words,
+                &intervals,
+                &min_vc,
+            );
             ep.send_at(
                 *src,
                 Port::App,

@@ -112,6 +112,52 @@ pub struct QueuedReq {
     pub arrival: VTime,
 }
 
+/// The combining operator of a direct reduction. Sum is what SPF's
+/// reduction directives emit most; Min/Max cover the comparison
+/// reductions (IGrid's centre-square min/max). Min and Max are exact
+/// and order-insensitive, so a tree combine returns bitwise the same
+/// value as any sequential fold; Sum is deterministic (fixed tree
+/// order) but not bitwise equal to a left fold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise addition.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Combine two values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Wire code.
+    pub fn code(self) -> u64 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Min => 1,
+            ReduceOp::Max => 2,
+        }
+    }
+
+    /// Decode a wire code (unknown codes combine as Sum, the legacy
+    /// behaviour — senders in this codebase always encode a valid op).
+    pub fn from_code(code: u64) -> ReduceOp {
+        match code {
+            1 => ReduceOp::Min,
+            2 => ReduceOp::Max,
+            _ => ReduceOp::Sum,
+        }
+    }
+}
+
 /// One in-flight direct reduction at a combine-tree node: the children's
 /// partials (combined by the service thread) plus the local partial
 /// (deposited by the application thread). Whichever side completes the
@@ -122,6 +168,24 @@ pub struct ReduceSlot {
     pub parts: BTreeMap<usize, Vec<f64>>,
     /// This node's own partial, once deposited.
     pub local: Option<Vec<f64>>,
+}
+
+/// One in-flight *windowed ordered* reduction at the gather root (node
+/// 0): unlike [`ReduceSlot`] the contributions cannot be combined en
+/// route — folding a subtree early would change the addition grouping,
+/// and the whole point is a result bitwise identical to a sequential
+/// ascending-node fold (NBF's interaction-list force merge). With
+/// nothing to combine, a tree only re-serializes the same windows on
+/// every level, so the transport is a flat gather: every node sends its
+/// window straight to the root, which folds in rank order and scatters
+/// each node exactly the result range it declared it needs. Same
+/// `2 (n - 1)` message count as the scalar tree, parallel wires.
+#[derive(Debug, Default)]
+pub struct ReduceListSlot {
+    /// Windows received from peers, keyed by sender.
+    pub parts: BTreeMap<usize, Vec<crate::protocol::ReduceWindow>>,
+    /// The root's own window, once deposited.
+    pub local: Option<crate::protocol::ReduceWindow>,
 }
 
 /// Children of `rank` in the binomial combine tree rooted at 0
@@ -187,6 +251,12 @@ pub struct WaitingPageReq {
 pub struct HomePage {
     /// Buffered published diff ranges, `(writer, range)`, arrival order.
     pub ranges: Vec<(usize, DiffRange)>,
+    /// Promoted base `(data, applied)`: the folded image of every range
+    /// the rendezvous min-VC proved all nodes have passed (home-copy
+    /// pruning). Every future request's watermarks are ≥ the base's, so
+    /// constructions start here instead of the zero page and the folded
+    /// ranges are dropped from `ranges`.
+    base: Option<(Vec<u64>, Vec<u32>)>,
     /// Memoized last construction `(required, data, applied)`: a request
     /// with component-wise ≥ watermarks extends it by applying only the
     /// newly covered ranges, so steady-state serving is O(new diffs) like
@@ -254,6 +324,10 @@ pub struct DsmState {
     pub pending_push: Vec<(usize, PageId)>,
     /// In-flight direct reductions, keyed by reduction sequence number.
     pub reduces: BTreeMap<u64, ReduceSlot>,
+    /// In-flight windowed ordered reductions at the gather root, keyed
+    /// by sequence number (a separate number space from
+    /// [`DsmState::reduces`]).
+    pub reduce_lists: BTreeMap<u64, ReduceListSlot>,
     /// HLRC: per-page home overrides (block-cyclic `page % n` otherwise).
     /// Every node must install identical overrides, before the page's
     /// first write notice exists — see [`DsmState::set_home`].
@@ -292,6 +366,7 @@ impl DsmState {
             pending_ivs: BTreeMap::new(),
             pending_push: Vec::new(),
             reduces: BTreeMap::new(),
+            reduce_lists: BTreeMap::new(),
             home_override: HashMap::new(),
             homed: HashMap::new(),
             waiting_page_reqs: Vec::new(),
@@ -353,10 +428,15 @@ impl DsmState {
     /// the range was buffered.
     pub fn home_flush_in(&mut self, writer: usize, page: PageId, range: DiffRange) -> bool {
         let hp = self.homed.entry(page).or_default();
-        if hp
-            .ranges
-            .iter()
-            .any(|(w, r)| *w == writer && r.hi >= range.hi)
+        let in_base = hp
+            .base
+            .as_ref()
+            .is_some_and(|(_, applied)| applied[writer] >= range.hi);
+        if in_base
+            || hp
+                .ranges
+                .iter()
+                .any(|(w, r)| *w == writer && r.hi >= range.hi)
         {
             self.stats.stale_flush_drops += 1;
             return false;
@@ -383,9 +463,13 @@ impl DsmState {
     /// release that publishes its notice, before the notice can reach
     /// any requester) and the request must wait.
     pub fn home_covers(&self, page: PageId, required: &[u32]) -> bool {
-        let ranges = self.homed.get(&page).map(|hp| &hp.ranges);
+        let hp = self.homed.get(&page);
         required.iter().enumerate().all(|(w, &need)| {
-            need == 0 || ranges.is_some_and(|v| v.iter().any(|(wr, r)| *wr == w && r.hi >= need))
+            need == 0
+                || hp.is_some_and(|hp| {
+                    hp.base.as_ref().is_some_and(|(_, a)| a[w] >= need)
+                        || hp.ranges.iter().any(|(wr, r)| *wr == w && r.hi >= need)
+                })
         })
     }
 
@@ -413,7 +497,13 @@ impl DsmState {
             Some((req, data, applied)) if req.iter().zip(required).all(|(c, r)| c <= r) => {
                 (req.clone(), data.clone(), applied.clone())
             }
-            _ => (vec![0u32; n], vec![0u64; pw], vec![0u32; n]),
+            // Fresh construction: start from the promoted base (every
+            // requester's watermarks are ≥ the base's — see
+            // `prune_home_copies`), or the zero page before any prune.
+            _ => match &hp.base {
+                Some((data, applied)) => (applied.clone(), data.clone(), applied.clone()),
+                None => (vec![0u32; n], vec![0u64; pw], vec![0u32; n]),
+            },
         };
         let mut batch: Vec<&(usize, DiffRange)> = hp
             .ranges
@@ -433,6 +523,89 @@ impl DsmState {
         (data, applied, us)
     }
 
+    /// HLRC home-copy pruning: fold every buffered range all nodes have
+    /// provably passed into the promoted base and drop it.
+    ///
+    /// `min_vc` is the componentwise minimum of every participant's
+    /// vector clock at a rendezvous (piggybacked on the departure). A
+    /// range `(w, r)` with `r.hi <= min_vc[w]` is foldable: every node
+    /// has integrated interval `r.hi` of `w`, and since that interval
+    /// named this page, every node holds its write notice — so every
+    /// future request's `required[w]` is at least `r.hi`, and no
+    /// construction will ever need to start below the folded image.
+    /// Deferred requests cannot be outstanding at a rendezvous (their
+    /// requesters would still be blocked, and the rendezvous would not
+    /// have completed), so folding is safe. Returns ranges dropped.
+    pub fn prune_home_copies(&mut self, min_vc: &[u32]) -> u64 {
+        let pw = self.cfg.page_words;
+        let n = self.n;
+        let mut dropped = 0;
+        for hp in self.homed.values_mut() {
+            if hp.ranges.iter().all(|(w, r)| r.hi > min_vc[*w]) {
+                continue;
+            }
+            let mut fold: Vec<(usize, DiffRange)> = Vec::new();
+            hp.ranges.retain(|(w, r)| {
+                if r.hi <= min_vc[*w] {
+                    fold.push((*w, r.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            fold.sort_by_key(|(w, r)| (r.lamport, *w));
+            let (data, applied) = hp
+                .base
+                .get_or_insert_with(|| (vec![0u64; pw], vec![0u32; n]));
+            for (w, r) in &fold {
+                r.diff.apply(data);
+                if r.hi > applied[*w] {
+                    applied[*w] = r.hi;
+                }
+            }
+            // The memoized construction may now sit below the base
+            // floor; drop it rather than reason about mixed floors.
+            hp.cache = None;
+            dropped += fold.len() as u64;
+        }
+        self.stats.home_ranges_pruned += dropped;
+        dropped
+    }
+
+    /// Record one contribution to windowed ordered reduction `seq` at
+    /// the gather root — a peer's window (`from = Some(sender)`) or the
+    /// root's own deposit (`from = None`). When every peer's window and
+    /// the local deposit are present, returns all windows sorted by
+    /// contributing node — the fold order.
+    pub fn reduce_list_contribute(
+        &mut self,
+        seq: u64,
+        from: Option<usize>,
+        windows: Vec<crate::protocol::ReduceWindow>,
+    ) -> Option<Vec<crate::protocol::ReduceWindow>> {
+        debug_assert_eq!(self.me, 0, "windowed reductions gather at node 0");
+        let slot = self.reduce_lists.entry(seq).or_default();
+        match from {
+            Some(sender) => {
+                slot.parts.insert(sender, windows);
+            }
+            None => {
+                slot.local = windows.into_iter().next();
+            }
+        }
+        let complete = slot.local.is_some() && slot.parts.len() == self.n - 1;
+        if !complete {
+            return None;
+        }
+        let slot = self.reduce_lists.remove(&seq).expect("slot exists");
+        let mut out: Vec<crate::protocol::ReduceWindow> = slot.local.into_iter().collect();
+        for (_, part) in slot.parts {
+            out.extend(part);
+        }
+        out.sort_by_key(|w| w.node);
+        Some(out)
+    }
+
     /// Record one contribution to reduction `seq` — a child subtree's
     /// partial (`from = Some(child)`) or the local deposit (`from =
     /// None`) — and, if the slot is now complete, combine and return the
@@ -443,6 +616,7 @@ impl DsmState {
         seq: u64,
         from: Option<usize>,
         vals: Vec<f64>,
+        op: ReduceOp,
     ) -> Option<Vec<f64>> {
         let slot = self.reduces.entry(seq).or_default();
         match from {
@@ -460,7 +634,7 @@ impl DsmState {
         let mut acc = slot.local.expect("complete slot has a local partial");
         for (_, part) in slot.parts {
             for (a, b) in acc.iter_mut().zip(part) {
-                *a += b;
+                *a = op.apply(*a, b);
             }
         }
         Some(acc)
@@ -862,11 +1036,23 @@ mod tests {
         // Node 0 of 4 has children 1 and 2; completion requires the local
         // deposit plus both subtree parts, in any arrival order.
         let mut s = state(0, 4);
-        assert!(s.reduce_contribute(5, Some(2), vec![30.0]).is_none());
-        assert!(s.reduce_contribute(5, None, vec![1.0]).is_none());
-        let total = s.reduce_contribute(5, Some(1), vec![20.0]);
+        assert!(s
+            .reduce_contribute(5, Some(2), vec![30.0], ReduceOp::Sum)
+            .is_none());
+        assert!(s
+            .reduce_contribute(5, None, vec![1.0], ReduceOp::Sum)
+            .is_none());
+        let total = s.reduce_contribute(5, Some(1), vec![20.0], ReduceOp::Sum);
         assert_eq!(total, Some(vec![51.0]));
         assert!(s.reduces.is_empty(), "slot consumed");
+
+        // Min combines exactly and order-insensitively.
+        let mut s = state(0, 2);
+        assert!(s
+            .reduce_contribute(0, Some(1), vec![3.0], ReduceOp::Min)
+            .is_none());
+        let total = s.reduce_contribute(0, None, vec![7.0], ReduceOp::Min);
+        assert_eq!(total, Some(vec![3.0]));
     }
 
     #[test]

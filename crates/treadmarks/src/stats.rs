@@ -37,8 +37,18 @@ pub struct DsmStats {
     /// Pages made consistent through aggregated validates (would each
     /// have been a separate access fault without the hint).
     pub validate_pages: u64,
-    /// CRI direct (tree-combined) reductions this node participated in.
+    /// CRI direct (tree-combined) reductions this node participated in
+    /// (scalar sums and windowed ordered reductions alike).
     pub direct_reduces: u64,
+    /// Inspector walks: evaluations of a dynamic (indirection-map)
+    /// descriptor that missed the schedule cache and ran the walk.
+    pub inspections: u64,
+    /// Virtual microseconds spent in inspector walks (the amortized
+    /// "inspector cost" column of the irregular-app experiments).
+    pub inspect_us: u64,
+    /// Schedule-cache hits: dynamic-descriptor evaluations served from
+    /// the cached communication schedule at zero inspection cost.
+    pub schedule_reuse: u64,
     /// HLRC: home-flush messages sent at releases/rendezvous (one per
     /// destination home with at least one fresh diff).
     pub home_flushes: u64,
@@ -51,6 +61,10 @@ pub struct DsmStats {
     /// guard; re-applying a stale range during a later page construction
     /// would overwrite newer words with old values.
     pub stale_flush_drops: u64,
+    /// HLRC home-side: buffered diff ranges folded into a promoted base
+    /// and dropped because the rendezvous min-VC proved every node has
+    /// passed them (home-copy pruning).
+    pub home_ranges_pruned: u64,
     /// Malformed service requests (unknown opcodes). Non-zero means the
     /// node's service loop shut itself down defensively.
     pub service_errors: u64,
@@ -74,10 +88,14 @@ impl DsmStats {
         self.validates += other.validates;
         self.validate_pages += other.validate_pages;
         self.direct_reduces += other.direct_reduces;
+        self.inspections += other.inspections;
+        self.inspect_us += other.inspect_us;
+        self.schedule_reuse += other.schedule_reuse;
         self.home_flushes += other.home_flushes;
         self.home_flush_pages += other.home_flush_pages;
         self.page_fetches += other.page_fetches;
         self.stale_flush_drops += other.stale_flush_drops;
+        self.home_ranges_pruned += other.home_ranges_pruned;
         self.service_errors += other.service_errors;
     }
 

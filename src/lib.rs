@@ -10,7 +10,10 @@
 //! * [`sp2sim`] — virtual-time simulated SP/2 cluster (substrate)
 //! * [`mpl`] — MPL/PVMe-style message-passing library
 //! * [`treadmarks`] — the page-based software DSM (core contribution)
-//! * [`cri`] — the compiler–runtime interface (regular-section hints)
+//! * [`cri`] — the compiler–runtime interface (regular/triangular/dynamic
+//!   section hints)
+//! * [`inspector`] — inspector/executor runtime for irregular loops
+//!   (indirection-map walks into dynamic sections, CHAOS-style)
 //! * [`spf`] — the SPF fork-join compiler model targeting the DSM
 //! * [`xhpf`] — the XHPF SPMD compiler model targeting message passing
 //! * [`apps`] — the six applications in five versions each
@@ -19,6 +22,7 @@
 pub use apps;
 pub use cri;
 pub use harness;
+pub use inspector;
 pub use mpl;
 pub use sp2sim;
 pub use spf;

@@ -12,18 +12,18 @@ use treadmarks::service::service_loop;
 use treadmarks::state::DsmState;
 use treadmarks::{Tmk, TmkConfig};
 
-/// The opcode space currently ends at `PAGE_REQ` (the HLRC whole-page
-/// fetch): the next free opcode must take the graceful error path.
-/// Pinning the boundary means a future opcode addition that forgets the
-/// service dispatch arm shows up here as a counted error, not as a
-/// sweep-wide `unreachable!`. `join_service` returning at all *is* the
-/// graceful-exit assertion — the loop left through the error path, not
-/// a panic.
+/// The opcode space currently ends at `REDUCE_LIST` (the windowed
+/// ordered reduction): the next free opcode must take the graceful
+/// error path. Pinning the boundary means a future opcode addition that
+/// forgets the service dispatch arm shows up here as a counted error,
+/// not as a sweep-wide `unreachable!`. `join_service` returning at all
+/// *is* the graceful-exit assertion — the loop left through the error
+/// path, not a panic.
 #[test]
 fn first_unassigned_opcode_is_rejected_gracefully() {
-    // HOME_FLUSH and PAGE_REQ are the two highest assigned opcodes; the
-    // boundary sits one past PAGE_REQ.
-    assert_eq!(op::PAGE_REQ, op::HOME_FLUSH + 1, "opcode map moved");
+    // PAGE_REQ and REDUCE_LIST are the two highest assigned opcodes;
+    // the boundary sits one past REDUCE_LIST.
+    assert_eq!(op::REDUCE_LIST, op::PAGE_REQ + 1, "opcode map moved");
     for engine in EngineKind::ALL {
         let out = Cluster::run(ClusterConfig::sp2_on(2, engine), |node| {
             if node.id() == 0 {
@@ -42,7 +42,7 @@ fn first_unassigned_opcode_is_rejected_gracefully() {
                     Port::Service,
                     0,
                     MsgKind::Control,
-                    vec![op::PAGE_REQ + 1],
+                    vec![op::REDUCE_LIST + 1],
                 );
                 0
             }
