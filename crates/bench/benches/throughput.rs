@@ -1,0 +1,63 @@
+//! Simulator-throughput benchmarks: the quantities the hot-path work
+//! (chunked diff compare, scratch-arena twin recycling, pre-sized wire
+//! buffers) moves. `dsm_primitives` times the protocol *machinery*;
+//! this group times the *simulator as a tool* — how much simulated time
+//! a host second buys — which is what the committed `BENCH_sweep.json`
+//! trajectory tracks across commits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use apps::{AppId, Version};
+use sp2sim::EngineKind;
+use treadmarks::Diff;
+
+/// Diff creation across the density spectrum. `identical` is the
+/// chunked compare's best case (every 8-word block skipped on one
+/// branch), `dense` its run-extension fast path, `sparse` the mixed
+/// case with one run per block.
+fn bench_diff_create(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_create");
+    const WORDS: usize = 512;
+    let old = vec![0u64; WORDS];
+    let mut sparse = old.clone();
+    for i in (0..WORDS).step_by(16) {
+        sparse[i] = 1;
+    }
+    let dense: Vec<u64> = (0..WORDS).map(|i| i as u64 + 1).collect();
+    let identical = old.clone();
+
+    for (name, new) in [
+        ("identical", &identical),
+        ("sparse", &sparse),
+        ("dense", &dense),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| Diff::create(std::hint::black_box(&old), std::hint::black_box(new)))
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end sims/sec: a full compiler-parallelized Jacobi run on 8
+/// simulated processors, per engine. Each run covers a fixed amount of
+/// simulated time (printed up front — it is deterministic per engine),
+/// so dividing it by the reported wall time per iteration gives the
+/// sims/sec the sweep trajectory tracks.
+fn bench_jacobi_sims_per_sec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi_8p");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    const SCALE: f64 = 0.05;
+    for engine in EngineKind::ALL {
+        let sim_us = apps::runner::run_on(engine, AppId::Jacobi, Version::Spf, 8, SCALE).time_us;
+        eprintln!("jacobi_8p/spf_{engine}: {sim_us} simulated us per iteration");
+        g.bench_function(format!("spf_{engine}"), |b| {
+            b.iter(|| apps::runner::run_on(engine, AppId::Jacobi, Version::Spf, 8, SCALE).time_us)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_diff_create, bench_jacobi_sims_per_sec);
+criterion_main!(benches);

@@ -1,0 +1,419 @@
+//! The `sweep` product: a machine-readable perf trajectory.
+//!
+//! The `sweep` binary runs the full benchmark grid — every application ×
+//! both coherence protocols × both execution engines × several problem
+//! scales × several page sizes — and emits `BENCH_sweep.json`. Each cell
+//! records the *simulated* quantities (virtual time, messages, bytes),
+//! which are deterministic on the sequential engine, alongside the *host*
+//! quantities (wall-clock microseconds, scratch-arena counters), which
+//! track simulator throughput. Committing the file after a perf change
+//! turns "the simulator got faster" into a reviewable diff: simulated
+//! columns must not move, wall-clock columns should.
+//!
+//! This module holds everything the binary, the tests and CI share: the
+//! grid definition, the per-cell runner, and the document's JSON schema
+//! (versioned as `bench_sweep/v1`, parsed back by [`SweepDoc::parse`]).
+
+use std::time::Instant;
+
+use apps::{AppId, Version};
+use sp2sim::EngineKind;
+use treadmarks::{ProtocolMode, TmkConfig};
+
+use crate::json::Json;
+
+/// Schema tag of the emitted document.
+pub const SCHEMA: &str = "bench_sweep/v1";
+
+/// One grid point, before it runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellSpec {
+    pub app: AppId,
+    pub version: Version,
+    pub protocol: ProtocolMode,
+    pub engine: EngineKind,
+    pub nprocs: usize,
+    pub scale: f64,
+    pub page_words: usize,
+}
+
+impl CellSpec {
+    /// Relative expected cost, the longest-job-first sort key. Only the
+    /// ordering matters: scheduling expensive cells first keeps workers
+    /// busy at the tail of the sweep. Weights are rough per-app virtual
+    /// work at scale 1.0; simulation cost grows superlinearly with
+    /// scale, and smaller pages mean more faults to simulate.
+    pub fn expected_cost(&self) -> u64 {
+        let app = match self.app {
+            AppId::Jacobi => 4,
+            AppId::Shallow => 6,
+            AppId::Mgs => 5,
+            AppId::Fft3d => 8,
+            AppId::IGrid => 3,
+            AppId::Nbf => 3,
+        };
+        let pages = (2048 / self.page_words.max(1)).max(1) as u64;
+        (self.scale * self.scale * 1e9) as u64 * app * pages
+    }
+
+    /// Run the cell and measure it.
+    pub fn run(&self) -> SweepCell {
+        let cfg = TmkConfig {
+            page_words: self.page_words,
+            ..TmkConfig::default()
+        }
+        .with_protocol(self.protocol);
+        let started = Instant::now();
+        let r = apps::runner::run_with_cfg_on(
+            self.engine,
+            self.app,
+            self.version,
+            self.nprocs,
+            self.scale,
+            cfg,
+        );
+        let wall_us = started.elapsed().as_micros() as u64;
+        SweepCell {
+            app: self.app.name().to_string(),
+            version: self.version.name().to_string(),
+            protocol: self.protocol,
+            engine: self.engine,
+            nprocs: self.nprocs,
+            scale: self.scale,
+            page_words: self.page_words,
+            time_us: r.time_us,
+            messages: r.messages,
+            bytes: r.stats.total_bytes(),
+            wall_us,
+            arena_hits: r.dsm.arena_hits,
+            arena_misses: r.dsm.arena_misses,
+            arena_peak_bytes: r.dsm.arena_peak_bytes,
+        }
+    }
+
+    /// Canonical grid order (app, protocol, engine, scale, page size) —
+    /// the order cells appear in the emitted file, independent of the
+    /// longest-job-first execution order.
+    pub fn canon_key(&self) -> (usize, usize, usize, u64, usize) {
+        let app = AppId::ALL.iter().position(|&a| a == self.app).unwrap_or(0);
+        (
+            app,
+            self.protocol as usize,
+            (self.engine == EngineKind::Threaded) as usize,
+            self.scale.to_bits(),
+            self.page_words,
+        )
+    }
+}
+
+/// One measured grid point of the trajectory file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCell {
+    pub app: String,
+    pub version: String,
+    pub protocol: ProtocolMode,
+    pub engine: EngineKind,
+    pub nprocs: usize,
+    pub scale: f64,
+    pub page_words: usize,
+    /// Simulated virtual time of the timed region (µs) — deterministic.
+    pub time_us: f64,
+    /// Simulated messages of the timed region — deterministic.
+    pub messages: u64,
+    /// Simulated payload bytes of the timed region — deterministic.
+    pub bytes: u64,
+    /// Host wall-clock for the whole run (µs) — the throughput column.
+    pub wall_us: u64,
+    /// Scratch-arena twin-buffer recycles (host-side observability; the
+    /// hit/miss split can vary with interleaving on the threaded
+    /// engine, so nothing deterministic may compare these).
+    pub arena_hits: u64,
+    pub arena_misses: u64,
+    pub arena_peak_bytes: u64,
+}
+
+impl SweepCell {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("app".into(), Json::Str(self.app.clone())),
+            ("version".into(), Json::Str(self.version.clone())),
+            ("protocol".into(), Json::Str(self.protocol.name().into())),
+            ("engine".into(), Json::Str(self.engine.name().into())),
+            ("nprocs".into(), Json::Num(self.nprocs as f64)),
+            ("scale".into(), Json::Num(self.scale)),
+            ("page_words".into(), Json::Num(self.page_words as f64)),
+            ("time_us".into(), Json::Num(self.time_us)),
+            ("messages".into(), Json::Num(self.messages as f64)),
+            ("bytes".into(), Json::Num(self.bytes as f64)),
+            ("wall_us".into(), Json::Num(self.wall_us as f64)),
+            ("arena_hits".into(), Json::Num(self.arena_hits as f64)),
+            ("arena_misses".into(), Json::Num(self.arena_misses as f64)),
+            (
+                "arena_peak_bytes".into(),
+                Json::Num(self.arena_peak_bytes as f64),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SweepCell, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("cell missing string field '{k}'"))
+        };
+        let u64_field = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("cell missing integer field '{k}'"))
+        };
+        let f64_field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("cell missing number field '{k}'"))
+        };
+        Ok(SweepCell {
+            app: str_field("app")?,
+            version: str_field("version")?,
+            protocol: str_field("protocol")?.parse()?,
+            engine: str_field("engine")?.parse()?,
+            nprocs: u64_field("nprocs")? as usize,
+            scale: f64_field("scale")?,
+            page_words: u64_field("page_words")? as usize,
+            time_us: f64_field("time_us")?,
+            messages: u64_field("messages")?,
+            bytes: u64_field("bytes")?,
+            wall_us: u64_field("wall_us")?,
+            arena_hits: u64_field("arena_hits")?,
+            arena_misses: u64_field("arena_misses")?,
+            arena_peak_bytes: u64_field("arena_peak_bytes")?,
+        })
+    }
+}
+
+/// The whole trajectory document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepDoc {
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepDoc {
+    /// Total host wall-clock across cells (µs). The sweep runs
+    /// sequential-engine cells concurrently, so this exceeds the
+    /// sweep's own elapsed time — it is the single-core cost.
+    pub fn total_wall_us(&self) -> u64 {
+        self.cells.iter().map(|c| c.wall_us).sum()
+    }
+
+    /// Total simulated virtual time across cells (µs).
+    pub fn total_time_us(&self) -> f64 {
+        self.cells.iter().map(|c| c.time_us).sum()
+    }
+
+    /// Aggregate throughput: simulated seconds per host second — the
+    /// headline "how fast is the simulator" number the trajectory
+    /// tracks across commits.
+    pub fn sims_per_sec(&self) -> f64 {
+        self.total_time_us() / self.total_wall_us().max(1) as f64
+    }
+
+    /// Arena hit rate across cells (1.0 = every twin reused a buffer).
+    pub fn arena_hit_rate(&self) -> f64 {
+        let hits: u64 = self.cells.iter().map(|c| c.arena_hits).sum();
+        let misses: u64 = self.cells.iter().map(|c| c.arena_misses).sum();
+        hits as f64 / (hits + misses).max(1) as f64
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("cells".into(), Json::Num(self.cells.len() as f64)),
+            (
+                "total_wall_us".into(),
+                Json::Num(self.total_wall_us() as f64),
+            ),
+            ("total_time_us".into(), Json::Num(self.total_time_us())),
+            ("sims_per_sec".into(), Json::Num(self.sims_per_sec())),
+            ("arena_hit_rate".into(), Json::Num(self.arena_hit_rate())),
+            (
+                "grid".into(),
+                Json::Arr(self.cells.iter().map(SweepCell::to_json).collect()),
+            ),
+        ])
+    }
+
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse and schema-check a document. Everything `to_json` derives
+    /// (totals, rates) is re-derived and cross-checked, so a hand-edited
+    /// file with inconsistent aggregates fails validation.
+    pub fn parse(text: &str) -> Result<SweepDoc, String> {
+        let v = Json::parse(text)?;
+        match v.get("schema").and_then(Json::as_str) {
+            Some(s) if s == SCHEMA => {}
+            Some(s) => return Err(format!("unsupported schema '{s}', expected '{SCHEMA}'")),
+            None => return Err("missing 'schema' field".into()),
+        }
+        let grid = v
+            .get("grid")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'grid'")?;
+        let cells = grid
+            .iter()
+            .map(SweepCell::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let doc = SweepDoc { cells };
+        let claimed = v.get("cells").and_then(Json::as_usize);
+        if claimed != Some(doc.cells.len()) {
+            return Err(format!(
+                "cell count {:?} does not match grid length {}",
+                claimed,
+                doc.cells.len()
+            ));
+        }
+        let wall = v.get("total_wall_us").and_then(Json::as_u64);
+        if wall != Some(doc.total_wall_us()) {
+            return Err("total_wall_us does not match the grid".into());
+        }
+        let time = v.get("total_time_us").and_then(Json::as_f64);
+        if time != Some(doc.total_time_us()) {
+            return Err("total_time_us does not match the grid".into());
+        }
+        Ok(doc)
+    }
+}
+
+/// The full grid: six applications × both protocols × both engines ×
+/// `scales` × `page_words`, the compiler-parallelized shared-memory
+/// version ([`Version::Spf`]) throughout. Cells come out in canonical
+/// order; the caller reorders for scheduling.
+pub fn grid(
+    nprocs: usize,
+    engines: &[EngineKind],
+    scales: &[f64],
+    page_words: &[usize],
+) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &app in &AppId::ALL {
+        for &protocol in &ProtocolMode::ALL {
+            for &engine in engines {
+                for &scale in scales {
+                    for &pw in page_words {
+                        cells.push(CellSpec {
+                            app,
+                            version: Version::Spf,
+                            protocol,
+                            engine,
+                            nprocs,
+                            scale,
+                            page_words: pw,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Default full-sweep shape: both engines, two scales, two page sizes.
+pub fn full_grid(nprocs: usize, scale_mult: f64) -> Vec<CellSpec> {
+    grid(
+        nprocs,
+        &[EngineKind::Sequential, EngineKind::Threaded],
+        &[0.05 * scale_mult, 0.1 * scale_mult],
+        &[256, 512],
+    )
+}
+
+/// CI smoke shape: sequential engine only (deterministic, flake-free),
+/// one small scale, one page size — still every app × protocol.
+pub fn smoke_grid(nprocs: usize, scale_mult: f64) -> Vec<CellSpec> {
+    grid(
+        nprocs,
+        &[EngineKind::Sequential],
+        &[0.04 * scale_mult],
+        &[512],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(app: &str, wall_us: u64, time_us: f64) -> SweepCell {
+        SweepCell {
+            app: app.into(),
+            version: "SPF/Tmk".into(),
+            protocol: ProtocolMode::Lrc,
+            engine: EngineKind::Sequential,
+            nprocs: 8,
+            scale: 0.05,
+            page_words: 512,
+            time_us,
+            messages: 1414,
+            bytes: 123456,
+            wall_us,
+            arena_hits: 100,
+            arena_misses: 7,
+            arena_peak_bytes: 28672,
+        }
+    }
+
+    #[test]
+    fn doc_round_trips_through_json() {
+        let doc = SweepDoc {
+            cells: vec![cell("Jacobi", 64000, 161321.0), cell("MGS", 9000, 42.5)],
+        };
+        let text = doc.render();
+        let back = SweepDoc::parse(&text).expect("parses");
+        assert_eq!(back, doc);
+        assert_eq!(back.total_wall_us(), 73000);
+        assert!(back.sims_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_inconsistent_aggregates() {
+        let doc = SweepDoc {
+            cells: vec![cell("Jacobi", 64000, 161321.0), cell("MGS", 9000, 42.5)],
+        };
+        let good = doc.render();
+        assert!(SweepDoc::parse(&good.replace(SCHEMA, "bench_sweep/v0")).is_err());
+        assert!(SweepDoc::parse(&good.replace("\"cells\": 2", "\"cells\": 3")).is_err());
+        // 73000 is the aggregate only (64000 + 9000): corrupting it
+        // leaves the grid intact but breaks the cross-check.
+        assert!(SweepDoc::parse(&good.replace("73000", "73001")).is_err());
+        assert!(SweepDoc::parse("{}").is_err());
+    }
+
+    #[test]
+    fn full_grid_covers_the_matrix() {
+        let cells = full_grid(8, 1.0);
+        assert_eq!(cells.len(), 6 * 2 * 2 * 2 * 2);
+        // Canonical order is already sorted.
+        let mut sorted = cells.clone();
+        sorted.sort_by_key(CellSpec::canon_key);
+        assert_eq!(sorted, cells);
+    }
+
+    #[test]
+    fn smoke_grid_is_sequential_only() {
+        let cells = smoke_grid(8, 1.0);
+        assert_eq!(cells.len(), 6 * 2);
+        assert!(cells.iter().all(|c| c.engine == EngineKind::Sequential));
+    }
+
+    #[test]
+    fn expected_cost_orders_scales_and_pages() {
+        let mut a = smoke_grid(8, 1.0)[0];
+        let mut b = a;
+        b.scale *= 2.0;
+        assert!(b.expected_cost() > a.expected_cost());
+        a.page_words = 256;
+        b.page_words = 512;
+        b.scale = a.scale;
+        assert!(a.expected_cost() > b.expected_cost());
+    }
+}

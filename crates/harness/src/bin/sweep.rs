@@ -1,0 +1,143 @@
+//! `sweep` — run the benchmark grid and emit the perf trajectory.
+//!
+//! Runs every application × protocol × engine × scale × page-size cell
+//! (see [`harness::bench_sweep`]) and writes `BENCH_sweep.json`: per
+//! cell the deterministic simulated quantities (virtual time, messages,
+//! bytes) next to the host quantities (wall-clock µs, scratch-arena
+//! counters), plus aggregate simulated-seconds-per-host-second. The
+//! committed file is the simulator's perf trajectory: a perf change
+//! shows up as a wall-clock diff with simulated columns untouched.
+//!
+//! Usage: `sweep [scale-mult] [nprocs] [--smoke] [--out FILE] [--check FILE]`
+//!
+//! * `--smoke` — the reduced CI grid (sequential engine only).
+//! * `--out FILE` — where to write the document (default `BENCH_sweep.json`).
+//! * `--check FILE` — don't run anything; parse and schema-validate an
+//!   existing document, print its summary, exit non-zero on failure.
+//!
+//! The common `--engine`/`--protocol` flags are accepted but ignored:
+//! the grid covers both sides of each. Sequential-engine cells fan out
+//! across cores, longest-expected first; threaded-engine cells run one
+//! after another (each already uses a thread per simulated node).
+
+use std::process::ExitCode;
+
+use harness::bench_sweep::{full_grid, smoke_grid, CellSpec};
+use harness::{longest_first, sweep_map, SweepDoc};
+use sp2sim::EngineKind;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut check: Option<String> = None;
+    let cli = harness::cli::parse_with(1.0, 8, |flag, args| {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: missing value after {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--smoke" => smoke = true,
+            "--out" => out = value("--out"),
+            "--check" => check = Some(value("--check")),
+            _ if flag.starts_with("--out=") => out = flag["--out=".len()..].to_string(),
+            _ if flag.starts_with("--check=") => check = Some(flag["--check=".len()..].to_string()),
+            _ => return false,
+        }
+        true
+    });
+
+    if let Some(path) = check {
+        return check_file(&path);
+    }
+
+    let cells = if smoke {
+        smoke_grid(cli.nprocs, cli.scale)
+    } else {
+        full_grid(cli.nprocs, cli.scale)
+    };
+    eprintln!(
+        "sweep: {} cells ({}), nprocs {}, scale x{}",
+        cells.len(),
+        if smoke { "smoke grid" } else { "full grid" },
+        cli.nprocs,
+        cli.scale,
+    );
+
+    // Sequential-engine cells are safe to fan out; threaded-engine
+    // cells each spawn a thread per node already and run serially.
+    // Either way the results scatter back into canonical grid order.
+    let (seq, thr): (Vec<CellSpec>, Vec<CellSpec>) = cells
+        .iter()
+        .partition(|c| c.engine == EngineKind::Sequential);
+    let mut tagged: Vec<(usize, CellSpec)> = seq.into_iter().enumerate().collect();
+    longest_first(&mut tagged, |&(_, c)| c.expected_cost());
+    let mut done: Vec<Option<harness::SweepCell>> = vec![None; tagged.len()];
+    for (i, cell) in sweep_map(EngineKind::Sequential, tagged, |(i, spec)| (i, spec.run())) {
+        done[i] = Some(cell);
+    }
+    let mut all: Vec<harness::SweepCell> = done.into_iter().map(Option::unwrap).collect();
+    for spec in thr {
+        all.push(spec.run());
+    }
+    // Canonical file order: paper app order, then protocol, engine,
+    // scale, page size — independent of the execution schedule.
+    all.sort_by_key(|c| {
+        (
+            apps::AppId::ALL
+                .iter()
+                .position(|a| a.name() == c.app)
+                .unwrap_or(usize::MAX),
+            c.protocol.name(),
+            c.engine.name(),
+            c.scale.to_bits(),
+            c.page_words,
+        )
+    });
+
+    let doc = SweepDoc { cells: all };
+    let text = doc.render();
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    print_summary(&doc);
+    eprintln!("sweep: wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn check_file(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match SweepDoc::parse(&text) {
+        Ok(doc) => {
+            eprintln!(
+                "sweep: {path} is a valid {} document",
+                harness::bench_sweep::SCHEMA
+            );
+            print_summary(&doc);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_summary(doc: &SweepDoc) {
+    println!(
+        "cells {}  simulated {:.1} s  host {:.1} s  throughput {:.2} sim-s/host-s  arena hit rate {:.1}%",
+        doc.cells.len(),
+        doc.total_time_us() / 1e6,
+        doc.total_wall_us() as f64 / 1e6,
+        doc.sims_per_sec(),
+        100.0 * doc.arena_hit_rate(),
+    );
+}

@@ -11,6 +11,7 @@
 //! | [`experiments::compiler_opt`] | conclusion: SPF vs SPF+CRI vs hand-coded MPL |
 //! | [`experiments::protocol_compare`] | LRC vs HLRC protocol comparison (extension) |
 //! | [`experiments::scaling`] | 1..8-processor scaling study (extension) |
+//! | `sweep` (binary) | simulator-throughput trajectory (`BENCH_sweep.json`) |
 //!
 //! Each function returns structured rows; the `report` module renders
 //! them as aligned text tables (and CSV) so the binaries under
@@ -23,15 +24,19 @@
 //! while `scale = 1.0` reproduces the calibrated magnitudes.
 
 pub mod baseline;
+pub mod bench_sweep;
 pub mod cli;
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod sweep;
 
+pub use bench_sweep::{CellSpec, SweepCell, SweepDoc};
 pub use experiments::{
     compiler_opt, figure1, figure2_table3, handopt, interface_ablation, protocol_compare, scaling,
     speedup_rows, table1, CompilerOptRow, HandOptRow, ProtocolCompareRow, ScaleRow, SeqRow,
     SpeedupRow,
 };
+pub use json::Json;
 pub use report::{render_table, Table};
-pub use sweep::sweep_map;
+pub use sweep::{longest_first, sweep_map};

@@ -8,11 +8,23 @@
 //! simulated node, so the sweep runs them one after another instead.
 
 use sp2sim::EngineKind;
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// True when sweep items should fan out across OS threads for `engine`.
 pub fn parallel(engine: EngineKind) -> bool {
     engine == EngineKind::Sequential
+}
+
+/// Sort items longest-expected-first. Greedy longest-job-first is the
+/// classic makespan heuristic for [`sweep_map`]'s work-stealing loop:
+/// scheduling the expensive cells first keeps every worker busy through
+/// the tail of the sweep instead of leaving one worker grinding a giant
+/// cell after the others drained the queue. The sort is stable and
+/// descending, so equal-cost items keep their canonical order and the
+/// schedule is deterministic.
+pub fn longest_first<T>(items: &mut [T], cost: impl Fn(&T) -> u64) {
+    items.sort_by_key(|t| std::cmp::Reverse(cost(t)));
 }
 
 /// Map `f` over `items`, in parallel when `engine` allows it (see
@@ -31,13 +43,8 @@ where
         .map(|n| n.get())
         .unwrap_or(1)
         .min(items.len());
-    let jobs: Vec<spin_cell::SpinCell<Option<T>>> = items
-        .into_iter()
-        .map(|t| spin_cell::SpinCell::new(Some(t)))
-        .collect();
-    let results: Vec<spin_cell::SpinCell<Option<R>>> = (0..jobs.len())
-        .map(|_| spin_cell::SpinCell::new(None))
-        .collect();
+    let jobs: Vec<Slot<T>> = items.into_iter().map(Slot::full).collect();
+    let results: Vec<Slot<R>> = (0..jobs.len()).map(|_| Slot::empty()).collect();
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -48,9 +55,12 @@ where
                 if i >= jobs.len() {
                     break;
                 }
-                let item = jobs[i].take().expect("job claimed once");
+                // SAFETY: `fetch_add` hands index `i` to exactly one
+                // worker, so this thread has exclusive access to both
+                // slots at `i` for the lifetime of the scope.
+                let item = unsafe { jobs[i].take() }.expect("job claimed once");
                 let r = f(item);
-                results[i].put(r);
+                unsafe { results[i].put(r) };
             }));
         }
         for h in handles {
@@ -60,39 +70,47 @@ where
         }
     });
 
+    // All workers joined above: the slots are quiescent again.
     results
         .into_iter()
         .map(|c| c.into_inner().expect("worker filled every slot"))
         .collect()
 }
 
-mod spin_cell {
-    //! A tiny `Sync` slot: each index is touched by exactly one worker
-    //! (claimed through the shared atomic counter), so no real locking
-    //! is needed — the mutex only encodes that invariant safely.
+/// A `Sync` slot with no lock and no allocation. The sweep's invariant —
+/// each index is claimed by exactly one worker through the shared atomic
+/// counter, and every worker is joined before the results are read —
+/// means slot accesses never race; earlier revisions encoded that
+/// through a mutex per slot, which bought nothing but an atomic RMW on
+/// the hot claim path. The invariant is now carried by the two `unsafe`
+/// call sites in [`sweep_map`] instead.
+struct Slot<T>(UnsafeCell<Option<T>>);
 
-    use parking_lot::Mutex;
+// SAFETY: a Slot is only ever touched by one thread at a time (see the
+// invariant above); `T: Send` is all that transfer needs.
+unsafe impl<T: Send> Sync for Slot<T> {}
 
-    pub struct SpinCell<T>(Mutex<T>);
-
-    impl<T> SpinCell<T> {
-        pub fn new(t: T) -> SpinCell<T> {
-            SpinCell(Mutex::new(t))
-        }
-
-        pub fn into_inner(self) -> T {
-            self.0.into_inner()
-        }
+impl<T> Slot<T> {
+    fn full(t: T) -> Slot<T> {
+        Slot(UnsafeCell::new(Some(t)))
     }
 
-    impl<T> SpinCell<Option<T>> {
-        pub fn take(&self) -> Option<T> {
-            self.0.lock().take()
-        }
+    fn empty() -> Slot<T> {
+        Slot(UnsafeCell::new(None))
+    }
 
-        pub fn put(&self, t: T) {
-            *self.0.lock() = Some(t);
-        }
+    /// SAFETY: caller must have exclusive access to this slot.
+    unsafe fn take(&self) -> Option<T> {
+        (*self.0.get()).take()
+    }
+
+    /// SAFETY: caller must have exclusive access to this slot.
+    unsafe fn put(&self, t: T) {
+        *self.0.get() = Some(t);
+    }
+
+    fn into_inner(self) -> Option<T> {
+        self.0.into_inner()
     }
 }
 
@@ -124,5 +142,31 @@ mod tests {
             .len()
         });
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn longest_first_is_stable_descending() {
+        let mut items = vec![(1u64, 'a'), (3, 'b'), (2, 'c'), (3, 'd'), (1, 'e')];
+        longest_first(&mut items, |&(c, _)| c);
+        assert_eq!(
+            items,
+            vec![(3, 'b'), (3, 'd'), (2, 'c'), (1, 'a'), (1, 'e')]
+        );
+    }
+
+    #[test]
+    fn ljf_schedule_round_trips_through_sweep_map() {
+        // The sweep-bin pattern: tag with the canonical index, sort by
+        // cost, run, scatter back. The result must be independent of
+        // the schedule.
+        let costs: Vec<u64> = vec![5, 1, 9, 3, 7, 2];
+        let mut tagged: Vec<(usize, u64)> = costs.iter().copied().enumerate().collect();
+        longest_first(&mut tagged, |&(_, c)| c);
+        assert_eq!(tagged[0], (2, 9), "most expensive first");
+        let mut out = vec![0u64; costs.len()];
+        for (i, r) in sweep_map(EngineKind::Sequential, tagged, |(i, c)| (i, c * 10)) {
+            out[i] = r;
+        }
+        assert_eq!(out, vec![50, 10, 90, 30, 70, 20]);
     }
 }

@@ -1,0 +1,90 @@
+//! Gates on the sweep product (`BENCH_sweep.json`).
+//!
+//! Two properties make the trajectory file trustworthy:
+//!
+//! 1. **Schema round-trip** — a document built from real runs renders
+//!    to JSON and parses back identically, so CI's `--check` validation
+//!    and the committed artifact can never drift apart.
+//! 2. **Determinism** — on the sequential engine the *simulated*
+//!    columns (virtual time, messages, bytes) of every cell are
+//!    identical across runs. Host columns (wall-clock) and the arena
+//!    hit/miss split are explicitly excluded: they measure the host,
+//!    not the simulation, and the split can vary with interleaving on
+//!    the threaded engine.
+
+use harness::bench_sweep::{grid, CellSpec, SCHEMA};
+use harness::{longest_first, sweep_map, SweepCell, SweepDoc};
+use sp2sim::EngineKind;
+
+/// A tiny all-sequential grid: every app × both protocols at a small
+/// scale — the smoke grid's shape, scaled to test budget.
+fn tiny_grid() -> Vec<CellSpec> {
+    grid(8, &[EngineKind::Sequential], &[0.02], &[512])
+}
+
+fn run_grid(cells: Vec<CellSpec>) -> Vec<SweepCell> {
+    let mut tagged: Vec<(usize, CellSpec)> = cells.into_iter().enumerate().collect();
+    longest_first(&mut tagged, |&(_, c)| c.expected_cost());
+    let mut done: Vec<Option<SweepCell>> = vec![None; tagged.len()];
+    for (i, cell) in sweep_map(EngineKind::Sequential, tagged, |(i, spec)| (i, spec.run())) {
+        done[i] = Some(cell);
+    }
+    done.into_iter().map(Option::unwrap).collect()
+}
+
+#[test]
+fn real_sweep_round_trips_through_json() {
+    let doc = SweepDoc {
+        cells: run_grid(tiny_grid()),
+    };
+    assert_eq!(doc.cells.len(), 12, "6 apps x 2 protocols");
+    let text = doc.render();
+    assert!(text.contains(SCHEMA));
+    let back = SweepDoc::parse(&text).expect("rendered document re-parses");
+    assert_eq!(back, doc, "schema round-trip is lossless");
+    // Every cell actually simulated something.
+    for c in &doc.cells {
+        assert!(c.time_us > 0.0, "{}/{} ran", c.app, c.protocol);
+        assert!(c.messages > 0, "{}/{} communicated", c.app, c.protocol);
+    }
+}
+
+#[test]
+fn sequential_sweep_is_deterministic() {
+    let a = run_grid(tiny_grid());
+    let b = run_grid(tiny_grid());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.app, y.app);
+        assert_eq!(x.protocol, y.protocol);
+        // The simulated columns are the deterministic contract.
+        assert_eq!(
+            x.time_us, y.time_us,
+            "{}/{} virtual time",
+            x.app, x.protocol
+        );
+        assert_eq!(x.messages, y.messages, "{}/{} messages", x.app, x.protocol);
+        assert_eq!(x.bytes, y.bytes, "{}/{} bytes", x.app, x.protocol);
+    }
+}
+
+#[test]
+fn arena_recycles_at_steady_state() {
+    // The scratch arena's point: misses are bounded by the peak number
+    // of concurrently-live twins (they only happen while the pool is
+    // still warming), while hits grow with every epoch after that. A
+    // multi-epoch Jacobi run must therefore recycle more twins than it
+    // allocates.
+    let spec = CellSpec {
+        scale: 0.1,
+        ..tiny_grid()[0]
+    };
+    let cell = spec.run();
+    assert!(
+        cell.arena_hits > cell.arena_misses,
+        "recycling should dominate allocation: {} hits vs {} misses",
+        cell.arena_hits,
+        cell.arena_misses
+    );
+    assert!(cell.arena_peak_bytes > 0, "arena parked at least one twin");
+}

@@ -27,25 +27,58 @@ pub struct Diff {
 impl Diff {
     /// Compare `new` against its twin `old` and encode the changed words.
     ///
-    /// Both slices must be the same length (one page).
+    /// Both slices must be the same length (one page). The scan is
+    /// chunked: 8-word blocks are XOR-accumulated so fully unchanged
+    /// blocks (the common case when comparing a page against its twin)
+    /// are skipped with one branch, and fully changed blocks extend a
+    /// run without per-word branching. The run structure produced is
+    /// identical to a word-by-word scan — disjoint, ordered,
+    /// non-adjacent runs — which the property tests below pin.
     pub fn create(old: &[u64], new: &[u64]) -> Diff {
         debug_assert_eq!(old.len(), new.len());
+        const BLOCK: usize = 8;
         let mut runs = Vec::new();
         let mut i = 0;
         let n = new.len();
         while i < n {
-            if old[i] != new[i] {
-                let start = i;
-                while i < n && old[i] != new[i] {
-                    i += 1;
+            // Skip unchanged blocks: OR together the XOR of each pair;
+            // zero means the whole block matches.
+            while i + BLOCK <= n {
+                let mut acc = 0u64;
+                for k in 0..BLOCK {
+                    acc |= old[i + k] ^ new[i + k];
                 }
-                runs.push(Run {
-                    start: start as u32,
-                    words: new[start..i].to_vec(),
-                });
-            } else {
+                if acc != 0 {
+                    break;
+                }
+                i += BLOCK;
+            }
+            // Word-wise skip through the partially changed block (or tail).
+            while i < n && old[i] == new[i] {
                 i += 1;
             }
+            if i >= n {
+                break;
+            }
+            let start = i;
+            // Extend the run a block at a time while every word differs.
+            while i + BLOCK <= n {
+                let mut all = true;
+                for k in 0..BLOCK {
+                    all &= old[i + k] != new[i + k];
+                }
+                if !all {
+                    break;
+                }
+                i += BLOCK;
+            }
+            while i < n && old[i] != new[i] {
+                i += 1;
+            }
+            runs.push(Run {
+                start: start as u32,
+                words: new[start..i].to_vec(),
+            });
         }
         Diff { runs }
     }

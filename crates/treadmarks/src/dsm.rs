@@ -17,6 +17,7 @@ use sp2sim::{MsgKind, Node, Port, ServiceHandle, WordReader, WordWriter};
 
 use crate::config::{ProtocolMode, TmkConfig};
 use crate::diff::Diff;
+use crate::page::Frame;
 use crate::protocol::{self, flags, op, tag, DiffReqEntry};
 use crate::service::{forward_reduce, service_loop};
 use crate::state::{reduce_children, DiffRange, DsmState, ReduceOp};
@@ -643,28 +644,32 @@ impl<'n> Tmk<'n> {
                 us += cost.diff_apply_us(e.diff.encoded_words());
             }
             if write {
+                let st = &mut *st;
                 for p in p0..=p1 {
-                    let me = st.me;
-                    let frame = st.frame_mut(p);
+                    let frame = st
+                        .frames
+                        .get_mut(&p)
+                        .expect("phase 1 created every frame in range");
                     if frame.twin.is_none() {
-                        // Write fault: save a twin for later diffing.
-                        frame.twin = Some(frame.data.clone());
+                        // Write fault: save a twin for later diffing,
+                        // reusing a pooled buffer when the arena has one.
+                        frame.twin = Some(st.scratch.take_copy(&frame.data, &mut st.stats));
                         us += cost.page_fault_us + cost.twin_us;
                         st.stats.faults += 1;
                         st.stats.twins += 1;
-                        let _ = me;
                     }
                     st.dirty.insert(p);
                 }
             }
-            // Copy the consistent words out.
+            // Copy the consistent words out, one contiguous slice per page.
             for p in p0..=p1 {
                 let frame = st.frames.get(&p).expect("frame exists");
                 let page_base = p * pw;
                 let s = wlo.max(page_base);
                 let e = whi.min(page_base + pw);
-                for w in s..e {
-                    out[w - wlo] = f64::from_bits(frame.data[w - page_base]);
+                let src = &frame.data[s - page_base..e - page_base];
+                for (d, &x) in out[s - wlo..e - wlo].iter_mut().zip(src) {
+                    *d = f64::from_bits(x);
                 }
             }
             drop(st);
@@ -724,16 +729,19 @@ impl<'n> Tmk<'n> {
             let mut r = WordReader::new(&pkt.payload);
             incoming.extend(protocol::decode_page_resp(&mut r, self.nprocs(), pw));
         }
-        let mut st = self.state.lock();
+        let mut guard = self.state.lock();
+        let st = &mut *guard;
+        let n = st.n;
         let mut us = 0.0;
         for e in incoming {
-            let frame = st.frame_mut(e.page);
+            let frame = st.frames.entry(e.page).or_insert_with(|| Frame::new(pw, n));
             if let Some(twin) = frame.twin.take() {
                 // The page is write-enabled with local in-progress
                 // modifications: reinstall them on top of the home's
                 // copy, and re-twin at the home's copy so the eventual
                 // diff still captures exactly the local delta.
                 let local = Diff::create(&twin, &frame.data);
+                st.scratch.put(twin, &mut st.stats);
                 frame.data.copy_from_slice(&e.data);
                 frame.twin = Some(e.data);
                 local.apply(&mut frame.data);
@@ -748,7 +756,7 @@ impl<'n> Tmk<'n> {
             st.stats.page_fetches += 1;
             us += cost.diff_apply_us(pw);
         }
-        drop(st);
+        drop(guard);
         self.node.advance(us);
     }
 
@@ -785,8 +793,9 @@ impl<'n> Tmk<'n> {
             let page_base = p * pw;
             let s = wlo.max(page_base);
             let e = whi.min(page_base + pw);
-            for w in s..e {
-                frame.data[w - page_base] = buf[w - wlo].to_bits();
+            let src = &buf[s - wlo..e - wlo];
+            for (d, &x) in frame.data[s - page_base..e - page_base].iter_mut().zip(src) {
+                *d = x.to_bits();
             }
         }
     }
@@ -1126,7 +1135,7 @@ impl<'n> Tmk<'n> {
             if diffs.is_empty() {
                 continue;
             }
-            let mut w = WordWriter::new();
+            let mut w = WordWriter::with_capacity(1 + protocol::diff_entries_words(&diffs));
             w.put(if hlrc {
                 PUSH_MODE_PAGES
             } else {
@@ -1176,7 +1185,8 @@ impl<'n> Tmk<'n> {
         // of message arrival order (the threaded engine may deliver
         // pushes in any order).
         page_pushes.sort_by_key(|(src, e)| (e.page, *src));
-        let mut st = self.state.lock();
+        let mut guard = self.state.lock();
+        let st = &mut *guard;
         let mut us = 0.0;
         for (writer, e) in &all {
             let applied = st.frame_mut(e.page).applied[*writer];
@@ -1202,10 +1212,10 @@ impl<'n> Tmk<'n> {
                 // words stale behind an advanced `applied` watermark:
                 // drop it — the page stays invalid and the next access
                 // fetches the full set.
-                let gap = st.notices.get(&e.page).is_some_and(|list| {
-                    list.iter()
-                        .any(|nt| nt.node == *writer && nt.seq > applied && nt.seq < e.lo)
-                });
+                let gap = st
+                    .notices
+                    .get(&e.page)
+                    .is_some_and(|pn| pn.any_between(*writer, applied, e.lo));
                 if gap {
                     trace!(
                         "[{}] push-recv: dropping gapped range for page {}",
@@ -1265,8 +1275,11 @@ impl<'n> Tmk<'n> {
                 let (_, f_us) = st.serve_diffs(e.page, 0, &cost);
                 us += f_us;
             }
-            let frame = st.frame_mut(e.page);
-            frame.twin = None;
+            let n = st.n;
+            let frame = st.frames.entry(e.page).or_insert_with(|| Frame::new(pw, n));
+            if let Some(t) = frame.twin.take() {
+                st.scratch.put(t, &mut st.stats);
+            }
             frame.data.copy_from_slice(&e.data);
             for (a, &b) in frame.applied.iter_mut().zip(&e.applied) {
                 if b > *a {
@@ -1275,7 +1288,7 @@ impl<'n> Tmk<'n> {
             }
             us += cost.diff_apply_us(pw);
         }
-        drop(st);
+        drop(guard);
         self.node.advance(us);
     }
 
@@ -1462,7 +1475,7 @@ impl<'n> Tmk<'n> {
             // Publish local writes first so the broadcast content matches
             // the interval state observers are entitled to.
             self.publish();
-            let mut w = WordWriter::new();
+            let mut w = WordWriter::with_capacity(1 + (p1 - p0 + 1) * (1 + n + pw));
             let st = self.state.lock();
             w.put_usize(p1 - p0 + 1);
             for p in p0..=p1 {

@@ -27,17 +27,6 @@ pub struct Interval {
     pub pages: Vec<PageId>,
 }
 
-/// A write notice as stored per page: which interval wrote the page.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Notice {
-    /// Writing node.
-    pub node: usize,
-    /// Interval sequence number of the write.
-    pub seq: u32,
-    /// Lamport stamp of the interval.
-    pub lamport: u64,
-}
-
 impl Interval {
     /// Serialize into a word stream.
     pub fn encode(&self, w: &mut WordWriter) {
@@ -71,12 +60,23 @@ impl Interval {
     }
 }
 
-/// Encode a batch of intervals with a count prefix.
-pub fn encode_intervals(w: &mut WordWriter, intervals: &[Interval]) {
+/// Encode a batch of intervals with a count prefix. Generic over the
+/// element's ownership (`Interval` or `Arc<Interval>`): senders keep
+/// their interval logs as `Arc`s, and encoding must not clone the page
+/// lists just to borrow them.
+pub fn encode_intervals<T: std::borrow::Borrow<Interval>>(w: &mut WordWriter, intervals: &[T]) {
     w.put_usize(intervals.len());
     for iv in intervals {
-        iv.encode(w);
+        iv.borrow().encode(w);
     }
+}
+
+/// Words [`encode_intervals`] produces (count prefix included).
+pub fn intervals_words<T: std::borrow::Borrow<Interval>>(intervals: &[T]) -> usize {
+    1 + intervals
+        .iter()
+        .map(|iv| iv.borrow().encoded_words())
+        .sum::<usize>()
 }
 
 /// Inverse of [`encode_intervals`].

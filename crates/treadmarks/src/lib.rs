@@ -102,6 +102,7 @@
 pub mod config;
 pub mod diff;
 pub mod dsm;
+pub mod fxhash;
 pub mod interval;
 pub mod page;
 pub mod protocol;

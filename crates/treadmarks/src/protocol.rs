@@ -7,7 +7,7 @@
 use sp2sim::{WordReader, WordWriter};
 
 use crate::diff::Diff;
-use crate::interval::{decode_intervals, encode_intervals, Interval};
+use crate::interval::{decode_intervals, encode_intervals, intervals_words, Interval};
 use crate::page::PageId;
 use crate::state::DiffRange;
 use crate::vc::Vc;
@@ -164,6 +164,15 @@ pub struct DiffRespEntry {
     pub diff: Diff,
 }
 
+/// Words [`encode_diff_entries`] produces — callers pre-size their
+/// writer with this instead of growing it a word at a time.
+pub fn diff_entries_words(entries: &[(PageId, DiffRange)]) -> usize {
+    1 + entries
+        .iter()
+        .map(|(_, r)| 4 + r.diff.encoded_words())
+        .sum::<usize>()
+}
+
 /// Encode diff-response/push entries (count-prefixed).
 pub fn encode_diff_entries(w: &mut WordWriter, entries: &[(PageId, DiffRange)]) {
     w.put_usize(entries.len());
@@ -217,9 +226,8 @@ pub fn decode_lock_req(r: &mut WordReader, n: usize) -> (u32, usize, Vc) {
 
 /// Encode a lock grant: the intervals the requester has not seen.
 pub fn encode_lock_grant(intervals: &[std::sync::Arc<Interval>]) -> Vec<u64> {
-    let mut w = WordWriter::new();
-    let owned: Vec<Interval> = intervals.iter().map(|iv| (**iv).clone()).collect();
-    encode_intervals(&mut w, &owned);
+    let mut w = WordWriter::with_capacity(intervals_words(intervals));
+    encode_intervals(&mut w, intervals);
     w.finish()
 }
 
@@ -232,7 +240,8 @@ pub fn encode_arrival(
     vc: &Vc,
     intervals: &[std::sync::Arc<Interval>],
 ) -> Vec<u64> {
-    let mut w = WordWriter::new();
+    let mut w =
+        WordWriter::with_capacity(3 + push_counts.len() + vc.len() + intervals_words(intervals));
     w.put(opcode).put(epoch).put_usize(src);
     for &c in push_counts {
         w.put(c);
@@ -240,8 +249,7 @@ pub fn encode_arrival(
     for &x in vc {
         w.put(x as u64);
     }
-    let owned: Vec<Interval> = intervals.iter().map(|iv| (**iv).clone()).collect();
-    encode_intervals(&mut w, &owned);
+    encode_intervals(&mut w, intervals);
     w.finish()
 }
 
@@ -301,12 +309,12 @@ pub fn encode_departure(
     intervals: &[std::sync::Arc<Interval>],
     min_vc: &[u32],
 ) -> Vec<u64> {
-    let mut w = WordWriter::new();
+    let mut w =
+        WordWriter::with_capacity(5 + min_vc.len() + ctl.len() + intervals_words(intervals));
     w.put(epoch).put(flag_bits).put(expected_push);
     encode_vc_words(&mut w, min_vc);
     w.put_words(ctl);
-    let owned: Vec<Interval> = intervals.iter().map(|iv| (**iv).clone()).collect();
-    encode_intervals(&mut w, &owned);
+    encode_intervals(&mut w, intervals);
     w.finish()
 }
 
@@ -411,7 +419,8 @@ pub struct ReduceWindow {
 /// Encode a windowed-reduction list travelling up the combine tree
 /// (service-port message; `src` is the forwarding subtree root).
 pub fn encode_reduce_list(seq: u32, src: usize, windows: &[ReduceWindow]) -> Vec<u64> {
-    let mut w = WordWriter::new();
+    let words = 4 + windows.iter().map(|w| 5 + w.vals.len()).sum::<usize>();
+    let mut w = WordWriter::with_capacity(words);
     w.put(op::REDUCE_LIST)
         .put(seq as u64)
         .put_usize(src)
@@ -476,7 +485,7 @@ pub fn decode_reduce_slice(r: &mut WordReader) -> (usize, Vec<f64>) {
 /// frozen diff ranges destined for this home (same entry format as diff
 /// responses and pushes).
 pub fn encode_home_flush(writer: usize, entries: &[(PageId, DiffRange)]) -> Vec<u64> {
-    let mut w = WordWriter::new();
+    let mut w = WordWriter::with_capacity(2 + diff_entries_words(entries));
     w.put(op::HOME_FLUSH).put_usize(writer);
     encode_diff_entries(&mut w, entries);
     w.finish()

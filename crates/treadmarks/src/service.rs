@@ -106,7 +106,7 @@ fn serve_page_req(
     }
     let service_us = cost.service_us + first_us;
     drop(st);
-    let mut w = sp2sim::WordWriter::new();
+    let mut w = sp2sim::WordWriter::with_capacity(protocol::diff_entries_words(&out));
     protocol::encode_diff_entries(&mut w, &out);
     ep.send_at(
         requester,

@@ -28,14 +28,15 @@
 //! bookkeeping refetches the final values afterwards (validated by the
 //! bitwise cross-version application tests).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use sp2sim::{CostModel, VTime};
 
 use crate::config::TmkConfig;
 use crate::diff::Diff;
-use crate::interval::{Interval, Notice};
+use crate::fxhash::FxHashMap;
+use crate::interval::Interval;
 use crate::page::{Frame, PageId};
 use crate::stats::DsmStats;
 use crate::vc::Vc;
@@ -78,6 +79,122 @@ pub struct PageDiffs {
     /// The open (unmaterialized) range, if any interval since the last
     /// freeze wrote this page.
     pub open: Option<OpenRange>,
+}
+
+/// Write-notice history for one page, stored per writer.
+///
+/// Kept as per-writer ascending sequence-number lists rather than one
+/// flat arrival-order vector: the fault path asks "first sequence above
+/// my applied watermark" for every writer on every view construction,
+/// and a flat list makes that O(all notices ever) — quadratic over a
+/// run as epochs accumulate. Per-creator intervals integrate in order,
+/// so each list is sorted by construction and every query is a binary
+/// search. The stored Lamport stamps were never consumed (ordering uses
+/// the stamps carried by diff ranges), so only sequence numbers remain.
+#[derive(Clone, Debug, Default)]
+pub struct PageNotices {
+    /// `seqs[w]`: interval sequence numbers of writer `w` that wrote
+    /// this page, ascending. Sized lazily on first push.
+    seqs: Vec<Vec<u32>>,
+}
+
+impl PageNotices {
+    /// Record that interval `seq` of `node` wrote this page (`n` nodes).
+    pub fn push(&mut self, n: usize, node: usize, seq: u32) {
+        if self.seqs.is_empty() {
+            self.seqs = vec![Vec::new(); n];
+        }
+        let list = &mut self.seqs[node];
+        debug_assert!(
+            !list.iter().any(|&s| s >= seq),
+            "per-creator notices arrive in ascending order"
+        );
+        list.push(seq);
+    }
+
+    /// Total notices recorded for this page.
+    pub fn len(&self) -> usize {
+        self.seqs.iter().map(Vec::len).sum()
+    }
+
+    /// True when no notice has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest recorded sequence number of `writer` (0 if none).
+    pub fn max_seq(&self, writer: usize) -> u32 {
+        self.seqs
+            .get(writer)
+            .and_then(|l| l.last().copied())
+            .unwrap_or(0)
+    }
+
+    /// First recorded sequence of `writer` strictly above `done`.
+    pub fn first_after(&self, writer: usize, done: u32) -> Option<u32> {
+        let list = self.seqs.get(writer)?;
+        let i = list.partition_point(|&s| s <= done);
+        list.get(i).copied()
+    }
+
+    /// True if `writer` has a recorded sequence in the open interval
+    /// `(lo, hi)` — the push gap check.
+    pub fn any_between(&self, writer: usize, lo: u32, hi: u32) -> bool {
+        self.first_after(writer, lo).is_some_and(|s| s < hi)
+    }
+}
+
+/// Recycled page-sized `Vec<u64>` buffers — the diff-path scratch arena.
+///
+/// Twins are created on every write fault and dropped at every diff
+/// materialization; at steady state that is one allocation plus one
+/// deallocation per fetched page per epoch. The arena parks dropped
+/// buffers instead and re-issues them on the next fault, so steady-state
+/// epochs allocate nothing in the diff path. Hit/miss/footprint counters
+/// land in [`DsmStats`] so reuse is visible in every report.
+#[derive(Debug, Default)]
+pub struct DiffScratch {
+    bufs: Vec<Vec<u64>>,
+    held_bytes: u64,
+}
+
+impl DiffScratch {
+    /// Take a buffer holding a copy of `src` (the twin-creation shape).
+    /// Served from the pool when possible; the copy itself is unavoidable
+    /// — it *is* the twin.
+    pub fn take_copy(&mut self, src: &[u64], stats: &mut DsmStats) -> Vec<u64> {
+        let mut buf = match self.bufs.pop() {
+            Some(b) => {
+                self.held_bytes -= 8 * b.capacity() as u64;
+                stats.arena_hits += 1;
+                b
+            }
+            None => {
+                stats.arena_misses += 1;
+                Vec::with_capacity(src.len())
+            }
+        };
+        buf.clear();
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Return a retired buffer (a dropped twin) to the pool.
+    pub fn put(&mut self, buf: Vec<u64>, stats: &mut DsmStats) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.held_bytes += 8 * buf.capacity() as u64;
+        if self.held_bytes > stats.arena_peak_bytes {
+            stats.arena_peak_bytes = self.held_bytes;
+        }
+        self.bufs.push(buf);
+    }
+
+    /// Buffers currently parked.
+    pub fn pooled(&self) -> usize {
+        self.bufs.len()
+    }
 }
 
 /// Local state of one lock.
@@ -299,20 +416,20 @@ pub struct DsmState {
     pub lamport: u64,
     /// Interval log, indexed by creator, ascending sequence numbers.
     pub log: Vec<Vec<Arc<Interval>>>,
-    /// Write notices per page, in integration order.
-    pub notices: HashMap<PageId, Vec<Notice>>,
+    /// Write notices per page, per writer (see [`PageNotices`]).
+    pub notices: FxHashMap<PageId, PageNotices>,
     /// Cached page frames.
-    pub frames: HashMap<PageId, Frame>,
+    pub frames: FxHashMap<PageId, Frame>,
     /// Pages written since the last flush (BTreeSet: deterministic order).
     pub dirty: BTreeSet<PageId>,
     /// Diff storage for pages we have written.
-    pub diffs: HashMap<PageId, PageDiffs>,
+    pub diffs: FxHashMap<PageId, PageDiffs>,
     /// Our own intervals not yet reported to the barrier manager.
     pub unreported_seq: u32,
     /// Lock state where we are (or were) the holder.
-    pub locks: HashMap<u32, LockLocal>,
+    pub locks: FxHashMap<u32, LockLocal>,
     /// Manager-side: last node a lock was directed to.
-    pub lock_owner: HashMap<u32, usize>,
+    pub lock_owner: FxHashMap<u32, usize>,
     /// Manager-side barrier state per epoch.
     pub epochs: BTreeMap<u64, EpochState>,
     /// Manager-side: intervals received in arrivals, buffered until epoch
@@ -331,16 +448,18 @@ pub struct DsmState {
     /// HLRC: per-page home overrides (block-cyclic `page % n` otherwise).
     /// Every node must install identical overrides, before the page's
     /// first write notice exists — see [`DsmState::set_home`].
-    pub home_override: HashMap<PageId, usize>,
+    pub home_override: FxHashMap<PageId, usize>,
     /// HLRC home-side: the home copies of pages homed here, fed only by
     /// *published* diffs (remote writers' eager flushes, and our own
     /// frozen diffs buffered at release) — deliberately separate from
     /// [`DsmState::frames`], whose content includes local unpublished
     /// writes that must never be served.
-    pub homed: HashMap<PageId, HomePage>,
+    pub homed: FxHashMap<PageId, HomePage>,
     /// HLRC home-side: page requests deferred until the flushes they
     /// require arrive.
     pub waiting_page_reqs: Vec<WaitingPageReq>,
+    /// Recycled page buffers for the twin/diff path.
+    pub scratch: DiffScratch,
     /// Per-node protocol statistics.
     pub stats: DsmStats,
 }
@@ -355,21 +474,22 @@ impl DsmState {
             vc: vec![0; n],
             lamport: 0,
             log: (0..n).map(|_| Vec::new()).collect(),
-            notices: HashMap::new(),
-            frames: HashMap::new(),
+            notices: FxHashMap::default(),
+            frames: FxHashMap::default(),
             dirty: BTreeSet::new(),
-            diffs: HashMap::new(),
+            diffs: FxHashMap::default(),
             unreported_seq: 0,
-            locks: HashMap::new(),
-            lock_owner: HashMap::new(),
+            locks: FxHashMap::default(),
+            lock_owner: FxHashMap::default(),
             epochs: BTreeMap::new(),
             pending_ivs: BTreeMap::new(),
             pending_push: Vec::new(),
             reduces: BTreeMap::new(),
             reduce_lists: BTreeMap::new(),
-            home_override: HashMap::new(),
-            homed: HashMap::new(),
+            home_override: FxHashMap::default(),
+            homed: FxHashMap::default(),
             waiting_page_reqs: Vec::new(),
+            scratch: DiffScratch::default(),
             stats: DsmStats::default(),
         }
     }
@@ -409,11 +529,9 @@ impl DsmState {
     /// copy is consistent for us.
     pub fn required_watermarks(&self, page: PageId) -> Vec<u32> {
         let mut req = vec![0u32; self.n];
-        if let Some(list) = self.notices.get(&page) {
-            for nt in list {
-                if nt.seq > req[nt.node] {
-                    req[nt.node] = nt.seq;
-                }
+        if let Some(pn) = self.notices.get(&page) {
+            for (w, r) in req.iter_mut().enumerate() {
+                *r = pn.max_seq(w);
             }
         }
         req
@@ -677,27 +795,23 @@ impl DsmState {
     }
 
     /// Write notices for `page` that are not yet applied to our frame.
-    /// Returned grouped by writer: `(writer, first missing seq)`.
+    /// Returned grouped by writer: `(writer, first missing seq)`,
+    /// ascending by writer.
     pub fn missing_by_writer(&self, page: PageId) -> Vec<(usize, u32)> {
-        let Some(list) = self.notices.get(&page) else {
+        let Some(pn) = self.notices.get(&page) else {
             return Vec::new();
         };
-        let applied = self.frames.get(&page).map(|f| f.applied.clone());
-        let mut first: HashMap<usize, u32> = HashMap::new();
-        for n in list {
-            if n.node == self.me {
+        let applied = self.frames.get(&page).map(|f| f.applied.as_slice());
+        let mut v = Vec::new();
+        for w in 0..self.n {
+            if w == self.me {
                 continue;
             }
-            let done = applied.as_ref().map_or(0, |a| a[n.node]);
-            if n.seq > done {
-                let e = first.entry(n.node).or_insert(n.seq);
-                if n.seq < *e {
-                    *e = n.seq;
-                }
+            let done = applied.map_or(0, |a| a[w]);
+            if let Some(first) = pn.first_after(w, done) {
+                v.push((w, first));
             }
         }
-        let mut v: Vec<(usize, u32)> = first.into_iter().collect();
-        v.sort_unstable();
         v
     }
 
@@ -728,11 +842,8 @@ impl DsmState {
             open.hi = seq;
             open.lamport_hi = lamport;
             frame.applied[self.me] = seq;
-            self.notices.entry(p).or_default().push(Notice {
-                node: self.me,
-                seq,
-                lamport,
-            });
+            let n = self.n;
+            self.notices.entry(p).or_default().push(n, self.me, seq);
         }
         let us = pages.len() as f64 * cost.manager_us * 0.1;
         let iv = Arc::new(Interval {
@@ -761,12 +872,9 @@ impl DsmState {
         if iv.lamport > self.lamport {
             self.lamport = iv.lamport;
         }
+        let n = self.n;
         for &p in &iv.pages {
-            self.notices.entry(p).or_default().push(Notice {
-                node: iv.node,
-                seq: iv.seq,
-                lamport: iv.lamport,
-            });
+            self.notices.entry(p).or_default().push(n, iv.node, iv.seq);
         }
         self.log[iv.node].push(Arc::new(iv));
         true
@@ -825,7 +933,10 @@ impl DsmState {
                 self.stats.diff_words_created += diff.changed_words() as u64;
                 if !self.dirty.contains(&page) {
                     // Re-protect: the next write takes a fresh fault+twin.
-                    frame.twin = None;
+                    // The retired twin goes back to the scratch arena.
+                    if let Some(t) = frame.twin.take() {
+                        self.scratch.put(t, &mut self.stats);
+                    }
                 }
                 let entry = self.diffs.entry(page).or_default();
                 entry.frozen.push(DiffRange {

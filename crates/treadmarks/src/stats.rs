@@ -68,6 +68,16 @@ pub struct DsmStats {
     /// Malformed service requests (unknown opcodes). Non-zero means the
     /// node's service loop shut itself down defensively.
     pub service_errors: u64,
+    /// Scratch-arena hits: twin/page buffers served from the recycled
+    /// pool instead of the allocator. At steady state (after the first
+    /// epoch warms the pool) virtually every twin creation is a hit.
+    pub arena_hits: u64,
+    /// Scratch-arena misses: pool was empty, a fresh buffer was
+    /// allocated. Bounded by the node's peak concurrently-live twins.
+    pub arena_misses: u64,
+    /// Peak bytes parked in the scratch arena — the arena's memory
+    /// footprint. Merged across nodes with `max`, not sum.
+    pub arena_peak_bytes: u64,
 }
 
 impl DsmStats {
@@ -97,6 +107,10 @@ impl DsmStats {
         self.stale_flush_drops += other.stale_flush_drops;
         self.home_ranges_pruned += other.home_ranges_pruned;
         self.service_errors += other.service_errors;
+        self.arena_hits += other.arena_hits;
+        self.arena_misses += other.arena_misses;
+        // A peak is a footprint, not a flow: take the worst node.
+        self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
     }
 
     /// Sum a collection of per-node statistics.
@@ -131,5 +145,24 @@ mod tests {
         assert_eq!(t.twins, 2);
         assert_eq!(t.barriers, 3);
         assert_eq!(t.lock_acquires, 5);
+    }
+
+    #[test]
+    fn arena_peak_merges_with_max() {
+        let a = DsmStats {
+            arena_hits: 10,
+            arena_peak_bytes: 4096,
+            ..Default::default()
+        };
+        let b = DsmStats {
+            arena_hits: 5,
+            arena_misses: 2,
+            arena_peak_bytes: 8192,
+            ..Default::default()
+        };
+        let t = DsmStats::total([&a, &b]);
+        assert_eq!(t.arena_hits, 15);
+        assert_eq!(t.arena_misses, 2);
+        assert_eq!(t.arena_peak_bytes, 8192, "peak is a max, not a sum");
     }
 }
