@@ -114,6 +114,13 @@ pub fn meter_stop(node: &Node, m: Meter) -> (f64, Option<StatsSnapshot>) {
     (node.now().us() - m.t0, delta)
 }
 
+/// Split a finished cluster run into its per-node outputs and the
+/// (optional) event trace, so the apps' `run_on` dispatchers can match
+/// over versions without repeating the destructuring.
+pub(crate) fn split_run<R>(out: sp2sim::RunOutput<R>) -> (Vec<R>, Option<sp2sim::TraceData>) {
+    (out.results, out.trace)
+}
+
 /// Relative comparison of checksum vectors: every component must agree to
 /// `tol` relative error (absolute near zero).
 pub fn checksums_close(a: &[f64], b: &[f64], tol: f64) -> bool {

@@ -29,7 +29,7 @@ use spf::{block_range, LoopCtl, Schedule, Spf};
 use treadmarks::{Tmk, TmkConfig};
 use xhpf::Xhpf;
 
-use crate::common::{meter_start, meter_stop, Slab};
+use crate::common::{meter_start, meter_stop, split_run, Slab};
 use crate::runner::{AppId, NodeOut, RunResult, Version};
 
 /// Workload parameters.
@@ -428,18 +428,18 @@ pub fn run_on(
     cfg: TmkConfig,
 ) -> RunResult {
     let p = params(scale);
-    let c = ClusterConfig::sp2_on(nprocs, engine);
-    let outs = match version {
-        Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
-        Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
+    let c = ClusterConfig::sp2_on(nprocs, engine).with_tracing(cfg.trace);
+    let (outs, trace) = match version {
+        Version::Seq => split_run(Cluster::run(c, |node| seq_node(node, &p))),
+        Version::Tmk => split_run(Cluster::run(c, |node| tmk_node(node, &p, &cfg))),
         Version::Spf | Version::HandOpt => {
-            Cluster::run(c, |node| spf_node(node, &p, &cfg, false)).results
+            split_run(Cluster::run(c, |node| spf_node(node, &p, &cfg, false)))
         }
-        Version::SpfCri => Cluster::run(c, |node| spf_node(node, &p, &cfg, true)).results,
-        Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
-        Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
+        Version::SpfCri => split_run(Cluster::run(c, |node| spf_node(node, &p, &cfg, true))),
+        Version::Xhpf => split_run(Cluster::run(c, |node| mp_node(node, &p, true))),
+        Version::Pvme => split_run(Cluster::run(c, |node| mp_node(node, &p, false))),
     };
-    RunResult::assemble(AppId::Jacobi, version, nprocs, scale, outs)
+    RunResult::assemble(AppId::Jacobi, version, nprocs, scale, outs).with_trace(trace)
 }
 
 #[cfg(test)]

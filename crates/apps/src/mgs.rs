@@ -32,7 +32,7 @@ use spf::{LoopCtl, Schedule, Spf};
 use treadmarks::{SharedArray, Tmk, TmkConfig};
 use xhpf::Xhpf;
 
-use crate::common::{hash01, meter_start, meter_stop};
+use crate::common::{hash01, meter_start, meter_stop, split_run};
 use crate::runner::{AppId, NodeOut, RunResult, Version};
 
 /// Workload parameters.
@@ -467,19 +467,19 @@ pub fn run_on(
     cfg: TmkConfig,
 ) -> RunResult {
     let p = params(scale);
-    let c = ClusterConfig::sp2_on(nprocs, engine);
-    let outs = match version {
-        Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
-        Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg, false)).results,
-        Version::HandOpt => Cluster::run(c, |node| tmk_node(node, &p, &cfg, true)).results,
+    let c = ClusterConfig::sp2_on(nprocs, engine).with_tracing(cfg.trace);
+    let (outs, trace) = match version {
+        Version::Seq => split_run(Cluster::run(c, |node| seq_node(node, &p))),
+        Version::Tmk => split_run(Cluster::run(c, |node| tmk_node(node, &p, &cfg, false))),
+        Version::HandOpt => split_run(Cluster::run(c, |node| tmk_node(node, &p, &cfg, true))),
         // MGS's loops are regular but triangular: the CRI version hints
         // them through `cri::TriSection` and the master's `produce`.
-        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg, false)).results,
-        Version::SpfCri => Cluster::run(c, |node| spf_node(node, &p, &cfg, true)).results,
-        Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
-        Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
+        Version::Spf => split_run(Cluster::run(c, |node| spf_node(node, &p, &cfg, false))),
+        Version::SpfCri => split_run(Cluster::run(c, |node| spf_node(node, &p, &cfg, true))),
+        Version::Xhpf => split_run(Cluster::run(c, |node| mp_node(node, &p, true))),
+        Version::Pvme => split_run(Cluster::run(c, |node| mp_node(node, &p, false))),
     };
-    RunResult::assemble(AppId::Mgs, version, nprocs, scale, outs)
+    RunResult::assemble(AppId::Mgs, version, nprocs, scale, outs).with_trace(trace)
 }
 
 #[cfg(test)]

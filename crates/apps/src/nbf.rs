@@ -34,7 +34,7 @@ use spf::{block_range, LoopCtl, Schedule, Spf};
 use treadmarks::{SharedArray, Tmk, TmkConfig};
 use xhpf::Xhpf;
 
-use crate::common::{hash01, meter_start, meter_stop};
+use crate::common::{hash01, meter_start, meter_stop, split_run};
 use crate::runner::{AppId, NodeOut, RunResult, Version};
 
 /// Workload parameters.
@@ -842,20 +842,22 @@ pub fn run_params_on(
     p: Params,
     cfg: TmkConfig,
 ) -> RunResult {
-    let c = ClusterConfig::sp2_on(nprocs, engine);
-    let outs = match version {
-        Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
-        Version::Tmk | Version::HandOpt => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
+    let c = ClusterConfig::sp2_on(nprocs, engine).with_tracing(cfg.trace);
+    let (outs, trace) = match version {
+        Version::Seq => split_run(Cluster::run(c, |node| seq_node(node, &p))),
+        Version::Tmk | Version::HandOpt => {
+            split_run(Cluster::run(c, |node| tmk_node(node, &p, &cfg)))
+        }
         // Irregular interaction lists: no regular-section descriptors.
         // Plain SPF runs unhinted; SPF+CRI walks the partner lists with
         // an inspector and routes the force merge through the windowed
         // ordered reduction.
-        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg)).results,
-        Version::SpfCri => Cluster::run(c, |node| spf_cri_node(node, &p, &cfg)).results,
-        Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
-        Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
+        Version::Spf => split_run(Cluster::run(c, |node| spf_node(node, &p, &cfg))),
+        Version::SpfCri => split_run(Cluster::run(c, |node| spf_cri_node(node, &p, &cfg))),
+        Version::Xhpf => split_run(Cluster::run(c, |node| mp_node(node, &p, true))),
+        Version::Pvme => split_run(Cluster::run(c, |node| mp_node(node, &p, false))),
     };
-    RunResult::assemble(AppId::Nbf, version, nprocs, scale, outs)
+    RunResult::assemble(AppId::Nbf, version, nprocs, scale, outs).with_trace(trace)
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Application/version dispatch and result assembly.
 
-use sp2sim::{EngineKind, MsgKind, StatsSnapshot};
+use sp2sim::{EngineKind, MsgKind, StatsSnapshot, TraceData};
 use treadmarks::{DsmStats, ProtocolMode, TmkConfig};
 
 /// The six applications of the paper.
@@ -142,6 +142,10 @@ pub struct RunResult {
     pub checksum: Vec<f64>,
     /// Aggregated DSM statistics (zero for message-passing versions).
     pub dsm: DsmStats,
+    /// The virtual-time event trace, when the run was configured with
+    /// [`treadmarks::TmkConfig::trace`] (covers the whole run, not just
+    /// the timed region).
+    pub trace: Option<TraceData>,
 }
 
 impl RunResult {
@@ -171,7 +175,15 @@ impl RunResult {
             stats,
             checksum,
             dsm,
+            trace: None,
         }
+    }
+
+    /// Attach the cluster's event trace (the apps' `run_on` entry
+    /// points call this with [`sp2sim::RunOutput::trace`]).
+    pub fn with_trace(mut self, trace: Option<TraceData>) -> RunResult {
+        self.trace = trace;
+        self
     }
 
     /// Speedup relative to a sequential time in microseconds.

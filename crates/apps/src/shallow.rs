@@ -32,7 +32,7 @@ use spf::{block_range, LoopCtl, Schedule, Spf};
 use treadmarks::{SharedArray, Tmk, TmkConfig};
 use xhpf::Xhpf;
 
-use crate::common::{meter_start, meter_stop, Slab};
+use crate::common::{meter_start, meter_stop, split_run, Slab};
 use crate::runner::{AppId, NodeOut, RunResult, Version};
 
 /// Workload parameters.
@@ -1212,17 +1212,23 @@ pub fn run_on(
     cfg: TmkConfig,
 ) -> RunResult {
     let p = params(scale);
-    let c = ClusterConfig::sp2_on(nprocs, engine);
-    let outs = match version {
-        Version::Seq => Cluster::run(c, |node| seq_node(node, &p)).results,
-        Version::Tmk => Cluster::run(c, |node| tmk_node(node, &p, &cfg)).results,
-        Version::Spf => Cluster::run(c, |node| spf_node(node, &p, &cfg, false, false)).results,
-        Version::SpfCri => Cluster::run(c, |node| spf_node(node, &p, &cfg, false, true)).results,
-        Version::HandOpt => Cluster::run(c, |node| spf_node(node, &p, &cfg, true, false)).results,
-        Version::Xhpf => Cluster::run(c, |node| mp_node(node, &p, true)).results,
-        Version::Pvme => Cluster::run(c, |node| mp_node(node, &p, false)).results,
+    let c = ClusterConfig::sp2_on(nprocs, engine).with_tracing(cfg.trace);
+    let (outs, trace) = match version {
+        Version::Seq => split_run(Cluster::run(c, |node| seq_node(node, &p))),
+        Version::Tmk => split_run(Cluster::run(c, |node| tmk_node(node, &p, &cfg))),
+        Version::Spf => split_run(Cluster::run(c, |node| {
+            spf_node(node, &p, &cfg, false, false)
+        })),
+        Version::SpfCri => split_run(Cluster::run(c, |node| {
+            spf_node(node, &p, &cfg, false, true)
+        })),
+        Version::HandOpt => split_run(Cluster::run(c, |node| {
+            spf_node(node, &p, &cfg, true, false)
+        })),
+        Version::Xhpf => split_run(Cluster::run(c, |node| mp_node(node, &p, true))),
+        Version::Pvme => split_run(Cluster::run(c, |node| mp_node(node, &p, false))),
     };
-    RunResult::assemble(AppId::Shallow, version, nprocs, scale, outs)
+    RunResult::assemble(AppId::Shallow, version, nprocs, scale, outs).with_trace(trace)
 }
 
 #[cfg(test)]

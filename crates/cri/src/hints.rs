@@ -235,6 +235,10 @@ impl<'t, 'n> HintEngine<'t, 'n> {
         }
         // Inspection: run the walk and charge it as inspector cost (the
         // walk advances virtual time itself; the delta is the cost).
+        let _s = self
+            .tmk
+            .node()
+            .trace_span(sp2sim::SpanKind::Inspect, id as u32);
         let t0 = self.tmk.node().now().us();
         let accesses = Rc::new(f(iters, q, np));
         let us = self.tmk.node().now().us() - t0;

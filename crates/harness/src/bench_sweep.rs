@@ -12,7 +12,15 @@
 //!
 //! This module holds everything the binary, the tests and CI share: the
 //! grid definition, the per-cell runner, and the document's JSON schema
-//! (versioned as `bench_sweep/v1`, parsed back by [`SweepDoc::parse`]).
+//! (versioned as `bench_sweep/v2`, parsed back by [`SweepDoc::parse`]).
+//!
+//! Since v2, every cell runs with event tracing on and carries two
+//! breakdown columns derived from the trace — `wait_us`
+//! (synchronization-wait virtual time summed over nodes) and
+//! `service_us` (protocol-service time, app-side plus the request
+//! loops). They are simulated, deterministic quantities like `time_us`;
+//! the cost is that `wall_us` includes the recorder's (small, bounded)
+//! host overhead, uniformly across all cells of a trajectory.
 
 use std::time::Instant;
 
@@ -23,7 +31,7 @@ use treadmarks::{ProtocolMode, TmkConfig};
 use crate::json::Json;
 
 /// Schema tag of the emitted document.
-pub const SCHEMA: &str = "bench_sweep/v1";
+pub const SCHEMA: &str = "bench_sweep/v2";
 
 /// One grid point, before it runs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,13 +64,16 @@ impl CellSpec {
         (self.scale * self.scale * 1e9) as u64 * app * pages
     }
 
-    /// Run the cell and measure it.
+    /// Run the cell and measure it. Tracing is enabled so the breakdown
+    /// columns can be derived; `wall_us` therefore includes the
+    /// recorder's host overhead, uniformly across the grid.
     pub fn run(&self) -> SweepCell {
         let cfg = TmkConfig {
             page_words: self.page_words,
             ..TmkConfig::default()
         }
-        .with_protocol(self.protocol);
+        .with_protocol(self.protocol)
+        .with_trace(true);
         let started = Instant::now();
         let r = apps::runner::run_with_cfg_on(
             self.engine,
@@ -73,6 +84,13 @@ impl CellSpec {
             cfg,
         );
         let wall_us = started.elapsed().as_micros() as u64;
+        let (wait_us, service_us) = match r.trace.as_ref() {
+            Some(t) => {
+                let a = crate::trace_analysis::analyze(t);
+                (a.wait_us(), a.service_us())
+            }
+            None => (0.0, 0.0),
+        };
         SweepCell {
             app: self.app.name().to_string(),
             version: self.version.name().to_string(),
@@ -84,6 +102,8 @@ impl CellSpec {
             time_us: r.time_us,
             messages: r.messages,
             bytes: r.stats.total_bytes(),
+            wait_us,
+            service_us,
             wall_us,
             arena_hits: r.dsm.arena_hits,
             arena_misses: r.dsm.arena_misses,
@@ -122,6 +142,13 @@ pub struct SweepCell {
     pub messages: u64,
     /// Simulated payload bytes of the timed region — deterministic.
     pub bytes: u64,
+    /// Synchronization-wait virtual time summed over nodes (µs), from
+    /// the event trace; covers the whole run — deterministic.
+    pub wait_us: f64,
+    /// Protocol-service virtual time summed over nodes (µs): app-side
+    /// fault/diff/validate/push spans plus the request loops'
+    /// service time — deterministic.
+    pub service_us: f64,
     /// Host wall-clock for the whole run (µs) — the throughput column.
     pub wall_us: u64,
     /// Scratch-arena twin-buffer recycles (host-side observability; the
@@ -145,6 +172,8 @@ impl SweepCell {
             ("time_us".into(), Json::Num(self.time_us)),
             ("messages".into(), Json::Num(self.messages as f64)),
             ("bytes".into(), Json::Num(self.bytes as f64)),
+            ("wait_us".into(), Json::Num(self.wait_us)),
+            ("service_us".into(), Json::Num(self.service_us)),
             ("wall_us".into(), Json::Num(self.wall_us as f64)),
             ("arena_hits".into(), Json::Num(self.arena_hits as f64)),
             ("arena_misses".into(), Json::Num(self.arena_misses as f64)),
@@ -183,11 +212,60 @@ impl SweepCell {
             time_us: f64_field("time_us")?,
             messages: u64_field("messages")?,
             bytes: u64_field("bytes")?,
+            wait_us: f64_field("wait_us")?,
+            service_us: f64_field("service_us")?,
             wall_us: u64_field("wall_us")?,
             arena_hits: u64_field("arena_hits")?,
             arena_misses: u64_field("arena_misses")?,
             arena_peak_bytes: u64_field("arena_peak_bytes")?,
         })
+    }
+}
+
+/// Cross-cell aggregates, built by destructuring every [`SweepCell`]
+/// field — the same drift-proofing as `DsmStats::merge`: adding a
+/// column without deciding how (or that) it aggregates is a compile
+/// error here, not a silently-constant summary line.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct CellTotals {
+    time_us: f64,
+    wait_us: f64,
+    service_us: f64,
+    wall_us: u64,
+    arena_hits: u64,
+    arena_misses: u64,
+    arena_peak_bytes: u64,
+}
+
+impl CellTotals {
+    fn add(&mut self, c: &SweepCell) {
+        // Exhaustive: a new SweepCell field fails to compile until its
+        // aggregation (or deliberate exclusion) is written down here.
+        let SweepCell {
+            app: _,
+            version: _,
+            protocol: _,
+            engine: _,
+            nprocs: _,
+            scale: _,
+            page_words: _,
+            time_us,
+            messages: _,
+            bytes: _,
+            wait_us,
+            service_us,
+            wall_us,
+            arena_hits,
+            arena_misses,
+            arena_peak_bytes,
+        } = c;
+        self.time_us += time_us;
+        self.wait_us += wait_us;
+        self.service_us += service_us;
+        self.wall_us += wall_us;
+        self.arena_hits += arena_hits;
+        self.arena_misses += arena_misses;
+        self.arena_peak_bytes = self.arena_peak_bytes.max(*arena_peak_bytes);
     }
 }
 
@@ -198,16 +276,34 @@ pub struct SweepDoc {
 }
 
 impl SweepDoc {
+    fn totals(&self) -> CellTotals {
+        let mut t = CellTotals::default();
+        for c in &self.cells {
+            t.add(c);
+        }
+        t
+    }
+
     /// Total host wall-clock across cells (µs). The sweep runs
     /// sequential-engine cells concurrently, so this exceeds the
     /// sweep's own elapsed time — it is the single-core cost.
     pub fn total_wall_us(&self) -> u64 {
-        self.cells.iter().map(|c| c.wall_us).sum()
+        self.totals().wall_us
     }
 
     /// Total simulated virtual time across cells (µs).
     pub fn total_time_us(&self) -> f64 {
-        self.cells.iter().map(|c| c.time_us).sum()
+        self.totals().time_us
+    }
+
+    /// Total synchronization-wait virtual time across cells (µs).
+    pub fn total_wait_us(&self) -> f64 {
+        self.totals().wait_us
+    }
+
+    /// Total protocol-service virtual time across cells (µs).
+    pub fn total_service_us(&self) -> f64 {
+        self.totals().service_us
     }
 
     /// Aggregate throughput: simulated seconds per host second — the
@@ -219,9 +315,8 @@ impl SweepDoc {
 
     /// Arena hit rate across cells (1.0 = every twin reused a buffer).
     pub fn arena_hit_rate(&self) -> f64 {
-        let hits: u64 = self.cells.iter().map(|c| c.arena_hits).sum();
-        let misses: u64 = self.cells.iter().map(|c| c.arena_misses).sum();
-        hits as f64 / (hits + misses).max(1) as f64
+        let t = self.totals();
+        t.arena_hits as f64 / (t.arena_hits + t.arena_misses).max(1) as f64
     }
 
     pub fn to_json(&self) -> Json {
@@ -233,6 +328,11 @@ impl SweepDoc {
                 Json::Num(self.total_wall_us() as f64),
             ),
             ("total_time_us".into(), Json::Num(self.total_time_us())),
+            ("total_wait_us".into(), Json::Num(self.total_wait_us())),
+            (
+                "total_service_us".into(),
+                Json::Num(self.total_service_us()),
+            ),
             ("sims_per_sec".into(), Json::Num(self.sims_per_sec())),
             ("arena_hit_rate".into(), Json::Num(self.arena_hit_rate())),
             (
@@ -280,6 +380,14 @@ impl SweepDoc {
         let time = v.get("total_time_us").and_then(Json::as_f64);
         if time != Some(doc.total_time_us()) {
             return Err("total_time_us does not match the grid".into());
+        }
+        let wait = v.get("total_wait_us").and_then(Json::as_f64);
+        if wait != Some(doc.total_wait_us()) {
+            return Err("total_wait_us does not match the grid".into());
+        }
+        let service = v.get("total_service_us").and_then(Json::as_f64);
+        if service != Some(doc.total_service_us()) {
+            return Err("total_service_us does not match the grid".into());
         }
         Ok(doc)
     }
@@ -355,6 +463,8 @@ mod tests {
             time_us,
             messages: 1414,
             bytes: 123456,
+            wait_us: time_us * 0.25,
+            service_us: time_us * 0.5,
             wall_us,
             arena_hits: 100,
             arena_misses: 7,
@@ -372,6 +482,9 @@ mod tests {
         assert_eq!(back, doc);
         assert_eq!(back.total_wall_us(), 73000);
         assert!(back.sims_per_sec() > 0.0);
+        // The v2 breakdown columns aggregate like the other totals.
+        assert_eq!(back.total_wait_us(), back.total_time_us() * 0.25);
+        assert_eq!(back.total_service_us(), back.total_time_us() * 0.5);
     }
 
     #[test]
@@ -385,6 +498,10 @@ mod tests {
         // 73000 is the aggregate only (64000 + 9000): corrupting it
         // leaves the grid intact but breaks the cross-check.
         assert!(SweepDoc::parse(&good.replace("73000", "73001")).is_err());
+        // The v2 breakdown aggregates are cross-checked too.
+        let wait = format!("\"total_wait_us\": {}", doc.total_wait_us());
+        assert!(good.contains(&wait), "summary line present: {wait}");
+        assert!(SweepDoc::parse(&good.replace(&wait, "\"total_wait_us\": 1.5")).is_err());
         assert!(SweepDoc::parse("{}").is_err());
     }
 

@@ -3,14 +3,30 @@
 //! (inspector/executor) column and its amortized inspector cost split
 //! out — the repository's answer to the paper's §6 conclusion.
 //!
-//! Usage: `figure2_table3 [scale] [nprocs]` (defaults 0.1 and 8).
+//! Usage: `figure2_table3 [scale] [nprocs] [--trace-out FILE]`
+//! (defaults 0.1 and 8). `--trace-out` additionally records a traced
+//! IGrid SPF+CRI run and writes it as Chrome/Perfetto trace JSON.
 
 use apps::Version;
 use harness::report::{f2, render_table};
 use harness::Table;
 
 fn main() {
-    let cli = harness::cli::parse(0.1, 8);
+    let mut trace_out: Option<String> = None;
+    let cli = harness::cli::parse_with(0.1, 8, |flag, args| {
+        if flag == "--trace-out" {
+            match args.next() {
+                Some(p) => trace_out = Some(p),
+                None => {
+                    eprintln!("error: missing file after --trace-out");
+                    std::process::exit(2);
+                }
+            }
+            true
+        } else {
+            false
+        }
+    });
     let (scale, nprocs) = (cli.scale, cli.nprocs);
     let rows = harness::figure2_table3(nprocs, scale, cli.engine, cli.protocol);
     let header: Vec<String> = std::iter::once("Program".to_string())
@@ -59,5 +75,25 @@ fn main() {
             cri.dsm.inspections,
             100.0 * (1.0 - cri.messages as f64 / spf.messages.max(1) as f64),
         );
+    }
+
+    // A separate traced run, so the table numbers above come from
+    // tracing-free executions.
+    if let Some(path) = trace_out {
+        match harness::trace_analysis::export_traced_run(
+            &path,
+            cli.engine,
+            cli.protocol,
+            apps::AppId::IGrid,
+            Version::SpfCri,
+            nprocs,
+            scale,
+        ) {
+            Ok(n) => println!("\nwrote IGrid SPF+CRI trace to {path} ({n} events)"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -5,8 +5,10 @@
 //! whole-page fetch per access miss where LRC needs one diff exchange
 //! per writer, and pays for it in update traffic.
 //!
-//! Usage: `protocol_compare [scale] [nprocs] [--engine E] [--check-baseline FILE]`
-//! (defaults 0.1 and 8).
+//! Usage: `protocol_compare [scale] [nprocs] [--engine E] [--check-baseline FILE]
+//! [--trace-out FILE]` (defaults 0.1 and 8). `--trace-out` additionally
+//! records a traced HLRC Jacobi run and writes it as Chrome/Perfetto
+//! trace JSON.
 //!
 //! With `--check-baseline FILE`, the binary additionally asserts the CI
 //! regression gate: FILE records `scale nprocs max_round_trips`, and
@@ -20,7 +22,22 @@ use harness::report::{f2, render_table};
 use harness::Table;
 
 fn main() {
-    let (cli, baseline) = harness::baseline::parse_cli(0.1, 8, "max_round_trips");
+    let mut trace_out: Option<String> = None;
+    let (cli, baseline) =
+        harness::baseline::parse_cli_with(0.1, 8, "max_round_trips", |flag, args| {
+            if flag == "--trace-out" {
+                match args.next() {
+                    Some(p) => trace_out = Some(p),
+                    None => {
+                        eprintln!("error: missing file after --trace-out");
+                        std::process::exit(2);
+                    }
+                }
+                true
+            } else {
+                false
+            }
+        });
     let (scale, nprocs) = harness::baseline::gate_config(&cli, baseline.as_ref());
     println!("Protocol comparison: LRC vs home-based LRC (scale {scale}, {nprocs} procs)\n");
     let rows = harness::protocol_compare(nprocs, scale, cli.engine);
@@ -71,5 +88,25 @@ fn main() {
             std::process::exit(1);
         }
         println!("baseline check passed");
+    }
+
+    // A separate traced run, so the table numbers above come from
+    // tracing-free executions.
+    if let Some(path) = trace_out {
+        match harness::trace_analysis::export_traced_run(
+            &path,
+            cli.engine,
+            treadmarks::ProtocolMode::Hlrc,
+            apps::AppId::Jacobi,
+            apps::Version::Spf,
+            nprocs,
+            scale,
+        ) {
+            Ok(n) => println!("\nwrote HLRC Jacobi trace to {path} ({n} events)"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -140,4 +140,9 @@ fn print_summary(doc: &SweepDoc) {
         doc.sims_per_sec(),
         100.0 * doc.arena_hit_rate(),
     );
+    println!(
+        "breakdown: wait {:.1} s  service {:.1} s (virtual, summed over nodes and cells)",
+        doc.total_wait_us() / 1e6,
+        doc.total_service_us() / 1e6,
+    );
 }

@@ -1,0 +1,183 @@
+//! Record a virtual-time event trace of one application run and export
+//! it as Chrome/Perfetto trace-event JSON, optionally with the
+//! per-node / per-epoch time breakdown.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace [scale] [nprocs] [--app jacobi] [--version spf] [--out trace.json]
+//!       [--breakdown] [--engine threaded|sequential] [--protocol lrc|hlrc]
+//! trace --validate trace.json
+//! ```
+//!
+//! Load the exported file in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. `--validate` re-parses a previously
+//! exported file and checks the Perfetto invariants (used by CI).
+
+use apps::runner::{run_with_cfg_on, tmk_config_for_protocol};
+use apps::{AppId, Version};
+use harness::report::{render_table, Table};
+use harness::trace_analysis::{analyze, to_chrome_trace, validate_chrome_trace};
+use harness::Json;
+
+fn parse_app(s: &str) -> Result<AppId, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "jacobi" => AppId::Jacobi,
+        "shallow" => AppId::Shallow,
+        "mgs" => AppId::Mgs,
+        "fft3d" | "fft" => AppId::Fft3d,
+        "igrid" => AppId::IGrid,
+        "nbf" => AppId::Nbf,
+        _ => return Err(format!("unknown app '{s}'")),
+    })
+}
+
+fn parse_version(s: &str) -> Result<Version, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "seq" => Version::Seq,
+        "spf" => Version::Spf,
+        "spf-cri" | "spfcri" | "cri" => Version::SpfCri,
+        "tmk" | "treadmarks" => Version::Tmk,
+        "xhpf" => Version::Xhpf,
+        "pvme" => Version::Pvme,
+        "handopt" | "hand-opt" => Version::HandOpt,
+        _ => return Err(format!("unknown version '{s}'")),
+    })
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn us(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+fn main() {
+    let mut app = AppId::Jacobi;
+    let mut version = Version::Spf;
+    let mut out: Option<String> = None;
+    let mut breakdown = false;
+    let mut validate: Option<String> = None;
+    let cli = harness::cli::parse_with(0.1, 8, |flag, args| match flag {
+        "--app" => {
+            let v = args
+                .next()
+                .unwrap_or_else(|| fail("missing value after --app"));
+            app = parse_app(&v).unwrap_or_else(|e| fail(&e));
+            true
+        }
+        "--version" => {
+            let v = args
+                .next()
+                .unwrap_or_else(|| fail("missing value after --version"));
+            version = parse_version(&v).unwrap_or_else(|e| fail(&e));
+            true
+        }
+        "--out" => {
+            out = Some(
+                args.next()
+                    .unwrap_or_else(|| fail("missing value after --out")),
+            );
+            true
+        }
+        "--breakdown" => {
+            breakdown = true;
+            true
+        }
+        "--validate" => {
+            validate = Some(
+                args.next()
+                    .unwrap_or_else(|| fail("missing value after --validate")),
+            );
+            true
+        }
+        _ => false,
+    });
+
+    // Validation mode: re-parse an exported file, check the Perfetto
+    // invariants, exit nonzero on any violation.
+    if let Some(path) = validate {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let json = Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        match validate_chrome_trace(&json) {
+            Ok(()) => {
+                let n = json
+                    .get("traceEvents")
+                    .and_then(Json::as_arr)
+                    .map_or(0, <[Json]>::len);
+                println!("{path}: ok ({n} events)");
+                return;
+            }
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+
+    let cfg = tmk_config_for_protocol(version, cli.protocol).with_trace(true);
+    let r = run_with_cfg_on(cli.engine, app, version, cli.nprocs, cli.scale, cfg);
+    let trace = r
+        .trace
+        .as_ref()
+        .unwrap_or_else(|| fail("run produced no trace (engine returned none)"));
+    let a = analyze(trace);
+    println!(
+        "{} / {} / {:?}: {} nodes, {} events, virtual time {:.1} us{}",
+        app.name(),
+        version.name(),
+        cli.protocol,
+        r.nprocs,
+        trace.event_count(),
+        r.time_us,
+        if a.lossy() {
+            " (LOSSY: ring overflow)"
+        } else {
+            ""
+        },
+    );
+
+    if breakdown {
+        let mut t = Table::new(vec![
+            "node", "total_us", "compute", "covered", "wait", "service", "wire", "svc_loop",
+        ]);
+        for n in &a.nodes {
+            t.row(vec![
+                n.node.to_string(),
+                us(n.total_us),
+                us(n.compute_us()),
+                us(n.covered_compute_us),
+                us(n.wait_us),
+                us(n.service_us),
+                us(n.wire_us),
+                us(n.svc_track_us),
+            ]);
+        }
+        println!("\nPer-node breakdown (virtual us; svc_loop overlaps the rest):\n");
+        println!("{}", render_table(&t));
+        if !a.epochs.is_empty() {
+            let mut t = Table::new(vec!["epoch", "compute", "wait", "service", "wire", "spans"]);
+            for e in &a.epochs {
+                t.row(vec![
+                    e.index.to_string(),
+                    us(e.compute_us),
+                    us(e.wait_us),
+                    us(e.service_us),
+                    us(e.wire_us),
+                    e.spans.to_string(),
+                ]);
+            }
+            println!("Per-epoch breakdown (summed over nodes):\n");
+            println!("{}", render_table(&t));
+        }
+    }
+
+    if let Some(path) = out {
+        let json = to_chrome_trace(trace);
+        validate_chrome_trace(&json)
+            .unwrap_or_else(|e| fail(&format!("exported trace failed validation: {e}")));
+        std::fs::write(&path, json.render())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("wrote {path} (load in chrome://tracing or https://ui.perfetto.dev)");
+    }
+}

@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod sweep;
+pub mod trace_analysis;
 
 pub use bench_sweep::{CellSpec, SweepCell, SweepDoc};
 pub use experiments::{
@@ -40,3 +41,6 @@ pub use experiments::{
 pub use json::Json;
 pub use report::{render_table, Table};
 pub use sweep::{longest_first, sweep_map};
+pub use trace_analysis::{
+    analyze, to_chrome_trace, validate_chrome_trace, EpochBreakdown, NodeBreakdown, TraceAnalysis,
+};

@@ -46,6 +46,9 @@ fn real_sweep_round_trips_through_json() {
     for c in &doc.cells {
         assert!(c.time_us > 0.0, "{}/{} ran", c.app, c.protocol);
         assert!(c.messages > 0, "{}/{} communicated", c.app, c.protocol);
+        // The v2 breakdown columns come from a real trace, not zeros.
+        assert!(c.wait_us > 0.0, "{}/{} waited", c.app, c.protocol);
+        assert!(c.service_us > 0.0, "{}/{} serviced", c.app, c.protocol);
     }
 }
 
@@ -65,6 +68,14 @@ fn sequential_sweep_is_deterministic() {
         );
         assert_eq!(x.messages, y.messages, "{}/{} messages", x.app, x.protocol);
         assert_eq!(x.bytes, y.bytes, "{}/{} bytes", x.app, x.protocol);
+        // The trace-derived breakdown columns are simulated quantities
+        // too: virtual-time sums, bit-stable on the sequential engine.
+        assert_eq!(x.wait_us, y.wait_us, "{}/{} wait", x.app, x.protocol);
+        assert_eq!(
+            x.service_us, y.service_us,
+            "{}/{} service",
+            x.app, x.protocol
+        );
     }
 }
 

@@ -83,6 +83,7 @@ impl<'n> Inspector<'n> {
     /// compacted dynamic section, charging [`INSPECT_ENTRY_US`] per
     /// index produced.
     pub fn gather(&self, touched: impl IntoIterator<Item = usize>) -> DynSection {
+        let _s = self.node.trace_span(sp2sim::SpanKind::Inspect, 0);
         let mut count = 0usize;
         let section = DynSection::from_indices(touched.into_iter().inspect(|_| count += 1));
         self.node.advance(count as f64 * INSPECT_ENTRY_US);
@@ -95,6 +96,7 @@ impl<'n> Inspector<'n> {
         &self,
         runs: impl IntoIterator<Item = std::ops::Range<usize>>,
     ) -> DynSection {
+        let _s = self.node.trace_span(sp2sim::SpanKind::Inspect, 0);
         let mut count = 0usize;
         let section = DynSection::from_runs(runs.into_iter().inspect(|_| count += 1).collect());
         self.node.advance(count as f64 * INSPECT_ENTRY_US);

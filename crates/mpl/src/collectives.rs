@@ -12,7 +12,7 @@
 //! | `gather`/`allgather` | `n - 1` / `2 (n - 1)` |
 //! | `alltoall`        | `n (n - 1)` pairwise |
 
-use sp2sim::{f64s_to_words, words_to_f64s, MsgKind};
+use sp2sim::{f64s_to_words, words_to_f64s, MsgKind, SpanKind};
 
 use crate::comm::{Comm, ReduceOp};
 
@@ -25,6 +25,7 @@ impl<'a> Comm<'a> {
         if n == 1 {
             return;
         }
+        let _s = self.node.trace_span(SpanKind::BarrierWait, tag);
         // Gather phase: receive from each child, then report to the parent.
         let mut mask = 1;
         while mask < n {
@@ -62,6 +63,7 @@ impl<'a> Comm<'a> {
     pub fn bcast(&self, root: usize, data: &mut Vec<u64>) {
         let tag = self.next_coll_tag();
         let n = self.size();
+        let _s = self.node.trace_span(SpanKind::RecvWait, tag);
         // Re-rank so the root is virtual rank 0.
         let vrank = (self.rank() + n - root) % n;
         let mut mask = 1;
@@ -109,6 +111,7 @@ impl<'a> Comm<'a> {
     /// the paper's XHPF numbers include.
     pub fn bcast_flat_f64s(&self, root: usize, data: &mut Vec<f64>) {
         let tag = self.next_coll_tag();
+        let _s = self.node.trace_span(SpanKind::RecvWait, tag);
         if self.rank() == root {
             let words = f64s_to_words(data);
             for dst in 0..self.size() {
@@ -125,6 +128,7 @@ impl<'a> Comm<'a> {
     /// reduced vector on the root, `None` elsewhere.
     pub fn reduce_f64s(&self, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
         let tag = self.next_coll_tag();
+        let _s = self.node.trace_span(SpanKind::ReduceWait, tag);
         let n = self.size();
         let vrank = (self.rank() + n - root) % n;
         let mut acc = data.to_vec();
@@ -171,6 +175,7 @@ impl<'a> Comm<'a> {
     /// messages). Returns `Some(vec indexed by rank)` at the root.
     pub fn gather(&self, root: usize, data: &[u64]) -> Option<Vec<Vec<u64>>> {
         let tag = self.next_coll_tag();
+        let _s = self.node.trace_span(SpanKind::RecvWait, tag);
         if self.rank() == root {
             let mut out: Vec<Vec<u64>> = (0..self.size()).map(|_| Vec::new()).collect();
             out[root] = data.to_vec();
@@ -220,6 +225,7 @@ impl<'a> Comm<'a> {
     pub fn alltoall_f64s(&self, bufs: &[Vec<f64>]) -> Vec<Vec<f64>> {
         assert_eq!(bufs.len(), self.size());
         let tag = self.next_coll_tag();
+        let _s = self.node.trace_span(SpanKind::RecvWait, tag);
         let me = self.rank();
         let n = self.size();
         let mut out: Vec<Vec<f64>> = (0..n).map(|_| Vec::new()).collect();

@@ -2,7 +2,7 @@
 
 use std::cell::Cell;
 
-use sp2sim::{f64s_to_words, words_to_f64s, MsgKind, Node};
+use sp2sim::{f64s_to_words, words_to_f64s, MsgKind, Node, SpanKind};
 
 /// Reduction operators over `f64` vectors (elementwise).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -78,6 +78,7 @@ impl<'a> Comm<'a> {
 
     /// Receive raw words from `src` with `tag`.
     pub fn recv(&self, src: usize, tag: u32) -> Vec<u64> {
+        let _s = self.node.trace_span(SpanKind::RecvWait, tag);
         self.node.recv_from(src, tag).payload
     }
 
@@ -89,6 +90,7 @@ impl<'a> Comm<'a> {
 
     /// Receive a slice of `f64`s.
     pub fn recv_f64s(&self, src: usize, tag: u32) -> Vec<f64> {
+        let _s = self.node.trace_span(SpanKind::RecvWait, tag);
         words_to_f64s(&self.node.recv_from(src, tag).payload)
     }
 
@@ -115,6 +117,7 @@ impl<'a> Comm<'a> {
 
     /// Receive a zero-payload synchronization message.
     pub fn recv_signal(&self, src: usize, tag: u32) {
+        let _s = self.node.trace_span(SpanKind::RecvWait, tag);
         let p = self.node.recv_from(src, tag);
         debug_assert!(p.payload.is_empty());
     }

@@ -15,6 +15,10 @@ pub struct ClusterConfig {
     pub cost: CostModel,
     /// Execution engine carrying the run (see [`crate::engine`]).
     pub engine: EngineKind,
+    /// Event tracing (see the `trace` crate). `None` (the default)
+    /// records nothing and adds no cost; tracing never changes any
+    /// simulated observable either way.
+    pub trace: Option<trace::TraceSpec>,
 }
 
 impl ClusterConfig {
@@ -25,6 +29,7 @@ impl ClusterConfig {
             nprocs,
             cost: CostModel::sp2(),
             engine: EngineKind::default(),
+            trace: None,
         }
     }
 
@@ -38,6 +43,18 @@ impl ClusterConfig {
         self.engine = engine;
         self
     }
+
+    /// Record an event trace with an explicit spec.
+    pub fn with_trace(mut self, spec: trace::TraceSpec) -> ClusterConfig {
+        self.trace = Some(spec);
+        self
+    }
+
+    /// Turn default-spec tracing on or off.
+    pub fn with_tracing(mut self, enabled: bool) -> ClusterConfig {
+        self.trace = enabled.then(trace::TraceSpec::default);
+        self
+    }
 }
 
 /// Result of a cluster run.
@@ -49,6 +66,8 @@ pub struct RunOutput<R> {
     pub elapsed: VTime,
     /// Final network statistics.
     pub stats: StatsSnapshot,
+    /// The recorded event trace, present iff tracing was enabled.
+    pub trace: Option<trace::TraceData>,
 }
 
 /// The simulated machine. See the crate docs for the model.
@@ -188,6 +207,62 @@ mod tests {
             }
         });
         assert_eq!(out.results, vec![0, 42]);
+    }
+
+    #[test]
+    fn tracing_changes_no_simulated_observable() {
+        fn prog(node: &Node) -> u64 {
+            use crate::SpanKind;
+            if node.id() == 0 {
+                node.trace_begin(SpanKind::Compute, 1);
+                node.advance(3.0);
+                node.trace_end(SpanKind::Compute);
+                node.send(1, 4, MsgKind::Data, vec![0; 8]);
+            } else {
+                node.recv_from(0, 4);
+            }
+            node.now().to_bits()
+        }
+        for engine in engines() {
+            let plain = Cluster::run(ClusterConfig::sp2_on(2, engine), prog);
+            let traced = Cluster::run(ClusterConfig::sp2_on(2, engine).with_tracing(true), prog);
+            assert_eq!(plain.results, traced.results, "engine {engine}");
+            assert_eq!(plain.elapsed.to_bits(), traced.elapsed.to_bits());
+            assert_eq!(plain.stats.msgs, traced.stats.msgs);
+            assert!(plain.trace.is_none());
+            let t = traced.trace.expect("trace recorded");
+            // 2 nodes x (app + service) endpoints.
+            assert_eq!(t.tracks.len(), 4, "engine {engine}");
+            assert_eq!(t.final_us.len(), 2);
+            let app0 = t.track(0, crate::TracePort::App).unwrap();
+            use crate::EventKind;
+            assert!(app0.events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::Send {
+                    bytes: 64,
+                    peer: 1,
+                    ..
+                }
+            )));
+            assert!(app0
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Begin { arg: 1, .. })));
+            let app1 = t.track(1, crate::TracePort::App).unwrap();
+            assert!(app1.events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::Recv {
+                    bytes: 64,
+                    peer: 0,
+                    ..
+                }
+            )));
+            // App-track virtual timestamps never decrease.
+            for tr in t.tracks.iter().filter(|t| t.port == crate::TracePort::App) {
+                assert!(tr.events.windows(2).all(|w| w[0].vt_us <= w[1].vt_us));
+                assert_eq!(tr.dropped, 0);
+            }
+        }
     }
 
     #[test]

@@ -91,11 +91,47 @@ impl FromStr for EngineKind {
 #[derive(Debug)]
 pub struct ServiceHandle(pub(crate) u64);
 
+/// Shared state of a traced run, owned by the engine's fabric: the
+/// spec, the run's wall-clock origin (every event's `host_ns` is
+/// relative to it), and the sink endpoint buffers drain into when they
+/// drop. Recording itself is lock-free (each endpoint owns its buffer);
+/// the sink mutex is touched once per endpoint at teardown.
+pub(crate) struct TraceShared {
+    pub(crate) spec: trace::TraceSpec,
+    pub(crate) start: std::time::Instant,
+    pub(crate) sink: parking_lot::Mutex<Vec<trace::TrackTrace>>,
+}
+
+impl TraceShared {
+    pub(crate) fn new(spec: trace::TraceSpec) -> TraceShared {
+        TraceShared {
+            spec,
+            start: std::time::Instant::now(),
+            sink: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Assemble the final [`trace::TraceData`] once every endpoint has
+    /// dropped (both engines guarantee this before run output is
+    /// built).
+    pub(crate) fn collect(&self, final_us: Vec<f64>) -> trace::TraceData {
+        let tracks = std::mem::take(&mut *self.sink.lock());
+        let mut data = trace::TraceData { tracks, final_us };
+        data.sort_tracks();
+        data
+    }
+}
+
 /// Everything a [`Node`]/[`Endpoint`](crate::Endpoint) needs from the
 /// engine that carries it: packet transport, virtual-clock collection,
 /// the wall-clock rendezvous, and the service-loop executor. One
 /// implementation per engine.
 pub(crate) trait Fabric: Send + Sync {
+    /// The run's trace recorder, when tracing is enabled.
+    fn tracing(&self) -> Option<&TraceShared> {
+        None
+    }
+
     /// The cluster cost model.
     fn cost(&self) -> &CostModel;
 

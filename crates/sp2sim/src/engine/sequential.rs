@@ -36,7 +36,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use super::fiber::{ContextSlot, Fiber};
-use super::{node_body, Fabric, ServiceHandle};
+use super::{node_body, Fabric, ServiceHandle, TraceShared};
 use crate::cluster::{ClusterConfig, RunOutput};
 use crate::cost::CostModel;
 use crate::node::Node;
@@ -117,6 +117,7 @@ struct NewFiber {
 pub(crate) struct SequentialFabric {
     cost: CostModel,
     stats: NetStats,
+    trace: Option<TraceShared>,
     sched: Mutex<Sched>,
     /// Fiber table, indexed by fiber id. Boxed so entries have stable
     /// addresses across table growth (a suspended fiber's saved context
@@ -314,6 +315,10 @@ impl SequentialFabric {
 }
 
 impl Fabric for SequentialFabric {
+    fn tracing(&self) -> Option<&TraceShared> {
+        self.trace.as_ref()
+    }
+
     fn cost(&self) -> &CostModel {
         &self.cost
     }
@@ -431,6 +436,7 @@ where
     let fabric = Arc::new(SequentialFabric {
         cost: cfg.cost,
         stats: NetStats::new(),
+        trace: cfg.trace.map(TraceShared::new),
         sched: Mutex::new(Sched {
             n,
             queues: (0..n).map(|_| [VecDeque::new(), VecDeque::new()]).collect(),
@@ -475,19 +481,21 @@ where
     }
 
     let s = fabric.sched.lock();
-    let elapsed = s
-        .finals
-        .iter()
-        .map(|&b| VTime::from_bits(b))
-        .fold(VTime::ZERO, VTime::max);
+    let finals: Vec<VTime> = s.finals.iter().map(|&b| VTime::from_bits(b)).collect();
     drop(s);
+    let elapsed = finals.iter().copied().fold(VTime::ZERO, VTime::max);
     // All fibers completed: verify no stack overflowed silently.
     for fiber in unsafe { &*fabric.fibers.get() }.iter().flatten() {
         fiber.check_canary();
     }
+    let trace = fabric
+        .trace
+        .as_ref()
+        .map(|ts| ts.collect(finals.iter().map(|t| t.us()).collect()));
     RunOutput {
         results: results.into_iter().map(|r| r.expect("node ran")).collect(),
         elapsed,
         stats: fabric.stats.snapshot(),
+        trace,
     }
 }

@@ -16,7 +16,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use super::{node_body, Fabric, ServiceHandle};
+use super::{node_body, Fabric, ServiceHandle, TraceShared};
 use crate::cluster::{ClusterConfig, RunOutput};
 use crate::cost::CostModel;
 use crate::node::Node;
@@ -54,6 +54,7 @@ pub(crate) struct ThreadedFabric {
     rendezvous: Barrier,
     services: Mutex<HashMap<u64, JoinHandle<()>>>,
     next_service: AtomicU64,
+    trace: Option<TraceShared>,
 }
 
 impl ThreadedFabric {
@@ -66,6 +67,10 @@ impl ThreadedFabric {
 }
 
 impl Fabric for ThreadedFabric {
+    fn tracing(&self) -> Option<&TraceShared> {
+        self.trace.as_ref()
+    }
+
     fn cost(&self) -> &CostModel {
         &self.cost
     }
@@ -126,6 +131,7 @@ where
         rendezvous: Barrier::new(n),
         services: Mutex::new(HashMap::new()),
         next_service: AtomicU64::new(0),
+        trace: cfg.trace.map(TraceShared::new),
     });
     let dyn_fabric: Arc<dyn Fabric> = Arc::clone(&fabric) as Arc<dyn Fabric>;
 
@@ -147,14 +153,20 @@ where
         });
     }
 
-    let elapsed = fabric
+    let finals: Vec<VTime> = fabric
         .finals
         .iter()
         .map(|a| VTime::from_bits(a.load(Ordering::SeqCst)))
-        .fold(VTime::ZERO, VTime::max);
+        .collect();
+    let elapsed = finals.iter().copied().fold(VTime::ZERO, VTime::max);
+    let trace = fabric
+        .trace
+        .as_ref()
+        .map(|ts| ts.collect(finals.iter().map(|t| t.us()).collect()));
     RunOutput {
         results: results.into_iter().map(|r| r.expect("node ran")).collect(),
         elapsed,
         stats: fabric.stats.snapshot(),
+        trace,
     }
 }

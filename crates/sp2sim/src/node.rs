@@ -10,12 +10,22 @@
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
+
+use trace::{Event, EventKind, SpanKind, TraceBuf, TracePort, TrackTrace};
 
 use crate::cost::CostModel;
 use crate::engine::{Fabric, ServiceHandle};
 use crate::packet::{Packet, Port};
 use crate::stats::{MsgKind, NetStats};
 use crate::time::VTime;
+
+/// Per-endpoint trace recorder: a private single-writer ring plus the
+/// run's wall-clock origin. Present only when the fabric traces.
+struct Tracer {
+    buf: RefCell<TraceBuf>,
+    start: Instant,
+}
 
 /// One side of the simulated network attached to a node: either the
 /// application port or the service port. An endpoint owns a private virtual
@@ -27,10 +37,15 @@ pub struct Endpoint {
     clock: Cell<f64>,
     pending: RefCell<VecDeque<Packet>>,
     fabric: Arc<dyn Fabric>,
+    tracer: Option<Tracer>,
 }
 
 impl Endpoint {
     pub(crate) fn new(id: usize, n: usize, port: Port, fabric: Arc<dyn Fabric>) -> Endpoint {
+        let tracer = fabric.tracing().map(|ts| Tracer {
+            buf: RefCell::new(TraceBuf::new(ts.spec.capacity)),
+            start: ts.start,
+        });
         Endpoint {
             id,
             n,
@@ -38,6 +53,61 @@ impl Endpoint {
             clock: Cell::new(0.0),
             pending: RefCell::new(VecDeque::new()),
             fabric,
+            tracer,
+        }
+    }
+
+    /// Whether this endpoint records a trace. Callers may use this to
+    /// skip argument preparation for hook calls; the hooks themselves
+    /// are no-ops when tracing is off.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Record an event at virtual time `vt_us` (cold path; the `None`
+    /// check inlines into callers).
+    fn trace_record(&self, vt_us: f64, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            let host_ns = t.start.elapsed().as_nanos() as u64;
+            t.buf.borrow_mut().push(Event {
+                vt_us,
+                host_ns,
+                kind,
+            });
+        }
+    }
+
+    /// Open a span of `kind` at the current virtual time.
+    #[inline]
+    pub fn trace_begin(&self, kind: SpanKind, arg: u32) {
+        if self.tracer.is_some() {
+            self.trace_record(self.clock.get(), EventKind::Begin { kind, arg });
+        }
+    }
+
+    /// Close the innermost open span of `kind`.
+    #[inline]
+    pub fn trace_end(&self, kind: SpanKind) {
+        if self.tracer.is_some() {
+            self.trace_record(self.clock.get(), EventKind::End { kind });
+        }
+    }
+
+    /// Mark an epoch boundary: every span belonging to epoch `index`
+    /// has already ended.
+    #[inline]
+    pub fn trace_epoch(&self, index: u32) {
+        if self.tracer.is_some() {
+            self.trace_record(self.clock.get(), EventKind::Epoch { index });
+        }
+    }
+
+    /// Record a service-loop request dispatch (service endpoints only).
+    #[inline]
+    pub fn trace_service(&self, op: u32, at: VTime, dur_us: f64) {
+        if self.tracer.is_some() {
+            self.trace_record(at.us(), EventKind::Service { op, dur_us });
         }
     }
 
@@ -98,7 +168,19 @@ impl Endpoint {
         } else {
             let bytes = payload.len() * 8;
             self.fabric.stats().record(kind, bytes);
-            self.advance(self.fabric.cost().occupancy_us(bytes));
+            let occ = self.fabric.cost().occupancy_us(bytes);
+            if self.tracer.is_some() {
+                self.trace_record(
+                    self.clock.get(),
+                    EventKind::Send {
+                        code: kind as u8,
+                        bytes: bytes as u32,
+                        peer: dst as u16,
+                        wire_us: occ,
+                    },
+                );
+            }
+            self.advance(occ);
             self.now() + self.fabric.cost().latency_us
         };
         self.deliver(dst, port, tag, kind, payload, arrival);
@@ -125,7 +207,19 @@ impl Endpoint {
             let bytes = payload.len() * 8;
             self.fabric.stats().record(kind, bytes);
             let t0 = at.max(self.now());
-            let done = t0 + self.fabric.cost().occupancy_us(bytes);
+            let occ = self.fabric.cost().occupancy_us(bytes);
+            if self.tracer.is_some() {
+                self.trace_record(
+                    t0.us(),
+                    EventKind::Send {
+                        code: kind as u8,
+                        bytes: bytes as u32,
+                        peer: dst as u16,
+                        wire_us: occ,
+                    },
+                );
+            }
+            let done = t0 + occ;
             self.clock.set(done.us());
             done + self.fabric.cost().latency_us
         };
@@ -164,6 +258,16 @@ impl Endpoint {
         let pkt = self.wait_match(pred);
         self.advance_to(pkt.arrival);
         self.advance(self.fabric.cost().recv_overhead_us);
+        if self.tracer.is_some() {
+            self.trace_record(
+                self.clock.get(),
+                EventKind::Recv {
+                    code: pkt.kind as u8,
+                    bytes: (pkt.payload.len() * 8) as u32,
+                    peer: pkt.src as u16,
+                },
+            );
+        }
         pkt
     }
 
@@ -211,8 +315,52 @@ impl Endpoint {
         self.recv_match(|p| p.tag == tag)
     }
 
+    /// Open a span and return a guard that closes it on drop — the
+    /// convenient way to bracket a region with early returns. A no-op
+    /// (cheap) when tracing is off.
+    #[inline]
+    pub fn trace_span(&self, kind: SpanKind, arg: u32) -> TraceSpanGuard<'_> {
+        self.trace_begin(kind, arg);
+        TraceSpanGuard { ep: self, kind }
+    }
+
     pub(crate) fn record_final_clock(&self) {
         self.fabric.record_final(self.id, self.now());
+    }
+}
+
+/// Guard returned by [`Endpoint::trace_span`]/[`Node::trace_span`]:
+/// records the span's `End` event when dropped.
+pub struct TraceSpanGuard<'a> {
+    ep: &'a Endpoint,
+    kind: SpanKind,
+}
+
+impl Drop for TraceSpanGuard<'_> {
+    fn drop(&mut self) {
+        self.ep.trace_end(self.kind);
+    }
+}
+
+impl Drop for Endpoint {
+    /// Hand the finished event stream to the fabric. Every endpoint
+    /// drops before the engines assemble their run output (node
+    /// endpoints at the end of the node body, service endpoints when
+    /// their service loop returns — which `Tmk` joins before its own
+    /// node body ends), so the sink is complete by collection time.
+    fn drop(&mut self) {
+        if let (Some(t), Some(ts)) = (self.tracer.take(), self.fabric.tracing()) {
+            let (events, dropped) = t.buf.into_inner().into_events();
+            ts.sink.lock().push(TrackTrace {
+                node: self.id as u32,
+                port: match self.port {
+                    Port::App => TracePort::App,
+                    Port::Service => TracePort::Service,
+                },
+                events,
+                dropped,
+            });
+        }
     }
 }
 
@@ -313,6 +461,37 @@ impl Node {
     /// Receive the next packet with `tag` from `src`.
     pub fn recv_from(&self, src: usize, tag: u32) -> Packet {
         self.ep.recv_from(src, tag)
+    }
+
+    /// Whether this node's endpoints record a trace.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.ep.tracing()
+    }
+
+    /// Open a span on the application track; see [`Endpoint::trace_begin`].
+    #[inline]
+    pub fn trace_begin(&self, kind: SpanKind, arg: u32) {
+        self.ep.trace_begin(kind, arg)
+    }
+
+    /// Close a span on the application track; see [`Endpoint::trace_end`].
+    #[inline]
+    pub fn trace_end(&self, kind: SpanKind) {
+        self.ep.trace_end(kind)
+    }
+
+    /// Mark an epoch boundary on the application track.
+    #[inline]
+    pub fn trace_epoch(&self, index: u32) {
+        self.ep.trace_epoch(index)
+    }
+
+    /// Open a guarded span on the application track; see
+    /// [`Endpoint::trace_span`].
+    #[inline]
+    pub fn trace_span(&self, kind: SpanKind, arg: u32) -> TraceSpanGuard<'_> {
+        self.ep.trace_span(kind, arg)
     }
 
     /// Wall-clock rendezvous of **all** node contexts. This is

@@ -167,7 +167,7 @@ impl NetStats {
 /// A point-in-time copy of [`NetStats`], supporting subtraction so the
 /// harness can report deltas over the timed region only (the paper excludes
 /// startup iterations from its measurements).
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Message counts by kind.
     pub msgs: [u64; NKINDS],

@@ -327,6 +327,13 @@ impl<'t, 'n> Spf<'t, 'n> {
     }
 
     fn execute(&self, ctl: &LoopCtl) {
+        // One Compute span per dispatched body; hint work (validate,
+        // inspection) nests inside and is debited by the analyzer, so
+        // the span's self-time is pure loop arithmetic.
+        let _s = self
+            .tmk
+            .node()
+            .trace_span(sp2sim::SpanKind::Compute, ctl.id as u32);
         let hinted = self.hints.has(ctl.id);
         if hinted {
             self.hints.before_loop(ctl.id, &ctl.range);

@@ -89,6 +89,11 @@ pub struct TmkConfig {
     /// compiler-declared producer becomes the home (see
     /// `cri::HintEngine`).
     pub protocol: ProtocolMode,
+    /// When true, the DSM layer asks the cluster to record a virtual-time
+    /// event trace and emits protocol spans into it (see the `trace`
+    /// crate and `harness`'s `trace` bin). Off by default; tracing never
+    /// changes any simulated observable either way.
+    pub trace: bool,
 }
 
 impl Default for TmkConfig {
@@ -98,6 +103,7 @@ impl Default for TmkConfig {
             improved_forkjoin: true,
             aggregation: false,
             protocol: ProtocolMode::Lrc,
+            trace: false,
         }
     }
 }
@@ -132,6 +138,11 @@ impl TmkConfig {
     /// This configuration with the given protocol mode.
     pub fn with_protocol(self, protocol: ProtocolMode) -> TmkConfig {
         TmkConfig { protocol, ..self }
+    }
+
+    /// This configuration with event tracing on or off.
+    pub fn with_trace(self, trace: bool) -> TmkConfig {
+        TmkConfig { trace, ..self }
     }
 }
 

@@ -13,7 +13,7 @@ use std::ops::{Index, IndexMut, Range};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sp2sim::{MsgKind, Node, Port, ServiceHandle, WordReader, WordWriter};
+use sp2sim::{MsgKind, Node, Port, ServiceHandle, SpanKind, WordReader, WordWriter};
 
 use crate::config::{ProtocolMode, TmkConfig};
 use crate::diff::Diff;
@@ -165,6 +165,11 @@ pub struct Tmk<'n> {
     bcast_seq: Cell<u32>,
     reduce_seq: Cell<u32>,
     reduce_list_seq: Cell<u32>,
+    /// Trace epoch counter: bumped at every completed global
+    /// synchronization point (barrier, worker dispatch, master join) so
+    /// the trace analyzer can bin spans per epoch. Only advances when
+    /// the cluster records a trace.
+    trace_epoch: Cell<u32>,
 }
 
 impl<'n> Tmk<'n> {
@@ -193,6 +198,17 @@ impl<'n> Tmk<'n> {
             bcast_seq: Cell::new(0),
             reduce_seq: Cell::new(0),
             reduce_list_seq: Cell::new(0),
+            trace_epoch: Cell::new(0),
+        }
+    }
+
+    /// Emit the epoch-boundary marker: every span of the epoch that
+    /// just completed has already ended.
+    fn mark_trace_epoch(&self) {
+        if self.node.tracing() {
+            let e = self.trace_epoch.get();
+            self.trace_epoch.set(e + 1);
+            self.node.trace_epoch(e);
         }
     }
 
@@ -322,6 +338,7 @@ impl<'n> Tmk<'n> {
     /// fork, join, worker arrival), lock release and broadcast root —
     /// every point where [`DsmState::flush`] used to run bare.
     fn publish(&self) {
+        let _s = self.node.trace_span(SpanKind::Publish, 0);
         let (flush_us, pages) = {
             let mut st = self.state.lock();
             let pages: Vec<usize> = if self.hlrc() {
@@ -444,6 +461,9 @@ impl<'n> Tmk<'n> {
     /// regular sections a loop will touch before it runs, so the runtime
     /// can fetch everything the phase will fault in a single exchange.
     pub fn validate(&self, sections: &[(SharedArray, Range<usize>)]) -> u64 {
+        let _s = self
+            .node
+            .trace_span(SpanKind::Validate, sections.len() as u32);
         let pw = self.cfg.page_words;
         let mut pages: BTreeSet<usize> = BTreeSet::new();
         for (arr, range) in sections {
@@ -533,7 +553,10 @@ impl<'n> Tmk<'n> {
             us += cost.diff_apply_us(e.diff.encoded_words());
         }
         drop(st);
-        self.node.advance(us);
+        if us > 0.0 {
+            let _a = self.node.trace_span(SpanKind::DiffApply, 0);
+            self.node.advance(us);
+        }
         missing_pages
     }
 
@@ -547,6 +570,7 @@ impl<'n> Tmk<'n> {
         let pw = self.cfg.page_words;
         let cost = self.node.cost().clone();
         let (p0, p1) = (wlo / pw, (whi - 1) / pw);
+        let _s = self.node.trace_span(SpanKind::Fault, p0 as u32);
 
         // Phase 1: find missing write notices. Under LRC they are grouped
         // by writer (the nodes that hold the diffs); under HLRC only the
@@ -673,7 +697,10 @@ impl<'n> Tmk<'n> {
                 }
             }
             drop(st);
-            self.node.advance(us);
+            if us > 0.0 {
+                let _a = self.node.trace_span(SpanKind::DiffApply, 0);
+                self.node.advance(us);
+            }
         }
         out
     }
@@ -686,6 +713,9 @@ impl<'n> Tmk<'n> {
     /// been. `aggregated` groups all pages of one home into one round
     /// trip; otherwise each page is its own request.
     fn fetch_pages_from_homes(&self, pages: &[usize], aggregated: bool) {
+        let _s = self
+            .node
+            .trace_span(SpanKind::HomeFetch, pages.len() as u32);
         let cost = self.node.cost().clone();
         let pw = self.cfg.page_words;
         let groups: BTreeMap<usize, Vec<protocol::PageReqEntry>> = {
@@ -757,7 +787,10 @@ impl<'n> Tmk<'n> {
             us += cost.diff_apply_us(pw);
         }
         drop(guard);
-        self.node.advance(us);
+        if us > 0.0 {
+            let _a = self.node.trace_span(SpanKind::DiffApply, 0);
+            self.node.advance(us);
+        }
     }
 
     fn send_page_req(&self, home: usize, entries: &[protocol::PageReqEntry]) -> u32 {
@@ -811,6 +844,9 @@ impl<'n> Tmk<'n> {
         let e = self.barrier_epoch.get();
         self.barrier_epoch.set(e + 1);
         let epoch = e | protocol::BARRIER_EPOCH_BIT;
+        let _s = self
+            .node
+            .trace_span(SpanKind::BarrierWait, (e & 0xFFFF) as u32);
 
         self.publish();
 
@@ -849,12 +885,15 @@ impl<'n> Tmk<'n> {
             }
         }
         self.receive_pushes(dep.expected_push);
+        drop(_s);
+        self.mark_trace_epoch();
     }
 
     /// Acquire a lock (`Tmk_lock_acquire`). Managed by node `lock % n`;
     /// the request is forwarded to the last holder, whose grant carries
     /// the write notices the acquirer has not seen.
     pub fn acquire(&self, lock: u32) {
+        let _s = self.node.trace_span(SpanKind::LockWait, lock);
         let me = self.proc_id();
         let mgr = lock as usize % self.nprocs();
         let target = {
@@ -968,6 +1007,9 @@ impl<'n> Tmk<'n> {
     pub fn join(&self) {
         assert_eq!(self.proc_id(), 0, "only the master joins");
         let e = self.fork_epoch.get();
+        let _s = self
+            .node
+            .trace_span(SpanKind::JoinWait, (e & 0xFFFF) as u32);
         self.publish();
         let mut w = WordWriter::with_capacity(2);
         w.put(op::MASTER_JOIN).put(e);
@@ -989,6 +1031,8 @@ impl<'n> Tmk<'n> {
             self.state.lock().prune_home_copies(&min_vc);
         }
         self.receive_pushes(expected_push);
+        drop(_s);
+        self.mark_trace_epoch();
     }
 
     /// Worker: report arrival at the rendezvous and wait for the next
@@ -998,6 +1042,9 @@ impl<'n> Tmk<'n> {
         assert_ne!(self.proc_id(), 0, "workers only");
         let e = self.fork_epoch.get();
         self.fork_epoch.set(e + 1);
+        let _s = self
+            .node
+            .trace_span(SpanKind::ForkWait, (e & 0xFFFF) as u32);
         self.publish();
         // Pushes registered after the previous loop body ride the
         // rendezvous, exactly like the barrier-time pushes.
@@ -1038,6 +1085,8 @@ impl<'n> Tmk<'n> {
             dep.expected_push
         );
         self.receive_pushes(dep.expected_push);
+        drop(_s);
+        self.mark_trace_epoch();
         if dep.flag_bits & flags::SHUTDOWN != 0 {
             None
         } else {
@@ -1091,6 +1140,7 @@ impl<'n> Tmk<'n> {
     /// where no single frame dominates) and then installs the page copy
     /// only where its watermarks dominate.
     fn do_pushes(&self) -> Vec<u64> {
+        let _s = self.node.trace_span(SpanKind::PushSend, 0);
         let n = self.nprocs();
         let mut counts = vec![0u64; n];
         let groups: BTreeMap<usize, BTreeSet<usize>> = {
@@ -1161,6 +1211,7 @@ impl<'n> Tmk<'n> {
         if expected == 0 {
             return;
         }
+        let _s = self.node.trace_span(SpanKind::PushRecv, expected as u32);
         let cost = self.node.cost().clone();
         let pw = self.cfg.page_words;
         let mut all: Vec<(usize, protocol::DiffRespEntry)> = Vec::new();
@@ -1289,7 +1340,10 @@ impl<'n> Tmk<'n> {
             us += cost.diff_apply_us(pw);
         }
         drop(guard);
-        self.node.advance(us);
+        if us > 0.0 {
+            let _a = self.node.trace_span(SpanKind::DiffApply, 0);
+            self.node.advance(us);
+        }
     }
 
     /// CRI direct reduction: combine `vals` elementwise across all nodes
@@ -1311,6 +1365,7 @@ impl<'n> Tmk<'n> {
         let me = self.proc_id();
         let n = self.nprocs();
         let seq = self.reduce_seq.get();
+        let _s = self.node.trace_span(SpanKind::ReduceWait, seq & 0xFFFF);
         self.reduce_seq.set(seq.wrapping_add(1));
         let t16 = seq & 0xFFFF;
         let children = reduce_children(me, n);
@@ -1390,6 +1445,7 @@ impl<'n> Tmk<'n> {
         let seq = self.reduce_list_seq.get();
         self.reduce_list_seq.set(seq.wrapping_add(1));
         let t16 = seq & 0xFFFF;
+        let _s = self.node.trace_span(SpanKind::ReduceWait, t16);
         debug_assert!(lo + vals.len() <= len, "window exceeds the vector");
         debug_assert!(need.end <= len, "need exceeds the vector");
         let window = protocol::ReduceWindow {
@@ -1464,6 +1520,16 @@ impl<'n> Tmk<'n> {
         let t = tag::BCAST | (seq & 0xFFFF);
         let me = self.proc_id();
         let n = self.nprocs();
+        // The root spends protocol-service time serializing pages; every
+        // other node mostly waits for its parent's forward.
+        let _s = self.node.trace_span(
+            if me == root {
+                SpanKind::PushSend
+            } else {
+                SpanKind::PushRecv
+            },
+            seq & 0xFFFF,
+        );
         let (wlo, whi) = self.word_bounds(arr, &range);
         let pw = self.cfg.page_words;
         let (p0, p1) = (wlo / pw, (whi - 1) / pw);

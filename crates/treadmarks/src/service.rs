@@ -34,7 +34,14 @@ pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
     while let Some(pkt) = ep.recv_any_raw() {
         let arrival = pkt.arrival;
         let mut r = WordReader::new(&pkt.payload);
-        match r.get() {
+        let opcode = r.get();
+        if ep.tracing() && opcode != op::SHUTDOWN {
+            // The nominal per-request dispatch cost; handlers add their
+            // own data-dependent time on top, which the trace captures
+            // through the response's send/recv events.
+            ep.trace_service(opcode as u32, arrival, ep.cost().service_us);
+        }
+        match opcode {
             op::DIFF_REQ => handle_diff_req(&ep, &state, &mut r, arrival),
             op::VALIDATE_REQ => handle_validate_req(&ep, &state, &mut r, arrival),
             op::HOME_FLUSH => handle_home_flush(&ep, &state, &mut r, arrival),
@@ -49,13 +56,15 @@ pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
             op::SHUTDOWN => break,
             other => {
                 eprintln!(
-                    "treadmarks[{}]: unknown service opcode {other} from node {} \
+                    "treadmarks[{}]: unknown service opcode {other:#x} from node {} \
                      ({} payload words); shutting the service loop down",
                     ep.id(),
                     pkt.src,
                     pkt.payload.len(),
                 );
-                state.lock().stats.service_errors += 1;
+                let mut st = state.lock();
+                st.stats.service_errors += 1;
+                st.stats.last_bad_opcode.get_or_insert(other);
                 break;
             }
         }

@@ -68,6 +68,11 @@ pub struct DsmStats {
     /// Malformed service requests (unknown opcodes). Non-zero means the
     /// node's service loop shut itself down defensively.
     pub service_errors: u64,
+    /// The first unknown opcode the service loop rejected, if any —
+    /// the value behind `service_errors`, kept so a sweep failure log
+    /// can name the culprit. Merged across nodes with `or`: the first
+    /// node (in merge order) that saw garbage wins.
+    pub last_bad_opcode: Option<u64>,
     /// Scratch-arena hits: twin/page buffers served from the recycled
     /// pool instead of the allocator. At steady state (after the first
     /// epoch warms the pool) virtually every twin creation is a hit.
@@ -82,35 +87,70 @@ pub struct DsmStats {
 
 impl DsmStats {
     /// Elementwise sum, for aggregating across nodes.
+    ///
+    /// The exhaustive destructuring is deliberate: adding a counter to
+    /// the struct without deciding how it aggregates fails to compile
+    /// here, instead of silently not merging.
     pub fn merge(&mut self, other: &DsmStats) {
-        self.faults += other.faults;
-        self.twins += other.twins;
-        self.diffs_created += other.diffs_created;
-        self.diff_words_created += other.diff_words_created;
-        self.diffs_applied += other.diffs_applied;
-        self.intervals_created += other.intervals_created;
-        self.barriers += other.barriers;
-        self.forks += other.forks;
-        self.lock_acquires += other.lock_acquires;
-        self.lock_local_hits += other.lock_local_hits;
-        self.pages_pushed += other.pages_pushed;
-        self.pages_broadcast += other.pages_broadcast;
-        self.validates += other.validates;
-        self.validate_pages += other.validate_pages;
-        self.direct_reduces += other.direct_reduces;
-        self.inspections += other.inspections;
-        self.inspect_us += other.inspect_us;
-        self.schedule_reuse += other.schedule_reuse;
-        self.home_flushes += other.home_flushes;
-        self.home_flush_pages += other.home_flush_pages;
-        self.page_fetches += other.page_fetches;
-        self.stale_flush_drops += other.stale_flush_drops;
-        self.home_ranges_pruned += other.home_ranges_pruned;
-        self.service_errors += other.service_errors;
-        self.arena_hits += other.arena_hits;
-        self.arena_misses += other.arena_misses;
+        let DsmStats {
+            faults,
+            twins,
+            diffs_created,
+            diff_words_created,
+            diffs_applied,
+            intervals_created,
+            barriers,
+            forks,
+            lock_acquires,
+            lock_local_hits,
+            pages_pushed,
+            pages_broadcast,
+            validates,
+            validate_pages,
+            direct_reduces,
+            inspections,
+            inspect_us,
+            schedule_reuse,
+            home_flushes,
+            home_flush_pages,
+            page_fetches,
+            stale_flush_drops,
+            home_ranges_pruned,
+            service_errors,
+            last_bad_opcode,
+            arena_hits,
+            arena_misses,
+            arena_peak_bytes,
+        } = *other;
+        self.faults += faults;
+        self.twins += twins;
+        self.diffs_created += diffs_created;
+        self.diff_words_created += diff_words_created;
+        self.diffs_applied += diffs_applied;
+        self.intervals_created += intervals_created;
+        self.barriers += barriers;
+        self.forks += forks;
+        self.lock_acquires += lock_acquires;
+        self.lock_local_hits += lock_local_hits;
+        self.pages_pushed += pages_pushed;
+        self.pages_broadcast += pages_broadcast;
+        self.validates += validates;
+        self.validate_pages += validate_pages;
+        self.direct_reduces += direct_reduces;
+        self.inspections += inspections;
+        self.inspect_us += inspect_us;
+        self.schedule_reuse += schedule_reuse;
+        self.home_flushes += home_flushes;
+        self.home_flush_pages += home_flush_pages;
+        self.page_fetches += page_fetches;
+        self.stale_flush_drops += stale_flush_drops;
+        self.home_ranges_pruned += home_ranges_pruned;
+        self.service_errors += service_errors;
+        self.last_bad_opcode = self.last_bad_opcode.or(last_bad_opcode);
+        self.arena_hits += arena_hits;
+        self.arena_misses += arena_misses;
         // A peak is a footprint, not a flow: take the worst node.
-        self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
+        self.arena_peak_bytes = self.arena_peak_bytes.max(arena_peak_bytes);
     }
 
     /// Sum a collection of per-node statistics.
@@ -164,5 +204,23 @@ mod tests {
         assert_eq!(t.arena_hits, 15);
         assert_eq!(t.arena_misses, 2);
         assert_eq!(t.arena_peak_bytes, 8192, "peak is a max, not a sum");
+    }
+
+    #[test]
+    fn first_bad_opcode_wins_the_merge() {
+        let clean = DsmStats::default();
+        let a = DsmStats {
+            service_errors: 1,
+            last_bad_opcode: Some(0xBAAD),
+            ..Default::default()
+        };
+        let b = DsmStats {
+            service_errors: 1,
+            last_bad_opcode: Some(0xF00D),
+            ..Default::default()
+        };
+        let t = DsmStats::total([&clean, &a, &b]);
+        assert_eq!(t.service_errors, 2);
+        assert_eq!(t.last_bad_opcode, Some(0xBAAD));
     }
 }

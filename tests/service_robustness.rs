@@ -34,8 +34,8 @@ fn first_unassigned_opcode_is_rejected_gracefully() {
                     move || service_loop(ep, state)
                 });
                 node.join_service(h);
-                let errors = state.lock().stats.service_errors;
-                errors
+                let st = state.lock();
+                (st.stats.service_errors, st.stats.last_bad_opcode)
             } else {
                 node.endpoint().send_to_port(
                     0,
@@ -44,10 +44,16 @@ fn first_unassigned_opcode_is_rejected_gracefully() {
                     MsgKind::Control,
                     vec![op::REDUCE_LIST + 1],
                 );
-                0
+                (0, None)
             }
         });
-        assert_eq!(out.results[0], 1, "engine {engine}");
+        // Counted once, and the offending opcode itself is recorded for
+        // the post-mortem (the shutdown log line carries it too).
+        assert_eq!(
+            out.results[0],
+            (1, Some(op::REDUCE_LIST + 1)),
+            "engine {engine}"
+        );
     }
 }
 
@@ -178,8 +184,10 @@ fn unknown_opcode_leaves_other_nodes_running() {
                     drop(w);
                     tmk.release(1);
                     // Stay alive (serving diffs) until the consumer is
-                    // done, then let `Tmk::drop` stop the service.
+                    // done, then let node 0 wind down before `Tmk::drop`
+                    // stops the service.
                     let _ = node.recv_from(2, DONE);
+                    node.send(0, DONE, MsgKind::Data, vec![1]);
                     9.0
                 }
                 2 => {
@@ -197,7 +205,23 @@ fn unknown_opcode_leaves_other_nodes_running() {
                     node.send(1, DONE, MsgKind::Data, vec![1]);
                     v
                 }
-                _ => 0.0,
+                _ => {
+                    // Wait for the producer's all-done signal, then pin
+                    // the recorded poison opcode. On the threaded
+                    // engine the service thread races this read in
+                    // wall-clock time (virtual order does not bind
+                    // mutex writes across threads), so allow it to
+                    // finish the poison dispatch first.
+                    let _ = node.recv_from(1, DONE);
+                    let mut stats = tmk.stats_snapshot();
+                    while stats.last_bad_opcode.is_none() {
+                        std::thread::yield_now();
+                        stats = tmk.stats_snapshot();
+                    }
+                    assert_eq!(stats.last_bad_opcode, Some(0xDEAD_BEEF), "engine {engine}");
+                    assert_eq!(stats.service_errors, 1, "engine {engine}");
+                    0.0
+                }
             }
         });
         assert_eq!(out.results[1], 9.0, "engine {engine}");
