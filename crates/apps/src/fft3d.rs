@@ -289,6 +289,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         stats,
         checksum: Some(vec![acc_re, acc_im, a[0], a[1]]),
         dsm: None,
+        races: None,
     }
 }
 
@@ -435,6 +436,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -671,6 +673,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, cri: bool) -> NodeOut {
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -823,6 +826,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         stats,
         checksum: cs,
         dsm: None,
+        races: None,
     }
 }
 

@@ -180,6 +180,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         stats,
         checksum: Some(checksum(&a, n, p.square, red)),
         dsm: None,
+        races: None,
     }
 }
 
@@ -290,6 +291,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -425,6 +427,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -596,6 +599,7 @@ fn spf_cri_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -725,6 +729,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         stats,
         checksum: cs,
         dsm: None,
+        races: None,
     }
 }
 

@@ -145,6 +145,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         stats,
         checksum: Some(checksum(&data, n)),
         dsm: None,
+        races: None,
     }
 }
 
@@ -205,6 +206,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -336,6 +338,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, cri: bool) -> NodeOut {
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -411,6 +414,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         stats,
         checksum: cs,
         dsm: None,
+        races: None,
     }
 }
 

@@ -113,6 +113,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         stats,
         checksum: Some(checksum(&cols)),
         dsm: None,
+        races: None,
     }
 }
 
@@ -210,6 +211,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig, use_bcast: bool) -> NodeOu
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -364,6 +366,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, cri: bool) -> NodeOut {
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -450,6 +453,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         stats,
         checksum: cs,
         dsm: None,
+        races: None,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Application/version dispatch and result assembly.
 
 use sp2sim::{EngineKind, MsgKind, StatsSnapshot, TraceData};
-use treadmarks::{DsmStats, ProtocolMode, TmkConfig};
+use treadmarks::{DsmStats, ProtocolMode, RaceLog, RaceReport, TmkConfig};
 
 /// The six applications of the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -117,6 +117,10 @@ pub struct NodeOut {
     pub checksum: Option<Vec<f64>>,
     /// DSM protocol statistics (shared-memory versions).
     pub dsm: Option<DsmStats>,
+    /// Race-detection provenance log (shared-memory versions with
+    /// [`TmkConfig::detect_races`] on; taken via `Tmk::take_race_log`
+    /// after `finish`).
+    pub races: Option<RaceLog>,
 }
 
 /// Result of one experiment run.
@@ -146,6 +150,12 @@ pub struct RunResult {
     /// [`treadmarks::TmkConfig::trace`] (covers the whole run, not just
     /// the timed region).
     pub trace: Option<TraceData>,
+    /// Data races found by the cluster-wide post-run analysis, when the
+    /// run was configured with [`TmkConfig::detect_races`]. Empty means
+    /// either detection was off or — the gate the six applications must
+    /// pass — no concurrent intervals wrote the same word. Also counted
+    /// in [`DsmStats::races_detected`].
+    pub race_report: Vec<RaceReport>,
 }
 
 impl RunResult {
@@ -163,7 +173,10 @@ impl RunResult {
             .iter()
             .find_map(|o| o.checksum.clone())
             .expect("some node produced a checksum");
-        let dsm = DsmStats::total(outs.iter().filter_map(|o| o.dsm.as_ref()));
+        let mut dsm = DsmStats::total(outs.iter().filter_map(|o| o.dsm.as_ref()));
+        let logs: Vec<RaceLog> = outs.into_iter().filter_map(|o| o.races).collect();
+        let race_report = treadmarks::race::detect(&logs);
+        dsm.races_detected = race_report.len() as u64;
         RunResult {
             app,
             version,
@@ -176,6 +189,7 @@ impl RunResult {
             checksum,
             dsm,
             trace: None,
+            race_report,
         }
     }
 
@@ -309,6 +323,7 @@ mod tests {
                     faults: 2,
                     ..Default::default()
                 }),
+                races: None,
             },
             NodeOut {
                 elapsed_us: 150.0,
@@ -318,6 +333,7 @@ mod tests {
                     faults: 3,
                     ..Default::default()
                 }),
+                races: None,
             },
         ];
         let r = RunResult::assemble(AppId::Jacobi, Version::Tmk, 2, 1.0, outs);

@@ -388,6 +388,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         stats,
         checksum: Some(checksum(&st.arr[P], &st.arr[U], n)),
         dsm: None,
+        races: None,
     }
 }
 
@@ -626,6 +627,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -895,6 +897,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, fused: bool, cri: bool) ->
         stats,
         checksum: cs,
         dsm: Some(dsm),
+        races: tmk.take_race_log(),
     }
 }
 
@@ -1195,6 +1198,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         stats,
         checksum: cs,
         dsm: None,
+        races: None,
     }
 }
 

@@ -94,6 +94,15 @@ pub struct TmkConfig {
     /// crate and `harness`'s `trace` bin). Off by default; tracing never
     /// changes any simulated observable either way.
     pub trace: bool,
+    /// When true, every flush records per-word write provenance for the
+    /// interval it closes (the twin-vs-published delta plus a vector
+    /// clock snapshot), and the post-run analyzer flags every pair of
+    /// intervals that wrote the same word while unordered by the
+    /// vector-clock partial order — a data race under the
+    /// multiple-writer protocol's "concurrent intervals write disjoint
+    /// words" contract. See `crate::race`. Off by default; the recording
+    /// is host-side only and changes no simulated observable either way.
+    pub detect_races: bool,
 }
 
 impl Default for TmkConfig {
@@ -104,6 +113,7 @@ impl Default for TmkConfig {
             aggregation: false,
             protocol: ProtocolMode::Lrc,
             trace: false,
+            detect_races: false,
         }
     }
 }
@@ -144,6 +154,14 @@ impl TmkConfig {
     pub fn with_trace(self, trace: bool) -> TmkConfig {
         TmkConfig { trace, ..self }
     }
+
+    /// This configuration with data-race detection on or off.
+    pub fn with_race_detection(self, detect_races: bool) -> TmkConfig {
+        TmkConfig {
+            detect_races,
+            ..self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +175,7 @@ mod tests {
         assert!(c.improved_forkjoin);
         assert!(!c.aggregation);
         assert_eq!(c.protocol, ProtocolMode::Lrc);
+        assert!(!c.detect_races, "race detection is opt-in");
     }
 
     #[test]
@@ -170,6 +189,7 @@ mod tests {
                 .protocol,
             ProtocolMode::Hlrc
         );
+        assert!(TmkConfig::default().with_race_detection(true).detect_races);
     }
 
     #[test]

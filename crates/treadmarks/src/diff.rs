@@ -101,6 +101,17 @@ impl Diff {
         self.runs.is_empty()
     }
 
+    /// Ascending page-relative indices of every modified word — the
+    /// per-word write provenance the race detector records at each flush
+    /// (see `crate::race`).
+    pub fn changed_positions(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.changed_words());
+        for run in &self.runs {
+            out.extend(run.start..run.start + run.words.len() as u32);
+        }
+        out
+    }
+
     /// Size of the wire encoding in words: one count word plus, per run,
     /// a header word and the data words.
     pub fn encoded_words(&self) -> usize {
@@ -152,6 +163,7 @@ mod tests {
         let d = Diff::create(&old, &new);
         assert_eq!(d.runs.len(), 2);
         assert_eq!(d.changed_words(), 3);
+        assert_eq!(d.changed_positions(), vec![3, 4, 10]);
         let mut page = old.clone();
         d.apply(&mut page);
         assert_eq!(page, new);

@@ -339,30 +339,35 @@ impl<'n> Tmk<'n> {
     /// every point where [`DsmState::flush`] used to run bare.
     fn publish(&self) {
         let _s = self.node.trace_span(SpanKind::Publish, 0);
-        let (flush_us, pages) = {
+        let cost = self.node.cost().clone();
+        let me = self.proc_id();
+        let mut groups: BTreeMap<usize, Vec<(usize, DiffRange)>> = BTreeMap::new();
+        let mut us = 0.0;
+        // One critical section from flush through home buffering. The
+        // service thread ships the flushed interval cluster-wide the
+        // moment it can take this lock (fork/join departures, grants);
+        // if it could observe the interval closed but the home copy not
+        // yet holding its ranges, a requester could ask this home for
+        // them in that window — and a deferred request for our *own*
+        // pages has no incoming flush to retry it: it would wait
+        // forever (the NBF/HLRC threaded deadlock).
+        let flush_us = {
             let mut st = self.state.lock();
             let pages: Vec<usize> = if self.hlrc() {
                 st.dirty.iter().copied().collect()
             } else {
                 Vec::new()
             };
-            (st.flush(self.node.cost()), pages)
-        };
-        self.node.advance(flush_us);
-        if pages.is_empty() {
-            return;
-        }
-        let cost = self.node.cost().clone();
-        let me = self.proc_id();
-        let mut groups: BTreeMap<usize, Vec<(usize, DiffRange)>> = BTreeMap::new();
-        let mut us = 0.0;
-        {
-            let mut st = self.state.lock();
+            let flush_us = st.flush(self.node.cost());
             let seq = st.vc[me];
             for p in pages {
                 let home = st.home_of(p);
                 let (ranges, f_us) = st.serve_diffs(p, seq, &cost);
                 us += f_us;
+                trace!(
+                    "[{me}] publish: page {p} seq {seq} home {home} ranges {:?}",
+                    ranges.iter().map(|r| (r.lo, r.hi)).collect::<Vec<_>>()
+                );
                 if let Some(r) = ranges.into_iter().next_back() {
                     if home == me {
                         // We are the home: buffer our own published range
@@ -377,7 +382,14 @@ impl<'n> Tmk<'n> {
                     }
                 }
             }
-            st.stats.home_flushes += groups.len() as u64;
+            if !groups.is_empty() {
+                st.stats.home_flushes += groups.len() as u64;
+            }
+            flush_us
+        };
+        self.node.advance(flush_us);
+        if us == 0.0 && groups.is_empty() {
+            return;
         }
         self.node.advance(us);
         for (home, entries) in groups {
@@ -670,6 +682,7 @@ impl<'n> Tmk<'n> {
             if write {
                 let st = &mut *st;
                 for p in p0..=p1 {
+                    let has_open = st.diffs.get(&p).is_some_and(|d| d.open.is_some());
                     let frame = st
                         .frames
                         .get_mut(&p)
@@ -681,6 +694,15 @@ impl<'n> Tmk<'n> {
                         us += cost.page_fault_us + cost.twin_us;
                         st.stats.faults += 1;
                         st.stats.twins += 1;
+                    } else if has_open && frame.published.is_none() {
+                        // Re-dirtying a page whose un-materialized diff
+                        // range is still open: snapshot the published
+                        // image now, before this epoch's writes land, so
+                        // a wall-clock-time `serve_diffs` on the service
+                        // thread serves exactly the flushed content. Host
+                        // bookkeeping only — the simulated fault already
+                        // paid for this page, so no virtual time charge.
+                        frame.published = Some(frame.data.clone());
                     }
                     st.dirty.insert(p);
                 }
@@ -1625,7 +1647,23 @@ impl<'n> Tmk<'n> {
         stats
     }
 
-    fn stop_service(&self) {
+    /// Take this node's race-detection provenance log, if
+    /// [`TmkConfig::detect_races`] was set. Call after [`Tmk::finish`]
+    /// (its final barrier guarantees every interval has been flushed);
+    /// the cluster-wide analysis over all nodes' logs is
+    /// [`crate::race::detect`].
+    pub fn take_race_log(&self) -> Option<crate::race::RaceLog> {
+        self.state.lock().race.take()
+    }
+
+    /// Stop the protocol service thread: send it the shutdown opcode and
+    /// join it. Idempotent (the handle is taken on first call); `finish`
+    /// and `Drop` both route through here. Public because the join is
+    /// also a synchronization point — once this returns, every service
+    /// action the thread performed (counters, `last_bad_opcode`, home
+    /// state) is visible to the caller, which tests use instead of
+    /// spinning on a snapshot.
+    pub fn stop_service(&self) {
         if let Some(handle) = self.svc.take() {
             self.node.endpoint().send_to_port(
                 self.proc_id(),

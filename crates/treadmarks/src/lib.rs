@@ -106,6 +106,7 @@ pub mod fxhash;
 pub mod interval;
 pub mod page;
 pub mod protocol;
+pub mod race;
 pub mod service;
 pub mod state;
 pub mod stats;
@@ -114,5 +115,6 @@ pub mod vc;
 pub use config::{ProtocolMode, TmkConfig};
 pub use diff::Diff;
 pub use dsm::{ReadView, SharedArray, Tmk, WriteView};
+pub use race::{RaceLog, RaceReport};
 pub use state::ReduceOp;
 pub use stats::DsmStats;

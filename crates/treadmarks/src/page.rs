@@ -20,6 +20,16 @@ pub struct Frame {
     /// Copy saved before the first local modification; present while the
     /// node has unpublished or un-diffed local writes.
     pub twin: Option<Vec<u64>>,
+    /// Published image: the page content as of this node's most recent
+    /// flush covering the page, kept while the page is re-written with
+    /// its diff still open. `serve_diffs` materializes the open range
+    /// against this image (falling back to `data` when absent), so diff
+    /// content always matches the virtual-time release point even when
+    /// the request is served at an arbitrary wall-clock moment on the
+    /// threaded engine — the live frame may already hold the *next*
+    /// epoch's writes, and leaking them backward diverges readers that
+    /// are virtually ordered before those writes.
+    pub published: Option<Vec<u64>>,
     /// Highest interval sequence number applied, per writer node.
     /// `applied[w] >= seq` means the write notice `(w, seq)` for this page
     /// is already reflected in `data`.
@@ -32,17 +42,24 @@ impl Frame {
         Frame {
             data: vec![0; page_words],
             twin: None,
+            published: None,
             applied: vec![0; nprocs],
         }
     }
 
     /// Apply an incoming diff. If the frame is twinned (has local
     /// modifications in progress), the diff is applied to the twin too so
-    /// that a later local diff does not re-attribute the remote words.
+    /// that a later local diff does not re-attribute the remote words; the
+    /// published image, when present, gets the same treatment for the
+    /// same reason — a twin-vs-published diff must cover exactly the
+    /// local writes.
     pub fn apply_diff(&mut self, diff: &Diff) {
         diff.apply(&mut self.data);
         if let Some(twin) = &mut self.twin {
             diff.apply(twin);
+        }
+        if let Some(published) = &mut self.published {
+            diff.apply(published);
         }
     }
 }
@@ -85,6 +102,18 @@ mod tests {
         f.apply_diff(&d);
         assert_eq!(f.data[2], 42);
         assert_eq!(f.twin.as_ref().unwrap()[2], 42);
+    }
+
+    #[test]
+    fn apply_diff_updates_published_image_too() {
+        let mut f = Frame::new(8, 2);
+        f.twin = Some(f.data.clone());
+        f.published = Some(f.data.clone());
+        let d = Diff::create(&[0; 8], &[0, 7, 0, 0, 0, 0, 0, 0]);
+        f.apply_diff(&d);
+        assert_eq!(f.data[1], 7);
+        assert_eq!(f.twin.as_ref().unwrap()[1], 7);
+        assert_eq!(f.published.as_ref().unwrap()[1], 7);
     }
 
     #[test]

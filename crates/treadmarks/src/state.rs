@@ -38,6 +38,7 @@ use crate::diff::Diff;
 use crate::fxhash::FxHashMap;
 use crate::interval::Interval;
 use crate::page::{Frame, PageId};
+use crate::race::{IntervalWrites, RaceLog};
 use crate::stats::DsmStats;
 use crate::vc::Vc;
 
@@ -462,11 +463,18 @@ pub struct DsmState {
     pub scratch: DiffScratch,
     /// Per-node protocol statistics.
     pub stats: DsmStats,
+    /// Race-detection provenance log, present iff
+    /// [`TmkConfig::detect_races`]: every flush appends the closing
+    /// interval's per-word write set and vector clock (see
+    /// [`crate::race`]). Host-side only — never touches the wire or the
+    /// virtual clock.
+    pub race: Option<RaceLog>,
 }
 
 impl DsmState {
     /// Fresh state for node `me` of `n`.
     pub fn new(me: usize, n: usize, cfg: TmkConfig) -> DsmState {
+        let detect_races = cfg.detect_races;
         DsmState {
             me,
             n,
@@ -491,6 +499,10 @@ impl DsmState {
             waiting_page_reqs: Vec::new(),
             scratch: DiffScratch::default(),
             stats: DsmStats::default(),
+            race: detect_races.then(|| RaceLog {
+                node: me,
+                intervals: Vec::new(),
+            }),
         }
     }
 
@@ -830,9 +842,33 @@ impl DsmState {
         self.lamport += 1;
         let lamport = self.lamport;
         let pages: Vec<PageId> = std::mem::take(&mut self.dirty).into_iter().collect();
+        let mut race_writes: Vec<(PageId, Vec<u32>)> = Vec::new();
         for &p in &pages {
             let frame = self.frames.get_mut(&p).expect("dirty page has a frame");
             debug_assert!(frame.twin.is_some(), "dirty page has a twin");
+            if self.race.is_some() {
+                // Exactly this interval's writes: the delta against the
+                // content at the previous flush (the published image), or
+                // against the twin when this is the first flush since the
+                // write fault. Remote diffs cancel — they land on both
+                // sides (`Frame::apply_diff`).
+                let base = frame
+                    .published
+                    .as_deref()
+                    .or(frame.twin.as_deref())
+                    .expect("dirty page has a twin");
+                race_writes.push((p, Diff::create(base, &frame.data).changed_positions()));
+            }
+            // Re-anchor the published image at this release point so a
+            // later wall-clock-time serve excludes the *next* epoch's
+            // writes. With detection on the image is created eagerly
+            // (per-interval deltas need a per-flush base); otherwise it
+            // only exists once a re-dirty fault created it lazily.
+            match frame.published.as_mut() {
+                Some(shot) => shot.copy_from_slice(&frame.data),
+                None if self.race.is_some() => frame.published = Some(frame.data.clone()),
+                None => {}
+            }
             let entry = self.diffs.entry(p).or_default();
             let open = entry.open.get_or_insert(OpenRange {
                 lo: seq,
@@ -854,6 +890,15 @@ impl DsmState {
         });
         self.log[self.me].push(iv);
         self.stats.intervals_created += 1;
+        if let Some(log) = &mut self.race {
+            log.intervals.push(IntervalWrites {
+                node: self.me,
+                seq,
+                lamport,
+                vc: self.vc.clone(),
+                writes: race_writes,
+            });
+        }
         us
     }
 
@@ -914,6 +959,16 @@ impl DsmState {
     /// freeze the twin is dropped (unless the page is dirty again), so
     /// the next local write re-faults and re-twins, exactly like the
     /// original system re-protecting a diffed page.
+    ///
+    /// The materialization compares the twin against the **published
+    /// image** when one exists, never the live frame: on the threaded
+    /// engine this call runs on the protocol service thread at an
+    /// arbitrary wall-clock moment, and the live frame may already hold
+    /// writes of the *next* open epoch — virtually ordered after the
+    /// requester's read. Serving those words backward through virtual
+    /// time is the divergence this image exists to prevent; `data` is a
+    /// correct fallback only while the page has not been re-written
+    /// since its last flush (then the two are identical).
     pub fn serve_diffs(
         &mut self,
         page: PageId,
@@ -927,14 +982,38 @@ impl DsmState {
                 entry.open = None;
                 let frame = self.frames.get_mut(&page).expect("open range has a frame");
                 let twin = frame.twin.as_ref().expect("open range has a twin");
-                let diff = Diff::create(twin, &frame.data);
+                let src = frame.published.as_deref().unwrap_or(&frame.data);
+                let diff = Diff::create(twin, src);
                 us += cost.diff_create_us(diff.changed_words());
                 self.stats.diffs_created += 1;
                 self.stats.diff_words_created += diff.changed_words() as u64;
                 if !self.dirty.contains(&page) {
                     // Re-protect: the next write takes a fresh fault+twin.
-                    // The retired twin goes back to the scratch arena.
+                    // The retired twin goes back to the scratch arena; the
+                    // published image retires with it (they are a pair —
+                    // the image is only meaningful against its twin).
                     if let Some(t) = frame.twin.take() {
+                        self.scratch.put(t, &mut self.stats);
+                    }
+                    frame.published = None;
+                } else {
+                    // The page is mid-epoch, so the twin must survive —
+                    // but its baseline just moved: everything up to
+                    // `open.hi` is frozen into the served range now, and
+                    // the next freeze must diff against *this* snapshot,
+                    // not the original fault-time twin. Re-anchoring by
+                    // promoting the published image (== `src`) to be the
+                    // new twin is what keeps ranges disjoint: a twin left
+                    // stale would make the next freeze re-include every
+                    // word served here, and re-applying those at a
+                    // concurrent writer would clobber that writer's own
+                    // newer values (the lost-warm-up divergence the
+                    // threaded engine exposed about once in 10^3 runs).
+                    let shot = frame
+                        .published
+                        .take()
+                        .expect("a dirty page with an open range was re-faulted, which snapshots the published image");
+                    if let Some(t) = frame.twin.replace(shot) {
                         self.scratch.put(t, &mut self.stats);
                     }
                 }
@@ -1058,6 +1137,62 @@ mod tests {
         // A brand-new requester gets both.
         let (ranges, _) = s.serve_diffs(3, 1, &CostModel::sp2());
         assert_eq!(ranges.len(), 2);
+    }
+
+    #[test]
+    fn serve_materializes_at_the_published_image_not_the_live_frame() {
+        let mut s = state(0, 2);
+        write_words(&mut s, 3, &[(0, 1)]);
+        s.flush(&CostModel::sp2());
+        // Re-dirty fault: the write-enable path snapshots the page while
+        // an open range exists (dsm.rs does this), before the next
+        // epoch's writes land.
+        {
+            let frame = s.frames.get_mut(&3).unwrap();
+            frame.published = Some(frame.data.clone());
+        }
+        write_words(&mut s, 3, &[(1, 2)]);
+        // A wall-clock-time serve while the next epoch is mid-write must
+        // not leak word 1 backward through virtual time.
+        let (ranges, _) = s.serve_diffs(3, 1, &CostModel::sp2());
+        assert_eq!(ranges.len(), 1);
+        assert_eq!((ranges[0].lo, ranges[0].hi), (1, 1));
+        assert_eq!(ranges[0].diff.changed_positions(), vec![0]);
+        // Dirty page: the twin survives the freeze, re-anchored at the
+        // served snapshot (the published image is consumed by that).
+        assert!(s.frames[&3].published.is_none());
+        assert_eq!(s.frames[&3].twin.as_ref().unwrap()[0], 1, "re-anchored");
+        // Once the open epoch flushes, its word is served normally — and
+        // ONLY its word: the re-anchored baseline keeps the new range
+        // disjoint from the one already frozen, so applying it elsewhere
+        // can never roll back a concurrent writer's word 0.
+        s.flush(&CostModel::sp2());
+        let (ranges, _) = s.serve_diffs(3, 2, &CostModel::sp2());
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].diff.changed_positions(), vec![1]);
+        // Clean page after the serve: both buffers retire together.
+        assert!(s.frames[&3].twin.is_none());
+        assert!(s.frames[&3].published.is_none());
+    }
+
+    #[test]
+    fn flush_records_per_interval_write_provenance() {
+        let mut s = DsmState::new(0, 2, TmkConfig::default().with_race_detection(true));
+        write_words(&mut s, 3, &[(0, 1), (2, 5)]);
+        s.flush(&CostModel::sp2());
+        write_words(&mut s, 3, &[(1, 2)]);
+        write_words(&mut s, 9, &[(4, 4)]);
+        s.flush(&CostModel::sp2());
+        let log = s.race.as_ref().unwrap();
+        assert_eq!(log.node, 0);
+        assert_eq!(log.intervals.len(), 2);
+        assert_eq!(log.intervals[0].seq, 1);
+        assert_eq!(log.intervals[0].writes, vec![(3, vec![0, 2])]);
+        // The second interval records only its own words: the published
+        // image re-anchors the delta at every flush.
+        assert_eq!(log.intervals[1].seq, 2);
+        assert_eq!(log.intervals[1].writes, vec![(3, vec![1]), (9, vec![4])]);
+        assert_eq!(log.intervals[1].vc, vec![2, 0]);
     }
 
     #[test]

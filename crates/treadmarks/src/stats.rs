@@ -83,6 +83,13 @@ pub struct DsmStats {
     /// Peak bytes parked in the scratch arena — the arena's memory
     /// footprint. Merged across nodes with `max`, not sum.
     pub arena_peak_bytes: u64,
+    /// Data races found by the post-run analysis when
+    /// `TmkConfig::detect_races` is on: pairs of vector-clock-concurrent
+    /// intervals that wrote the same word (see `crate::race`). Filled in
+    /// by the harness after the run (the analysis is cluster-wide, so no
+    /// single node can count during it); zero in a race-free run, so
+    /// detection on/off leaves the whole struct bit-identical there.
+    pub races_detected: u64,
 }
 
 impl DsmStats {
@@ -121,6 +128,7 @@ impl DsmStats {
             arena_hits,
             arena_misses,
             arena_peak_bytes,
+            races_detected,
         } = *other;
         self.faults += faults;
         self.twins += twins;
@@ -151,6 +159,7 @@ impl DsmStats {
         self.arena_misses += arena_misses;
         // A peak is a footprint, not a flow: take the worst node.
         self.arena_peak_bytes = self.arena_peak_bytes.max(arena_peak_bytes);
+        self.races_detected += races_detected;
     }
 
     /// Sum a collection of per-node statistics.

@@ -28,6 +28,30 @@ pub fn concurrent(a: &Vc, b: &Vc) -> bool {
     !dominates(a, b) && !dominates(b, a)
 }
 
+/// `true` if interval `(a_node, a_seq)` — created when its node's vector
+/// clock was `a_vc` — and interval `(b_node, b_seq)` with clock `b_vc`
+/// are unordered by happens-before.
+///
+/// Interval `a` happens-before interval `b` exactly when `b`'s creator
+/// had integrated `a` by the time it closed `b`, i.e. `b_vc[a_node] >=
+/// a_seq`; the symmetric test gives the other direction, and two
+/// intervals of one creator are always ordered by sequence number. This
+/// is the ordering the race detector uses: two writes to the same word
+/// race iff their intervals are concurrent under it (see `crate::race`).
+pub fn intervals_concurrent(
+    a_node: usize,
+    a_seq: u32,
+    a_vc: &Vc,
+    b_node: usize,
+    b_seq: u32,
+    b_vc: &Vc,
+) -> bool {
+    if a_node == b_node {
+        return false;
+    }
+    a_vc[b_node] < b_seq && b_vc[a_node] < a_seq
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +78,15 @@ mod tests {
         let b = vec![0, 2];
         assert!(concurrent(&a, &b));
         assert!(!concurrent(&a, &a));
+    }
+
+    #[test]
+    fn interval_concurrency_follows_happens_before() {
+        // Two first intervals, neither aware of the other: concurrent.
+        assert!(intervals_concurrent(0, 1, &vec![1, 0], 1, 1, &vec![0, 1]));
+        // Node 1 closed its interval after integrating node 0's: ordered.
+        assert!(!intervals_concurrent(0, 1, &vec![1, 0], 1, 1, &vec![1, 1]));
+        // Same creator: always ordered by sequence number.
+        assert!(!intervals_concurrent(0, 1, &vec![1, 0], 0, 2, &vec![2, 0]));
     }
 }

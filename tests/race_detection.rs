@@ -1,0 +1,182 @@
+//! Race-detection mode: the seeded positive, the six-app zero-race
+//! gate, and the zero-overhead pin.
+//!
+//! The detector records per-word write provenance at every flush
+//! (`TmkConfig::detect_races`) and flags pairs of vector-clock-
+//! concurrent intervals that wrote the same word — violations of the
+//! multiple-writer protocol's "concurrent intervals write disjoint
+//! words" contract. Three things must hold:
+//!
+//! * a deliberately racy program is flagged with the exact `(page,
+//!   word, writer pair, interval pair)`, on both engines;
+//! * all six applications, under both protocols and both engines, are
+//!   race-free — the contract the paper's results implicitly rest on;
+//! * detection is a pure observer: turning it on changes no simulated
+//!   observable (memory bytes, virtual time, traffic, DSM statistics).
+
+use apps::runner::{run_protocol_on, run_with_cfg_on, tmk_config_for_protocol};
+use apps::{AppId, Version};
+use sp2sim::{Cluster, ClusterConfig, EngineKind};
+use treadmarks::{race, ProtocolMode, RaceLog, Tmk, TmkConfig};
+
+const SCALE: f64 = 0.035;
+
+/// Two nodes write the same word of the same page in the same barrier
+/// epoch — unsynchronized by construction. The detector must name the
+/// exact word and writer pair, on both engines, and the provenance must
+/// be schedule-independent (it is captured at each node's own flush,
+/// before any remote diff can land).
+#[test]
+fn seeded_race_is_flagged_with_the_exact_writer_pair() {
+    for engine in EngineKind::ALL {
+        let out = Cluster::run(ClusterConfig::sp2_on(2, engine), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default().with_race_detection(true));
+            let a = tmk.malloc_f64(8);
+            let me = tmk.proc_id();
+            tmk.write_one(a, 0, (me + 1) as f64);
+            tmk.barrier(0);
+            let v = tmk.read_one(a, 0);
+            tmk.finish();
+            (v, tmk.take_race_log().expect("detection was on"))
+        });
+        let logs: Vec<RaceLog> = out.results.iter().map(|(_, l)| l.clone()).collect();
+        let report = race::detect(&logs);
+        assert_eq!(report.len(), 1, "engine {engine}: exactly one race");
+        let r = &report[0];
+        assert_eq!(r.page, 0, "engine {engine}: first allocated page");
+        assert_eq!(r.word, 0, "engine {engine}: the contended word");
+        assert_eq!(r.words, 1, "engine {engine}: one overlapping word");
+        assert_eq!(r.writers, (0, 1), "engine {engine}");
+        assert_eq!(r.intervals, (1, 1), "engine {engine}: both first intervals");
+        // A racy read is allowed to see either write — that is what
+        // makes it a race — but never anything else.
+        for (v, _) in &out.results {
+            assert!(*v == 1.0 || *v == 2.0, "engine {engine}: read {v}");
+        }
+    }
+}
+
+/// Writes to the same word ordered by a lock (grants carry intervals,
+/// so the second writer's interval dominates the first's) must NOT be
+/// flagged: the detector follows happens-before, not wall-clock overlap.
+#[test]
+fn lock_ordered_writes_are_not_flagged() {
+    for engine in EngineKind::ALL {
+        let out = Cluster::run(ClusterConfig::sp2_on(2, engine), |node| {
+            let tmk = Tmk::new(node, TmkConfig::default().with_race_detection(true));
+            let a = tmk.malloc_f64(8);
+            let me = tmk.proc_id();
+            tmk.acquire(0);
+            let v = tmk.read_one(a, 0);
+            tmk.write_one(a, 0, v + (me + 1) as f64);
+            tmk.release(0);
+            tmk.barrier(0);
+            let total = tmk.read_one(a, 0);
+            tmk.finish();
+            (total, tmk.take_race_log().expect("detection was on"))
+        });
+        let logs: Vec<RaceLog> = out.results.iter().map(|(_, l)| l.clone()).collect();
+        assert!(
+            race::detect(&logs).is_empty(),
+            "engine {engine}: lock-ordered writes flagged"
+        );
+        // And the lock makes the outcome deterministic: both increments
+        // land, every node reads the sum.
+        for (total, _) in &out.results {
+            assert_eq!(*total, 3.0, "engine {engine}");
+        }
+    }
+}
+
+/// The zero-race gate: all six applications, both protocols, both
+/// engines. The multiple-writer contract — concurrent intervals write
+/// disjoint words — is what makes every equivalence claim in this
+/// repository meaningful; any overlap here is a genuine application or
+/// runtime bug, not test noise.
+#[test]
+fn six_apps_report_zero_races_under_both_protocols_and_engines() {
+    for app in AppId::ALL {
+        for protocol in ProtocolMode::ALL {
+            for engine in EngineKind::ALL {
+                let cfg = tmk_config_for_protocol(Version::Spf, protocol).with_race_detection(true);
+                let r = run_with_cfg_on(engine, app, Version::Spf, 4, SCALE, cfg);
+                assert!(
+                    r.race_report.is_empty(),
+                    "{app:?}/{protocol}/{engine}: {:?}",
+                    r.race_report
+                );
+                assert_eq!(r.dsm.races_detected, 0, "{app:?}/{protocol}/{engine}");
+            }
+        }
+    }
+}
+
+/// Detection is a pure observer: on vs off, the same run produces
+/// byte-identical memory (checksums, both engines) and — on the
+/// deterministic sequential engine — bit-identical virtual time,
+/// traffic, and DSM statistics. The recording is host-side only; no
+/// message, clock advance, or counter depends on it.
+#[test]
+fn detection_is_zero_overhead_on_simulated_observables() {
+    for protocol in ProtocolMode::ALL {
+        let base = tmk_config_for_protocol(Version::Tmk, protocol);
+        let run = |engine, detect: bool| {
+            run_with_cfg_on(
+                engine,
+                AppId::Jacobi,
+                Version::Tmk,
+                4,
+                SCALE,
+                base.clone().with_race_detection(detect),
+            )
+        };
+        let on = run(EngineKind::Sequential, true);
+        let off = run(EngineKind::Sequential, false);
+        assert_eq!(on.checksum, off.checksum, "{protocol}: memory bytes");
+        assert_eq!(
+            on.time_us.to_bits(),
+            off.time_us.to_bits(),
+            "{protocol}: virtual time"
+        );
+        assert_eq!(on.stats.msgs, off.stats.msgs, "{protocol}: message counts");
+        assert_eq!(on.stats.bytes, off.stats.bytes, "{protocol}: byte counts");
+        assert_eq!(on.dsm, off.dsm, "{protocol}: DSM statistics");
+        // Threaded engine: memory must still be byte-identical (traffic
+        // and time are compared on the deterministic engine only).
+        let t_on = run(EngineKind::Threaded, true);
+        let t_off = run(EngineKind::Threaded, false);
+        assert_eq!(t_on.checksum, t_off.checksum, "{protocol}: threaded memory");
+        assert_eq!(
+            on.checksum, t_on.checksum,
+            "{protocol}: cross-engine memory"
+        );
+    }
+}
+
+/// The detection-mode plumbing end to end: an application run with
+/// detection on carries per-node logs through `NodeOut` into
+/// `RunResult.race_report` and `DsmStats::races_detected`, and a run
+/// with detection off carries nothing.
+#[test]
+fn run_result_surfaces_the_report() {
+    let cfg = tmk_config_for_protocol(Version::Spf, ProtocolMode::Lrc).with_race_detection(true);
+    let r = run_with_cfg_on(
+        EngineKind::Sequential,
+        AppId::Jacobi,
+        Version::Spf,
+        4,
+        SCALE,
+        cfg,
+    );
+    assert!(r.race_report.is_empty(), "Jacobi is race-free");
+    assert_eq!(r.dsm.races_detected, 0);
+    let off = run_protocol_on(
+        EngineKind::Sequential,
+        ProtocolMode::Lrc,
+        AppId::Jacobi,
+        Version::Spf,
+        4,
+        SCALE,
+    );
+    assert!(off.race_report.is_empty());
+}

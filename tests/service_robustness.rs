@@ -206,18 +206,15 @@ fn unknown_opcode_leaves_other_nodes_running() {
                     v
                 }
                 _ => {
-                    // Wait for the producer's all-done signal, then pin
-                    // the recorded poison opcode. On the threaded
-                    // engine the service thread races this read in
-                    // wall-clock time (virtual order does not bind
-                    // mutex writes across threads), so allow it to
-                    // finish the poison dispatch first.
+                    // Wait for the producer's all-done signal, then stop
+                    // our own (already-dead) service loop: the join
+                    // inside `stop_service` is the happens-before edge
+                    // that makes everything the service thread recorded
+                    // — including the poison opcode — visible here, on
+                    // both engines, with no wall-clock spinning.
                     let _ = node.recv_from(1, DONE);
-                    let mut stats = tmk.stats_snapshot();
-                    while stats.last_bad_opcode.is_none() {
-                        std::thread::yield_now();
-                        stats = tmk.stats_snapshot();
-                    }
+                    tmk.stop_service();
+                    let stats = tmk.stats_snapshot();
                     assert_eq!(stats.last_bad_opcode, Some(0xDEAD_BEEF), "engine {engine}");
                     assert_eq!(stats.service_errors, 1, "engine {engine}");
                     0.0
