@@ -290,6 +290,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         checksum: Some(vec![acc_re, acc_im, a[0], a[1]]),
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 
@@ -437,6 +438,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -674,6 +676,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, cri: bool) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -827,6 +830,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         checksum: cs,
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 

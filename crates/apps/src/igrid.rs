@@ -181,6 +181,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         checksum: Some(checksum(&a, n, p.square, red)),
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 
@@ -292,6 +293,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -428,6 +430,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -600,6 +603,7 @@ fn spf_cri_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -730,6 +734,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         checksum: cs,
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 

@@ -146,6 +146,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         checksum: Some(checksum(&data, n)),
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 
@@ -207,6 +208,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -339,6 +341,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, cri: bool) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -415,6 +418,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         checksum: cs,
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 

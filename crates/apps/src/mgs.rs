@@ -114,6 +114,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         checksum: Some(checksum(&cols)),
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 
@@ -212,6 +213,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig, use_bcast: bool) -> NodeOu
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -367,6 +369,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig, cri: bool) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -454,6 +457,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         checksum: cs,
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 

@@ -210,6 +210,7 @@ fn seq_node(node: &Node, p: &Params) -> NodeOut {
         checksum: Some(checksum(&x, &y, &z)),
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 
@@ -364,6 +365,7 @@ fn tmk_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -425,6 +427,7 @@ fn spf_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -597,6 +600,7 @@ fn spf_cri_node(node: &Node, p: &Params, cfg: &TmkConfig) -> NodeOut {
         checksum: cs,
         dsm: Some(dsm),
         races: tmk.take_race_log(),
+        sharing: Some(tmk.take_sharing()),
     }
 }
 
@@ -818,6 +822,7 @@ fn mp_node(node: &Node, p: &Params, xhpf_mode: bool) -> NodeOut {
         checksum: cs,
         dsm: None,
         races: None,
+        sharing: None,
     }
 }
 

@@ -1,7 +1,9 @@
 //! Application/version dispatch and result assembly.
 
 use sp2sim::{EngineKind, MsgKind, StatsSnapshot, TraceData};
-use treadmarks::{DsmStats, ProtocolMode, RaceLog, RaceReport, TmkConfig};
+use treadmarks::{
+    DsmStats, FalseSharingReport, ProtocolMode, RaceLog, RaceReport, SharingProfile, TmkConfig,
+};
 
 /// The six applications of the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -121,6 +123,10 @@ pub struct NodeOut {
     /// [`TmkConfig::detect_races`] on; taken via `Tmk::take_race_log`
     /// after `finish`).
     pub races: Option<RaceLog>,
+    /// Per-node sharing-pattern profile (page heatmap + lock
+    /// contention; shared-memory versions, taken via
+    /// `Tmk::take_sharing` after `finish`).
+    pub sharing: Option<SharingProfile>,
 }
 
 /// Result of one experiment run.
@@ -156,6 +162,15 @@ pub struct RunResult {
     /// pass — no concurrent intervals wrote the same word. Also counted
     /// in [`DsmStats::races_detected`].
     pub race_report: Vec<RaceReport>,
+    /// Cluster-wide sharing-pattern profile: per-page fault/diff/writer
+    /// heatmap and per-lock contention, merged over nodes. Empty for
+    /// message-passing versions.
+    pub sharing: SharingProfile,
+    /// False-sharing candidates — page-sharing writer pairs whose
+    /// concurrent intervals touched *disjoint* words (so not races,
+    /// but page-granularity coherence traffic). Needs
+    /// [`TmkConfig::detect_races`], like [`RunResult::race_report`].
+    pub false_sharing: Vec<FalseSharingReport>,
 }
 
 impl RunResult {
@@ -174,8 +189,18 @@ impl RunResult {
             .find_map(|o| o.checksum.clone())
             .expect("some node produced a checksum");
         let mut dsm = DsmStats::total(outs.iter().filter_map(|o| o.dsm.as_ref()));
-        let logs: Vec<RaceLog> = outs.into_iter().filter_map(|o| o.races).collect();
+        let mut sharing = SharingProfile::default();
+        let mut logs: Vec<RaceLog> = Vec::new();
+        for o in outs {
+            if let Some(s) = o.sharing {
+                sharing.merge_from(&s);
+            }
+            if let Some(l) = o.races {
+                logs.push(l);
+            }
+        }
         let race_report = treadmarks::race::detect(&logs);
+        let false_sharing = treadmarks::race::detect_false_sharing(&logs);
         dsm.races_detected = race_report.len() as u64;
         RunResult {
             app,
@@ -190,6 +215,8 @@ impl RunResult {
             dsm,
             trace: None,
             race_report,
+            sharing,
+            false_sharing,
         }
     }
 
@@ -324,6 +351,7 @@ mod tests {
                     ..Default::default()
                 }),
                 races: None,
+                sharing: None,
             },
             NodeOut {
                 elapsed_us: 150.0,
@@ -334,6 +362,7 @@ mod tests {
                     ..Default::default()
                 }),
                 races: None,
+                sharing: None,
             },
         ];
         let r = RunResult::assemble(AppId::Jacobi, Version::Tmk, 2, 1.0, outs);

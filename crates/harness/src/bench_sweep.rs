@@ -21,6 +21,15 @@
 //! loops). They are simulated, deterministic quantities like `time_us`;
 //! the cost is that `wall_us` includes the recorder's (small, bounded)
 //! host overhead, uniformly across all cells of a trajectory.
+//!
+//! v3 adds the causal columns: `critical_path_us` (the longest
+//! dependence chain through the correlation-id DAG — equals `time_us`'s
+//! whole-run counterpart bitwise on the sequential engine) and
+//! `cp_wait_share` (the fraction of that path *not* spent computing),
+//! plus the hottest sharing sites — `hot_page` (most-faulted page) and
+//! `hot_lock` (most-waited lock), `-1` when none. A perf change that
+//! shifts the bottleneck now shows up as a reviewable diff in *which
+//! page* and *what share* moved, not just aggregate microseconds.
 
 use std::time::Instant;
 
@@ -31,7 +40,7 @@ use treadmarks::{ProtocolMode, TmkConfig};
 use crate::json::Json;
 
 /// Schema tag of the emitted document.
-pub const SCHEMA: &str = "bench_sweep/v2";
+pub const SCHEMA: &str = "bench_sweep/v3";
 
 /// One grid point, before it runs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -84,13 +93,28 @@ impl CellSpec {
             cfg,
         );
         let wall_us = started.elapsed().as_micros() as u64;
-        let (wait_us, service_us) = match r.trace.as_ref() {
+        let (wait_us, service_us, critical_path_us, cp_wait_share) = match r.trace.as_ref() {
             Some(t) => {
                 let a = crate::trace_analysis::analyze(t);
-                (a.wait_us(), a.service_us())
+                let (cp_us, cp_share) = crate::critical_path::compute(t)
+                    .map(|cp| (cp.length_us(), cp.wait_share()))
+                    .unwrap_or((0.0, 0.0));
+                (a.wait_us(), a.service_us(), cp_us, cp_share)
             }
-            None => (0.0, 0.0),
+            None => (0.0, 0.0, 0.0, 0.0),
         };
+        let hot_page = r
+            .sharing
+            .pages
+            .iter()
+            .max_by(|a, b| a.1.faults.cmp(&b.1.faults).then(b.0.cmp(&a.0)))
+            .map_or(-1, |(p, _)| *p as i64);
+        let hot_lock = r
+            .sharing
+            .locks
+            .iter()
+            .max_by(|a, b| a.1.wait_us.total_cmp(&b.1.wait_us).then(b.0.cmp(&a.0)))
+            .map_or(-1, |(l, _)| *l as i64);
         SweepCell {
             app: self.app.name().to_string(),
             version: self.version.name().to_string(),
@@ -104,6 +128,10 @@ impl CellSpec {
             bytes: r.stats.total_bytes(),
             wait_us,
             service_us,
+            critical_path_us,
+            cp_wait_share,
+            hot_page,
+            hot_lock,
             wall_us,
             arena_hits: r.dsm.arena_hits,
             arena_misses: r.dsm.arena_misses,
@@ -149,6 +177,19 @@ pub struct SweepCell {
     /// fault/diff/validate/push spans plus the request loops'
     /// service time — deterministic.
     pub service_us: f64,
+    /// Length of the causal critical path through the whole run's
+    /// correlation-id DAG (µs) — equals the max final virtual clock
+    /// bitwise on the sequential engine — deterministic.
+    pub critical_path_us: f64,
+    /// Fraction of the critical path not spent in Compute (wire +
+    /// service + residual waits) — deterministic.
+    pub cp_wait_share: f64,
+    /// Most-faulted page of the run (`-1` when no page faulted) —
+    /// deterministic.
+    pub hot_page: i64,
+    /// Lock with the most blocked virtual time (`-1` when no locks
+    /// were used) — deterministic.
+    pub hot_lock: i64,
     /// Host wall-clock for the whole run (µs) — the throughput column.
     pub wall_us: u64,
     /// Scratch-arena twin-buffer recycles (host-side observability; the
@@ -174,6 +215,10 @@ impl SweepCell {
             ("bytes".into(), Json::Num(self.bytes as f64)),
             ("wait_us".into(), Json::Num(self.wait_us)),
             ("service_us".into(), Json::Num(self.service_us)),
+            ("critical_path_us".into(), Json::Num(self.critical_path_us)),
+            ("cp_wait_share".into(), Json::Num(self.cp_wait_share)),
+            ("hot_page".into(), Json::Num(self.hot_page as f64)),
+            ("hot_lock".into(), Json::Num(self.hot_lock as f64)),
             ("wall_us".into(), Json::Num(self.wall_us as f64)),
             ("arena_hits".into(), Json::Num(self.arena_hits as f64)),
             ("arena_misses".into(), Json::Num(self.arena_misses as f64)),
@@ -214,6 +259,10 @@ impl SweepCell {
             bytes: u64_field("bytes")?,
             wait_us: f64_field("wait_us")?,
             service_us: f64_field("service_us")?,
+            critical_path_us: f64_field("critical_path_us")?,
+            cp_wait_share: f64_field("cp_wait_share")?,
+            hot_page: f64_field("hot_page")? as i64,
+            hot_lock: f64_field("hot_lock")? as i64,
             wall_us: u64_field("wall_us")?,
             arena_hits: u64_field("arena_hits")?,
             arena_misses: u64_field("arena_misses")?,
@@ -231,6 +280,7 @@ struct CellTotals {
     time_us: f64,
     wait_us: f64,
     service_us: f64,
+    critical_path_us: f64,
     wall_us: u64,
     arena_hits: u64,
     arena_misses: u64,
@@ -254,6 +304,12 @@ impl CellTotals {
             bytes: _,
             wait_us,
             service_us,
+            critical_path_us,
+            // Per-cell ratios and argmax sites don't aggregate; the
+            // per-cell columns are the reviewable quantity.
+            cp_wait_share: _,
+            hot_page: _,
+            hot_lock: _,
             wall_us,
             arena_hits,
             arena_misses,
@@ -262,6 +318,7 @@ impl CellTotals {
         self.time_us += time_us;
         self.wait_us += wait_us;
         self.service_us += service_us;
+        self.critical_path_us += critical_path_us;
         self.wall_us += wall_us;
         self.arena_hits += arena_hits;
         self.arena_misses += arena_misses;
@@ -306,6 +363,11 @@ impl SweepDoc {
         self.totals().service_us
     }
 
+    /// Total critical-path length across cells (µs).
+    pub fn total_critical_path_us(&self) -> f64 {
+        self.totals().critical_path_us
+    }
+
     /// Aggregate throughput: simulated seconds per host second — the
     /// headline "how fast is the simulator" number the trajectory
     /// tracks across commits.
@@ -332,6 +394,10 @@ impl SweepDoc {
             (
                 "total_service_us".into(),
                 Json::Num(self.total_service_us()),
+            ),
+            (
+                "total_critical_path_us".into(),
+                Json::Num(self.total_critical_path_us()),
             ),
             ("sims_per_sec".into(), Json::Num(self.sims_per_sec())),
             ("arena_hit_rate".into(), Json::Num(self.arena_hit_rate())),
@@ -388,6 +454,10 @@ impl SweepDoc {
         let service = v.get("total_service_us").and_then(Json::as_f64);
         if service != Some(doc.total_service_us()) {
             return Err("total_service_us does not match the grid".into());
+        }
+        let cp = v.get("total_critical_path_us").and_then(Json::as_f64);
+        if cp != Some(doc.total_critical_path_us()) {
+            return Err("total_critical_path_us does not match the grid".into());
         }
         Ok(doc)
     }
@@ -465,6 +535,10 @@ mod tests {
             bytes: 123456,
             wait_us: time_us * 0.25,
             service_us: time_us * 0.5,
+            critical_path_us: time_us * 1.5,
+            cp_wait_share: 0.75,
+            hot_page: 12,
+            hot_lock: -1,
             wall_us,
             arena_hits: 100,
             arena_misses: 7,
@@ -485,6 +559,14 @@ mod tests {
         // The v2 breakdown columns aggregate like the other totals.
         assert_eq!(back.total_wait_us(), back.total_time_us() * 0.25);
         assert_eq!(back.total_service_us(), back.total_time_us() * 0.5);
+        // The v3 causal columns: the path total aggregates, the
+        // per-cell ratio and argmax sites round-trip verbatim.
+        assert_eq!(back.total_critical_path_us(), back.total_time_us() * 1.5);
+        assert!(back.cells.iter().all(|c| c.cp_wait_share == 0.75));
+        assert!(back
+            .cells
+            .iter()
+            .all(|c| c.hot_page == 12 && c.hot_lock == -1));
     }
 
     #[test]
@@ -502,6 +584,13 @@ mod tests {
         let wait = format!("\"total_wait_us\": {}", doc.total_wait_us());
         assert!(good.contains(&wait), "summary line present: {wait}");
         assert!(SweepDoc::parse(&good.replace(&wait, "\"total_wait_us\": 1.5")).is_err());
+        // The v3 critical-path aggregate is cross-checked too.
+        let cp = format!(
+            "\"total_critical_path_us\": {}",
+            doc.total_critical_path_us()
+        );
+        assert!(good.contains(&cp), "summary line present: {cp}");
+        assert!(SweepDoc::parse(&good.replace(&cp, "\"total_critical_path_us\": 2.5")).is_err());
         assert!(SweepDoc::parse("{}").is_err());
     }
 

@@ -3,9 +3,11 @@
 //! (inspector/executor) column and its amortized inspector cost split
 //! out — the repository's answer to the paper's §6 conclusion.
 //!
-//! Usage: `figure2_table3 [scale] [nprocs] [--trace-out FILE]`
-//! (defaults 0.1 and 8). `--trace-out` additionally records a traced
-//! IGrid SPF+CRI run and writes it as Chrome/Perfetto trace JSON.
+//! Usage: `figure2_table3 [scale] [nprocs] [--trace-out FILE]
+//! [--analyze]` (defaults 0.1 and 8). `--trace-out` additionally
+//! records a traced IGrid SPF+CRI run and writes it as Chrome/Perfetto
+//! trace JSON; `--analyze` prints a compact causal summary of the same
+//! run (critical-path length, wait share, hottest sharing sites).
 
 use apps::Version;
 use harness::report::{f2, render_table};
@@ -13,8 +15,9 @@ use harness::Table;
 
 fn main() {
     let mut trace_out: Option<String> = None;
-    let cli = harness::cli::parse_with(0.1, 8, |flag, args| {
-        if flag == "--trace-out" {
+    let mut do_analyze = false;
+    let cli = harness::cli::parse_with(0.1, 8, |flag, args| match flag {
+        "--trace-out" => {
             match args.next() {
                 Some(p) => trace_out = Some(p),
                 None => {
@@ -23,9 +26,12 @@ fn main() {
                 }
             }
             true
-        } else {
-            false
         }
+        "--analyze" => {
+            do_analyze = true;
+            true
+        }
+        _ => false,
     });
     let (scale, nprocs) = (cli.scale, cli.nprocs);
     let rows = harness::figure2_table3(nprocs, scale, cli.engine, cli.protocol);
@@ -90,6 +96,25 @@ fn main() {
             scale,
         ) {
             Ok(n) => println!("\nwrote IGrid SPF+CRI trace to {path} ({n} events)"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Compact causal summary of the headline configuration, from its
+    // own traced side run (the tables stay tracing-free).
+    if do_analyze {
+        match harness::critical_path::summarize_traced_run(
+            cli.engine,
+            cli.protocol,
+            apps::AppId::IGrid,
+            Version::SpfCri,
+            nprocs,
+            scale,
+        ) {
+            Ok(s) => println!("\n{s}"),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(1);

@@ -6,9 +6,11 @@
 //! per writer, and pays for it in update traffic.
 //!
 //! Usage: `protocol_compare [scale] [nprocs] [--engine E] [--check-baseline FILE]
-//! [--trace-out FILE]` (defaults 0.1 and 8). `--trace-out` additionally
-//! records a traced HLRC Jacobi run and writes it as Chrome/Perfetto
-//! trace JSON.
+//! [--trace-out FILE] [--analyze]` (defaults 0.1 and 8). `--trace-out`
+//! additionally records a traced HLRC Jacobi run and writes it as
+//! Chrome/Perfetto trace JSON; `--analyze` prints compact causal
+//! summaries of Jacobi under *both* protocols, so the bottleneck shift
+//! (LRC diff traffic vs HLRC page fetches) is visible side by side.
 //!
 //! With `--check-baseline FILE`, the binary additionally asserts the CI
 //! regression gate: FILE records `scale nprocs max_round_trips`, and
@@ -23,9 +25,10 @@ use harness::Table;
 
 fn main() {
     let mut trace_out: Option<String> = None;
+    let mut do_analyze = false;
     let (cli, baseline) =
-        harness::baseline::parse_cli_with(0.1, 8, "max_round_trips", |flag, args| {
-            if flag == "--trace-out" {
+        harness::baseline::parse_cli_with(0.1, 8, "max_round_trips", |flag, args| match flag {
+            "--trace-out" => {
                 match args.next() {
                     Some(p) => trace_out = Some(p),
                     None => {
@@ -34,9 +37,12 @@ fn main() {
                     }
                 }
                 true
-            } else {
-                false
             }
+            "--analyze" => {
+                do_analyze = true;
+                true
+            }
+            _ => false,
         });
     let (scale, nprocs) = harness::baseline::gate_config(&cli, baseline.as_ref());
     println!("Protocol comparison: LRC vs home-based LRC (scale {scale}, {nprocs} procs)\n");
@@ -106,6 +112,30 @@ fn main() {
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(1);
+            }
+        }
+    }
+
+    // Compact causal summaries of Jacobi under both protocols, each
+    // from its own traced side run (the table stays tracing-free).
+    if do_analyze {
+        for protocol in [
+            treadmarks::ProtocolMode::Lrc,
+            treadmarks::ProtocolMode::Hlrc,
+        ] {
+            match harness::critical_path::summarize_traced_run(
+                cli.engine,
+                protocol,
+                apps::AppId::Jacobi,
+                apps::Version::Spf,
+                nprocs,
+                scale,
+            ) {
+                Ok(s) => println!("\n{s}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

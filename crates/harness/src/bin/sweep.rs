@@ -145,4 +145,8 @@ fn print_summary(doc: &SweepDoc) {
         doc.total_wait_us() / 1e6,
         doc.total_service_us() / 1e6,
     );
+    println!(
+        "causal: critical path {:.1} s (summed over cells)",
+        doc.total_critical_path_us() / 1e6,
+    );
 }

@@ -16,34 +16,10 @@
 
 use apps::runner::{run_with_cfg_on, tmk_config_for_protocol};
 use apps::{AppId, Version};
+use harness::cli::{parse_app, parse_version};
 use harness::report::{render_table, Table};
-use harness::trace_analysis::{analyze, to_chrome_trace, validate_chrome_trace};
+use harness::trace_analysis::{analyze, to_chrome_trace_with_path, validate_chrome_trace};
 use harness::Json;
-
-fn parse_app(s: &str) -> Result<AppId, String> {
-    Ok(match s.to_ascii_lowercase().as_str() {
-        "jacobi" => AppId::Jacobi,
-        "shallow" => AppId::Shallow,
-        "mgs" => AppId::Mgs,
-        "fft3d" | "fft" => AppId::Fft3d,
-        "igrid" => AppId::IGrid,
-        "nbf" => AppId::Nbf,
-        _ => return Err(format!("unknown app '{s}'")),
-    })
-}
-
-fn parse_version(s: &str) -> Result<Version, String> {
-    Ok(match s.to_ascii_lowercase().as_str() {
-        "seq" => Version::Seq,
-        "spf" => Version::Spf,
-        "spf-cri" | "spfcri" | "cri" => Version::SpfCri,
-        "tmk" | "treadmarks" => Version::Tmk,
-        "xhpf" => Version::Xhpf,
-        "pvme" => Version::Pvme,
-        "handopt" | "hand-opt" => Version::HandOpt,
-        _ => return Err(format!("unknown version '{s}'")),
-    })
-}
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -136,6 +112,13 @@ fn main() {
             ""
         },
     );
+    if a.lossy() {
+        let dropped: u64 = trace.tracks.iter().map(|t| t.dropped).sum();
+        eprintln!(
+            "warning: trace dropped {dropped} events (ring-buffer overflow); \
+             the breakdown is a lower bound"
+        );
+    }
 
     if breakdown {
         let mut t = Table::new(vec![
@@ -173,9 +156,18 @@ fn main() {
     }
 
     if let Some(path) = out {
-        let json = to_chrome_trace(trace);
-        validate_chrome_trace(&json)
-            .unwrap_or_else(|e| fail(&format!("exported trace failed validation: {e}")));
+        let cp = harness::critical_path::compute(trace);
+        let json = to_chrome_trace_with_path(trace, cp.as_ref());
+        match validate_chrome_trace(&json) {
+            Ok(()) => {}
+            // A lossy trace fails validation by design (the
+            // dropped-events instant); warn but still write the
+            // partial data. `--validate` on the file will fail.
+            Err(e) if a.lossy() && e.contains("dropped") => {
+                eprintln!("warning: {e}");
+            }
+            Err(e) => fail(&format!("exported trace failed validation: {e}")),
+        }
         std::fs::write(&path, json.render())
             .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
         println!("wrote {path} (load in chrome://tracing or https://ui.perfetto.dev)");

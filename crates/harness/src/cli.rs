@@ -104,6 +104,36 @@ pub fn parse_with(
     cli
 }
 
+/// Parse an application name as accepted by the `trace` and `analyze`
+/// binaries' `--app` flag.
+pub fn parse_app(s: &str) -> Result<apps::AppId, String> {
+    use apps::AppId;
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "jacobi" => AppId::Jacobi,
+        "shallow" => AppId::Shallow,
+        "mgs" => AppId::Mgs,
+        "fft3d" | "fft" => AppId::Fft3d,
+        "igrid" => AppId::IGrid,
+        "nbf" => AppId::Nbf,
+        _ => return Err(format!("unknown app '{s}'")),
+    })
+}
+
+/// Parse a program-version name as accepted by `--version`.
+pub fn parse_version(s: &str) -> Result<apps::Version, String> {
+    use apps::Version;
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "seq" => Version::Seq,
+        "spf" => Version::Spf,
+        "spf-cri" | "spfcri" | "cri" => Version::SpfCri,
+        "tmk" | "treadmarks" => Version::Tmk,
+        "xhpf" => Version::Xhpf,
+        "pvme" => Version::Pvme,
+        "handopt" | "hand-opt" => Version::HandOpt,
+        _ => return Err(format!("unknown version '{s}'")),
+    })
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");

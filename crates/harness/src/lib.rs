@@ -26,6 +26,7 @@
 pub mod baseline;
 pub mod bench_sweep;
 pub mod cli;
+pub mod critical_path;
 pub mod experiments;
 pub mod json;
 pub mod report;
@@ -33,6 +34,7 @@ pub mod sweep;
 pub mod trace_analysis;
 
 pub use bench_sweep::{CellSpec, SweepCell, SweepDoc};
+pub use critical_path::{check_dag, CriticalPath, DagCheck, Segment, SegmentKind};
 pub use experiments::{
     compiler_opt, figure1, figure2_table3, handopt, interface_ablation, protocol_compare, scaling,
     speedup_rows, table1, CompilerOptRow, HandOptRow, ProtocolCompareRow, ScaleRow, SeqRow,

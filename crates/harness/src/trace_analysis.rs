@@ -35,6 +35,7 @@
 use sp2sim::stats::ALL_KINDS;
 use sp2sim::{Category, EventKind, SpanKind, TraceData, TracePort, TrackTrace};
 
+use crate::critical_path::CriticalPath;
 use crate::json::Json;
 
 /// Per-node four-way time attribution over the whole run.
@@ -237,7 +238,7 @@ fn walk_app_track(t: &TrackTrace, b: &mut NodeBreakdown, epochs: &mut Vec<EpochB
                     top.debit += wire_us;
                 }
             }
-            EventKind::Recv { .. } | EventKind::Service { .. } => {}
+            EventKind::Recv { .. } | EventKind::Service { .. } | EventKind::Edge { .. } => {}
             EventKind::Epoch { index } => bin = index as usize + 1,
         }
     }
@@ -324,6 +325,18 @@ fn meta_event(name: &str, pid: u32, tid: Option<u32>, value: &str) -> Json {
 /// epoch boundaries appear as instant events. All timestamps are
 /// virtual microseconds.
 pub fn to_chrome_trace(data: &TraceData) -> Json {
+    to_chrome_trace_with_path(data, None)
+}
+
+/// Like [`to_chrome_trace`], but additionally renders a computed
+/// [`CriticalPath`] as a dedicated synthetic process (pid one past
+/// the highest node id, named "critical path") whose single thread
+/// carries one complete "X" event per path segment. Loading the file
+/// in Perfetto
+/// shows the causal chain as a contiguous lane aligned with the
+/// per-node tracks it threads through; each event's args name the
+/// node and epoch the segment was attributed to.
+pub fn to_chrome_trace_with_path(data: &TraceData, path: Option<&CriticalPath>) -> Json {
     let mut events: Vec<Json> = Vec::new();
     let mut seen_nodes: Vec<u32> = Vec::new();
     for t in &data.tracks {
@@ -356,6 +369,7 @@ pub fn to_chrome_trace(data: &TraceData) -> Json {
                     bytes,
                     peer,
                     wire_us,
+                    seq,
                 } => {
                     let name = format!("send {} {}B -> {}", msg_label(code), bytes, peer);
                     let mut f = base_event(name, "i", ts, t.node, tid);
@@ -366,11 +380,18 @@ pub fn to_chrome_trace(data: &TraceData) -> Json {
                             ("bytes", Json::Num(bytes as f64)),
                             ("peer", Json::Num(peer as f64)),
                             ("wire_us", Json::Num(wire_us)),
+                            ("seq", Json::Num(seq as f64)),
                         ]),
                     ));
                     obj(f)
                 }
-                EventKind::Recv { code, bytes, peer } => {
+                EventKind::Recv {
+                    code,
+                    bytes,
+                    peer,
+                    seq,
+                    wait_us,
+                } => {
                     let name = format!("recv {} {}B <- {}", msg_label(code), bytes, peer);
                     let mut f = base_event(name, "i", ts, t.node, tid);
                     f.push(("s", Json::Str("t".into())));
@@ -379,6 +400,24 @@ pub fn to_chrome_trace(data: &TraceData) -> Json {
                         obj(vec![
                             ("bytes", Json::Num(bytes as f64)),
                             ("peer", Json::Num(peer as f64)),
+                            ("seq", Json::Num(seq as f64)),
+                            ("wait_us", Json::Num(wait_us)),
+                        ]),
+                    ));
+                    obj(f)
+                }
+                EventKind::Edge {
+                    kind,
+                    out_seq,
+                    cause_seq,
+                } => {
+                    let mut f = base_event(format!("edge {}", kind.label()), "i", ts, t.node, tid);
+                    f.push(("s", Json::Str("t".into())));
+                    f.push((
+                        "args",
+                        obj(vec![
+                            ("out_seq", Json::Num(out_seq as f64)),
+                            ("cause_seq", Json::Num(cause_seq as f64)),
                         ]),
                     ));
                     obj(f)
@@ -403,7 +442,37 @@ pub fn to_chrome_trace(data: &TraceData) -> Json {
         if t.port == TracePort::Service {
             track_events.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
+        let last_ts = track_events.last().map(|(ts, _)| *ts).unwrap_or(0.0);
         events.extend(track_events.into_iter().map(|(_, v)| v));
+        // Surface ring-buffer overflow in the trace itself: a lossy
+        // track gets a trailing instant that validation rejects, so a
+        // truncated trace can never silently pass for a complete one.
+        if t.dropped > 0 {
+            let mut f = base_event("dropped-events".into(), "i", last_ts, t.node, tid);
+            f.push(("s", Json::Str("t".into())));
+            f.push(("args", obj(vec![("count", Json::Num(t.dropped as f64))])));
+            events.push(obj(f));
+        }
+    }
+    if let Some(cp) = path {
+        let pid = data.tracks.iter().map(|t| t.node).max().unwrap_or(0) + 1;
+        events.push(meta_event("process_name", pid, None, "critical path"));
+        events.push(meta_event("thread_name", pid, Some(0), "segments"));
+        // Segments are stored in forward time order and never overlap,
+        // so the track stays timestamp-monotone for the validator.
+        for s in &cp.segments {
+            let mut f = base_event(s.kind.label().into(), "X", s.lo_us, pid, 0);
+            f.push(("dur", Json::Num(s.dur_us())));
+            f.push(("cat", Json::Str(s.kind.category().label().into())));
+            f.push((
+                "args",
+                obj(vec![
+                    ("node", Json::Num(s.node as f64)),
+                    ("epoch", Json::Num(s.epoch as f64)),
+                ]),
+            ));
+            events.push(obj(f));
+        }
     }
     obj(vec![
         ("traceEvents", Json::Arr(events)),
@@ -480,7 +549,20 @@ pub fn validate_chrome_trace(v: &Json) -> Result<(), String> {
                     return Err(format!("event {i}: negative X dur {dur}"));
                 }
             }
-            "i" => {}
+            "i" => {
+                if name == "dropped-events" {
+                    let count = e
+                        .get("args")
+                        .and_then(|a| a.get("count"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                    if count > 0 {
+                        return Err(format!(
+                            "event {i}: track {key:?} dropped {count} events (ring overflow)"
+                        ));
+                    }
+                }
+            }
             other => return Err(format!("event {i}: unsupported ph '{other}'")),
         }
     }
@@ -510,8 +592,22 @@ pub fn export_traced_run(
     let cfg = apps::runner::tmk_config_for_protocol(version, protocol).with_trace(true);
     let r = apps::runner::run_with_cfg_on(engine, app, version, nprocs, scale, cfg);
     let trace = r.trace.as_ref().ok_or("run produced no trace")?;
-    let json = to_chrome_trace(trace);
-    validate_chrome_trace(&json).map_err(|e| format!("exported trace failed validation: {e}"))?;
+    let dropped: u64 = trace.tracks.iter().map(|t| t.dropped).sum();
+    if dropped > 0 {
+        eprintln!(
+            "warning: trace dropped {dropped} events (ring-buffer overflow); \
+             the export is a lower bound and will fail --validate"
+        );
+    }
+    let cp = crate::critical_path::compute(trace);
+    let json = to_chrome_trace_with_path(trace, cp.as_ref());
+    match validate_chrome_trace(&json) {
+        Ok(()) => {}
+        // A lossy trace fails validation by design (the dropped-events
+        // instant); still write it out so the partial data is usable.
+        Err(e) if dropped > 0 && e.contains("dropped") => {}
+        Err(e) => return Err(format!("exported trace failed validation: {e}")),
+    }
     std::fs::write(path, json.render()).map_err(|e| format!("cannot write {path}: {e}"))?;
     Ok(trace.event_count())
 }
@@ -560,6 +656,7 @@ mod tests {
                     bytes: 64,
                     peer: 1,
                     wire_us: 3.0,
+                    seq: 1,
                 },
             ),
             end(30.0, SpanKind::Fault),
@@ -656,6 +753,7 @@ mod tests {
                         bytes: 8,
                         peer: 1,
                         wire_us: 0.5,
+                        seq: 1,
                     },
                 ),
                 end(10.0, SpanKind::Compute),

@@ -49,6 +49,30 @@ fn real_sweep_round_trips_through_json() {
         // The v2 breakdown columns come from a real trace, not zeros.
         assert!(c.wait_us > 0.0, "{}/{} waited", c.app, c.protocol);
         assert!(c.service_us > 0.0, "{}/{} serviced", c.app, c.protocol);
+        // The v3 causal columns: a real critical path at least as long
+        // as the slowest node's virtual time, a wait share in (0, 1],
+        // and a hottest page (every app faults on shared pages).
+        assert!(
+            c.critical_path_us >= c.time_us,
+            "{}/{} path {} covers the run {}",
+            c.app,
+            c.protocol,
+            c.critical_path_us,
+            c.time_us
+        );
+        assert!(
+            c.cp_wait_share > 0.0 && c.cp_wait_share <= 1.0,
+            "{}/{} wait share {}",
+            c.app,
+            c.protocol,
+            c.cp_wait_share
+        );
+        assert!(
+            c.hot_page >= 0,
+            "{}/{} has a hottest page",
+            c.app,
+            c.protocol
+        );
     }
 }
 
@@ -76,6 +100,20 @@ fn sequential_sweep_is_deterministic() {
             "{}/{} service",
             x.app, x.protocol
         );
+        // So are the v3 causal columns: path length, wait share, and
+        // the argmax page/lock sites (deterministic tie-breaks).
+        assert_eq!(
+            x.critical_path_us, y.critical_path_us,
+            "{}/{} critical path",
+            x.app, x.protocol
+        );
+        assert_eq!(
+            x.cp_wait_share, y.cp_wait_share,
+            "{}/{} wait share",
+            x.app, x.protocol
+        );
+        assert_eq!(x.hot_page, y.hot_page, "{}/{} hot page", x.app, x.protocol);
+        assert_eq!(x.hot_lock, y.hot_lock, "{}/{} hot lock", x.app, x.protocol);
     }
 }
 

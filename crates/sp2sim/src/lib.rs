@@ -73,7 +73,7 @@ pub use codec::{f64s_to_words, words_to_f64s, WordReader, WordWriter};
 pub use cost::CostModel;
 pub use engine::{EngineKind, ServiceHandle};
 pub use node::{Endpoint, Node, TraceSpanGuard};
-pub use packet::{Packet, Port};
+pub use packet::{seq_sender, Packet, Port};
 pub use rng::SplitMix64;
 pub use stats::{MsgKind, NetStats, StatsSnapshot};
 pub use time::VTime;
@@ -81,5 +81,6 @@ pub use time::VTime;
 // The tracing event model lives in the dependency-free `trace` crate;
 // re-export it so upper layers spell everything `sp2sim::...`.
 pub use trace::{
-    Category, Event, EventKind, SpanKind, TraceBuf, TraceData, TracePort, TraceSpec, TrackTrace,
+    Category, EdgeKind, Event, EventKind, SpanKind, TraceBuf, TraceData, TracePort, TraceSpec,
+    TrackTrace,
 };

@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-use trace::{Event, EventKind, SpanKind, TraceBuf, TracePort, TrackTrace};
+use trace::{EdgeKind, Event, EventKind, SpanKind, TraceBuf, TracePort, TrackTrace};
 
 use crate::cost::CostModel;
 use crate::engine::{Fabric, ServiceHandle};
@@ -38,6 +38,9 @@ pub struct Endpoint {
     pending: RefCell<VecDeque<Packet>>,
     fabric: Arc<dyn Fabric>,
     tracer: Option<Tracer>,
+    /// Packets sent from this endpoint so far — the low bits of the
+    /// correlation ids it stamps (see [`Packet::seq`]).
+    sent: Cell<u64>,
 }
 
 impl Endpoint {
@@ -54,7 +57,24 @@ impl Endpoint {
             pending: RefCell::new(VecDeque::new()),
             fabric,
             tracer,
+            sent: Cell::new(0),
         }
+    }
+
+    /// The next correlation id: sending endpoint in the top bits, a
+    /// 1-based counter in the low 40. Zero is never a valid id (the
+    /// trace layer reserves it as the "local cause" sentinel), and the
+    /// counter order is this endpoint's program order, so ids are
+    /// deterministic wherever the send order is.
+    fn next_seq(&self) -> u64 {
+        let c = self.sent.get() + 1;
+        self.sent.set(c);
+        let endpoint = self.id as u64 * 2
+            + match self.port {
+                Port::App => 0,
+                Port::Service => 1,
+            };
+        (endpoint << 40) | c
     }
 
     /// Whether this endpoint records a trace. Callers may use this to
@@ -111,6 +131,24 @@ impl Endpoint {
         }
     }
 
+    /// Record a happens-before edge: the outgoing packet `out_seq` is
+    /// causally anchored at `at`, and (when `cause_seq != 0`) was
+    /// triggered by the incoming packet `cause_seq`. `cause_seq == 0`
+    /// means the cause is local to this node at `at`.
+    #[inline]
+    pub fn trace_edge(&self, kind: EdgeKind, out_seq: u64, cause_seq: u64, at: VTime) {
+        if self.tracer.is_some() {
+            self.trace_record(
+                at.us(),
+                EventKind::Edge {
+                    kind,
+                    out_seq,
+                    cause_seq,
+                },
+            );
+        }
+    }
+
     /// This node's id in `0..nprocs`.
     #[inline]
     pub fn id(&self) -> usize {
@@ -161,8 +199,16 @@ impl Endpoint {
     /// occupancy (fixed overhead plus per-byte serialization through the
     /// node's network interface), so back-to-back sends serialize.
     /// Messages a node sends to itself are local upcalls: free and not
-    /// counted.
-    pub fn send_to_port(&self, dst: usize, port: Port, tag: u32, kind: MsgKind, payload: Vec<u64>) {
+    /// counted. Returns the packet's correlation id.
+    pub fn send_to_port(
+        &self,
+        dst: usize,
+        port: Port,
+        tag: u32,
+        kind: MsgKind,
+        payload: Vec<u64>,
+    ) -> u64 {
+        let seq = self.next_seq();
         let arrival = if dst == self.id {
             self.now()
         } else {
@@ -177,13 +223,15 @@ impl Endpoint {
                         bytes: bytes as u32,
                         peer: dst as u16,
                         wire_us: occ,
+                        seq,
                     },
                 );
             }
             self.advance(occ);
             self.now() + self.fabric.cost().latency_us
         };
-        self.deliver(dst, port, tag, kind, payload, arrival);
+        self.deliver(dst, port, tag, kind, payload, arrival, seq);
+        seq
     }
 
     /// Send with an explicit time base. Used by service threads: the
@@ -191,7 +239,7 @@ impl Endpoint {
     /// and is then serialized through this endpoint's link — the
     /// endpoint's clock acts as the link clock, so concurrent responses
     /// from one node queue behind each other, but an idle link resets to
-    /// the ready time.
+    /// the ready time. Returns the packet's correlation id.
     pub fn send_at(
         &self,
         dst: usize,
@@ -200,7 +248,8 @@ impl Endpoint {
         kind: MsgKind,
         payload: Vec<u64>,
         at: VTime,
-    ) {
+    ) -> u64 {
+        let seq = self.next_seq();
         let arrival = if dst == self.id {
             at
         } else {
@@ -216,6 +265,7 @@ impl Endpoint {
                         bytes: bytes as u32,
                         peer: dst as u16,
                         wire_us: occ,
+                        seq,
                     },
                 );
             }
@@ -223,9 +273,11 @@ impl Endpoint {
             self.clock.set(done.us());
             done + self.fabric.cost().latency_us
         };
-        self.deliver(dst, port, tag, kind, payload, arrival);
+        self.deliver(dst, port, tag, kind, payload, arrival, seq);
+        seq
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn deliver(
         &self,
         dst: usize,
@@ -234,9 +286,11 @@ impl Endpoint {
         kind: MsgKind,
         payload: Vec<u64>,
         arrival: VTime,
+        seq: u64,
     ) {
         let pkt = Packet {
             src: self.id,
+            seq,
             tag,
             kind,
             arrival,
@@ -246,8 +300,8 @@ impl Endpoint {
     }
 
     /// Shorthand for [`Endpoint::send_to_port`] to the application port.
-    pub fn send(&self, dst: usize, tag: u32, kind: MsgKind, payload: Vec<u64>) {
-        self.send_to_port(dst, Port::App, tag, kind, payload);
+    pub fn send(&self, dst: usize, tag: u32, kind: MsgKind, payload: Vec<u64>) -> u64 {
+        self.send_to_port(dst, Port::App, tag, kind, payload)
     }
 
     /// Blocking receive of the first packet matching `pred` (in arrival
@@ -256,6 +310,7 @@ impl Endpoint {
     /// overhead and moves the clock to at least the packet's arrival time.
     pub fn recv_match(&self, pred: impl Fn(&Packet) -> bool) -> Packet {
         let pkt = self.wait_match(pred);
+        let before = self.clock.get();
         self.advance_to(pkt.arrival);
         self.advance(self.fabric.cost().recv_overhead_us);
         if self.tracer.is_some() {
@@ -265,6 +320,8 @@ impl Endpoint {
                     code: pkt.kind as u8,
                     bytes: (pkt.payload.len() * 8) as u32,
                     peer: pkt.src as u16,
+                    seq: pkt.seq,
+                    wait_us: (pkt.arrival.us() - before).max(0.0),
                 },
             );
         }
@@ -448,8 +505,9 @@ impl Node {
         self.ep.stats()
     }
 
-    /// Send to `dst`'s application port.
-    pub fn send(&self, dst: usize, tag: u32, kind: MsgKind, payload: Vec<u64>) {
+    /// Send to `dst`'s application port. Returns the packet's
+    /// correlation id.
+    pub fn send(&self, dst: usize, tag: u32, kind: MsgKind, payload: Vec<u64>) -> u64 {
         self.ep.send(dst, tag, kind, payload)
     }
 

@@ -27,6 +27,13 @@ pub enum Port {
 pub struct Packet {
     /// Sending node id.
     pub src: usize,
+    /// Correlation id, unique across the run: the sending endpoint
+    /// (node id and port) in the top bits, a per-endpoint counter
+    /// starting at 1 in the low 40 bits. Simulator metadata like `src`
+    /// — never on the simulated wire, never counted in `payload_bytes`.
+    /// The trace layer stamps it into `Send`/`Recv` events so the
+    /// critical-path analyzer can pair them across nodes.
+    pub seq: u64,
     /// Application-defined tag used for matching.
     pub tag: u32,
     /// Category used for the message statistics (Tables 2 and 3).
@@ -48,6 +55,20 @@ impl Packet {
     }
 }
 
+/// Decode a correlation id back to its sending (node, port). The
+/// critical-path analyzer uses this when a hop's `Send` event is absent
+/// (self-sends record no event) to decide whose timeline to continue on.
+#[inline]
+pub fn seq_sender(seq: u64) -> (usize, Port) {
+    let endpoint = seq >> 40;
+    let port = if endpoint & 1 == 0 {
+        Port::App
+    } else {
+        Port::Service
+    };
+    ((endpoint / 2) as usize, port)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +77,7 @@ mod tests {
     fn payload_bytes_counts_words() {
         let p = Packet {
             src: 0,
+            seq: 1,
             tag: 1,
             kind: MsgKind::Data,
             arrival: VTime::ZERO,

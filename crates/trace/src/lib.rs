@@ -190,6 +190,46 @@ impl Category {
     }
 }
 
+/// The causal role of an [`EventKind::Edge`] event — why a service-side
+/// (or self-delivered) message was sent. Purely diagnostic labels for
+/// the critical-path analyzer; the graph structure lives in the seq ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EdgeKind {
+    /// A request/response pair (diff, validate, page, reduce hops).
+    Response,
+    /// A lock grant: the request (or the holder's release) enabled it.
+    LockHandoff,
+    /// A barrier departure: the last arrival released everyone.
+    BarrierRelease,
+    /// A fork departure: the master's fork (or the last worker arrival)
+    /// dispatched the epoch.
+    Fork,
+    /// The join upcall to the master: the last worker arrival (or the
+    /// master's own join call) completed the epoch.
+    Join,
+}
+
+impl EdgeKind {
+    pub const ALL: [EdgeKind; 5] = [
+        EdgeKind::Response,
+        EdgeKind::LockHandoff,
+        EdgeKind::BarrierRelease,
+        EdgeKind::Fork,
+        EdgeKind::Join,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Response => "response",
+            EdgeKind::LockHandoff => "lock-handoff",
+            EdgeKind::BarrierRelease => "barrier-release",
+            EdgeKind::Fork => "fork",
+            EdgeKind::Join => "join",
+        }
+    }
+}
+
 /// What happened. Message kinds and service opcodes are carried as the
 /// simulator's numeric discriminants (`code`, `op`) so this crate needs
 /// no upward dependency; the exporter maps them back to labels.
@@ -202,25 +242,50 @@ pub enum EventKind {
     End { kind: SpanKind },
     /// A cross-node message left this endpoint. `wire_us` is the
     /// occupancy charged to the sender's clock — the Wire category debit
-    /// of the enclosing span.
+    /// of the enclosing span. `seq` is the packet's correlation id
+    /// (unique per run, sender endpoint encoded in the top bits); the
+    /// matching consume carries the same id in its `Recv` event.
     Send {
         code: u8,
         bytes: u32,
         peer: u16,
         wire_us: f64,
+        seq: u64,
     },
-    /// A message was received (stamped after the clock advanced to
-    /// arrival + receive overhead).
-    Recv { code: u8, bytes: u32, peer: u16 },
+    /// A message was consumed by a blocking receive (stamped after the
+    /// clock advanced to arrival + receive overhead). `seq` matches the
+    /// packet's `Send` event (self-delivered packets have a seq but no
+    /// `Send` event); `wait_us` is how long the consumer's clock had to
+    /// jump forward to the packet's arrival — positive iff the receive
+    /// actually blocked, i.e. iff the message is on the consumer's
+    /// critical path.
+    Recv {
+        code: u8,
+        bytes: u32,
+        peer: u16,
+        seq: u64,
+        wait_us: f64,
+    },
     /// A protocol service loop dispatched a request (service track
     /// only). `dur_us` is the nominal per-request service cost.
     Service { op: u32, dur_us: f64 },
     /// An epoch boundary: all spans of epoch `index` have ended by the
     /// time this instant is recorded.
     Epoch { index: u32 },
+    /// A causal edge: packet `out_seq` (sent from this node, usually by
+    /// its service loop) was enabled by packet `cause_seq`, and
+    /// `vt_us` is the virtual time of the enabling moment (request
+    /// arrival, release time, last barrier arrival). `cause_seq == 0`
+    /// means the cause was local: the node's own application track at
+    /// `vt_us` (e.g. a lock grant gated by the holder's release).
+    Edge {
+        kind: EdgeKind,
+        out_seq: u64,
+        cause_seq: u64,
+    },
 }
 
-/// One recorded event. `Copy`, 32 bytes, no heap.
+/// One recorded event. `Copy`, no heap.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Event {
     /// Owning endpoint's virtual clock, microseconds.
@@ -394,6 +459,9 @@ mod tests {
         }
         for c in Category::ALL {
             assert!(!c.label().is_empty());
+        }
+        for e in EdgeKind::ALL {
+            assert!(!e.label().is_empty());
         }
     }
 }

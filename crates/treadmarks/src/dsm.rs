@@ -496,6 +496,7 @@ impl<'n> Tmk<'n> {
                 let missing = st.missing_by_writer(p);
                 if !missing.is_empty() {
                     missing_pages += 1;
+                    st.page_prof.entry(p).or_default().faults += 1;
                     if self.hlrc() {
                         hlrc_pages.push(p);
                         continue;
@@ -601,6 +602,7 @@ impl<'n> Tmk<'n> {
                 let missing = st.missing_by_writer(p);
                 if !missing.is_empty() {
                     faulted_pages += 1;
+                    st.page_prof.entry(p).or_default().faults += 1;
                     if self.hlrc() {
                         missing_pages.push(p);
                     } else {
@@ -806,6 +808,7 @@ impl<'n> Tmk<'n> {
                 }
             }
             st.stats.page_fetches += 1;
+            st.page_prof.entry(e.page).or_default().page_fetches += 1;
             us += cost.diff_apply_us(pw);
         }
         drop(guard);
@@ -921,6 +924,7 @@ impl<'n> Tmk<'n> {
         let target = {
             let mut st = self.state.lock();
             st.stats.lock_acquires += 1;
+            st.lock_prof.entry(lock).or_default().acquires += 1;
             if mgr == me {
                 // Manager-local request: consult the ownership table
                 // directly (no message to ourselves).
@@ -934,6 +938,9 @@ impl<'n> Tmk<'n> {
                     debug_assert!(lk.has_token, "registered owner keeps the token");
                     lk.held = true;
                     st.stats.lock_local_hits += 1;
+                    let lp = st.lock_prof.entry(lock).or_default();
+                    lp.local_hits += 1;
+                    lp.record_rest();
                     return;
                 }
                 Some((owner, st.vc.clone()))
@@ -942,6 +949,7 @@ impl<'n> Tmk<'n> {
             }
         };
         if let Some((dst, vc)) = target {
+            let t0 = self.node.now();
             let payload = protocol::encode_lock_req(lock, me, &vc);
             self.node
                 .endpoint()
@@ -953,6 +961,7 @@ impl<'n> Tmk<'n> {
             let mut r = WordReader::new(&pkt.payload);
             let intervals = crate::interval::decode_intervals(&mut r);
             let mut st = self.state.lock();
+            st.lock_prof.entry(lock).or_default().wait_us += self.node.now() - t0;
             for iv in intervals {
                 st.integrate_interval(iv);
             }
@@ -976,6 +985,7 @@ impl<'n> Tmk<'n> {
             if next.is_some() {
                 // The token travels with the grant.
                 lk.has_token = false;
+                st.lock_prof.entry(lock).or_default().record_handoff();
             }
             next.map(|req| {
                 let ivs = st.intervals_since(&req.vc);
@@ -1400,7 +1410,7 @@ impl<'n> Tmk<'n> {
             // Our subtree is already complete (leaf node, or every child
             // part beat our deposit): forward from the application side.
             if me != 0 {
-                forward_reduce(self.node.endpoint(), seq, op, sub, self.node.now());
+                forward_reduce(self.node.endpoint(), seq, op, sub, self.node.now(), None);
             }
         }
         let total = if me == 0 {
@@ -1654,6 +1664,24 @@ impl<'n> Tmk<'n> {
     /// [`crate::race::detect`].
     pub fn take_race_log(&self) -> Option<crate::race::RaceLog> {
         self.state.lock().race.take()
+    }
+
+    /// Take this node's sharing profile (always recorded; see
+    /// [`crate::profile`]). Call after [`Tmk::finish`]; pages and locks
+    /// come out in ascending id order. The cluster-wide view is the
+    /// [`SharingProfile::merge_from`](crate::profile::SharingProfile::merge_from)
+    /// fold over all nodes.
+    pub fn take_sharing(&self) -> crate::profile::SharingProfile {
+        let mut st = self.state.lock();
+        let mut pages: Vec<(usize, crate::profile::PageProfile)> =
+            std::mem::take(&mut st.page_prof).into_iter().collect();
+        pages.sort_by_key(|e| e.0);
+        for (_, p) in &mut pages {
+            p.finalize();
+        }
+        let locks: Vec<(u32, crate::profile::LockProfile)> =
+            std::mem::take(&mut st.lock_prof).into_iter().collect();
+        crate::profile::SharingProfile { pages, locks }
     }
 
     /// Stop the protocol service thread: send it the shutdown opcode and

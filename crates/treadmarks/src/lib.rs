@@ -105,6 +105,7 @@ pub mod dsm;
 pub mod fxhash;
 pub mod interval;
 pub mod page;
+pub mod profile;
 pub mod protocol;
 pub mod race;
 pub mod service;
@@ -115,6 +116,7 @@ pub mod vc;
 pub use config::{ProtocolMode, TmkConfig};
 pub use diff::Diff;
 pub use dsm::{ReadView, SharedArray, Tmk, WriteView};
-pub use race::{RaceLog, RaceReport};
+pub use profile::{LockProfile, PageProfile, SharingProfile};
+pub use race::{FalseSharingReport, RaceLog, RaceReport};
 pub use state::ReduceOp;
 pub use stats::DsmStats;

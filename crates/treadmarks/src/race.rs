@@ -154,6 +154,102 @@ pub fn detect(logs: &[RaceLog]) -> Vec<RaceReport> {
     out
 }
 
+/// One false-sharing candidate: concurrent writers repeatedly shared a
+/// page while writing **disjoint** word ranges — the multiple-writer
+/// protocol's legal-but-expensive case. Every such interval pair costs
+/// a diff exchange (LRC) or a flush + fetch (HLRC) that per-writer page
+/// placement would have avoided; the paper's §5 attributes Shallow's
+/// boundary-column traffic to exactly this pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FalseSharingReport {
+    /// The shared page.
+    pub page: PageId,
+    /// The two writers, ascending by node id.
+    pub writers: (usize, usize),
+    /// Concurrent interval pairs of these writers on this page with
+    /// disjoint word sets.
+    pub pairs: u64,
+    /// Words the first writer touched across those pairs (with
+    /// multiplicity — a measure of diff traffic, not footprint).
+    pub words_a: u64,
+    /// Words the second writer touched across those pairs.
+    pub words_b: u64,
+}
+
+impl fmt::Display for FalseSharingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "false sharing: page {} writers {}/{} ({} concurrent disjoint interval pair{}, {}+{} words)",
+            self.page,
+            self.writers.0,
+            self.writers.1,
+            self.pairs,
+            if self.pairs == 1 { "" } else { "s" },
+            self.words_a,
+            self.words_b,
+        )
+    }
+}
+
+/// Analyze the cluster's per-node logs for **false sharing**: the exact
+/// complement of [`detect`] over the same provenance — interval pairs
+/// that are vector-clock concurrent on the same page but whose word
+/// sets are *disjoint* (both non-empty). Aggregated per `(page, writer
+/// pair)` and sorted by descending pair count (then page) so the top
+/// entry names the strongest candidate.
+pub fn detect_false_sharing(logs: &[RaceLog]) -> Vec<FalseSharingReport> {
+    let mut by_page: BTreeMap<PageId, Vec<(&IntervalWrites, &[u32])>> = BTreeMap::new();
+    for log in logs {
+        for iv in &log.intervals {
+            for (page, words) in &iv.writes {
+                if !words.is_empty() {
+                    by_page.entry(*page).or_default().push((iv, words));
+                }
+            }
+        }
+    }
+    let mut agg: BTreeMap<(PageId, usize, usize), (u64, u64, u64)> = BTreeMap::new();
+    for (page, ivs) in by_page {
+        for (i, &(a, aw)) in ivs.iter().enumerate() {
+            for &(b, bw) in &ivs[i + 1..] {
+                if !vc::intervals_concurrent(a.node, a.seq, &a.vc, b.node, b.seq, &b.vc) {
+                    continue;
+                }
+                if overlap(aw, bw).is_some() {
+                    continue; // a true race, not false sharing
+                }
+                let ((w1, c1), (w2, c2)) = if a.node < b.node {
+                    ((a.node, aw.len() as u64), (b.node, bw.len() as u64))
+                } else {
+                    ((b.node, bw.len() as u64), (a.node, aw.len() as u64))
+                };
+                let e = agg.entry((page, w1, w2)).or_default();
+                e.0 += 1;
+                e.1 += c1;
+                e.2 += c2;
+            }
+        }
+    }
+    let mut out: Vec<FalseSharingReport> = agg
+        .into_iter()
+        .map(|((page, w1, w2), (pairs, wa, wb))| FalseSharingReport {
+            page,
+            writers: (w1, w2),
+            pairs,
+            words_a: wa,
+            words_b: wb,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.pairs
+            .cmp(&a.pairs)
+            .then(a.page.cmp(&b.page))
+            .then(a.writers.cmp(&b.writers))
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +317,59 @@ mod tests {
             },
         ];
         assert!(detect(&logs).is_empty());
+        // ... but it is exactly what the false-sharing detector flags.
+        let fs = detect_false_sharing(&logs);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].page, 3);
+        assert_eq!(fs[0].writers, (0, 1));
+        assert_eq!(fs[0].pairs, 1);
+        assert_eq!((fs[0].words_a, fs[0].words_b), (2, 2));
+    }
+
+    #[test]
+    fn false_sharing_excludes_races_ordered_pairs_and_same_writer() {
+        // A racing pair (overlap), an ordered pair, and two intervals of
+        // one creator: none are false sharing.
+        let logs = [
+            RaceLog {
+                node: 0,
+                intervals: vec![
+                    iv(0, 1, vec![1, 0], vec![(3, vec![5])]),
+                    iv(0, 2, vec![2, 0], vec![(3, vec![6])]),
+                ],
+            },
+            RaceLog {
+                node: 1,
+                // Saw both of node 0's intervals: ordered after them.
+                intervals: vec![iv(1, 1, vec![2, 1], vec![(3, vec![7])])],
+            },
+        ];
+        assert!(detect_false_sharing(&logs).is_empty());
+    }
+
+    #[test]
+    fn false_sharing_aggregates_and_sorts_by_pair_count() {
+        // Page 3: two concurrent disjoint pairs; page 9: one.
+        let logs = [
+            RaceLog {
+                node: 0,
+                intervals: vec![
+                    iv(0, 1, vec![1, 0], vec![(3, vec![0]), (9, vec![0])]),
+                    iv(0, 2, vec![2, 0], vec![(3, vec![1])]),
+                ],
+            },
+            RaceLog {
+                node: 1,
+                intervals: vec![iv(1, 1, vec![0, 1], vec![(3, vec![4, 5]), (9, vec![2])])],
+            },
+        ];
+        let fs = detect_false_sharing(&logs);
+        assert_eq!(fs.len(), 2);
+        assert_eq!((fs[0].page, fs[0].pairs), (3, 2));
+        assert_eq!((fs[0].words_a, fs[0].words_b), (2, 4));
+        assert_eq!((fs[1].page, fs[1].pairs), (9, 1));
+        let shown = format!("{}", fs[0]);
+        assert!(shown.contains("page 3 writers 0/1"), "{shown}");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sp2sim::{Endpoint, MsgKind, Port, VTime, WordReader};
+use sp2sim::{EdgeKind, Endpoint, MsgKind, Port, VTime, WordReader};
 
 use crate::config::ProtocolMode;
 use crate::protocol::{self, op, tag};
@@ -41,18 +41,19 @@ pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
             // through the response's send/recv events.
             ep.trace_service(opcode as u32, arrival, ep.cost().service_us);
         }
+        let seq = pkt.seq;
         match opcode {
-            op::DIFF_REQ => handle_diff_req(&ep, &state, &mut r, arrival),
-            op::VALIDATE_REQ => handle_validate_req(&ep, &state, &mut r, arrival),
-            op::HOME_FLUSH => handle_home_flush(&ep, &state, &mut r, arrival),
-            op::PAGE_REQ => handle_page_req(&ep, &state, &mut r, arrival),
-            op::REDUCE_PART => handle_reduce_part(&ep, &state, &mut r, arrival),
-            op::REDUCE_LIST => handle_reduce_list(&ep, &state, &mut r, arrival),
-            op::LOCK_REQ => handle_lock_req(&ep, &state, &mut r, arrival),
-            op::BARRIER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, false),
-            op::WORKER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, true),
-            op::MASTER_FORK => handle_master_fork(&ep, &state, &mut r, arrival),
-            op::MASTER_JOIN => handle_master_join(&ep, &state, &mut r, arrival),
+            op::DIFF_REQ => handle_diff_req(&ep, &state, &mut r, arrival, seq),
+            op::VALIDATE_REQ => handle_validate_req(&ep, &state, &mut r, arrival, seq),
+            op::HOME_FLUSH => handle_home_flush(&ep, &state, &mut r, arrival, seq),
+            op::PAGE_REQ => handle_page_req(&ep, &state, &mut r, arrival, seq),
+            op::REDUCE_PART => handle_reduce_part(&ep, &state, &mut r, arrival, seq),
+            op::REDUCE_LIST => handle_reduce_list(&ep, &state, &mut r, arrival, seq),
+            op::LOCK_REQ => handle_lock_req(&ep, &state, &mut r, arrival, seq),
+            op::BARRIER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, seq, false),
+            op::WORKER_ARRIVE => handle_arrival(&ep, &state, &mut r, arrival, seq, true),
+            op::MASTER_FORK => handle_master_fork(&ep, &state, &mut r, arrival, seq),
+            op::MASTER_JOIN => handle_master_join(&ep, &state, &mut r, arrival, seq),
             op::SHUTDOWN => break,
             other => {
                 eprintln!(
@@ -71,30 +72,53 @@ pub fn service_loop(ep: Endpoint, state: Arc<Mutex<DsmState>>) {
     }
 }
 
-fn handle_diff_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
-    serve_page_req(ep, state, r, arrival, tag::DIFF_RESP, MsgKind::DiffResp);
+fn handle_diff_req(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    seq: u64,
+) {
+    serve_page_req(
+        ep,
+        state,
+        r,
+        arrival,
+        seq,
+        tag::DIFF_RESP,
+        MsgKind::DiffResp,
+    );
 }
 
 /// CRI aggregated validate: identical serving logic to a diff request —
 /// the difference is on the requesting side, where one validate covers
 /// every page of a phase — answered on its own tag/kind so the traffic
 /// tables can attribute it.
-fn handle_validate_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+fn handle_validate_req(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    seq: u64,
+) {
     serve_page_req(
         ep,
         state,
         r,
         arrival,
+        seq,
         tag::VALIDATE_RESP,
         MsgKind::ValidateResp,
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_page_req(
     ep: &Endpoint,
     state: &Mutex<DsmState>,
     r: &mut WordReader,
     arrival: VTime,
+    seq: u64,
     resp_tag: u32,
     resp_kind: MsgKind,
 ) {
@@ -117,7 +141,7 @@ fn serve_page_req(
     drop(st);
     let mut w = sp2sim::WordWriter::with_capacity(protocol::diff_entries_words(&out));
     protocol::encode_diff_entries(&mut w, &out);
-    ep.send_at(
+    let out_seq = ep.send_at(
         requester,
         Port::App,
         resp_tag | (req_id & 0xFFFF),
@@ -125,6 +149,7 @@ fn serve_page_req(
         w.finish(),
         arrival + service_us,
     );
+    ep.trace_edge(EdgeKind::Response, out_seq, seq, arrival);
 }
 
 /// HLRC: a writer's eager flush arrives at this home. Each range is
@@ -132,7 +157,13 @@ fn serve_page_req(
 /// already holds are dropped, never re-applied — the stale-flush
 /// guard), then any deferred page request this flush completes is
 /// answered.
-fn handle_home_flush(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+fn handle_home_flush(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    seq: u64,
+) {
     let (writer, entries) = protocol::decode_home_flush(r);
     let mut st = state.lock();
     for e in entries {
@@ -147,7 +178,7 @@ fn handle_home_flush(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader,
             },
         );
     }
-    serve_ready_page_reqs(ep, &mut st, arrival);
+    serve_ready_page_reqs(ep, &mut st, arrival, seq);
 }
 
 /// HLRC: a whole-page fetch arrives at this home. If the buffered
@@ -157,18 +188,25 @@ fn handle_home_flush(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader,
 /// always in flight, because a writer flushes every interval at the
 /// release that publishes its notice, before that notice can reach any
 /// requester.
-fn handle_page_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+fn handle_page_req(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    seq: u64,
+) {
     let (req_id, requester, entries) = protocol::decode_page_fetch_req(r, ep.nprocs());
     let mut st = state.lock();
     let ready = entries.iter().all(|e| st.home_covers(e.page, &e.required));
     if ready {
-        serve_page_fetch(ep, &mut st, req_id, requester, &entries, arrival);
+        serve_page_fetch(ep, &mut st, req_id, requester, &entries, arrival, seq);
     } else {
         st.waiting_page_reqs.push(crate::state::WaitingPageReq {
             req_id,
             requester,
             entries,
             arrival,
+            seq,
         });
     }
 }
@@ -176,8 +214,9 @@ fn handle_page_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, a
 /// Answer every deferred page request the current flush state can
 /// satisfy. `now` is the arrival time of the flush that triggered the
 /// retry: a deferred response cannot leave before the data it waited
-/// for has arrived.
-fn serve_ready_page_reqs(ep: &Endpoint, st: &mut DsmState, now: VTime) {
+/// for has arrived. A response that waited is causally anchored on the
+/// flush (`flush_seq`) that unblocked it, not on its own request.
+fn serve_ready_page_reqs(ep: &Endpoint, st: &mut DsmState, now: VTime, flush_seq: u64) {
     loop {
         let idx = st.waiting_page_reqs.iter().position(|wr| {
             wr.entries
@@ -186,8 +225,12 @@ fn serve_ready_page_reqs(ep: &Endpoint, st: &mut DsmState, now: VTime) {
         });
         let Some(i) = idx else { return };
         let wr = st.waiting_page_reqs.remove(i);
-        let at = if wr.arrival > now { wr.arrival } else { now };
-        serve_page_fetch(ep, st, wr.req_id, wr.requester, &wr.entries, at);
+        let (at, cause) = if wr.arrival > now {
+            (wr.arrival, wr.seq)
+        } else {
+            (now, flush_seq)
+        };
+        serve_page_fetch(ep, st, wr.req_id, wr.requester, &wr.entries, at, cause);
     }
 }
 
@@ -196,6 +239,7 @@ fn serve_ready_page_reqs(ep: &Endpoint, st: &mut DsmState, now: VTime) {
 /// Construction of a multi-page response is pipelined with transmission
 /// like an aggregated diff response: only the costliest page's
 /// construction delays the reply.
+#[allow(clippy::too_many_arguments)]
 fn serve_page_fetch(
     ep: &Endpoint,
     st: &mut DsmState,
@@ -203,6 +247,7 @@ fn serve_page_fetch(
     requester: usize,
     entries: &[protocol::PageReqEntry],
     arrival: VTime,
+    cause_seq: u64,
 ) {
     let cost = ep.cost().clone();
     let mut first_us: f64 = 0.0;
@@ -216,7 +261,7 @@ fn serve_page_fetch(
             data,
         });
     }
-    ep.send_at(
+    let out_seq = ep.send_at(
         requester,
         Port::App,
         tag::PAGE_RESP | (req_id & 0xFFFF),
@@ -224,6 +269,7 @@ fn serve_page_fetch(
         protocol::encode_page_resp(&out),
         arrival + cost.service_us + first_us,
     );
+    ep.trace_edge(EdgeKind::Response, out_seq, cause_seq, arrival);
 }
 
 /// CRI direct reduction: a child subtree's partial arrives; combine it
@@ -231,28 +277,46 @@ fn serve_page_fetch(
 /// application thread's own deposit uses the same slot (see
 /// [`Tmk::reduce`](crate::Tmk::reduce)), so whichever contribution
 /// arrives last triggers the forwarding.
-fn handle_reduce_part(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+fn handle_reduce_part(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    pkt_seq: u64,
+) {
     let (seq, src, op_code, vals) = protocol::decode_reduce_part(r);
     let op = crate::state::ReduceOp::from_code(op_code);
     let combined = state
         .lock()
         .reduce_contribute(seq as u64, Some(src), vals, op);
     if let Some(total) = combined {
-        forward_reduce(ep, seq, op, &total, arrival + ep.cost().service_us);
+        forward_reduce(
+            ep,
+            seq,
+            op,
+            &total,
+            arrival + ep.cost().service_us,
+            Some((pkt_seq, arrival)),
+        );
     }
 }
 
 /// Send a completed subtree total one hop: up to the parent's service
 /// (interior node) or to the root's own application port (the total).
+/// `edge` is the causal anchor when the forwarding was triggered by an
+/// incoming `REDUCE_PART` on the service thread; `None` when the local
+/// application's own deposit completed the slot (the send then sits on
+/// the app track, which is its own causal anchor).
 pub(crate) fn forward_reduce(
     ep: &Endpoint,
     seq: u32,
     op: crate::state::ReduceOp,
     total: &[f64],
     ready: VTime,
+    edge: Option<(u64, VTime)>,
 ) {
     let me = ep.id();
-    if me == 0 {
+    let out_seq = if me == 0 {
         // Self-delivery: a local upcall, free and uncounted.
         ep.send_at(
             me,
@@ -261,7 +325,7 @@ pub(crate) fn forward_reduce(
             MsgKind::Control,
             protocol::encode_reduce_vals(total),
             ready,
-        );
+        )
     } else {
         ep.send_at(
             crate::state::reduce_parent(me),
@@ -270,7 +334,10 @@ pub(crate) fn forward_reduce(
             MsgKind::ReducePart,
             protocol::encode_reduce_part(seq, me, op.code(), total),
             ready,
-        );
+        )
+    };
+    if let Some((cause_seq, at)) = edge {
+        ep.trace_edge(EdgeKind::Response, out_seq, cause_seq, at);
     }
 }
 
@@ -281,7 +348,13 @@ pub(crate) fn forward_reduce(
 /// [`Tmk::reduce_windows`](crate::Tmk::reduce_windows)). Windows are
 /// never combined here: pre-folding would change the addition grouping
 /// the whole mechanism exists to preserve.
-fn handle_reduce_list(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+fn handle_reduce_list(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    pkt_seq: u64,
+) {
     let (seq, src, windows) = protocol::decode_reduce_list(r);
     let complete = state
         .lock()
@@ -289,7 +362,7 @@ fn handle_reduce_list(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader
     if let Some(list) = complete {
         // Self-delivery to the root's application port: a local upcall,
         // free and uncounted.
-        ep.send_at(
+        let out_seq = ep.send_at(
             ep.id(),
             Port::App,
             tag::REDUCE_LIST_DONE | (seq & 0xFFFF),
@@ -297,10 +370,17 @@ fn handle_reduce_list(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader
             protocol::encode_reduce_list(seq, ep.id(), &list),
             arrival + ep.cost().service_us,
         );
+        ep.trace_edge(EdgeKind::Response, out_seq, pkt_seq, arrival);
     }
 }
 
-fn handle_lock_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+fn handle_lock_req(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    seq: u64,
+) {
     let me = ep.id();
     let n = ep.nprocs();
     let (lock, requester, vc) = protocol::decode_lock_req(r, n);
@@ -316,7 +396,7 @@ fn handle_lock_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, a
         if owner != me {
             // Forward to the (possibly future) holder.
             drop(st);
-            ep.send_at(
+            let out_seq = ep.send_at(
                 owner,
                 Port::Service,
                 0,
@@ -324,12 +404,13 @@ fn handle_lock_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, a
                 protocol::encode_lock_req(lock, requester, &vc),
                 arrival + manager_us,
             );
+            ep.trace_edge(EdgeKind::LockHandoff, out_seq, seq, arrival);
             return;
         }
         // else: we are also the holder-side — fall through.
     }
 
-    holder_grant_or_queue(ep, &mut st, lock, requester, vc, arrival + manager_us);
+    holder_grant_or_queue(ep, &mut st, lock, requester, vc, arrival + manager_us, seq);
 }
 
 /// Holder-side handling of a lock request.
@@ -340,6 +421,7 @@ fn handle_lock_req(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, a
 /// the chain, because the manager serialized that request after this one.
 /// Only a node that truly holds the lock, or that is itself waiting for
 /// the token to arrive, queues the request for its next release.
+#[allow(clippy::too_many_arguments)]
 fn holder_grant_or_queue(
     ep: &Endpoint,
     st: &mut DsmState,
@@ -347,6 +429,7 @@ fn holder_grant_or_queue(
     requester: usize,
     vc: crate::vc::Vc,
     ready: VTime,
+    req_seq: u64,
 ) {
     let me = ep.id();
     let service_us = ep.cost().service_us;
@@ -362,7 +445,8 @@ fn holder_grant_or_queue(
         debug_assert!(lk.has_token, "self-directed request implies token");
         lk.held = true;
         let release_vt = lk.release_vt;
-        ep.send_at(
+        st.lock_prof.entry(lock).or_default().record_rest();
+        let out_seq = ep.send_at(
             me,
             Port::App,
             tag::LOCK_GRANT | lock,
@@ -370,6 +454,10 @@ fn holder_grant_or_queue(
             protocol::encode_lock_grant(&[]),
             ready.max(release_vt),
         );
+        // A grant gated by our own last release (`release_vt > ready`)
+        // is causally local; otherwise the request itself is the cause.
+        let cause = if release_vt > ready { 0 } else { req_seq };
+        ep.trace_edge(EdgeKind::LockHandoff, out_seq, cause, ready.max(release_vt));
         return;
     }
     if lk.held || !lk.has_token {
@@ -383,8 +471,9 @@ fn holder_grant_or_queue(
     // Token present, lock free: hand the token over.
     lk.has_token = false;
     let release_vt = lk.release_vt;
+    st.lock_prof.entry(lock).or_default().record_handoff();
     let intervals = st.intervals_since(&vc);
-    ep.send_at(
+    let out_seq = ep.send_at(
         requester,
         Port::App,
         tag::LOCK_GRANT | lock,
@@ -392,6 +481,8 @@ fn holder_grant_or_queue(
         protocol::encode_lock_grant(&intervals),
         ready.max(release_vt) + service_us,
     );
+    let cause = if release_vt > ready { 0 } else { req_seq };
+    ep.trace_edge(EdgeKind::LockHandoff, out_seq, cause, ready.max(release_vt));
 }
 
 fn handle_arrival(
@@ -399,6 +490,7 @@ fn handle_arrival(
     state: &Mutex<DsmState>,
     r: &mut WordReader,
     arrival: VTime,
+    seq: u64,
     _worker: bool,
 ) {
     let a = protocol::decode_arrival(r, ep.nprocs());
@@ -409,15 +501,25 @@ fn handle_arrival(
     // the local application is guaranteed to be blocked in the barrier.
     let epoch = a.epoch;
     let entry = st.epochs.entry(epoch).or_default();
-    entry
-        .arrivals
-        .push((a.src, a.vc.clone(), arrival, a.push_counts.clone()));
+    entry.arrivals.push(crate::state::Arrival {
+        src: a.src,
+        vc: a.vc.clone(),
+        at: arrival,
+        push_counts: a.push_counts.clone(),
+        seq,
+    });
     // Stash intervals alongside (keyed by src) for integration later.
     st.pending_intervals(epoch, a.intervals);
     try_complete_epoch(ep, &mut st, epoch);
 }
 
-fn handle_master_fork(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+fn handle_master_fork(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    seq: u64,
+) {
     let epoch = r.get();
     let flag_bits = r.get();
     let push_counts: Vec<u64> = (0..ep.nprocs()).map(|_| r.get()).collect();
@@ -433,15 +535,23 @@ fn handle_master_fork(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader
     entry.fork_push = push_counts;
     entry.fork_ctl = Some(ctl);
     entry.fork_vt = arrival;
+    entry.fork_seq = seq;
     try_complete_epoch(ep, &mut st, epoch);
 }
 
-fn handle_master_join(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader, arrival: VTime) {
+fn handle_master_join(
+    ep: &Endpoint,
+    state: &Mutex<DsmState>,
+    r: &mut WordReader,
+    arrival: VTime,
+    seq: u64,
+) {
     let epoch = r.get();
     let mut st = state.lock();
     let entry = st.epochs.entry(epoch).or_default();
     entry.joined = true;
     entry.join_vt = arrival;
+    entry.join_seq = seq;
     try_complete_epoch(ep, &mut st, epoch);
 }
 
@@ -452,12 +562,27 @@ fn handle_master_join(ep: &Endpoint, state: &Mutex<DsmState>, r: &mut WordReader
 /// each node's departure time — a pure function of virtual time, which
 /// keeps the threaded engine's results reproducible wherever virtual
 /// arrival times themselves are.
-fn sort_arrivals(arrivals: &mut [(usize, crate::vc::Vc, VTime, Vec<u64>)]) {
+fn sort_arrivals(arrivals: &mut [crate::state::Arrival]) {
     arrivals.sort_by(|a, b| {
-        a.2.partial_cmp(&b.2)
+        a.at.partial_cmp(&b.at)
             .expect("virtual times are never NaN")
-            .then(a.0.cmp(&b.0))
+            .then(a.src.cmp(&b.src))
     });
+}
+
+/// The correlation id of the *critical* arrival: the one the epoch's
+/// completion time waits on (latest virtual arrival, ties by node id,
+/// matching [`sort_arrivals`]). `None` for an empty arrival set (a
+/// 1-node fork/join epoch).
+fn critical_arrival(arrivals: &[crate::state::Arrival]) -> Option<u64> {
+    arrivals
+        .iter()
+        .max_by(|a, b| {
+            a.at.partial_cmp(&b.at)
+                .expect("virtual times are never NaN")
+                .then(a.src.cmp(&b.src))
+        })
+        .map(|a| a.seq)
 }
 
 /// Componentwise minimum of the arrivals' vector clocks (optionally
@@ -470,7 +595,7 @@ fn sort_arrivals(arrivals: &mut [(usize, crate::vc::Vc, VTime, Vec<u64>)]) {
 /// Under LRC there are no home copies to prune, so the piggyback is
 /// omitted (empty) rather than padding every departure with n words.
 fn min_arrival_vc(
-    arrivals: &[(usize, crate::vc::Vc, VTime, Vec<u64>)],
+    arrivals: &[crate::state::Arrival],
     extra: Option<&crate::vc::Vc>,
     n: usize,
     protocol: ProtocolMode,
@@ -479,8 +604,8 @@ fn min_arrival_vc(
         return Vec::new();
     }
     let mut min = vec![u32::MAX; n];
-    for (_, vc, _, _) in arrivals {
-        for (m, &x) in min.iter_mut().zip(vc) {
+    for a in arrivals {
+        for (m, &x) in min.iter_mut().zip(&a.vc) {
             *m = (*m).min(x);
         }
     }
@@ -511,39 +636,42 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
         // Integrate everyone's intervals, then issue departures.
         let mut entry = st.epochs.remove(&epoch).expect("checked above");
         sort_arrivals(&mut entry.arrivals);
+        let crit_seq = critical_arrival(&entry.arrivals).expect("n >= 1 arrivals");
         let max_at = entry
             .arrivals
             .iter()
-            .map(|(_, _, at, _)| *at)
+            .map(|a| a.at)
             .fold(VTime::ZERO, VTime::max);
         let dep_time = max_at + n as f64 * manager_us;
         st.integrate_pending(epoch);
         // Total pushes headed to each destination.
         let mut push_to = vec![0u64; n];
-        for (_, _, _, counts) in &entry.arrivals {
-            for (d, c) in counts.iter().enumerate() {
+        for a in &entry.arrivals {
+            for (d, c) in a.push_counts.iter().enumerate() {
                 push_to[d] += c;
             }
         }
         let e16 = (epoch & 0xFFFF) as u32;
         let min_vc = min_arrival_vc(&entry.arrivals, None, n, st.cfg.protocol);
-        for (src, vc, _, _) in &entry.arrivals {
-            let intervals = st.intervals_since(vc);
+        for a in &entry.arrivals {
+            let src = a.src;
+            let intervals = st.intervals_since(&a.vc);
             let payload =
-                protocol::encode_departure(epoch, 0, push_to[*src], &[], &intervals, &min_vc);
-            let kind = if *src == me {
+                protocol::encode_departure(epoch, 0, push_to[src], &[], &intervals, &min_vc);
+            let kind = if src == me {
                 MsgKind::Control
             } else {
                 MsgKind::BarrierDepart
             };
-            ep.send_at(
-                *src,
+            let out_seq = ep.send_at(
+                src,
                 Port::App,
                 tag::BARRIER_DEP | e16,
                 kind,
                 payload,
                 dep_time,
             );
+            ep.trace_edge(EdgeKind::BarrierRelease, out_seq, crit_seq, max_at);
         }
         return;
     }
@@ -556,20 +684,22 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
     let max_at = entry
         .arrivals
         .iter()
-        .map(|(_, _, at, _)| *at)
+        .map(|a| a.at)
         .fold(VTime::ZERO, VTime::max);
+    let crit_seq = critical_arrival(&entry.arrivals);
     let e16 = (epoch & 0xFFFF) as u32;
 
     // Pushes announced in this epoch's worker arrivals, per destination.
     let mut push_to = vec![0u64; n];
-    for (_, _, _, counts) in &entry.arrivals {
-        for (d, c) in counts.iter().enumerate() {
+    for a in &entry.arrivals {
+        for (d, c) in a.push_counts.iter().enumerate() {
             push_to[d] += c;
         }
     }
 
     let joined = entry.joined && !entry.join_served;
     let join_vt = entry.join_vt;
+    let join_seq = entry.join_seq;
     if joined {
         st.integrate_pending(epoch);
         let entry = st.epochs.get(&epoch).expect("epoch exists");
@@ -579,7 +709,7 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
         w.put(epoch).put(push_to[me]);
         protocol::encode_vc_words(&mut w, &min_vc);
         let payload = w.finish();
-        ep.send_at(
+        let out_seq = ep.send_at(
             me,
             Port::App,
             tag::JOIN_DEP | e16,
@@ -587,12 +717,21 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
             payload,
             dep_time,
         );
+        // The join completes when the last worker arrival is in, or when
+        // the master's own MASTER_JOIN lands — whichever is later.
+        let cause = if join_vt > max_at {
+            join_seq
+        } else {
+            crit_seq.unwrap_or(join_seq)
+        };
+        ep.trace_edge(EdgeKind::Join, out_seq, cause, max_at.max(join_vt));
         st.epochs.get_mut(&epoch).expect("epoch exists").join_served = true;
     }
 
     let entry = st.epochs.get(&epoch).expect("epoch exists");
     if let Some(ctl) = entry.fork_ctl.clone() {
         let fork_vt = entry.fork_vt;
+        let fork_seq = entry.fork_seq;
         let mut entry = st.epochs.remove(&epoch).expect("epoch exists");
         sort_arrivals(&mut entry.arrivals);
         st.integrate_pending(epoch);
@@ -605,24 +744,32 @@ fn try_complete_epoch(ep: &Endpoint, st: &mut DsmState, epoch: u64) {
         let ctl_words = &ctl[1..];
         let min_vc = min_arrival_vc(&entry.arrivals, Some(&st.vc), n, st.cfg.protocol);
         let dep_time = max_at.max(fork_vt) + (n as f64 - 1.0) * manager_us;
-        for (src, vc, _, _) in &entry.arrivals {
-            let intervals = st.intervals_since(vc);
+        // A fork departure waits on the master's MASTER_FORK and on the
+        // workers having arrived in the previous epoch.
+        let cause = if fork_vt > max_at {
+            fork_seq
+        } else {
+            crit_seq.unwrap_or(fork_seq)
+        };
+        for a in &entry.arrivals {
+            let intervals = st.intervals_since(&a.vc);
             let payload = protocol::encode_departure(
                 epoch,
                 flag_bits,
-                push_to[*src],
+                push_to[a.src],
                 ctl_words,
                 &intervals,
                 &min_vc,
             );
-            ep.send_at(
-                *src,
+            let out_seq = ep.send_at(
+                a.src,
                 Port::App,
                 tag::FORK_DEP | e16,
                 MsgKind::BarrierDepart,
                 payload,
                 dep_time,
             );
+            ep.trace_edge(EdgeKind::Fork, out_seq, cause, max_at.max(fork_vt));
         }
     }
 }

@@ -345,6 +345,10 @@ pub struct WaitingPageReq {
     pub entries: Vec<crate::protocol::PageReqEntry>,
     /// Virtual arrival time of the request.
     pub arrival: VTime,
+    /// Correlation id of the request packet (causal anchor when the
+    /// deferred response ends up bounded by its own request, not by the
+    /// flush that completed it).
+    pub seq: u64,
 }
 
 /// HLRC home-side state of one page homed at this node.
@@ -382,12 +386,27 @@ pub struct HomePage {
     cache: Option<(Vec<u32>, Vec<u64>, Vec<u32>)>,
 }
 
+/// One recorded barrier/worker arrival at the manager.
+#[derive(Debug)]
+pub struct Arrival {
+    /// Arriving node.
+    pub src: usize,
+    /// Its vector clock at the arrival.
+    pub vc: Vc,
+    /// Virtual arrival time at the manager.
+    pub at: VTime,
+    /// Pushes to expect per destination.
+    pub push_counts: Vec<u64>,
+    /// Correlation id of the arrival packet (the causal anchor of the
+    /// epoch's departures when this arrival is the critical one).
+    pub seq: u64,
+}
+
 /// Barrier/fork-join bookkeeping for one epoch at the manager.
 #[derive(Debug, Default)]
 pub struct EpochState {
-    /// Arrivals received so far: `(src, vc, arrival time, pushes to expect
-    /// per destination)`.
-    pub arrivals: Vec<(usize, Vc, VTime, Vec<u64>)>,
+    /// Arrivals received so far.
+    pub arrivals: Vec<Arrival>,
     /// Push counts carried by the master's fork (pushes the master sent
     /// right before dispatching this epoch's loop).
     pub fork_push: Vec<u64>,
@@ -395,10 +414,14 @@ pub struct EpochState {
     pub fork_ctl: Option<Vec<u64>>,
     /// Virtual time of the master's fork call.
     pub fork_vt: VTime,
+    /// Correlation id of the master's fork packet.
+    pub fork_seq: u64,
     /// Master called `join` this epoch.
     pub joined: bool,
     /// Virtual time of the master's join call.
     pub join_vt: VTime,
+    /// Correlation id of the master's join packet.
+    pub join_seq: u64,
     /// The join reply was already sent.
     pub join_served: bool,
 }
@@ -469,6 +492,11 @@ pub struct DsmState {
     /// [`crate::race`]). Host-side only — never touches the wire or the
     /// virtual clock.
     pub race: Option<RaceLog>,
+    /// Per-page sharing profile (always on; host-side only — see
+    /// [`crate::profile`]).
+    pub page_prof: FxHashMap<PageId, crate::profile::PageProfile>,
+    /// Per-lock contention profile (always on; host-side only).
+    pub lock_prof: BTreeMap<u32, crate::profile::LockProfile>,
 }
 
 impl DsmState {
@@ -503,7 +531,17 @@ impl DsmState {
                 node: me,
                 intervals: Vec::new(),
             }),
+            page_prof: FxHashMap::default(),
+            lock_prof: BTreeMap::new(),
         }
+    }
+
+    /// A per-node epoch proxy for the sharing profile's writer windows:
+    /// the count of synchronization rendezvous this node has completed.
+    /// It only needs to *separate* epochs locally, not agree across
+    /// nodes.
+    pub(crate) fn epoch_proxy(&self) -> u64 {
+        self.stats.barriers + self.stats.forks
     }
 
     // ------------------------------------------------------------------
@@ -882,6 +920,13 @@ impl DsmState {
             self.notices.entry(p).or_default().push(n, self.me, seq);
         }
         let us = pages.len() as f64 * cost.manager_us * 0.1;
+        let epoch = self.epoch_proxy();
+        for &p in &pages {
+            self.page_prof
+                .entry(p)
+                .or_default()
+                .record_writer(self.me, epoch);
+        }
         let iv = Arc::new(Interval {
             node: self.me,
             seq,
@@ -918,8 +963,13 @@ impl DsmState {
             self.lamport = iv.lamport;
         }
         let n = self.n;
+        let epoch = self.epoch_proxy();
         for &p in &iv.pages {
             self.notices.entry(p).or_default().push(n, iv.node, iv.seq);
+            self.page_prof
+                .entry(p)
+                .or_default()
+                .record_writer(iv.node, epoch);
         }
         self.log[iv.node].push(Arc::new(iv));
         true
@@ -987,6 +1037,9 @@ impl DsmState {
                 us += cost.diff_create_us(diff.changed_words());
                 self.stats.diffs_created += 1;
                 self.stats.diff_words_created += diff.changed_words() as u64;
+                let pp = self.page_prof.entry(page).or_default();
+                pp.diffs_created += 1;
+                pp.diff_words_created += diff.changed_words() as u64;
                 if !self.dirty.contains(&page) {
                     // Re-protect: the next write takes a fresh fault+twin.
                     // The retired twin goes back to the scratch arena; the
@@ -1045,6 +1098,7 @@ impl DsmState {
             frame.applied[writer] = hi;
         }
         self.stats.diffs_applied += 1;
+        self.page_prof.entry(page).or_default().diffs_applied += 1;
     }
 }
 
